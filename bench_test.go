@@ -1,0 +1,258 @@
+package vsgm
+
+// One benchmark per experiment table (E1-E10; see DESIGN.md Section 4 and
+// EXPERIMENTS.md). Each benchmark regenerates its table's measurement at a
+// bench-friendly scale; cmd/vsgm-bench prints the full tables.
+//
+// The simulations run under a virtual clock, so ns/op measures the CPU cost
+// of regenerating the experiment, while the domain results (speedups, copy
+// counts, view counts) are attached as custom benchmark metrics.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"vsgm/internal/experiments"
+)
+
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.Reps = 1
+	return p
+}
+
+// cellFloat extracts a numeric cell from a table.
+func cellFloat(tb testing.TB, t *experiments.Table, row, col int) float64 {
+	tb.Helper()
+	var f float64
+	if _, err := fmt.Sscan(t.Rows[row][col], &f); err != nil {
+		tb.Fatalf("parse cell %q: %v", t.Rows[row][col], err)
+	}
+	return f
+}
+
+func BenchmarkE1Reconfiguration(b *testing.B) {
+	p := benchParams()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E1Reconfiguration([]int{8}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = cellFloat(b, t, 0, 4)
+	}
+	b.ReportMetric(speedup, "speedup-vs-two-round")
+}
+
+func BenchmarkE2ControlMessages(b *testing.B) {
+	p := benchParams()
+	var syncs float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E2ControlMessages([]int{8}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syncs = cellFloat(b, t, 0, 1)
+	}
+	b.ReportMetric(syncs, "sync-msgs/change")
+}
+
+func BenchmarkE3ObsoleteViews(b *testing.B) {
+	p := benchParams()
+	var eager, restart float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E3ObsoleteViews([]int{4}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager = cellFloat(b, t, 0, 1)
+		restart = cellFloat(b, t, 0, 2)
+	}
+	b.ReportMetric(eager, "eager-views/member")
+	b.ReportMetric(restart, "restart-views/member")
+}
+
+func BenchmarkE4Forwarding(b *testing.B) {
+	p := benchParams()
+	var simple, min float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E4Forwarding([]int{10}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simple = cellFloat(b, t, 0, 3)
+		min = cellFloat(b, t, 0, 5)
+	}
+	b.ReportMetric(simple, "simple-copies/missing")
+	b.ReportMetric(min, "min-copies/missing")
+}
+
+func BenchmarkE5Multicast(b *testing.B) {
+	p := benchParams()
+	var wire float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E5Multicast([]int{8}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire = cellFloat(b, t, 0, 2)
+	}
+	b.ReportMetric(wire, "wire-msgs/multicast")
+}
+
+func BenchmarkE6BlockingTime(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6BlockingTime([]int{8}, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Recovery(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Recovery([]int{5}, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8MembershipScalability(b *testing.B) {
+	p := benchParams()
+	var clientServer, flat float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E8MembershipScalability([]int{16}, []int{2}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clientServer = cellFloat(b, t, 0, 2)
+		flat = cellFloat(b, t, 1, 2)
+	}
+	b.ReportMetric(clientServer, "client-server-msgs/change")
+	b.ReportMetric(flat, "flat-msgs/change")
+}
+
+func BenchmarkE9SyncMsgSize(b *testing.B) {
+	p := benchParams()
+	var plain, small float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E9SyncMessageSize([]int{8}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = cellFloat(b, t, 0, 2)
+		small = cellFloat(b, t, 0, 3)
+	}
+	b.ReportMetric(plain, "bytes-plain")
+	b.ReportMetric(small, "bytes-small-sync")
+}
+
+func BenchmarkE10TotalOrder(b *testing.B) {
+	p := benchParams()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E10TotalOrder([]int{8}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = cellFloat(b, t, 0, 3)
+	}
+	b.ReportMetric(ratio, "order-vs-fifo-latency")
+}
+
+func BenchmarkE11GarbageCollection(b *testing.B) {
+	p := benchParams()
+	var without, with float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11GarbageCollection([]int{0, 5}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without = cellFloat(b, t, 0, 1)
+		with = cellFloat(b, t, 1, 1)
+	}
+	b.ReportMetric(without, "buffered-no-acks")
+	b.ReportMetric(with, "buffered-with-acks")
+}
+
+func BenchmarkE12Hierarchy(b *testing.B) {
+	p := benchParams()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E12Hierarchy([]int{16}, 4, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = cellFloat(b, t, 0, 3)
+	}
+	b.ReportMetric(ratio, "hier/flat-msg-ratio")
+}
+
+// Micro-benchmarks of the hot paths themselves (wall-clock, not simulated).
+
+func BenchmarkMulticastHotPath(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			c, err := NewCluster(ClusterConfig{
+				Procs:   ProcIDs(n),
+				Latency: FixedLatency(time.Millisecond),
+				Seed:    1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := c.ReconfigureTo(NewProcSet(c.Procs()...)); err != nil {
+				b.Fatal(err)
+			}
+			payload := []byte("benchmark-payload")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Send("p00", payload); err != nil {
+					b.Fatal(err)
+				}
+				if i%64 == 63 {
+					if err := c.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := c.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkViewChangeHotPath(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			c, err := NewCluster(ClusterConfig{
+				Procs:   ProcIDs(n),
+				Latency: FixedLatency(time.Millisecond),
+				Seed:    1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			all := NewProcSet(c.Procs()...)
+			if _, _, err := c.ReconfigureTo(all); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.ReconfigureTo(all); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "N=" + strconv.Itoa(n)
+}

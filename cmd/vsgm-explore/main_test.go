@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDFS(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "2", "-max", "500"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "schedules verified") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunSwarmWithLeave(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-swarm", "100", "-leave"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "100 schedules verified") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunRejectsTinyGroups(t *testing.T) {
+	if err := run([]string{"-n", "1"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

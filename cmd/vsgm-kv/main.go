@@ -1,0 +1,301 @@
+// Command vsgm-kv is an interactive replicated key-value store running on
+// the virtually synchronous service inside the deterministic simulator: a
+// REPL where you write through any replica, partition and heal the network,
+// crash and recover members, and watch state transfer and convergence
+// happen — the paper's motivating application, hands on.
+//
+// Usage:
+//
+//	vsgm-kv -n 3
+//	> set p00 color blue        # propose through p00
+//	> get p01 color             # read p01's local state
+//	> partition p00 | p01 p02   # split the network + membership
+//	> set p00 side left         # divergent updates
+//	> heal                      # merge; deterministic state adoption
+//	> dump                      # every replica's full state
+//	> crash p02 / recover p02
+//	> quit
+//
+// Commands can also be piped on stdin for scripted runs.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vsgm/internal/core"
+	"vsgm/internal/rsm"
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+func main() {
+	n := 3
+	if len(os.Args) == 3 && os.Args[1] == "-n" {
+		fmt.Sscan(os.Args[2], &n)
+	}
+	if err := run(n, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vsgm-kv:", err)
+		os.Exit(1)
+	}
+}
+
+// world bundles the cluster with its replicas.
+type world struct {
+	c        *sim.Cluster
+	suite    *spec.Suite
+	replicas map[types.ProcID]*rsm.Replica
+	stores   map[types.ProcID]*rsm.KVStore
+	alive    types.ProcSet
+	out      io.Writer
+}
+
+func run(n int, in io.Reader, out io.Writer) error {
+	if n < 1 {
+		return fmt.Errorf("need at least one replica")
+	}
+	w := &world{
+		suite:    spec.FullSuite(),
+		replicas: make(map[types.ProcID]*rsm.Replica),
+		stores:   make(map[types.ProcID]*rsm.KVStore),
+		out:      out,
+	}
+	cluster, err := sim.NewCluster(sim.Config{
+		Procs: sim.ProcIDs(n),
+		Seed:  1,
+		Suite: w.suite,
+		OnAppEvent: func(p types.ProcID, ev core.Event) {
+			if r := w.replicas[p]; r != nil {
+				if err := r.HandleEvent(ev); err != nil {
+					fmt.Fprintf(out, "! replica %s: %v\n", p, err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	w.c = cluster
+	w.alive = types.NewProcSet(cluster.Procs()...)
+	for _, p := range cluster.Procs() {
+		p := p
+		store := rsm.NewKVStore()
+		replica, err := rsm.NewReplica(rsm.Config{
+			ID:        p,
+			Machine:   store,
+			Bootstrap: true,
+			Send: func(b []byte) error {
+				_, err := cluster.Send(p, b)
+				return err
+			},
+		})
+		if err != nil {
+			return err
+		}
+		w.replicas[p] = replica
+		w.stores[p] = store
+	}
+	if _, _, err := cluster.ReconfigureTo(w.alive); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replicated store up: %s (try 'help')\n", w.alive)
+
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := w.exec(line); err != nil {
+			fmt.Fprintf(out, "! %v\n", err)
+		}
+	}
+}
+
+func (w *world) exec(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Fprint(w.out, `commands:
+  set <replica> <key> <value>   propose a write through a replica
+  del <replica> <key>           propose a delete
+  get <replica> <key>           read a replica's local state
+  dump                          print every live replica's state
+  view                          print every live replica's current view
+  partition <ids> | <ids>       split network + membership into two sides
+  heal                          reconnect and merge into one view
+  crash <replica>               crash a member (survivors reconfigure)
+  recover <replica>             recover a member (rejoins the group)
+  check                         run the specification checkers
+  quit
+`)
+		return nil
+
+	case "set", "del":
+		want := 4
+		if fields[0] == "del" {
+			want = 3
+		}
+		if len(fields) != want {
+			return fmt.Errorf("usage: %s <replica> <key> [value]", fields[0])
+		}
+		p := types.ProcID(fields[1])
+		r, ok := w.replicas[p]
+		if !ok || !w.alive.Contains(p) {
+			return fmt.Errorf("no live replica %s", p)
+		}
+		var cmd []byte
+		if fields[0] == "set" {
+			cmd = rsm.EncodeSet(fields[2], fields[3])
+		} else {
+			cmd = rsm.EncodeDel(fields[2])
+		}
+		if err := r.Propose(cmd); err != nil {
+			return err
+		}
+		return w.c.Run()
+
+	case "get":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: get <replica> <key>")
+		}
+		p := types.ProcID(fields[1])
+		store, ok := w.stores[p]
+		if !ok {
+			return fmt.Errorf("no replica %s", p)
+		}
+		if v, ok := store.Get(fields[2]); ok {
+			fmt.Fprintf(w.out, "%s = %q\n", fields[2], v)
+		} else {
+			fmt.Fprintf(w.out, "%s is unset\n", fields[2])
+		}
+		return nil
+
+	case "dump":
+		for _, p := range w.alive.Sorted() {
+			fmt.Fprintf(w.out, "  %s: %s\n", p, w.stores[p].Fingerprint())
+		}
+		return nil
+
+	case "view":
+		for _, p := range w.alive.Sorted() {
+			fmt.Fprintf(w.out, "  %s: %s\n", p, w.c.Endpoint(p).CurrentView())
+		}
+		return nil
+
+	case "partition":
+		rest := strings.Join(fields[1:], " ")
+		halves := strings.Split(rest, "|")
+		if len(halves) != 2 {
+			return fmt.Errorf("usage: partition <ids> | <ids>")
+		}
+		sides := make([]types.ProcSet, 2)
+		for i, half := range halves {
+			sides[i] = types.NewProcSet()
+			for _, id := range strings.Fields(half) {
+				p := types.ProcID(id)
+				if !w.alive.Contains(p) {
+					return fmt.Errorf("no live replica %s", p)
+				}
+				sides[i].Add(p)
+			}
+			if sides[i].Len() == 0 {
+				return fmt.Errorf("empty side")
+			}
+		}
+		if _, err := w.c.Partition(sides[0], sides[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w.out, "partitioned %s | %s\n", sides[0], sides[1])
+		return nil
+
+	case "heal":
+		w.c.HealConnectivity()
+		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
+			return err
+		}
+		fmt.Fprintf(w.out, "merged into %s\n", w.c.Endpoint(w.alive.Min()).CurrentView())
+		return nil
+
+	case "crash":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: crash <replica>")
+		}
+		p := types.ProcID(fields[1])
+		if !w.alive.Contains(p) {
+			return fmt.Errorf("no live replica %s", p)
+		}
+		if w.alive.Len() == 1 {
+			return fmt.Errorf("cannot crash the last replica")
+		}
+		if err := w.c.Crash(p); err != nil {
+			return err
+		}
+		w.alive.Remove(p)
+		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
+			return err
+		}
+		fmt.Fprintf(w.out, "%s crashed; group now %s\n", p, w.alive)
+		return nil
+
+	case "recover":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: recover <replica>")
+		}
+		p := types.ProcID(fields[1])
+		if w.alive.Contains(p) {
+			return fmt.Errorf("%s is already live", p)
+		}
+		if err := w.c.Recover(p); err != nil {
+			return err
+		}
+		// The recovered replica restarts with empty state; re-wire a fresh
+		// unsynced replica and let the transitional set drive its transfer.
+		store := rsm.NewKVStore()
+		replica, err := rsm.NewReplica(rsm.Config{
+			ID:      p,
+			Machine: store,
+			Send: func(b []byte) error {
+				_, err := w.c.Send(p, b)
+				return err
+			},
+		})
+		if err != nil {
+			return err
+		}
+		w.replicas[p] = replica
+		w.stores[p] = store
+		w.alive.Add(p)
+		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
+			return err
+		}
+		if err := w.c.Run(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w.out, "%s recovered (synced=%v); group now %s\n",
+			p, replica.Synced(), w.alive)
+		return nil
+
+	case "check":
+		if err := w.suite.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w.out, "all specification checkers pass")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+}

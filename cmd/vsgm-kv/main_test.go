@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, n int, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(n, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestKVSetGetAcrossReplicas(t *testing.T) {
+	out := runScript(t, 3, `
+set p00 color blue
+get p02 color
+dump
+check
+quit
+`)
+	if !strings.Contains(out, `color = "blue"`) {
+		t.Errorf("read-your-writes across replicas failed:\n%s", out)
+	}
+	if !strings.Contains(out, "all specification checkers pass") {
+		t.Errorf("spec check missing:\n%s", out)
+	}
+}
+
+func TestKVPartitionDivergeAndHeal(t *testing.T) {
+	out := runScript(t, 3, `
+set p00 base v0
+partition p00 | p01 p02
+set p00 left yes
+set p01 right yes
+heal
+dump
+check
+quit
+`)
+	// After the merge, all replicas show the same fingerprint (the first
+	// snapshot in total order wins deterministically).
+	lines := strings.Split(out, "\n")
+	var fps []string
+	for _, line := range lines {
+		for _, p := range []string{"p00: ", "p01: ", "p02: "} {
+			if i := strings.Index(line, p); i >= 0 {
+				fps = append(fps, line[i+len(p):])
+			}
+		}
+	}
+	if len(fps) < 3 {
+		t.Fatalf("dump incomplete:\n%s", out)
+	}
+	last3 := fps[len(fps)-3:]
+	if last3[0] != last3[1] || last3[1] != last3[2] {
+		t.Errorf("replicas diverged after heal: %v\n%s", last3, out)
+	}
+	if !strings.Contains(last3[0], "base=v0") {
+		t.Errorf("pre-partition state lost: %v", last3)
+	}
+}
+
+func TestKVCrashRecoverStateTransfer(t *testing.T) {
+	out := runScript(t, 3, `
+set p00 k v
+crash p02
+set p00 during down
+recover p02
+get p02 during
+dump
+check
+quit
+`)
+	if !strings.Contains(out, "synced=true") {
+		t.Errorf("recovered replica did not sync:\n%s", out)
+	}
+	if !strings.Contains(out, `during = "down"`) {
+		t.Errorf("state transfer missed a write made while down:\n%s", out)
+	}
+}
+
+func TestKVErrorsAreReportedNotFatal(t *testing.T) {
+	out := runScript(t, 2, `
+set ghost k v
+bogus
+crash p00
+crash p01
+quit
+`)
+	for _, want := range []string{"no live replica ghost", "unknown command", "cannot crash the last replica"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing error %q:\n%s", want, out)
+		}
+	}
+}

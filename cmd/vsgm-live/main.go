@@ -1,0 +1,205 @@
+// Command vsgm-live runs the client-server deployment over real TCP
+// loopback sockets: dedicated membership servers, GCS end-points as
+// concurrent client processes, live traffic, and an optional member
+// departure — then reports what every client observed.
+//
+// Usage:
+//
+//	vsgm-live -servers 2 -clients 4 -msgs 10
+//	vsgm-live -clients 5 -leave
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/live"
+	"vsgm/internal/sim"
+	"vsgm/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vsgm-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vsgm-live", flag.ContinueOnError)
+	var (
+		nServers = fs.Int("servers", 2, "number of membership servers")
+		nClients = fs.Int("clients", 4, "number of client end-points")
+		msgs     = fs.Int("msgs", 10, "multicasts per client")
+		leave    = fs.Bool("leave", false, "remove one member after the traffic phase")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nServers < 1 || *nClients < 1 {
+		return fmt.Errorf("need at least one server and one client")
+	}
+
+	var (
+		mu        sync.Mutex
+		delivered = make(map[types.ProcID]int)
+	)
+
+	serverIDs := sim.ServerIDs(*nServers)
+	serverSet := types.NewProcSet(serverIDs...)
+	dir := make(map[types.ProcID]string)
+
+	var servers []*live.ServerNode
+	for _, sid := range serverIDs {
+		sn, err := live.NewServerNode(live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet})
+		if err != nil {
+			return err
+		}
+		defer sn.Close()
+		servers = append(servers, sn)
+		dir[sid] = sn.Addr()
+	}
+
+	clientIDs := sim.ClientIDs(*nClients)
+	clients := make(map[types.ProcID]*live.Node, *nClients)
+	for i, cid := range clientIDs {
+		cid := cid
+		node, err := live.NewNode(live.NodeConfig{
+			ID:        cid,
+			Addr:      "127.0.0.1:0",
+			AutoBlock: true,
+			MsgIDBase: int64(i+1) * 1_000_000,
+			OnEvent: func(ev core.Event) {
+				if _, ok := ev.(core.DeliverEvent); ok {
+					mu.Lock()
+					delivered[cid]++
+					mu.Unlock()
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		clients[cid] = node
+		dir[cid] = node.Addr()
+	}
+
+	for _, sn := range servers {
+		sn.SetPeers(dir)
+	}
+	for _, node := range clients {
+		node.SetPeers(dir)
+	}
+	for i, cid := range clientIDs {
+		servers[i%len(servers)].AddClient(cid)
+	}
+
+	fmt.Fprintf(out, "booting %d servers and %d clients on loopback TCP\n", *nServers, *nClients)
+	for _, sn := range servers {
+		sn.SetReachable(serverSet)
+	}
+	all := types.NewProcSet(clientIDs...)
+	if err := waitFor(*timeout, func() bool {
+		for _, node := range clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return fmt.Errorf("group formation: %w", err)
+	}
+	fmt.Fprintf(out, "group %s formed\n", clients[clientIDs[0]].CurrentView())
+
+	fmt.Fprintf(out, "multicasting %d messages per client concurrently\n", *msgs)
+	var wg sync.WaitGroup
+	for _, cid := range clientIDs {
+		node := clients[cid]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *msgs; i++ {
+				// A send can race a view change; ErrBlocked simply means
+				// retry after the change.
+				for {
+					_, err := node.Send([]byte(fmt.Sprintf("m%d", i)))
+					if err == nil {
+						break
+					}
+					if err != core.ErrBlocked {
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := *msgs * *nClients
+	if err := waitFor(*timeout, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, cid := range clientIDs {
+			if delivered[cid] < want {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return fmt.Errorf("traffic phase: %w", err)
+	}
+
+	if *leave && *nClients > 1 {
+		leaver := clientIDs[*nClients-1]
+		fmt.Fprintf(out, "%s leaves the group\n", leaver)
+		for _, sn := range servers {
+			sn.RemoveClient(leaver)
+		}
+		servers[0].Reconfigure()
+		rest := all.Minus(types.NewProcSet(leaver))
+		if err := waitFor(*timeout, func() bool {
+			for cid, node := range clients {
+				if cid == leaver {
+					continue
+				}
+				if !node.CurrentView().Members.Equal(rest) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("departure phase: %w", err)
+		}
+		fmt.Fprintf(out, "survivors installed %s\n", clients[clientIDs[0]].CurrentView())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	ids := append([]types.ProcID(nil), clientIDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, cid := range ids {
+		fmt.Fprintf(out, "  %s delivered %d messages\n", cid, delivered[cid])
+	}
+	fmt.Fprintln(out, "done")
+	return nil
+}
+
+func waitFor(limit time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out after %v", limit)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLiveDeployment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-servers", "2", "-clients", "3", "-msgs", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"group", "formed", "delivered 9 messages", "done"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunLiveWithLeave(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-servers", "1", "-clients", "3", "-msgs", "2", "-leave"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "survivors installed") {
+		t.Errorf("output missing departure phase:\n%s", out.String())
+	}
+}
+
+func TestRunLiveValidatesFlags(t *testing.T) {
+	if err := run([]string{"-clients", "0"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFullScenario(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "4", "-msgs", "5", "-partition", "-crash", "-churn", "2", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"forming group of 4",
+		"merged back into",
+		"recovered and rejoined",
+		"all specification checkers passed",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunQuiescentScenarioChecksLiveness(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", "-msgs", "3", "-seed", "9"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "liveness (Property 4.2) holds") {
+		t.Errorf("output missing liveness confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunEachLevel(t *testing.T) {
+	for _, level := range []string{"wv", "vs", "gcs"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "3", "-msgs", "2", "-level", level}, &out); err != nil {
+			t.Errorf("level %s: %v", level, err)
+		}
+	}
+	if err := run([]string{"-level", "bogus"}, new(bytes.Buffer)); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestRunTraceDump(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "2", "-msgs", "1", "-trace"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "execution trace") || !strings.Contains(s, "mbrshp.start_change") {
+		t.Errorf("trace dump missing:\n%s", s)
+	}
+}
+
+func TestRunWithExtensionsEnabled(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "6", "-msgs", "4", "-partition", "-churn", "1",
+		"-ack", "2", "-hierarchy", "2", "-small-sync",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all specification checkers passed") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

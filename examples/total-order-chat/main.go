@@ -1,0 +1,101 @@
+// Total-order chat: a chat room where every participant sees every message
+// in exactly the same order, even when everyone talks at once — totally
+// ordered multicast layered on the within-view FIFO service, exactly the
+// layering the paper points at in Section 4.1.1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vsgm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		cluster  *vsgm.Cluster
+		sessions = make(map[vsgm.ProcID]*vsgm.TotalOrder)
+		logs     = make(map[vsgm.ProcID][]string)
+	)
+	cluster, err := vsgm.NewCluster(vsgm.ClusterConfig{
+		Procs: vsgm.ProcIDs(3),
+		Seed:  99,
+		// Strong jitter: the racing messages genuinely arrive in different
+		// orders at different members; the total-order layer fixes it.
+		Latency: vsgm.UniformLatency{Base: 10 * time.Millisecond, Jitter: 9 * time.Millisecond},
+		OnAppEvent: func(p vsgm.ProcID, ev vsgm.Event) {
+			if s := sessions[p]; s != nil {
+				if err := s.HandleEvent(ev); err != nil {
+					log.Printf("session %s: %v", p, err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	procs := cluster.Procs()
+	names := map[vsgm.ProcID]string{procs[0]: "alice", procs[1]: "bob", procs[2]: "carol"}
+
+	for _, p := range procs {
+		p := p
+		session, err := vsgm.NewTotalOrder(p,
+			func(payload []byte) error {
+				_, err := cluster.Send(p, payload)
+				return err
+			},
+			func(sender vsgm.ProcID, payload []byte) {
+				logs[p] = append(logs[p], fmt.Sprintf("%s: %s", names[sender], payload))
+			},
+			nil)
+		if err != nil {
+			return err
+		}
+		sessions[p] = session
+	}
+
+	if _, _, err := cluster.ReconfigureTo(vsgm.NewProcSet(procs...)); err != nil {
+		return err
+	}
+
+	// Everyone talks at once, repeatedly.
+	lines := []string{"hi all", "who's driving today?", "I can take it", "works for me"}
+	for i, line := range lines {
+		p := procs[i%len(procs)]
+		if err := sessions[p].Send([]byte(line)); err != nil {
+			return err
+		}
+		// Two members interject concurrently with the line above.
+		other := procs[(i+1)%len(procs)]
+		if err := sessions[other].Send([]byte("+1")); err != nil {
+			return err
+		}
+	}
+	if err := cluster.Run(); err != nil {
+		return err
+	}
+
+	fmt.Println("every member's chat log (identical by construction):")
+	for _, p := range procs {
+		fmt.Printf("\n-- as seen by %s --\n", names[p])
+		for _, line := range logs[p] {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// Verify the guarantee explicitly.
+	for _, p := range procs[1:] {
+		if fmt.Sprint(logs[p]) != fmt.Sprint(logs[procs[0]]) {
+			return fmt.Errorf("logs diverged between %s and %s", procs[0], p)
+		}
+	}
+	fmt.Println("\nall logs identical ✓")
+	return nil
+}

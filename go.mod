@@ -1,0 +1,3 @@
+module vsgm
+
+go 1.22

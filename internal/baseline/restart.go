@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"fmt"
+
+	"vsgm/internal/sim"
+	"vsgm/internal/types"
+)
+
+// ChurnResult summarizes a cascading-join scenario (experiment E3): how many
+// views the applications had to process while the membership worked through
+// a burst of joins, and how long the whole burst took to stabilize.
+type ChurnResult struct {
+	// ViewsPerMember is the number of views delivered to each surviving
+	// application (averaged over the members of the final view).
+	ViewsPerMember float64
+	// FinalView is the stabilized view.
+	FinalView types.View
+}
+
+// RunEagerChurn drives the paper's policy on the given cluster: the
+// membership announces every change as soon as it is known (a fresh
+// start_change per change of mind), so end-points skip views that are
+// already out of date. joins lists the successive membership sets; the
+// changes are issued back-to-back, before the previous view installs.
+func RunEagerChurn(c *sim.Cluster, joins []types.ProcSet) (ChurnResult, error) {
+	before := installCounts(c)
+	for i, set := range joins {
+		if err := c.StartChange(set); err != nil {
+			return ChurnResult{}, fmt.Errorf("churn step %d: %w", i, err)
+		}
+		if _, err := c.DeliverView(set); err != nil {
+			return ChurnResult{}, fmt.Errorf("churn step %d: %w", i, err)
+		}
+	}
+	final := joins[len(joins)-1]
+	if err := c.Run(); err != nil {
+		return ChurnResult{}, err
+	}
+	return churnResult(c, final, before)
+}
+
+// RunRestartChurn drives the restart-on-join policy the paper contrasts
+// with (Section 1): each membership change runs to completion — the view is
+// delivered to every application — before the next join is admitted, so the
+// applications process every intermediate (already out-of-date) view.
+func RunRestartChurn(c *sim.Cluster, joins []types.ProcSet) (ChurnResult, error) {
+	before := installCounts(c)
+	for i, set := range joins {
+		if err := c.StartChange(set); err != nil {
+			return ChurnResult{}, fmt.Errorf("churn step %d: %w", i, err)
+		}
+		if _, err := c.DeliverView(set); err != nil {
+			return ChurnResult{}, fmt.Errorf("churn step %d: %w", i, err)
+		}
+		// Complete this change before admitting the next join.
+		if err := c.Run(); err != nil {
+			return ChurnResult{}, err
+		}
+	}
+	return churnResult(c, joins[len(joins)-1], before)
+}
+
+func installCounts(c *sim.Cluster) map[types.ProcID]int64 {
+	out := make(map[types.ProcID]int64)
+	for _, p := range c.Procs() {
+		out[p] = viewsInstalled(c, p)
+	}
+	return out
+}
+
+func viewsInstalled(c *sim.Cluster, p types.ProcID) int64 {
+	if ep := c.CoreEndpoint(p); ep != nil {
+		return ep.ViewsInstalled()
+	}
+	if b, ok := c.Endpoint(p).(*TwoRound); ok {
+		return b.ViewsInstalled()
+	}
+	return 0
+}
+
+func churnResult(c *sim.Cluster, final types.ProcSet, before map[types.ProcID]int64) (ChurnResult, error) {
+	var (
+		total   int64
+		members int
+	)
+	var finalView types.View
+	for _, p := range final.Sorted() {
+		cur := c.Endpoint(p).CurrentView()
+		if !cur.Members.Equal(final) {
+			return ChurnResult{}, fmt.Errorf("%s stabilized in %s, want members %s", p, cur, final)
+		}
+		finalView = cur
+		total += viewsInstalled(c, p) - before[p]
+		members++
+	}
+	return ChurnResult{
+		ViewsPerMember: float64(total) / float64(members),
+		FinalView:      finalView,
+	}, nil
+}

@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/corfifo"
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// newBaselineCluster builds a simulation cluster running TwoRound nodes.
+func newBaselineCluster(t *testing.T, n int, suite *spec.Suite) *sim.Cluster {
+	t.Helper()
+	c, err := sim.NewCluster(sim.Config{
+		Procs:           sim.ProcIDs(n),
+		Latency:         sim.FixedLatency(10 * time.Millisecond),
+		MembershipRound: 10 * time.Millisecond,
+		Seed:            3,
+		Suite:           suite,
+		NewNode: func(p types.ProcID, idx int, tr *corfifo.Handle) (sim.Node, error) {
+			return NewTwoRound(p, tr, int64(idx+1)*1_000_000_000)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTwoRoundFormsViewAndMulticasts(t *testing.T) {
+	suite := spec.VSSuite(spec.WithTrace())
+	c := newBaselineCluster(t, 4, suite)
+	all := types.NewProcSet(c.Procs()...)
+
+	v, _, err := c.ReconfigureTo(all)
+	if err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	for _, p := range c.Procs() {
+		if got := c.Endpoint(p).CurrentView(); !got.Equal(v) {
+			t.Errorf("%s current view = %s, want %s", p, got, v)
+		}
+	}
+
+	for _, p := range c.Procs() {
+		if _, err := c.Send(p, []byte("hello")); err != nil {
+			t.Fatalf("send from %s: %v", p, err)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(c.Procs()) * len(c.Procs()))
+	if got := c.Metrics().Delivered; got != want {
+		t.Errorf("delivered %d, want %d", got, want)
+	}
+	if err := suite.Err(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+	if err := spec.CheckLiveness(suite.Trace(), v); err != nil {
+		t.Errorf("liveness: %v", err)
+	}
+}
+
+func TestTwoRoundVirtualSynchronyAcrossLeave(t *testing.T) {
+	suite := spec.VSSuite(spec.WithTrace())
+	c := newBaselineCluster(t, 4, suite)
+	procs := c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		for _, p := range procs {
+			if _, err := c.Send(p, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	survivors := types.NewProcSet(procs[0], procs[1], procs[2])
+	if _, _, err := c.ReconfigureTo(survivors); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.Err(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+}
+
+func TestTwoRoundIsSlowerThanOneRound(t *testing.T) {
+	// The headline comparison (experiment E1 in miniature): with equal link
+	// latency, the paper's algorithm installs the view in roughly one round
+	// after the membership decision; the baseline needs two more rounds.
+	const (
+		latency = 10 * time.Millisecond
+		mRound  = 10 * time.Millisecond
+	)
+
+	run := func(factory sim.NodeFactory) time.Duration {
+		cfg := sim.Config{
+			Procs:           sim.ProcIDs(8),
+			Latency:         sim.FixedLatency(latency),
+			MembershipRound: mRound,
+			Seed:            5,
+			NewNode:         factory,
+		}
+		c, err := sim.NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := types.NewProcSet(c.Procs()...)
+		// Warm up: form the group (first formation from singletons is
+		// degenerate), then measure a same-membership reconfiguration.
+		if _, _, err := c.ReconfigureTo(all); err != nil {
+			t.Fatal(err)
+		}
+		_, d, err := c.ReconfigureTo(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	ours := run(nil)
+	base := run(func(p types.ProcID, idx int, tr *corfifo.Handle) (sim.Node, error) {
+		return NewTwoRound(p, tr, int64(idx+1)*1_000_000_000)
+	})
+
+	if ours >= base {
+		t.Errorf("one-round algorithm (%v) not faster than two-round baseline (%v)", ours, base)
+	}
+	// The baseline pays ~2 extra link latencies after the membership view.
+	if base-ours < latency {
+		t.Errorf("expected at least one round of advantage, got %v (ours=%v base=%v)",
+			base-ours, ours, base)
+	}
+}
+
+func TestTwoRoundBlocksSendsDuringChange(t *testing.T) {
+	c := newBaselineCluster(t, 3, nil)
+	all := types.NewProcSet(c.Procs()...)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	// Begin a change but stop the clock before it completes: the baseline
+	// blocks its client for the whole two-round exchange.
+	if err := c.StartChange(all); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeliverView(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFor(15 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(c.Procs()[0], []byte("x")); err != core.ErrBlocked {
+		t.Fatalf("send mid-change: err = %v, want ErrBlocked", err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(c.Procs()[0], []byte("x")); err != nil {
+		t.Fatalf("send after change: %v", err)
+	}
+}
+
+func TestTwoRoundCrashAndRecover(t *testing.T) {
+	c := newBaselineCluster(t, 3, nil)
+	procs := c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Crash(procs[2]); err != nil {
+		t.Fatal(err)
+	}
+	node := c.Endpoint(procs[2])
+	if _, err := node.Send([]byte("dead")); err != core.ErrCrashed {
+		t.Fatalf("send while crashed: %v", err)
+	}
+	survivors := types.NewProcSet(procs[0], procs[1])
+	if _, _, err := c.ReconfigureTo(survivors); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Recover(procs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !node.CurrentView().Equal(types.InitialView(procs[2])) {
+		t.Fatalf("recovered baseline node view = %s", node.CurrentView())
+	}
+	v, _, err := c.ReconfigureTo(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		if got := c.Endpoint(p).CurrentView(); !got.Equal(v) {
+			t.Errorf("%s view = %s, want %s", p, got, v)
+		}
+	}
+}
+
+func TestRestartChurnWithBaselineNodes(t *testing.T) {
+	// The churn drivers also run over baseline nodes: every join is a full
+	// two-round change, and every intermediate view is delivered.
+	c := newBaselineCluster(t, 6, nil)
+	procs := c.Procs()
+	initial := types.NewProcSet(procs[:3]...)
+	if _, _, err := c.ReconfigureTo(initial); err != nil {
+		t.Fatal(err)
+	}
+
+	joins := []types.ProcSet{
+		types.NewProcSet(procs[:4]...),
+		types.NewProcSet(procs[:5]...),
+		types.NewProcSet(procs[:6]...),
+	}
+	res, err := RunRestartChurn(c, joins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalView.Members.Equal(joins[2]) {
+		t.Fatalf("final view = %s", res.FinalView)
+	}
+	// Original members saw all three views; joiners fewer — the average
+	// sits strictly between 1 and 3.
+	if res.ViewsPerMember <= 1 || res.ViewsPerMember > 3 {
+		t.Fatalf("views/member = %.2f", res.ViewsPerMember)
+	}
+}

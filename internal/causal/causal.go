@@ -1,0 +1,231 @@
+// Package causal layers causally ordered multicast on top of the virtually
+// synchronous FIFO service — the second of the stronger ordering services
+// the paper points out are built over WV_RFIFO (Section 4.1.1).
+//
+// Each message carries a vector timestamp over the current view's members:
+// the sender's own send sequence number plus, for every other member, how
+// many of that member's messages the sender had delivered when it sent.
+// A receiver delays a message until its own deliveries dominate the
+// timestamp, which yields causal order; per-sender FIFO comes for free from
+// the underlying service. Virtual Synchrony makes view boundaries safe: all
+// members of a transitional set hold identical delayed sets, so the
+// deterministic boundary flush (sorted by sender, then sequence) agrees
+// everywhere.
+package causal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vsgm/internal/core"
+	"vsgm/internal/types"
+)
+
+// SendFunc multicasts a raw payload through the underlying GCS end-point.
+type SendFunc func(payload []byte) error
+
+// DeliverFunc receives one causally ordered application message.
+type DeliverFunc func(sender types.ProcID, payload []byte)
+
+// ViewFunc observes view changes after the boundary flush.
+type ViewFunc func(v types.View, transitionalSet types.ProcSet)
+
+// ErrBlocked is returned by Send while the underlying end-point is blocked
+// for a view change.
+var ErrBlocked = core.ErrBlocked
+
+// clock is a vector timestamp: per member, a count of messages.
+type clock map[types.ProcID]uint64
+
+// pendingMsg is a received message waiting for its causal predecessors.
+type pendingMsg struct {
+	sender  types.ProcID
+	seq     uint64 // the sender's own send sequence number
+	deps    clock  // messages from others delivered before the send
+	payload []byte
+}
+
+// Session is one process's causal-order layer. Feed it every event of the
+// underlying GCS end-point via HandleEvent, and send through Send. Not safe
+// for concurrent use.
+type Session struct {
+	id      types.ProcID
+	send    SendFunc
+	deliver DeliverFunc
+	onView  ViewFunc
+
+	sent      uint64
+	delivered clock
+	pending   []*pendingMsg
+}
+
+// New builds a session for end-point id. deliver is required; onView may be
+// nil.
+func New(id types.ProcID, send SendFunc, deliver DeliverFunc, onView ViewFunc) (*Session, error) {
+	if send == nil || deliver == nil {
+		return nil, errors.New("causal: send and deliver functions are required")
+	}
+	return &Session{
+		id:        id,
+		send:      send,
+		deliver:   deliver,
+		onView:    onView,
+		delivered: make(clock),
+	}, nil
+}
+
+// Send multicasts payload in causal order.
+func (s *Session) Send(payload []byte) error {
+	s.sent++
+	buf := encodeMessage(s.sent, s.delivered, payload)
+	if err := s.send(buf); err != nil {
+		s.sent--
+		return err
+	}
+	return nil
+}
+
+// HandleEvent feeds one event from the underlying GCS end-point.
+func (s *Session) HandleEvent(ev core.Event) error {
+	switch e := ev.(type) {
+	case core.DeliverEvent:
+		seq, deps, payload, err := decodeMessage(e.Msg.Payload)
+		if err != nil {
+			return err
+		}
+		s.pending = append(s.pending, &pendingMsg{
+			sender:  e.Sender,
+			seq:     seq,
+			deps:    deps,
+			payload: payload,
+		})
+		s.release()
+		return nil
+	case core.ViewEvent:
+		s.flush()
+		s.sent = 0
+		s.delivered = make(clock)
+		if s.onView != nil {
+			s.onView(e.View, e.TransitionalSet)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// ready reports whether m's causal predecessors have all been delivered.
+func (s *Session) ready(m *pendingMsg) bool {
+	if s.delivered[m.sender]+1 != m.seq {
+		return false // FIFO predecessor from the same sender missing
+	}
+	for q, n := range m.deps {
+		if q == m.sender {
+			continue // covered by the FIFO check above
+		}
+		if s.delivered[q] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// release delivers every pending message whose dependencies are met,
+// cascading until a fixpoint.
+func (s *Session) release() {
+	for progress := true; progress; {
+		progress = false
+		for i, m := range s.pending {
+			if m == nil || !s.ready(m) {
+				continue
+			}
+			s.pending[i] = nil
+			s.delivered[m.sender] = m.seq
+			s.deliver(m.sender, m.payload)
+			progress = true
+		}
+	}
+	compact := s.pending[:0]
+	for _, m := range s.pending {
+		if m != nil {
+			compact = append(compact, m)
+		}
+	}
+	s.pending = compact
+}
+
+// flush drains the layer at a view boundary: whatever remains undeliverable
+// (its predecessors were sent by processes that did not make the agreed
+// cut) is delivered in a deterministic order — identical across the
+// transitional set by Virtual Synchrony.
+func (s *Session) flush() {
+	s.release()
+	rest := s.pending
+	s.pending = nil
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].sender != rest[j].sender {
+			return rest[i].sender < rest[j].sender
+		}
+		return rest[i].seq < rest[j].seq
+	})
+	for _, m := range rest {
+		s.deliver(m.sender, m.payload)
+	}
+}
+
+// Wire format: seq (8 bytes) | depCount (4 bytes) | deps (idLen(2) | id |
+// count(8))* | payload.
+func encodeMessage(seq uint64, deps clock, payload []byte) []byte {
+	size := 8 + 4
+	ids := make([]types.ProcID, 0, len(deps))
+	for q, n := range deps {
+		if n == 0 {
+			continue
+		}
+		ids = append(ids, q)
+		size += 2 + len(q) + 8
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	size += len(payload)
+
+	buf := make([]byte, 0, size)
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], seq)
+	buf = append(buf, scratch[:]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(ids)))
+	buf = append(buf, scratch[:4]...)
+	for _, q := range ids {
+		binary.BigEndian.PutUint16(scratch[:2], uint16(len(q)))
+		buf = append(buf, scratch[:2]...)
+		buf = append(buf, q...)
+		binary.BigEndian.PutUint64(scratch[:], deps[q])
+		buf = append(buf, scratch[:]...)
+	}
+	return append(buf, payload...)
+}
+
+func decodeMessage(b []byte) (seq uint64, deps clock, payload []byte, err error) {
+	if len(b) < 12 {
+		return 0, nil, nil, fmt.Errorf("causal: message too short (%d bytes)", len(b))
+	}
+	seq = binary.BigEndian.Uint64(b[:8])
+	n := int(binary.BigEndian.Uint32(b[8:12]))
+	b = b[12:]
+	deps = make(clock, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return 0, nil, nil, errors.New("causal: truncated dependency header")
+		}
+		idLen := int(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+		if len(b) < idLen+8 {
+			return 0, nil, nil, errors.New("causal: truncated dependency entry")
+		}
+		id := types.ProcID(b[:idLen])
+		deps[id] = binary.BigEndian.Uint64(b[idLen : idLen+8])
+		b = b[idLen+8:]
+	}
+	return seq, deps, b, nil
+}

@@ -1,0 +1,216 @@
+package causal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// feed wraps a raw encoded message into a DeliverEvent.
+func feed(t *testing.T, s *Session, sender types.ProcID, seq uint64, deps clock, body string) {
+	t.Helper()
+	buf := encodeMessage(seq, deps, []byte(body))
+	if err := s.HandleEvent(core.DeliverEvent{Sender: sender, Msg: types.AppMsg{Payload: buf}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausalBuffersUntilDependenciesArrive(t *testing.T) {
+	var got []string
+	s, err := New("r",
+		func([]byte) error { return nil },
+		func(sender types.ProcID, payload []byte) {
+			got = append(got, fmt.Sprintf("%s:%s", sender, payload))
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// q's message causally depends on p's first message, but arrives
+	// first: it must be buffered.
+	feed(t, s, "q", 1, clock{"p": 1}, "reply")
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before the dependency", got)
+	}
+	feed(t, s, "p", 1, nil, "original")
+	if len(got) != 2 || got[0] != "p:original" || got[1] != "q:reply" {
+		t.Fatalf("delivered = %v, want original before reply", got)
+	}
+}
+
+func TestCausalCascadingRelease(t *testing.T) {
+	var got []string
+	s, err := New("r",
+		func([]byte) error { return nil },
+		func(sender types.ProcID, payload []byte) { got = append(got, string(payload)) },
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain arriving fully reversed: c depends on b depends on a.
+	feed(t, s, "z", 1, clock{"y": 1}, "c")
+	feed(t, s, "y", 1, clock{"x": 1}, "b")
+	if len(got) != 0 {
+		t.Fatalf("premature delivery: %v", got)
+	}
+	feed(t, s, "x", 1, nil, "a")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("delivered = %v, want [a b c]", got)
+	}
+}
+
+func TestCausalPerSenderFIFO(t *testing.T) {
+	var got []string
+	s, err := New("r",
+		func([]byte) error { return nil },
+		func(_ types.ProcID, payload []byte) { got = append(got, string(payload)) },
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seq 2 cannot be delivered before seq 1 even with no cross deps.
+	feed(t, s, "p", 2, nil, "second")
+	if len(got) != 0 {
+		t.Fatal("FIFO violated")
+	}
+	feed(t, s, "p", 1, nil, "first")
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestCausalDecodeErrors(t *testing.T) {
+	s, err := New("r", func([]byte) error { return nil }, func(types.ProcID, []byte) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleEvent(core.DeliverEvent{Sender: "p", Msg: types.AppMsg{Payload: []byte{1, 2}}}); err == nil {
+		t.Error("short message accepted")
+	}
+	// Claimed dependency count with truncated body.
+	bad := encodeMessage(1, clock{"p": 1}, nil)[:14]
+	if err := s.HandleEvent(core.DeliverEvent{Sender: "p", Msg: types.AppMsg{Payload: bad}}); err == nil {
+		t.Error("truncated dependency accepted")
+	}
+}
+
+func TestCausalCodecRoundTrip(t *testing.T) {
+	deps := clock{"alpha": 3, "b": 1, "zeta": 0} // zero entries are elided
+	payload := []byte("body-bytes")
+	seq, got, body, err := decodeMessage(encodeMessage(7, deps, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 {
+		t.Errorf("seq = %d", seq)
+	}
+	if len(got) != 2 || got["alpha"] != 3 || got["b"] != 1 {
+		t.Errorf("deps = %v", got)
+	}
+	if string(body) != string(payload) {
+		t.Errorf("payload = %q", body)
+	}
+}
+
+// TestCausalOverTheFullStack drives real sessions over the simulated GCS:
+// a three-step causal chain (question → answer → ack) issued across
+// different members must deliver in chain order at every member despite
+// heavy latency jitter.
+func TestCausalOverTheFullStack(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sessions := make(map[types.ProcID]*Session)
+		logs := make(map[types.ProcID][]string)
+
+		c, err := sim.NewCluster(sim.Config{
+			Procs:           sim.ProcIDs(3),
+			Latency:         sim.UniformLatency{Base: 10 * time.Millisecond, Jitter: 9 * time.Millisecond},
+			MembershipRound: 5 * time.Millisecond,
+			Seed:            seed,
+			Suite:           spec.FullSuite(),
+			OnAppEvent: func(p types.ProcID, ev core.Event) {
+				if s := sessions[p]; s != nil {
+					if err := s.HandleEvent(ev); err != nil {
+						t.Errorf("seed %d: session %s: %v", seed, p, err)
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range c.Procs() {
+			p := p
+			s, err := New(p,
+				func(payload []byte) error {
+					_, err := c.Send(p, payload)
+					return err
+				},
+				func(sender types.ProcID, payload []byte) {
+					logs[p] = append(logs[p], string(payload))
+				},
+				nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[p] = s
+		}
+		if _, _, err := c.ReconfigureTo(types.NewProcSet(c.Procs()...)); err != nil {
+			t.Fatal(err)
+		}
+
+		procs := c.Procs()
+		// p00 asks; when p01 has delivered the question it answers; when
+		// p02 has delivered the answer it acks. The chain is driven by
+		// delivery callbacks, so each step is genuinely causally dependent.
+		sessions[procs[1]] = mustChain(t, c, procs[1], logs, "question", "answer")
+		sessions[procs[2]] = mustChain(t, c, procs[2], logs, "answer", "ack")
+		if err := sessions[procs[0]].Send([]byte("question")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, p := range procs {
+			idx := make(map[string]int)
+			for i, m := range logs[p] {
+				idx[m] = i
+			}
+			if !(idx["question"] < idx["answer"] && idx["answer"] < idx["ack"]) {
+				t.Fatalf("seed %d: causal order violated at %s: %v", seed, p, logs[p])
+			}
+		}
+	}
+}
+
+// mustChain rebuilds a session whose deliver callback sends `reply` upon
+// delivering `trigger` (in addition to logging).
+func mustChain(t *testing.T, c *sim.Cluster, p types.ProcID,
+	logs map[types.ProcID][]string, trigger, reply string) *Session {
+	t.Helper()
+	s, err := New(p,
+		func(payload []byte) error {
+			_, err := c.Send(p, payload)
+			return err
+		},
+		func(types.ProcID, []byte) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire deliver with access to s itself.
+	s.deliver = func(sender types.ProcID, payload []byte) {
+		logs[p] = append(logs[p], string(payload))
+		if string(payload) == trigger {
+			if err := s.Send([]byte(reply)); err != nil {
+				t.Errorf("chained send at %s: %v", p, err)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,409 @@
+package core
+
+import "vsgm/internal/types"
+
+// step fires enabled locally controlled actions until quiescence. Each
+// locally controlled action of the paper's automata is its own task; firing
+// eagerly after every input realizes the fairness assumption (an enabled
+// action that stays enabled eventually executes).
+func (e *Endpoint) step() {
+	if e.crashed {
+		return
+	}
+	// tryForward must precede tryDeliverView: installing the view disables
+	// forwarding (start_change resets), and the liveness argument of
+	// Section 7.2 relies on committed holders forwarding missing messages
+	// before they move on.
+	for {
+		switch {
+		case e.tryDeliverApp():
+		case e.tryReliable():
+		case e.tryBlock():
+		case e.trySendSync():
+		case e.tryBundle():
+		case e.tryForward():
+		case e.tryDeliverView():
+		case e.trySendViewMsg():
+		case e.trySendApp():
+		case e.tryAck():
+		default:
+			return
+		}
+	}
+}
+
+// tryReliable is co_rfifo.reliable_p(set). WV_RFIFO allows any superset of
+// the current view's membership; VS_RFIFO+TS restricts the set to exactly
+// current_view.set, or current_view.set ∪ start_change.set while a change is
+// pending (Figure 10).
+func (e *Endpoint) tryReliable() bool {
+	desired := e.currentView.Members.Clone()
+	if e.level >= LevelVS && e.startChange != nil {
+		desired = desired.Union(e.startChange.Set)
+	}
+	if e.reliableSet.Equal(desired) {
+		return false
+	}
+	e.reliableSet = desired
+	e.transport.SetReliable(desired.Clone())
+	return true
+}
+
+// tryBlock is block_p() (Figure 11): once a view change starts, ask the
+// application to stop sending.
+func (e *Endpoint) tryBlock() bool {
+	if e.level != LevelGCS || e.startChange == nil || e.blockStatus != Unblocked {
+		return false
+	}
+	e.blockStatus = Requested
+	e.emit(BlockEvent{})
+	if e.autoBlock {
+		e.blockStatus = Blocked
+	}
+	return true
+}
+
+// trySendSync is co_rfifo.send_p(set, sync_msg, cid, v, cut) (Figure 10,
+// restricted by Figure 11): after a start_change — and, at the GCS level,
+// once the client is blocked — send one synchronization message tagged with
+// the locally unique cid, carrying the current view and the cut of messages
+// this end-point commits to deliver before the next view.
+func (e *Endpoint) trySendSync() bool {
+	if e.level < LevelVS || e.startChange == nil {
+		return false
+	}
+	if !e.startChange.Set.SubsetOf(e.reliableSet) {
+		return false
+	}
+	if e.syncMsgOf(e.id, e.startChange.ID) != nil {
+		return false
+	}
+	if e.level == LevelGCS && e.blockStatus != Blocked {
+		return false
+	}
+
+	cut := make(types.Cut, len(e.curMembers))
+	for _, q := range e.curMembers {
+		cut[q] = e.curBuf(q).longestPrefix()
+	}
+	cid := e.startChange.ID
+	full := types.WireMsg{
+		Kind: types.KindSync,
+		CID:  cid,
+		View: e.currentView.Clone(),
+		Cut:  cut.Clone(),
+	}
+
+	others := e.startChange.Set.Minus(types.NewProcSet(e.id))
+	if topo := e.hierarchyFor(e.startChange.Set); topo != nil {
+		// Two-tier hierarchy (Section 9): route the sync to the group
+		// leader only; a leader queues its own entry for the next bundle.
+		if topo.isLead {
+			e.hQueue(types.SyncEntry{
+				From: e.id, CID: cid, View: e.currentView.Clone(), Cut: cut.Clone(),
+			}, false)
+		} else {
+			e.transport.Send([]types.ProcID{topo.leader}, full)
+		}
+	} else if e.smallSync {
+		// Section 5.2.4: end-points outside our current view cannot have us
+		// in their transitional set; a small cid-only message suffices.
+		// Members of our current view, conversely, can deduce our view from
+		// the preceding view_msg on the same FIFO channel, so the full sync
+		// elides it (the section's second optimization).
+		fullDests := others.Intersect(e.currentView.Members).Sorted()
+		smallDests := others.Minus(e.currentView.Members).Sorted()
+		if len(fullDests) > 0 {
+			elided := full
+			elided.View = types.View{}
+			elided.ElideView = true
+			e.transport.Send(fullDests, elided)
+		}
+		if len(smallDests) > 0 {
+			e.transport.Send(smallDests, types.WireMsg{Kind: types.KindSync, CID: cid, Small: true})
+		}
+	} else if others.Len() > 0 {
+		e.transport.Send(others.Sorted(), full)
+	}
+
+	row := e.syncMsgs[e.id]
+	if row == nil {
+		row = make(map[types.StartChangeID]*types.SyncMsg)
+		e.syncMsgs[e.id] = row
+	}
+	row[cid] = &types.SyncMsg{View: e.currentView.Clone(), Cut: cut}
+	e.limitsValid = false
+	e.fwdDirty = true
+	return true
+}
+
+// trySendViewMsg is co_rfifo.send_p(set, view_msg, v) (Figure 9): before
+// sending application messages in a view, announce the view to the members.
+func (e *Endpoint) trySendViewMsg() bool {
+	if e.viewMsg[e.id].Key() == e.curKey {
+		return false
+	}
+	if !e.currentView.Members.SubsetOf(e.reliableSet) {
+		return false
+	}
+	if len(e.curOthers) > 0 {
+		e.transport.Send(e.curOthers, types.WireMsg{Kind: types.KindView, View: e.currentView.Clone()})
+	}
+	e.viewMsg[e.id] = e.currentView.Clone()
+	return true
+}
+
+// trySendApp is co_rfifo.send_p(set, app_msg, m) (Figure 9): multicast the
+// next unsent application message of the current view, stamped with the
+// history tags of Section 6.1.1.
+func (e *Endpoint) trySendApp() bool {
+	if e.viewMsg[e.id].Key() != e.curKey {
+		return false
+	}
+	own := e.msgs.peek(e.id, e.curKey)
+	next := e.lastSent + 1
+	m, ok := own.get(next)
+	if !ok {
+		return false
+	}
+	if len(e.curOthers) > 0 {
+		e.transport.Send(e.curOthers, types.WireMsg{
+			Kind:      types.KindApp,
+			App:       m,
+			HistView:  e.currentView.Clone(),
+			HistIndex: next,
+		})
+	}
+	e.lastSent = next
+	return true
+}
+
+// tryDeliverApp is deliver_p(q, m) (Figure 9, restricted by Figure 10): for
+// each sender, deliver the next message of the current view, subject to the
+// VS restriction that, once this end-point has committed a cut, it delivers
+// no message beyond the cuts associated with the forthcoming view.
+func (e *Endpoint) tryDeliverApp() bool {
+	e.refreshLimits()
+	for _, q := range e.curMembers {
+		next := e.lastDlvrd[q] + 1
+		m, ok := e.curBuf(q).get(next)
+		if !ok {
+			continue
+		}
+		if q == e.id && e.lastDlvrd[q] >= e.lastSent {
+			// Own messages must be sent to the other members before they
+			// may be self-delivered (Figure 9).
+			continue
+		}
+		if e.limits != nil && next > e.limits[q] {
+			continue
+		}
+		e.lastDlvrd[q] = next
+		e.msgsDelivered++
+		e.sinceAck++
+		e.emit(DeliverEvent{Sender: q, Msg: m, InView: e.currentView.Clone()})
+		return true
+	}
+	return false
+}
+
+// refreshLimits recomputes the Figure 10 restriction on deliver_p(q, m):
+// after committing a cut and before knowing the membership's verdict,
+// deliver only up to our own cut; once the membership view for this
+// start_change is known, deliver up to the maximum cut among the candidate
+// transitional-set members. A nil limits cut means delivery is unrestricted.
+func (e *Endpoint) refreshLimits() {
+	if e.limitsValid {
+		return
+	}
+	e.limitsValid = true
+	e.limits = nil
+	if e.level < LevelVS || e.startChange == nil {
+		return
+	}
+	own := e.syncMsgOf(e.id, e.startChange.ID)
+	if own == nil {
+		return
+	}
+	if sid, ok := e.mbrshpView.StartID[e.id]; !ok || sid != e.startChange.ID {
+		e.limits = own.Cut
+		return
+	}
+	limits := make(types.Cut, len(e.curMembers))
+	for r := range e.mbrshpView.Members {
+		if !e.currentView.Members.Contains(r) {
+			continue
+		}
+		sm := e.syncMsgOf(r, e.mbrshpView.StartID[r])
+		if sm == nil || sm.Small || !sm.View.Equal(e.currentView) {
+			continue
+		}
+		for q, c := range sm.Cut {
+			if c > limits[q] {
+				limits[q] = c
+			}
+		}
+	}
+	e.limits = limits
+}
+
+// tryDeliverView is view_p(v, T) (Figures 9-11): install the membership's
+// latest view once the synchronization round for it has completed and the
+// agreed cut has been fully delivered.
+func (e *Endpoint) tryDeliverView() bool {
+	v := e.mbrshpView
+	if v.ID <= e.currentView.ID || !v.Members.Contains(e.id) {
+		return false
+	}
+
+	var trans types.ProcSet
+	if e.level >= LevelVS {
+		if e.startChange == nil {
+			return false
+		}
+		// Prevent delivery of obsolete views: the view must answer our
+		// latest start_change (Figure 10).
+		if sid, ok := v.StartID[e.id]; !ok || sid != e.startChange.ID {
+			return false
+		}
+		inter := v.Members.Intersect(e.currentView.Members)
+		for q := range inter {
+			if e.syncMsgOf(q, v.StartID[q]) == nil {
+				return false
+			}
+		}
+		trans = make(types.ProcSet, inter.Len())
+		cuts := make([]types.Cut, 0, inter.Len())
+		for q := range inter {
+			sm := e.syncMsgOf(q, v.StartID[q])
+			if !sm.Small && sm.View.Equal(e.currentView) {
+				trans.Add(q)
+				cuts = append(cuts, sm.Cut)
+			}
+		}
+		agreed := types.MaxCut(cuts)
+		for q := range e.currentView.Members {
+			if e.lastDlvrd[q] != agreed[q] {
+				return false
+			}
+		}
+		if e.level == LevelGCS {
+			// Self Delivery (Figure 7/11): all own messages of the current
+			// view must have been delivered.
+			if e.lastDlvrd[e.id] != e.curBuf(e.id).lastIndex() {
+				return false
+			}
+		}
+	}
+
+	var transCopy types.ProcSet
+	if trans != nil {
+		transCopy = trans.Clone()
+	}
+	e.emit(ViewEvent{View: v.Clone(), TransitionalSet: transCopy})
+	e.setCurrentView(v.Clone())
+	e.lastSent = 0
+	e.lastDlvrd = make(map[types.ProcID]int)
+	e.startChange = nil
+	e.blockStatus = Unblocked
+	e.limitsValid = false
+	e.ackCounts = make(map[types.ProcID]types.Cut)
+	e.sinceAck = 0
+	e.hPending = nil
+	e.hSent = make(map[hEntryKey]struct{})
+	e.advanceBaseline(e.currentView)
+	e.viewsInstalled++
+	if !e.retainOld {
+		e.msgs.dropExcept(e.curKey)
+		e.forwarded = make(map[forwardKey]struct{})
+	}
+	return true
+}
+
+// tryForward is co_rfifo.send_p(set, fwd_msg, r, v, m, i) (Figure 10): ask
+// the configured forwarding strategy for forwarding obligations and send any
+// copy not already forwarded to that destination.
+func (e *Endpoint) tryForward() bool {
+	if e.level < LevelVS || e.fwd == nil || e.startChange == nil || !e.fwdDirty {
+		return false
+	}
+	e.fwdDirty = false
+	fired := false
+	for _, f := range e.fwd.Plan(e) {
+		m, ok := e.curBuf(f.Origin).get(f.Index)
+		if !ok {
+			continue
+		}
+		var dests []types.ProcID
+		for _, q := range f.Dests {
+			if q == e.id {
+				continue
+			}
+			k := forwardKey{dest: q, origin: f.Origin, viewKey: e.curKey, index: f.Index}
+			if _, dup := e.forwarded[k]; dup {
+				continue
+			}
+			e.forwarded[k] = struct{}{}
+			dests = append(dests, q)
+		}
+		if len(dests) == 0 {
+			continue
+		}
+		e.transport.Send(dests, types.WireMsg{
+			Kind:   types.KindFwd,
+			App:    m,
+			Origin: f.Origin,
+			View:   e.currentView.Clone(),
+			Index:  f.Index,
+		})
+		e.forwardsPlanned += int64(len(dests))
+		fired = true
+	}
+	return fired
+}
+
+// tryAck multicasts a stability acknowledgment — the per-sender delivered
+// counts — once enough deliveries accumulated, and collects any message
+// slots that every view member has acknowledged (the garbage-collection
+// mechanism Section 5.1 notes real implementations employ).
+func (e *Endpoint) tryAck() bool {
+	if e.ackInterval <= 0 || e.sinceAck < e.ackInterval {
+		return false
+	}
+	e.sinceAck = 0
+	cut := make(types.Cut, len(e.curMembers))
+	for _, q := range e.curMembers {
+		cut[q] = e.lastDlvrd[q]
+	}
+	if len(e.curOthers) > 0 {
+		e.transport.Send(e.curOthers, types.WireMsg{Kind: types.KindAck, Cut: cut.Clone()})
+	}
+	e.ackCounts[e.id] = cut
+	e.collectStable()
+	return true
+}
+
+// collectStable garbage-collects every message slot acknowledged by the
+// whole current view.
+func (e *Endpoint) collectStable() {
+	for _, q := range e.curMembers {
+		stable := -1
+		for _, r := range e.curMembers {
+			ack, ok := e.ackCounts[r]
+			if !ok {
+				return // someone has not acked at all yet
+			}
+			if c := ack[q]; stable == -1 || c < stable {
+				stable = c
+			}
+		}
+		if stable > 0 {
+			e.curBuf(q).collect(stable)
+		}
+	}
+}
+
+// syncMsgOf returns sync_msg[q][cid], or nil.
+func (e *Endpoint) syncMsgOf(q types.ProcID, cid types.StartChangeID) *types.SyncMsg {
+	return e.syncMsgs[q][cid]
+}

@@ -1,0 +1,136 @@
+package core
+
+import "vsgm/internal/types"
+
+// msgBuf is one msgs[q][v] sequence: a 1-indexed, possibly sparse buffer of
+// application messages. Original messages from the live FIFO stream arrive
+// contiguously; forwarded messages may fill arbitrary holes. Indices up to
+// base have become stable (acknowledged by every view member) and their
+// storage is garbage-collected; logically they still count as present for
+// prefix computations.
+type msgBuf struct {
+	base  int             // indices 1..base are stable and collected
+	items []*types.AppMsg // items[i-1-base] holds index i
+}
+
+// set stores m at 1-based index i, growing the buffer as needed. Re-storing
+// an index is idempotent by Invariant 6.6 (a forwarded copy equals the
+// original), so the existing value is kept; indices at or below base are
+// stable everywhere and dropped.
+func (b *msgBuf) set(i int, m types.AppMsg) {
+	if i <= b.base {
+		return
+	}
+	for len(b.items) < i-b.base {
+		b.items = append(b.items, nil)
+	}
+	if b.items[i-1-b.base] == nil {
+		cp := m
+		b.items[i-1-b.base] = &cp
+	}
+}
+
+// get returns the message at 1-based index i, if its storage is live.
+func (b *msgBuf) get(i int) (types.AppMsg, bool) {
+	if b == nil || i <= b.base || i > b.base+len(b.items) || b.items[i-1-b.base] == nil {
+		return types.AppMsg{}, false
+	}
+	return *b.items[i-1-b.base], true
+}
+
+// longestPrefix returns the length of the gap-free prefix: the largest k such
+// that indices 1..k are all (logically) present (LongestPrefixOf in Figure
+// 10). Collected stable indices count as present.
+func (b *msgBuf) longestPrefix() int {
+	if b == nil {
+		return 0
+	}
+	for i, m := range b.items {
+		if m == nil {
+			return b.base + i
+		}
+	}
+	return b.base + len(b.items)
+}
+
+// lastIndex returns the highest (logically) populated index (LastIndexOf in
+// Figure 7). For an end-point's own buffer the sequence is contiguous, so
+// lastIndex and longestPrefix coincide.
+func (b *msgBuf) lastIndex() int {
+	if b == nil {
+		return 0
+	}
+	for i := len(b.items); i > 0; i-- {
+		if b.items[i-1] != nil {
+			return b.base + i
+		}
+	}
+	return b.base
+}
+
+// live returns the number of messages currently held in storage.
+func (b *msgBuf) live() int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, m := range b.items {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// collect garbage-collects every index at or below stable. Stability implies
+// the prefix was delivered locally, so the dropped prefix is contiguous.
+func (b *msgBuf) collect(stable int) {
+	if b == nil || stable <= b.base {
+		return
+	}
+	drop := stable - b.base
+	if drop > len(b.items) {
+		drop = len(b.items)
+	}
+	b.items = append(b.items[:0:0], b.items[drop:]...)
+	b.base += drop
+}
+
+// bufferMap holds msgs[q][v] for all senders q and views v, keyed by the
+// canonical view key (views are equal only as whole triples).
+type bufferMap map[types.ProcID]map[string]*msgBuf
+
+func (m bufferMap) buf(q types.ProcID, viewKey string) *msgBuf {
+	row := m[q]
+	if row == nil {
+		row = make(map[string]*msgBuf)
+		m[q] = row
+	}
+	b := row[viewKey]
+	if b == nil {
+		b = &msgBuf{}
+		row[viewKey] = b
+	}
+	return b
+}
+
+// peek returns the buffer without creating it.
+func (m bufferMap) peek(q types.ProcID, viewKey string) *msgBuf {
+	return m[q][viewKey]
+}
+
+// dropExcept discards every buffer whose view key differs from keep; the
+// garbage-collection step an implementation performs when it installs a new
+// view (Section 5.1, closing remark).
+func (m bufferMap) dropExcept(keep string) {
+	for q, row := range m {
+		for k := range row {
+			if k != keep {
+				delete(row, k)
+			}
+		}
+		if len(row) == 0 {
+			delete(m, q)
+		}
+	}
+}

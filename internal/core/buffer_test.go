@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func TestMsgBufSetGet(t *testing.T) {
+	var b msgBuf
+	b.set(1, types.AppMsg{ID: 1})
+	b.set(3, types.AppMsg{ID: 3}) // hole at 2
+
+	if m, ok := b.get(1); !ok || m.ID != 1 {
+		t.Fatal("index 1 missing")
+	}
+	if _, ok := b.get(2); ok {
+		t.Fatal("hole reported present")
+	}
+	if m, ok := b.get(3); !ok || m.ID != 3 {
+		t.Fatal("index 3 missing")
+	}
+	if _, ok := b.get(0); ok {
+		t.Fatal("index 0 must be invalid (1-based)")
+	}
+	if _, ok := b.get(4); ok {
+		t.Fatal("out of range reported present")
+	}
+}
+
+func TestMsgBufSetIsIdempotent(t *testing.T) {
+	var b msgBuf
+	b.set(1, types.AppMsg{ID: 1})
+	b.set(1, types.AppMsg{ID: 99}) // re-store keeps the original (Invariant 6.6)
+	if m, _ := b.get(1); m.ID != 1 {
+		t.Fatalf("re-store replaced the original: id = %d", m.ID)
+	}
+}
+
+func TestMsgBufLongestPrefixAndLastIndex(t *testing.T) {
+	var b msgBuf
+	if b.longestPrefix() != 0 || b.lastIndex() != 0 {
+		t.Fatal("empty buffer not zero")
+	}
+	b.set(1, types.AppMsg{ID: 1})
+	b.set(2, types.AppMsg{ID: 2})
+	b.set(4, types.AppMsg{ID: 4})
+	if got := b.longestPrefix(); got != 2 {
+		t.Fatalf("longest prefix = %d, want 2", got)
+	}
+	if got := b.lastIndex(); got != 4 {
+		t.Fatalf("last index = %d, want 4", got)
+	}
+	b.set(3, types.AppMsg{ID: 3}) // a forwarded copy fills the hole
+	if got := b.longestPrefix(); got != 4 {
+		t.Fatalf("after filling the hole, longest prefix = %d, want 4", got)
+	}
+}
+
+func TestMsgBufNilReceiver(t *testing.T) {
+	var b *msgBuf
+	if b.longestPrefix() != 0 || b.lastIndex() != 0 {
+		t.Fatal("nil buffer must behave as empty")
+	}
+	if _, ok := b.get(1); ok {
+		t.Fatal("nil buffer reported a message")
+	}
+}
+
+func TestBufferMapDropExcept(t *testing.T) {
+	m := make(bufferMap)
+	m.buf("a", "v1").set(1, types.AppMsg{ID: 1})
+	m.buf("a", "v2").set(1, types.AppMsg{ID: 2})
+	m.buf("b", "v1").set(1, types.AppMsg{ID: 3})
+
+	m.dropExcept("v2")
+	if m.peek("a", "v1") != nil || m.peek("b", "v1") != nil {
+		t.Fatal("old-view buffers survived garbage collection")
+	}
+	if m.peek("a", "v2") == nil {
+		t.Fatal("current-view buffer was dropped")
+	}
+}

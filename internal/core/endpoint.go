@@ -1,0 +1,511 @@
+// Package core implements the GCS end-point automaton of Section 5 of
+// Keidar & Khazan: the client-side algorithm that turns an external
+// membership service (satisfying the MBRSHP spec) and a reliable FIFO
+// substrate (CO_RFIFO) into a virtually synchronous group multicast service.
+//
+// The paper constructs the algorithm incrementally with an inheritance-based
+// formalism: WV_RFIFO (Figure 9) provides within-view reliable FIFO
+// multicast; VS_RFIFO+TS (Figure 10) adds Virtual Synchrony and Transitional
+// Sets via a single round of synchronization messages tagged with locally
+// unique start-change identifiers; GCS (Figure 11) adds Self Delivery by
+// blocking the client during reconfiguration. The Level configuration knob
+// selects how much of the hierarchy is active, exactly mirroring the child
+// automata's transition restrictions.
+//
+// The end-point is a guarded-action state machine: external inputs are
+// methods (HandleStartChange, HandleView, HandleMessage, Send, BlockOK), and
+// after each input the automaton fires its enabled locally controlled
+// actions to quiescence, queueing output events for the application.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vsgm/internal/types"
+)
+
+// Level selects which layer of the inheritance hierarchy the end-point runs.
+type Level int
+
+const (
+	// LevelWV runs only the WV_RFIFO parent automaton (Figure 9):
+	// within-view reliable FIFO multicast, no synchronization round.
+	LevelWV Level = iota + 1
+
+	// LevelVS runs VS_RFIFO+TS (Figure 10): Virtual Synchrony and
+	// Transitional Sets, without Self Delivery (clients are never blocked).
+	LevelVS
+
+	// LevelGCS runs the complete GCS automaton (Figure 11): Virtual
+	// Synchrony, Transitional Sets, and Self Delivery with client blocking.
+	LevelGCS
+)
+
+// String names the level after the paper's automata.
+func (l Level) String() string {
+	switch l {
+	case LevelWV:
+		return "WV_RFIFO"
+	case LevelVS:
+		return "VS_RFIFO+TS"
+	case LevelGCS:
+		return "GCS"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// BlockStatus is the Self Delivery layer's client-blocking state.
+type BlockStatus int
+
+const (
+	// Unblocked: the client may send.
+	Unblocked BlockStatus = iota + 1
+	// Requested: a block() request has been issued and not yet acknowledged.
+	Requested
+	// Blocked: the client acknowledged with block_ok and must not send.
+	Blocked
+)
+
+// String renders the status.
+func (s BlockStatus) String() string {
+	switch s {
+	case Unblocked:
+		return "unblocked"
+	case Requested:
+		return "requested"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("block_status(%d)", int(s))
+	}
+}
+
+// ErrBlocked is returned by Send while the client is blocked: the abstract
+// client automaton (Figure 12) requires the application to refrain from
+// sending between block_ok and the next view.
+var ErrBlocked = errors.New("gcs: client is blocked during view change")
+
+// ErrCrashed is returned by Send after Crash and before Recover.
+var ErrCrashed = errors.New("gcs: end-point has crashed")
+
+// Transport is the sender-side interface to the CO_RFIFO substrate
+// (corfifo.Handle satisfies it).
+type Transport interface {
+	// Send multicasts m to dests, appending it to the FIFO channel toward
+	// each destination.
+	Send(dests []types.ProcID, m types.WireMsg)
+	// SetReliable declares the set of end-points to which gap-free FIFO
+	// connectivity must be maintained.
+	SetReliable(set types.ProcSet)
+}
+
+// Config parameterizes an end-point.
+type Config struct {
+	// ID is the process identifier; required.
+	ID types.ProcID
+
+	// Transport is the CO_RFIFO handle; required.
+	Transport Transport
+
+	// Level selects the automaton layer; defaults to LevelGCS.
+	Level Level
+
+	// Forwarding selects the forwarding-strategy predicate of Section
+	// 5.2.2; defaults to the simple strategy. Ignored at LevelWV.
+	Forwarding ForwardingStrategy
+
+	// AutoBlock makes the end-point act as its own blocking client: block
+	// requests are acknowledged immediately (a BlockEvent is still emitted
+	// for observability). Applications that manage blocking themselves
+	// leave it false and call BlockOK.
+	AutoBlock bool
+
+	// SmallSync enables the Section 5.2.4 optimization: end-points in
+	// start_change.set but outside the current view receive a small,
+	// cut-less synchronization message meaning "I am not in your
+	// transitional set".
+	SmallSync bool
+
+	// RetainOldBuffers disables the garbage collection of message buffers
+	// from superseded views when a new view is installed. The paper's
+	// abstract automata never discard; real implementations do (Section
+	// 5.1). Tests use this to inspect historical buffers.
+	RetainOldBuffers bool
+
+	// MsgIDBase offsets the identifiers stamped on this end-point's
+	// application messages so that IDs are globally unique across a
+	// cluster (purely diagnostic; the algorithm identifies messages by
+	// (sender, view, index)).
+	MsgIDBase int64
+
+	// AckInterval enables within-view garbage collection: after every
+	// AckInterval deliveries the end-point multicasts a stability
+	// acknowledgment (its per-sender delivered counts), and message slots
+	// acknowledged by every view member are collected. 0 disables acks;
+	// buffers are then only reclaimed at view changes (Section 5.1).
+	AckInterval int
+
+	// HierarchyGroupSize enables the two-tier synchronization hierarchy of
+	// Section 9's future work: members send their synchronization message
+	// only to a designated group leader, and leaders aggregate and exchange
+	// bundles. Values ≤ 1 disable the hierarchy (flat all-to-all syncs).
+	// When enabled it takes precedence over SmallSync for sync routing.
+	HierarchyGroupSize int
+}
+
+// Endpoint is the GCS end-point automaton state (Figures 9-11). It is not
+// safe for concurrent use; drive it from one goroutine (the simulator's
+// event loop, or a live runtime that serializes inputs).
+type Endpoint struct {
+	id             types.ProcID
+	level          Level
+	transport      Transport
+	fwd            ForwardingStrategy
+	autoBlock      bool
+	smallSync      bool
+	retainOld      bool
+	ackInterval    int
+	hierarchyGroup int
+
+	// WV_RFIFO state (Figure 9).
+	msgs      bufferMap
+	lastSent  int
+	lastRcvd  map[types.ProcID]int
+	lastDlvrd map[types.ProcID]int
+
+	currentView types.View
+	mbrshpView  types.View
+	viewMsg     map[types.ProcID]types.View
+	reliableSet types.ProcSet
+
+	// Caches derived from currentView, refreshed whenever it changes:
+	// the canonical view key, the sorted member list, and the sorted
+	// members-without-self destination list.
+	curKey     string
+	curMembers []types.ProcID
+	curOthers  []types.ProcID
+	curBufs    map[types.ProcID]*msgBuf
+
+	// limits caches the Figure 10 delivery restriction (nil when delivery
+	// is unrestricted); limitsValid is cleared by every input that can
+	// change it. fwdDirty marks that forwarding plans may have changed
+	// (they depend only on synchronization state, not on data traffic).
+	limits      types.Cut
+	limitsValid bool
+	fwdDirty    bool
+
+	// VS_RFIFO+TS state extension (Figure 10).
+	startChange *types.StartChange
+	syncMsgs    map[types.ProcID]map[types.StartChangeID]*types.SyncMsg
+	forwarded   map[forwardKey]struct{}
+
+	// GCS state extension (Figure 11).
+	blockStatus BlockStatus
+
+	// Stability tracking for within-view garbage collection.
+	ackCounts map[types.ProcID]types.Cut
+	sinceAck  int
+
+	// Two-tier hierarchy aggregation state (leaders only). hBaseline
+	// snapshots, at each view installation, the highest sync cid seen per
+	// member; the bundling gate only counts syncs fresher than it.
+	hPending  []hPendingEntry
+	hSent     map[hEntryKey]struct{}
+	hBaseline map[types.ProcID]types.StartChangeID
+
+	crashed bool
+
+	nextMsgID int64
+	pending   []Event
+
+	// Counters consumed by experiments.
+	viewsInstalled  int64
+	msgsDelivered   int64
+	forwardsPlanned int64
+}
+
+type forwardKey struct {
+	dest    types.ProcID
+	origin  types.ProcID
+	viewKey string
+	index   int
+}
+
+// NewEndpoint constructs an end-point in its initial singleton view v_p.
+func NewEndpoint(cfg Config) (*Endpoint, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("gcs: config requires an ID")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("gcs: config requires a Transport")
+	}
+	if cfg.Level == 0 {
+		cfg.Level = LevelGCS
+	}
+	if cfg.Forwarding == nil {
+		cfg.Forwarding = NewSimpleForwarding()
+	}
+	e := &Endpoint{
+		id:             cfg.ID,
+		level:          cfg.Level,
+		transport:      cfg.Transport,
+		fwd:            cfg.Forwarding,
+		autoBlock:      cfg.AutoBlock,
+		smallSync:      cfg.SmallSync,
+		retainOld:      cfg.RetainOldBuffers,
+		ackInterval:    cfg.AckInterval,
+		hierarchyGroup: cfg.HierarchyGroupSize,
+		nextMsgID:      cfg.MsgIDBase,
+	}
+	e.reset()
+	return e, nil
+}
+
+// reset restores the initial automaton state (also the Section 8 recovery
+// semantics: recovered end-points restart from initial state under their
+// original identity).
+func (e *Endpoint) reset() {
+	e.msgs = make(bufferMap)
+	e.lastSent = 0
+	e.lastRcvd = make(map[types.ProcID]int)
+	e.lastDlvrd = make(map[types.ProcID]int)
+	e.setCurrentView(types.InitialView(e.id))
+	e.mbrshpView = types.InitialView(e.id)
+	e.viewMsg = map[types.ProcID]types.View{e.id: types.InitialView(e.id)}
+	e.reliableSet = types.NewProcSet(e.id)
+	e.startChange = nil
+	e.syncMsgs = make(map[types.ProcID]map[types.StartChangeID]*types.SyncMsg)
+	e.forwarded = make(map[forwardKey]struct{})
+	e.blockStatus = Unblocked
+	e.ackCounts = make(map[types.ProcID]types.Cut)
+	e.sinceAck = 0
+	e.hPending = nil
+	e.hSent = make(map[hEntryKey]struct{})
+	e.hBaseline = make(map[types.ProcID]types.StartChangeID)
+}
+
+// ID returns the end-point's process identifier.
+func (e *Endpoint) ID() types.ProcID { return e.id }
+
+// Level returns the configured automaton level.
+func (e *Endpoint) Level() Level { return e.level }
+
+// CurrentView returns the view most recently delivered to the application
+// (or the initial singleton view).
+func (e *Endpoint) CurrentView() types.View { return e.currentView.Clone() }
+
+// MembershipView returns the latest view received from the membership
+// service (which may not have been delivered to the application yet).
+func (e *Endpoint) MembershipView() types.View { return e.mbrshpView.Clone() }
+
+// PendingStartChange returns the outstanding start_change, if any.
+func (e *Endpoint) PendingStartChange() (types.StartChange, bool) {
+	if e.startChange == nil {
+		return types.StartChange{}, false
+	}
+	return e.startChange.Clone(), true
+}
+
+// BlockStatus returns the Self Delivery layer's blocking state.
+func (e *Endpoint) BlockStatus() BlockStatus { return e.blockStatus }
+
+// Crashed reports whether the end-point is currently crashed.
+func (e *Endpoint) Crashed() bool { return e.crashed }
+
+// ViewsInstalled returns the number of views delivered to the application.
+func (e *Endpoint) ViewsInstalled() int64 { return e.viewsInstalled }
+
+// MessagesDelivered returns the number of application messages delivered.
+func (e *Endpoint) MessagesDelivered() int64 { return e.msgsDelivered }
+
+// ForwardsSent returns the number of forwarded message copies this end-point
+// has sent (one per destination).
+func (e *Endpoint) ForwardsSent() int64 { return e.forwardsPlanned }
+
+// LastDelivered returns last_dlvrd[q]: the index of the last message from q
+// delivered to the application in the current view.
+func (e *Endpoint) LastDelivered(q types.ProcID) int { return e.lastDlvrd[q] }
+
+// BufferedMessages returns the number of application messages currently held
+// in the current view's buffers (after any garbage collection).
+func (e *Endpoint) BufferedMessages() int {
+	n := 0
+	for _, q := range e.curMembers {
+		n += e.curBuf(q).live()
+	}
+	return n
+}
+
+// TakeEvents drains and returns the queued application events in order.
+func (e *Endpoint) TakeEvents() []Event {
+	evs := e.pending
+	e.pending = nil
+	return evs
+}
+
+// Send is the input action send_p(m): the application multicasts payload to
+// the members of the current view. The message is appended to the
+// end-point's own stream and will be self-delivered only after it has been
+// sent to the other view members.
+func (e *Endpoint) Send(payload []byte) (types.AppMsg, error) {
+	if e.crashed {
+		return types.AppMsg{}, ErrCrashed
+	}
+	if e.level == LevelGCS && e.blockStatus == Blocked {
+		return types.AppMsg{}, ErrBlocked
+	}
+	e.nextMsgID++
+	m := types.AppMsg{ID: e.nextMsgID, Payload: append([]byte(nil), payload...)}
+	buf := e.curBuf(e.id)
+	buf.set(buf.lastIndex()+1, m)
+	e.step()
+	return m, nil
+}
+
+// BlockOK is the input action block_ok_p(): the application acknowledges a
+// block request.
+func (e *Endpoint) BlockOK() {
+	if e.crashed || e.blockStatus != Requested {
+		return
+	}
+	e.blockStatus = Blocked
+	e.step()
+}
+
+// HandleStartChange is the input action mbrshp.start_change_p(id, set).
+func (e *Endpoint) HandleStartChange(sc types.StartChange) {
+	if e.crashed {
+		return
+	}
+	cp := sc.Clone()
+	e.startChange = &cp
+	e.limitsValid = false
+	e.fwdDirty = true
+	e.hRequeue()
+	e.step()
+}
+
+// HandleView is the input action mbrshp.view_p(v).
+func (e *Endpoint) HandleView(v types.View) {
+	if e.crashed {
+		return
+	}
+	e.mbrshpView = v.Clone()
+	e.limitsValid = false
+	e.fwdDirty = true
+	e.step()
+}
+
+// HandleMessage is the input action co_rfifo.deliver_{q,p}(m), dispatching
+// on the message tag (Figures 9 and 10).
+func (e *Endpoint) HandleMessage(from types.ProcID, m types.WireMsg) {
+	if e.crashed {
+		return
+	}
+	switch m.Kind {
+	case types.KindView:
+		e.viewMsg[from] = m.View.Clone()
+		e.lastRcvd[from] = 0
+	case types.KindApp:
+		vm, ok := e.viewMsg[from]
+		if !ok {
+			vm = types.InitialView(from)
+		}
+		e.msgs.buf(from, vm.Key()).set(e.lastRcvd[from]+1, m.App)
+		e.lastRcvd[from]++
+	case types.KindFwd:
+		e.msgs.buf(m.Origin, m.View.Key()).set(m.Index, m.App)
+	case types.KindAck:
+		if e.ackInterval > 0 {
+			e.ackCounts[from] = m.Cut.Clone()
+			e.collectStable()
+		}
+	case types.KindSync:
+		if e.level == LevelWV {
+			return
+		}
+		view := m.View
+		if m.ElideView {
+			// Section 5.2.4 second optimization: the sender elided its view
+			// because its view_msg precedes this sync on our FIFO channel.
+			vm, ok := e.viewMsg[from]
+			if !ok {
+				vm = types.InitialView(from)
+			}
+			view = vm
+		}
+		e.storeSyncEntry(from, m.CID, view, m.Cut, m.Small)
+		if e.hierarchyGroup > 1 {
+			// A local member routed its sync to us as its leader; queue it
+			// for aggregation and redistribution.
+			e.hQueue(types.SyncEntry{
+				From: from, CID: m.CID, View: view.Clone(), Cut: m.Cut.Clone(), Small: m.Small,
+			}, false)
+		}
+	case types.KindSyncBundle:
+		if e.level == LevelWV {
+			return
+		}
+		for _, entry := range m.Bundle {
+			if entry.From == e.id {
+				continue
+			}
+			e.storeSyncEntry(entry.From, entry.CID, entry.View, entry.Cut, entry.Small)
+			if e.hierarchyGroup > 1 {
+				e.hQueue(entry, true)
+			}
+		}
+	}
+	e.step()
+}
+
+// Crash models crash_p() (Section 8): all locally controlled actions and
+// input effects are disabled until Recover.
+func (e *Endpoint) Crash() {
+	e.crashed = true
+	e.pending = nil
+}
+
+// Recover models recover_p() (Section 8): the end-point restarts with all
+// state variables at their initial values — no stable storage is used — and
+// continues under its original identity.
+func (e *Endpoint) Recover() {
+	if !e.crashed {
+		return
+	}
+	e.crashed = false
+	e.reset()
+	e.transport.SetReliable(e.reliableSet.Clone())
+	e.step()
+}
+
+func (e *Endpoint) emit(ev Event) { e.pending = append(e.pending, ev) }
+
+// setCurrentView installs v as the current view and refreshes the derived
+// caches.
+func (e *Endpoint) setCurrentView(v types.View) {
+	e.currentView = v
+	e.curKey = v.Key()
+	e.curMembers = v.Members.Sorted()
+	others := e.curMembers[:0:0]
+	for _, q := range e.curMembers {
+		if q != e.id {
+			others = append(others, q)
+		}
+	}
+	e.curOthers = others
+	e.curBufs = make(map[types.ProcID]*msgBuf, len(e.curMembers))
+	e.limitsValid = false
+}
+
+// curBuf returns msgs[q][currentView], memoized per view.
+func (e *Endpoint) curBuf(q types.ProcID) *msgBuf {
+	if b, ok := e.curBufs[q]; ok {
+		return b
+	}
+	b := e.msgs.buf(q, e.curKey)
+	e.curBufs[q] = b
+	return b
+}

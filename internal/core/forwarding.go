@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sort"
+
+	"vsgm/internal/types"
+)
+
+// Forward is one forwarding obligation computed by a strategy: send the
+// message with the given 1-based Index originally sent by Origin in the
+// end-point's current view to each destination in Dests.
+type Forward struct {
+	Dests  []types.ProcID
+	Origin types.ProcID
+	Index  int
+}
+
+// ForwardingStrategy is the ForwardingStrategyPredicate of Section 5.2.2 in
+// executable form: given the end-point's state, it returns the set of
+// forwards currently enabled. The end-point deduplicates per destination
+// (the forwarded_set of Figure 10), so strategies may return the same
+// obligation repeatedly.
+type ForwardingStrategy interface {
+	// Name identifies the strategy in metrics and experiment tables.
+	Name() string
+	// Plan computes the enabled forwards for e.
+	Plan(e *Endpoint) []Forward
+}
+
+// forwardPlan accumulates (origin, index) → destinations and emits a
+// deterministic plan.
+type forwardPlan struct {
+	dests map[types.ProcID]map[int][]types.ProcID
+}
+
+func newForwardPlan() *forwardPlan {
+	return &forwardPlan{dests: make(map[types.ProcID]map[int][]types.ProcID)}
+}
+
+func (fp *forwardPlan) add(origin types.ProcID, index int, dest types.ProcID) {
+	row := fp.dests[origin]
+	if row == nil {
+		row = make(map[int][]types.ProcID)
+		fp.dests[origin] = row
+	}
+	row[index] = append(row[index], dest)
+}
+
+func (fp *forwardPlan) build() []Forward {
+	if len(fp.dests) == 0 {
+		return nil
+	}
+	var out []Forward
+	origins := make([]types.ProcID, 0, len(fp.dests))
+	for origin := range fp.dests {
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, origin := range origins {
+		row := fp.dests[origin]
+		indexes := make([]int, 0, len(row))
+		for i := range row {
+			indexes = append(indexes, i)
+		}
+		sort.Ints(indexes)
+		for _, i := range indexes {
+			ds := row[i]
+			sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+			out = append(out, Forward{Dests: ds, Origin: origin, Index: i})
+		}
+	}
+	return out
+}
+
+// simpleForwarding implements the paper's first example strategy: a process
+// p forwards a message m (sent in p's current view) that p has committed to
+// deliver, to any process q whose latest relevant synchronization message —
+// sent in the same view — indicates that q has not received m. Multiple
+// committed holders may each forward a copy.
+type simpleForwarding struct{}
+
+// NewSimpleForwarding returns the Section 5.2.2 "simple strategy".
+func NewSimpleForwarding() ForwardingStrategy { return simpleForwarding{} }
+
+func (simpleForwarding) Name() string { return "simple" }
+
+func (simpleForwarding) Plan(e *Endpoint) []Forward {
+	if e.startChange == nil {
+		return nil
+	}
+	own := e.syncMsgOf(e.id, e.startChange.ID)
+	if own == nil {
+		return nil
+	}
+
+	// Peers we might owe messages to: everyone we have exchanged
+	// synchronization state with in this change, restricted to those whose
+	// relevant sync message was sent in our current view (anyone else
+	// either moved from a different view — and cannot need our old-view
+	// messages — or is unknown).
+	plan := newForwardPlan()
+	peers := e.startChange.Set.Union(e.currentView.Members)
+	for q := range peers {
+		if q == e.id {
+			continue
+		}
+		sm := e.latestSyncFrom(q)
+		if sm == nil || sm.Small || !sm.View.Equal(e.currentView) {
+			continue
+		}
+		for _, r := range e.curMembers {
+			if q == r {
+				continue // q receives r's messages from r itself
+			}
+			committed := own.Cut[r]
+			for i := sm.Cut[r] + 1; i <= committed; i++ {
+				plan.add(r, i, q)
+			}
+		}
+	}
+	return plan.build()
+}
+
+// latestSyncFrom returns q's synchronization message for the in-progress
+// change: the one tagged with the membership view's startId for q when the
+// view is known, otherwise the highest-cid message received from q.
+func (e *Endpoint) latestSyncFrom(q types.ProcID) *types.SyncMsg {
+	if sid, ok := e.mbrshpView.StartID[q]; ok {
+		if sm := e.syncMsgOf(q, sid); sm != nil {
+			return sm
+		}
+	}
+	var (
+		best    *types.SyncMsg
+		bestCid types.StartChangeID = -1
+	)
+	for cid, sm := range e.syncMsgs[q] {
+		if cid > bestCid {
+			best, bestCid = sm, cid
+		}
+	}
+	return best
+}
+
+// minCopiesForwarding implements the paper's second example strategy: once
+// the membership view and all relevant synchronization messages are known,
+// the transitional set T deterministically agrees which single member
+// forwards each message missed by other members of T — the minimum-id member
+// whose cut commits the message. Only messages originally sent by
+// end-points outside T are forwarded (members of T retransmit their own
+// streams themselves).
+type minCopiesForwarding struct{}
+
+// NewMinCopiesForwarding returns the Section 5.2.2 copy-minimizing strategy.
+func NewMinCopiesForwarding() ForwardingStrategy { return minCopiesForwarding{} }
+
+func (minCopiesForwarding) Name() string { return "min-copies" }
+
+func (minCopiesForwarding) Plan(e *Endpoint) []Forward {
+	if e.startChange == nil {
+		return nil
+	}
+	v := e.mbrshpView
+	sid, ok := v.StartID[e.id]
+	if !ok || sid != e.startChange.ID {
+		return nil // wait for the membership view matching this change
+	}
+	own := e.syncMsgOf(e.id, sid)
+	if own == nil {
+		return nil // have not sent our own sync message yet
+	}
+
+	// I = v.set ∩ (our previous view); all relevant syncs must be known.
+	var trans []types.ProcID
+	cuts := make(map[types.ProcID]types.Cut)
+	for q := range v.Members {
+		if !own.View.Members.Contains(q) {
+			continue
+		}
+		sm := e.syncMsgOf(q, v.StartID[q])
+		if sm == nil {
+			return nil // wait for all relevant sync messages
+		}
+		if !sm.Small && sm.View.Equal(own.View) {
+			trans = append(trans, q)
+			cuts[q] = sm.Cut
+		}
+	}
+	sort.Slice(trans, func(i, j int) bool { return trans[i] < trans[j] })
+	if len(trans) == 0 || !containsProc(trans, e.id) {
+		return nil
+	}
+
+	plan := newForwardPlan()
+	for _, r := range e.curMembers {
+		if containsProc(trans, r) {
+			continue // members of T recover each other's streams directly
+		}
+		maxCommitted := 0
+		for _, u := range trans {
+			if c := cuts[u][r]; c > maxCommitted {
+				maxCommitted = c
+			}
+		}
+		for _, u := range trans {
+			missFrom := cuts[u][r] + 1
+			if missFrom > maxCommitted {
+				continue // u misses nothing from r
+			}
+			for i := missFrom; i <= maxCommitted; i++ {
+				// The forwarder for index i is the minimum-id member of T
+				// whose cut commits i; trans is sorted, so the first
+				// qualifying member wins.
+				if forwarderFor(trans, cuts, r, i) == e.id {
+					plan.add(r, i, u)
+				}
+			}
+		}
+	}
+	return plan.build()
+}
+
+func forwarderFor(trans []types.ProcID, cuts map[types.ProcID]types.Cut, r types.ProcID, i int) types.ProcID {
+	for _, u := range trans {
+		if cuts[u][r] >= i {
+			return u
+		}
+	}
+	return ""
+}
+
+func containsProc(list []types.ProcID, p types.ProcID) bool {
+	for _, q := range list {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

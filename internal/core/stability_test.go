@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func TestMsgBufCollect(t *testing.T) {
+	var b msgBuf
+	for i := 1; i <= 5; i++ {
+		b.set(i, types.AppMsg{ID: int64(i)})
+	}
+	b.collect(3)
+	if b.live() != 2 {
+		t.Fatalf("live = %d, want 2", b.live())
+	}
+	if _, ok := b.get(3); ok {
+		t.Fatal("collected index still readable")
+	}
+	if m, ok := b.get(4); !ok || m.ID != 4 {
+		t.Fatal("surviving index lost or shifted")
+	}
+	// Logical positions are preserved.
+	if b.longestPrefix() != 5 || b.lastIndex() != 5 {
+		t.Fatalf("prefix/last = %d/%d, want 5/5", b.longestPrefix(), b.lastIndex())
+	}
+	// New arrivals keep their logical index.
+	b.set(6, types.AppMsg{ID: 6})
+	if m, ok := b.get(6); !ok || m.ID != 6 {
+		t.Fatal("post-collection set/get broken")
+	}
+	// Collecting backwards is a no-op; re-setting a collected index too.
+	b.collect(1)
+	b.set(2, types.AppMsg{ID: 99})
+	if _, ok := b.get(2); ok {
+		t.Fatal("collected slot resurrected")
+	}
+}
+
+func TestStabilityAcksCollectBuffers(t *testing.T) {
+	// p in a shared view with q, AckInterval 1: once both sides' acks cover
+	// a message, its slot is freed.
+	ep, tr := newTestEndpoint(t, "p", func(c *Config) { c.AckInterval = 1 })
+	v := joinShared(t, ep)
+
+	// q streams 3 messages; p delivers them and acks each.
+	ep.HandleMessage("q", types.WireMsg{Kind: types.KindView, View: v})
+	for i := int64(1); i <= 3; i++ {
+		ep.HandleMessage("q", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: i}})
+	}
+	if got := len(tr.byKind(types.KindAck)); got != 3 {
+		t.Fatalf("sent %d acks, want 3", got)
+	}
+	if got := ep.BufferedMessages(); got != 3 {
+		t.Fatalf("buffered before q's ack = %d, want 3 (q has not acked)", got)
+	}
+
+	// q acknowledges having delivered two of its own messages.
+	ep.HandleMessage("q", types.WireMsg{Kind: types.KindAck, Cut: types.Cut{"p": 0, "q": 2}})
+	if got := ep.BufferedMessages(); got != 1 {
+		t.Fatalf("buffered after q's ack = %d, want 1 (indices 1-2 stable)", got)
+	}
+
+	// Stability never breaks the cut computation.
+	ep.HandleStartChange(types.StartChange{ID: 2, Set: types.NewProcSet("p", "q")})
+	syncs := tr.byKind(types.KindSync)
+	last := syncs[len(syncs)-1]
+	if last.msg.Cut["q"] != 3 {
+		t.Fatalf("sync cut(q) = %d, want 3 (collected prefix still counts)", last.msg.Cut["q"])
+	}
+}
+
+func TestAcksDisabledByDefault(t *testing.T) {
+	ep, tr := newTestEndpoint(t, "p", nil)
+	v := joinShared(t, ep)
+	ep.HandleMessage("q", types.WireMsg{Kind: types.KindView, View: v})
+	ep.HandleMessage("q", types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 1}})
+	if got := len(tr.byKind(types.KindAck)); got != 0 {
+		t.Fatalf("acks sent with AckInterval 0: %d", got)
+	}
+	// Foreign acks are ignored when the feature is off.
+	ep.HandleMessage("q", types.WireMsg{Kind: types.KindAck, Cut: types.Cut{"q": 1}})
+	if got := ep.BufferedMessages(); got != 1 {
+		t.Fatalf("buffered = %d, want 1", got)
+	}
+}

@@ -1,0 +1,36 @@
+package corfifo
+
+import (
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func BenchmarkSendDeliver(b *testing.B) {
+	n := NewNetwork()
+	n.Register("b", HandlerFunc(func(types.ProcID, types.WireMsg) {}))
+	dests := []types.ProcID{"b"}
+	m := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 1, Payload: make([]byte, 64)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", dests, m)
+		n.DeliverNext("a", "b")
+	}
+}
+
+func BenchmarkMulticastFanOut(b *testing.B) {
+	n := NewNetwork()
+	var dests []types.ProcID
+	for _, p := range []types.ProcID{"b", "c", "d", "e", "f", "g", "h", "i"} {
+		n.Register(p, HandlerFunc(func(types.ProcID, types.WireMsg) {}))
+		dests = append(dests, p)
+	}
+	m := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", dests, m)
+		for _, q := range dests {
+			n.DeliverNext("a", q)
+		}
+	}
+}

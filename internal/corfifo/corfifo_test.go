@@ -1,0 +1,214 @@
+package corfifo
+
+import (
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+type recorder struct {
+	got []types.WireMsg
+}
+
+func (r *recorder) HandleMessage(_ types.ProcID, m types.WireMsg) {
+	r.got = append(r.got, m)
+}
+
+func appMsg(id int64) types.WireMsg {
+	return types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: id}}
+}
+
+func TestFIFODeliveryPerChannel(t *testing.T) {
+	n := NewNetwork()
+	var rb recorder
+	n.Register("a", nil)
+	n.Register("b", &rb)
+
+	for i := int64(1); i <= 5; i++ {
+		n.Send("a", []types.ProcID{"b"}, appMsg(i))
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := n.DeliverNext("a", "b"); !ok {
+			t.Fatalf("delivery %d: nothing to deliver", i)
+		}
+	}
+	if _, ok := n.DeliverNext("a", "b"); ok {
+		t.Fatal("delivered from an empty channel")
+	}
+	for i, m := range rb.got {
+		if m.App.ID != int64(i+1) {
+			t.Fatalf("message %d has id %d: FIFO violated", i, m.App.ID)
+		}
+	}
+}
+
+func TestMulticastEnqueuesPerDestination(t *testing.T) {
+	n := NewNetwork()
+	n.Register("a", nil)
+	n.Register("b", nil)
+	n.Register("c", nil)
+	n.Send("a", []types.ProcID{"b", "c"}, appMsg(1))
+	if n.Pending("a", "b") != 1 || n.Pending("a", "c") != 1 {
+		t.Fatal("multicast did not enqueue per destination")
+	}
+	if n.TotalPending() != 2 {
+		t.Fatalf("total pending = %d, want 2", n.TotalPending())
+	}
+}
+
+func TestSendObserverFiresPerDestination(t *testing.T) {
+	n := NewNetwork()
+	var fired []types.ProcID
+	n.SetSendObserver(func(_, to types.ProcID, _ types.WireMsg) {
+		fired = append(fired, to)
+	})
+	n.Send("a", []types.ProcID{"b", "c"}, appMsg(1))
+	if len(fired) != 2 || fired[0] != "b" || fired[1] != "c" {
+		t.Fatalf("observer fired for %v", fired)
+	}
+}
+
+func TestLoseRequiresUnreliableDestination(t *testing.T) {
+	n := NewNetwork()
+	n.Register("a", nil)
+	n.SetReliable("a", types.NewProcSet("a", "b"))
+	n.Send("a", []types.ProcID{"b"}, appMsg(1))
+
+	if err := n.LoseTail("a", "b"); err == nil {
+		t.Fatal("lose succeeded for a reliable destination")
+	}
+	n.SetReliable("a", types.NewProcSet("a"))
+	if err := n.LoseTail("a", "b"); err != nil {
+		t.Fatalf("lose failed for unreliable destination: %v", err)
+	}
+	if n.Pending("a", "b") != 0 {
+		t.Fatal("message not dropped")
+	}
+}
+
+func TestLoseSuffixDropsFromTheTail(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", nil)
+	for i := int64(1); i <= 4; i++ {
+		n.Send("a", []types.ProcID{"b"}, appMsg(i))
+	}
+	if err := n.LoseSuffix("a", "b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pending("a", "b") != 2 {
+		t.Fatalf("pending = %d, want 2", n.Pending("a", "b"))
+	}
+	m, _ := n.DeliverNext("a", "b")
+	if m.App.ID != 1 {
+		t.Fatalf("head id = %d, want 1: lose must drop the suffix, not the prefix", m.App.ID)
+	}
+}
+
+func TestDropUnreliable(t *testing.T) {
+	n := NewNetwork()
+	n.Register("a", nil)
+	n.SetReliable("a", types.NewProcSet("a", "b"))
+	n.Send("a", []types.ProcID{"b", "c"}, appMsg(1))
+	dropped := n.DropUnreliable()
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (only the unreliable destination)", dropped)
+	}
+	if n.Pending("a", "b") != 1 || n.Pending("a", "c") != 0 {
+		t.Fatal("wrong channel dropped")
+	}
+}
+
+func TestDeliveryToUnregisteredEndpointDiscards(t *testing.T) {
+	n := NewNetwork()
+	n.Send("a", []types.ProcID{"b"}, appMsg(1))
+	if _, ok := n.DeliverNext("a", "b"); !ok {
+		t.Fatal("delivery should pop the message even without a handler")
+	}
+	if n.Pending("a", "b") != 0 {
+		t.Fatal("message still queued")
+	}
+}
+
+func TestUnregisterStopsHandler(t *testing.T) {
+	n := NewNetwork()
+	var rb recorder
+	n.Register("b", &rb)
+	n.Unregister("b")
+	n.Send("a", []types.ProcID{"b"}, appMsg(1))
+	n.DeliverNext("a", "b")
+	if len(rb.got) != 0 {
+		t.Fatal("handler invoked after unregister")
+	}
+}
+
+func TestReliableAndLiveDefaults(t *testing.T) {
+	n := NewNetwork()
+	n.Register("p", nil)
+	if !n.Reliable("p").Equal(types.NewProcSet("p")) {
+		t.Error("reliable_set should initialize to {p}")
+	}
+	if !n.Live("p").Equal(types.NewProcSet("p")) {
+		t.Error("live_set should initialize to {p}")
+	}
+	n.SetLive("p", types.NewProcSet("p", "q"))
+	if !n.Live("p").Equal(types.NewProcSet("p", "q")) {
+		t.Error("live_set not updated")
+	}
+	// Unknown processes report singleton defaults rather than nil.
+	if !n.Reliable("ghost").Equal(types.NewProcSet("ghost")) {
+		t.Error("unknown process should report default reliable set")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", nil)
+	n.Send("a", []types.ProcID{"b"}, appMsg(1))
+	n.Send("a", []types.ProcID{"b"}, types.WireMsg{Kind: types.KindSync, CID: 1, Small: true})
+	n.DeliverNext("a", "b")
+
+	s := n.Stats()
+	if s.Sent.App != 1 || s.Sent.Sync != 1 || s.Sent.Total() != 2 {
+		t.Errorf("sent = %+v", s.Sent)
+	}
+	if s.Delivered.App != 1 || s.Delivered.Total() != 1 {
+		t.Errorf("delivered = %+v", s.Delivered)
+	}
+	if s.Sent.Control() != 1 {
+		t.Errorf("control = %d, want 1", s.Sent.Control())
+	}
+	if s.SentBytes <= 0 {
+		t.Error("sent bytes not recorded")
+	}
+
+	before := s
+	n.Send("a", []types.ProcID{"b"}, appMsg(2))
+	diff := n.Stats().Sub(before)
+	if diff.Sent.App != 1 || diff.Sent.Sync != 0 {
+		t.Errorf("diff = %+v", diff.Sent)
+	}
+
+	n.ResetStats()
+	if n.Stats().Sent.Total() != 0 {
+		t.Error("reset did not zero stats")
+	}
+}
+
+func TestHandleBindsSender(t *testing.T) {
+	n := NewNetwork()
+	var rb recorder
+	n.Register("b", &rb)
+	h := n.Handle("a")
+	if h.Proc() != "a" {
+		t.Fatalf("handle proc = %s", h.Proc())
+	}
+	h.Send([]types.ProcID{"b"}, appMsg(9))
+	h.SetReliable(types.NewProcSet("a", "b"))
+	n.DeliverNext("a", "b")
+	if len(rb.got) != 1 || rb.got[0].App.ID != 9 {
+		t.Fatal("handle send did not reach the destination")
+	}
+	if !n.Reliable("a").Contains("b") {
+		t.Fatal("handle SetReliable did not apply")
+	}
+}

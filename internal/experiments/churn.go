@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vsgm/internal/baseline"
+	"vsgm/internal/types"
+)
+
+// E3ObsoleteViews measures how many views the applications must process when
+// a burst of joins cascades into the membership while a change is already in
+// progress: the paper's eager policy (a fresh start_change per change of
+// mind, letting end-points skip views known to be out of date) against the
+// restart policy (finish the current change, then admit the next joiner).
+func E3ObsoleteViews(churns []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Views delivered under cascading joins",
+		Claim: "our algorithm never delivers views that reflect a membership already known to be out of date (§1)",
+		Columns: []string{
+			"joins", "eager views/member", "restart views/member", "eager time", "restart time",
+		},
+		Notes: "starting group of 3; each join extends the membership by one while the previous change is (eager) or is not (restart) still in progress",
+	}
+	for _, k := range churns {
+		eager, eagerDur, err := runChurn(k, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E3 eager k=%d: %w", k, err)
+		}
+		restart, restartDur, err := runChurn(k, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E3 restart k=%d: %w", k, err)
+		}
+		t.AddRow(k, eager.ViewsPerMember, restart.ViewsPerMember,
+			eagerDur, restartDur)
+	}
+	return t, nil
+}
+
+func runChurn(k int, p Params, restart bool) (baseline.ChurnResult, string, error) {
+	const baseGroup = 3
+	c, err := newCluster(baseGroup+k, p, p.Seed+int64(k)*7, nil)
+	if err != nil {
+		return baseline.ChurnResult{}, "", err
+	}
+	procs := c.Procs()
+	initial := types.NewProcSet(procs[:baseGroup]...)
+	if _, _, err := c.ReconfigureTo(initial); err != nil {
+		return baseline.ChurnResult{}, "", err
+	}
+
+	joins := make([]types.ProcSet, 0, k)
+	for i := 1; i <= k; i++ {
+		joins = append(joins, types.NewProcSet(procs[:baseGroup+i]...))
+	}
+	start := c.Now()
+	var (
+		res baseline.ChurnResult
+	)
+	if restart {
+		res, err = baseline.RunRestartChurn(c, joins)
+	} else {
+		res, err = baseline.RunEagerChurn(c, joins)
+	}
+	if err != nil {
+		return baseline.ChurnResult{}, "", err
+	}
+	return res, msDur(c.Now() - start), nil
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyParams() Params {
+	return Params{
+		Seed:            3,
+		Latency:         10 * time.Millisecond,
+		Jitter:          5 * time.Millisecond,
+		MembershipRound: 10 * time.Millisecond,
+		Reps:            1,
+	}
+}
+
+func TestE1OneRoundBeatsTwoRound(t *testing.T) {
+	tab, err := E1Reconfiguration([]int{4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedup float64
+	if _, err := fmtSscan(tab.Rows[0][4], &speedup); err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1.0 {
+		t.Errorf("speedup = %.2f, want > 1 (the paper's headline claim)", speedup)
+	}
+}
+
+func TestE2SyncMessageCountIsNTimesNMinusOne(t *testing.T) {
+	tab, err := E2ControlMessages([]int{4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Rows[0][1]; got != "12" { // 4·3
+		t.Errorf("ours sync = %s, want 12", got)
+	}
+	if got := tab.Rows[0][4]; got != "12" { // baseline pays the same again in proposes
+		t.Errorf("baseline propose = %s, want 12", got)
+	}
+}
+
+func TestE3EagerDeliversFewerViews(t *testing.T) {
+	tab, err := E3ObsoleteViews([]int{4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eager, restart float64
+	if _, err := fmtSscan(tab.Rows[0][1], &eager); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[0][2], &restart); err != nil {
+		t.Fatal(err)
+	}
+	if eager >= restart {
+		t.Errorf("eager %.2f views/member not below restart %.2f", eager, restart)
+	}
+}
+
+func TestE4MinCopiesForwardsExactlyOnce(t *testing.T) {
+	tab, err := E4Forwarding([]int{5}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Rows[0][5]; got != "1.00" {
+		t.Errorf("min-copies copies/missing = %s, want 1.00", got)
+	}
+	var simple float64
+	if _, err := fmtSscan(tab.Rows[0][3], &simple); err != nil {
+		t.Fatal(err)
+	}
+	if simple <= 1.0 {
+		t.Errorf("simple strategy copies/missing = %.2f, want > 1", simple)
+	}
+}
+
+func TestE5WireCostIsNMinusOne(t *testing.T) {
+	tab, err := E5Multicast([]int{4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Rows[0][2]; got != "3.00" {
+		t.Errorf("wire msgs/multicast = %s, want 3.00", got)
+	}
+}
+
+func TestE8ClientServerCheaperThanFlat(t *testing.T) {
+	tab, err := E8MembershipScalability([]int{8}, []int{2}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs, flat float64
+	if _, err := fmtSscan(tab.Rows[0][2], &cs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][2], &flat); err != nil {
+		t.Fatal(err)
+	}
+	if cs >= flat {
+		t.Errorf("client-server %v not cheaper than flat %v", cs, flat)
+	}
+}
+
+func TestE9SmallSyncSavesBytes(t *testing.T) {
+	tab, err := E9SyncMessageSize([]int{4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, small float64
+	if _, err := fmtSscan(tab.Rows[0][2], &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[0][3], &small); err != nil {
+		t.Fatal(err)
+	}
+	if small >= plain {
+		t.Errorf("small-sync bytes %v not below plain %v", small, plain)
+	}
+}
+
+func TestE11AcksReclaimBuffers(t *testing.T) {
+	tab, err := E11GarbageCollection([]int{0, 1}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var without, with float64
+	if _, err := fmtSscan(tab.Rows[0][1], &without); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[1][1], &with); err != nil {
+		t.Fatal(err)
+	}
+	if with >= without {
+		t.Errorf("buffered with acks (%v) not below without (%v)", with, without)
+	}
+}
+
+func TestE12HierarchyReducesSyncMessages(t *testing.T) {
+	tab, err := E12Hierarchy([]int{16}, 4, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratio float64
+	if _, err := fmtSscan(tab.Rows[0][3], &ratio); err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1.0 {
+		t.Errorf("hierarchical/flat message ratio = %.2f, want < 1", ratio)
+	}
+}
+
+func TestRemainingExperimentsRun(t *testing.T) {
+	p := tinyParams()
+	if _, err := E6BlockingTime([]int{3}, p); err != nil {
+		t.Errorf("E6: %v", err)
+	}
+	if _, err := E7Recovery([]int{3}, p); err != nil {
+		t.Errorf("E7: %v", err)
+	}
+	if _, err := E10TotalOrder([]int{3}, p); err != nil {
+		t.Errorf("E10: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, s := range all {
+		if s.ID == "" || s.Title == "" || s.Run == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if _, err := ByID("E4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Claim:   "claim",
+		Columns: []string{"a", "bee"},
+		Notes:   "note",
+	}
+	tab.AddRow(1, 2.5)
+	txt := tab.Render()
+	for _, want := range []string{"T1", "demo", "claim", "bee", "2.50", "note"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | bee |") || !strings.Contains(md, "### T1") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+}
+
+// fmtSscan is a tiny indirection so the tests read naturally.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vsgm/internal/core"
+	"vsgm/internal/sim"
+	"vsgm/internal/types"
+)
+
+// E4Forwarding compares the two ForwardingStrategyPredicates of Section
+// 5.2.2 on a recovery scenario: a sender's messages reach only part of the
+// group before the sender is partitioned away, so the surviving members must
+// forward the missing messages before anyone can install the next view.
+func E4Forwarding(msgCounts []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Forwarded copies per missing message",
+		Claim: "the min-copies strategy has exactly one transitional-set member forward each missing message; the simple strategy lets every committed holder forward a copy (§5.2.2)",
+		Columns: []string{
+			"lost msgs", "missing copies", "simple fwds", "simple copies/miss", "min-copies fwds", "min copies/miss",
+		},
+		Notes: "5-member group; the departing member's stream reaches 2 of 4 survivors before the partition",
+	}
+	for _, k := range msgCounts {
+		simple, miss, err := runForwarding(k, p, core.NewSimpleForwarding())
+		if err != nil {
+			return nil, fmt.Errorf("E4 simple k=%d: %w", k, err)
+		}
+		min, miss2, err := runForwarding(k, p, core.NewMinCopiesForwarding())
+		if err != nil {
+			return nil, fmt.Errorf("E4 min-copies k=%d: %w", k, err)
+		}
+		if miss2 != miss {
+			return nil, fmt.Errorf("E4: scenarios diverged (%d vs %d missing)", miss, miss2)
+		}
+		t.AddRow(k, miss,
+			simple, float64(simple)/float64(miss),
+			min, float64(min)/float64(miss))
+	}
+	return t, nil
+}
+
+// runForwarding returns the number of forwarded copies sent and the number
+// of missing (message, destination) instances that needed recovery.
+func runForwarding(k int, p Params, strategy core.ForwardingStrategy) (int64, int64, error) {
+	c, err := newCluster(5, p, p.Seed+int64(k)*13, func(cfg *sim.Config) {
+		cfg.Forwarding = strategy
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	procs := c.Procs()
+	all := allOf(c)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		return 0, 0, err
+	}
+
+	// The departing sender's messages reach p00 and p01 but not p02/p03.
+	leaver := procs[4]
+	c.BlockLink(leaver, procs[2])
+	c.BlockLink(leaver, procs[3])
+	for i := 0; i < k; i++ {
+		if _, err := c.Send(leaver, []byte(fmt.Sprintf("lost-%d", i))); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, 0, err
+	}
+
+	// Partition the sender away and reconfigure the survivors.
+	survivors := types.NewProcSet(procs[0], procs[1], procs[2], procs[3])
+	c.SetConnectivity(survivors)
+	v, _, err := c.ReconfigureTo(survivors)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Sanity: every survivor installed the view and delivered the full
+	// agreed cut, including the recovered messages.
+	for _, q := range survivors.Sorted() {
+		ep := c.CoreEndpoint(q)
+		if !ep.CurrentView().Equal(v) {
+			return 0, 0, fmt.Errorf("%s did not install %s", q, v)
+		}
+	}
+
+	var forwards int64
+	for _, q := range survivors.Sorted() {
+		forwards += c.CoreEndpoint(q).ForwardsSent()
+	}
+	missing := int64(2 * k) // two survivors each missed k messages
+	return forwards, missing, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/sim"
+)
+
+// E11GarbageCollection is the ablation for the buffer-reclamation design
+// choice (Section 5.1's closing remark): without acknowledgments, every
+// message stays buffered until the next view change; with stability
+// acknowledgments every AckInterval deliveries, buffers stay bounded at the
+// cost of ack traffic.
+func E11GarbageCollection(intervals []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Within-view buffer reclamation (stability acknowledgments)",
+		Claim: "an actual implementation needs a garbage collection mechanism; acknowledgments track which messages have been delivered to all view members, and such messages are discarded (§5.1)",
+		Columns: []string{
+			"ack interval", "buffered msgs (peak of steady state)", "ack msgs", "ack bytes",
+		},
+		Notes: "4-member group, 50 multicasts per member in one view; interval 0 disables acks (reclamation only at view changes)",
+	}
+	for _, interval := range intervals {
+		buffered, acks, bytes, err := runGCWorkload(interval, p)
+		if err != nil {
+			return nil, fmt.Errorf("E11 interval=%d: %w", interval, err)
+		}
+		t.AddRow(interval, buffered, acks, bytes)
+	}
+	return t, nil
+}
+
+func runGCWorkload(interval int, p Params) (buffered int, acks, ackBytes int64, err error) {
+	const (
+		members   = 4
+		perSender = 50
+	)
+	c, err := newCluster(members, p, p.Seed+int64(interval)*43, func(cfg *sim.Config) {
+		cfg.AckInterval = interval
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, _, err := c.ReconfigureTo(allOf(c)); err != nil {
+		return 0, 0, 0, err
+	}
+
+	before := c.Network().Stats()
+	stats, err := (sim.Workload{
+		PerSender: perSender,
+		Interval:  2 * time.Millisecond,
+	}).Apply(c)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := c.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	if stats.Err() != nil {
+		return 0, 0, 0, stats.Err()
+	}
+
+	for _, q := range c.Procs() {
+		buffered += c.CoreEndpoint(q).BufferedMessages()
+	}
+	delta := c.Network().Stats().Sub(before)
+	// Charge the size model for the ack traffic.
+	ackBytes = delta.Sent.Ack * int64(8*(1+members))
+	return buffered, delta.Sent.Ack, ackBytes, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/corfifo"
+	"vsgm/internal/sim"
+)
+
+// E12Hierarchy measures the Section 9 future-work extension: the two-tier
+// synchronization hierarchy in which members send cuts to designated
+// leaders that aggregate and exchange them, against the flat all-to-all
+// exchange of the base algorithm.
+func E12Hierarchy(sizes []int, groupSize int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Two-tier synchronization hierarchy vs flat exchange",
+		Claim: "to increase scalability, processes send cut messages to a designated leader, which aggregates them into a single message and forwards it to the other leaders (§9)",
+		Columns: []string{
+			"N", "flat sync msgs", "hier msgs (sync+bundle)", "msg ratio", "flat reconfig", "hier reconfig",
+		},
+		Notes: fmt.Sprintf("groups of %d, leader = minimum id per group; reconfig = start_change → last install", groupSize),
+	}
+	for _, n := range sizes {
+		flatStats, flatDur, err := runHierarchyChange(n, 0, p)
+		if err != nil {
+			return nil, fmt.Errorf("E12 flat n=%d: %w", n, err)
+		}
+		hierStats, hierDur, err := runHierarchyChange(n, groupSize, p)
+		if err != nil {
+			return nil, fmt.Errorf("E12 hier n=%d: %w", n, err)
+		}
+		flatMsgs := flatStats.Sync + flatStats.Bundle
+		hierMsgs := hierStats.Sync + hierStats.Bundle
+		t.AddRow(n, flatMsgs, hierMsgs,
+			float64(hierMsgs)/float64(flatMsgs),
+			msDur(flatDur), msDur(hierDur))
+	}
+	return t, nil
+}
+
+func runHierarchyChange(n, groupSize int, p Params) (corfifo.KindCounts, time.Duration, error) {
+	c, err := newCluster(n, p, p.Seed+int64(n)*47+int64(groupSize), func(cfg *sim.Config) {
+		cfg.HierarchyGroupSize = groupSize
+	})
+	if err != nil {
+		return corfifo.KindCounts{}, 0, err
+	}
+	all := allOf(c)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		return corfifo.KindCounts{}, 0, err
+	}
+	for _, q := range c.Procs() {
+		if _, err := c.Send(q, []byte("steady")); err != nil {
+			return corfifo.KindCounts{}, 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return corfifo.KindCounts{}, 0, err
+	}
+
+	before := c.Network().Stats()
+	_, d, err := c.ReconfigureTo(all)
+	if err != nil {
+		return corfifo.KindCounts{}, 0, err
+	}
+	return c.Network().Stats().Sub(before).Sent, d, nil
+}

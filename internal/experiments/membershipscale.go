@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vsgm/internal/sim"
+)
+
+// E8MembershipScalability measures the per-change message cost of the
+// client-server membership architecture against a flat architecture in
+// which every client participates in the membership protocol directly.
+func E8MembershipScalability(clientCounts []int, serverCounts []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Membership cost: client-server vs flat",
+		Claim: "maintaining membership at a small set of dedicated servers makes the service scalable in the number of clients (§1, §9)",
+		Columns: []string{
+			"clients", "architecture", "server msgs/change", "notifications/change", "total",
+		},
+		Notes: "server msgs are the O(S²) proposal exchange; flat = every client runs the membership protocol (S = C)",
+	}
+	for _, clients := range clientCounts {
+		for _, servers := range serverCounts {
+			if clients%servers != 0 {
+				continue
+			}
+			memb, notif, err := runMembershipChange(servers, clients/servers, p)
+			if err != nil {
+				return nil, fmt.Errorf("E8 S=%d C=%d: %w", servers, clients, err)
+			}
+			t.AddRow(clients, fmt.Sprintf("%d servers", servers), memb, notif, memb+notif)
+		}
+		memb, notif, err := runMembershipChange(clients, 1, p)
+		if err != nil {
+			return nil, fmt.Errorf("E8 flat C=%d: %w", clients, err)
+		}
+		t.AddRow(clients, "flat (C servers)", memb, notif, memb+notif)
+	}
+	return t, nil
+}
+
+func runMembershipChange(servers, clientsPerServer int, p Params) (memb, notif int64, err error) {
+	w, err := sim.NewServerWorld(sim.ServerWorldConfig{
+		Servers:          servers,
+		ClientsPerServer: clientsPerServer,
+		Latency:          p.latencyModel(),
+		Seed:             p.Seed + int64(servers)*31 + int64(clientsPerServer),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := w.Boot(); err != nil {
+		return 0, 0, err
+	}
+	membBefore := w.Network().Stats().Sent.Memb
+	notifBefore := w.Notifications
+	if err := w.TriggerChange(); err != nil {
+		return 0, 0, err
+	}
+	return w.Network().Stats().Sent.Memb - membBefore, w.Notifications - notifBefore, nil
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/sim"
+	"vsgm/internal/totalorder"
+	"vsgm/internal/types"
+)
+
+// latencyProbe records virtual send and delivery times to compute
+// end-to-end delivery latency statistics.
+type latencyProbe struct {
+	c       *sim.Cluster
+	sendAt  map[int64]time.Duration
+	samples []time.Duration
+}
+
+func (lp *latencyProbe) onEvent(_ types.ProcID, ev core.Event) {
+	d, ok := ev.(core.DeliverEvent)
+	if !ok {
+		return
+	}
+	if at, ok := lp.sendAt[d.Msg.ID]; ok {
+		lp.samples = append(lp.samples, lp.c.Now()-at)
+	}
+}
+
+func (lp *latencyProbe) mean() time.Duration {
+	if len(lp.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range lp.samples {
+		total += s
+	}
+	return total / time.Duration(len(lp.samples))
+}
+
+// percentile returns the q-th percentile (0 < q ≤ 100) of the samples.
+func (lp *latencyProbe) percentile(q float64) time.Duration {
+	if len(lp.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lp.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// E5Multicast measures the steady-state multicast path: wire cost and mean
+// delivery latency of the within-view reliable FIFO service.
+func E5Multicast(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Steady-state multicast cost",
+		Claim: "in stable views the service adds no protocol overhead beyond the N-1 unicasts of a multicast and delivers at substrate latency (§4.1.1, §5.1)",
+		Columns: []string{
+			"N", "multicasts", "wire msgs/multicast", "mean latency", "p95 latency",
+		},
+	}
+	const perSender = 10
+	for _, n := range sizes {
+		probe := &latencyProbe{sendAt: make(map[int64]time.Duration)}
+		c, err := newCluster(n, p, p.Seed+int64(n)*17, func(cfg *sim.Config) {
+			cfg.OnAppEvent = probe.onEvent
+		})
+		if err != nil {
+			return nil, err
+		}
+		probe.c = c
+
+		all := allOf(c)
+		if _, _, err := c.ReconfigureTo(all); err != nil {
+			return nil, err
+		}
+		before := c.Network().Stats()
+		sends := 0
+		for i := 0; i < perSender; i++ {
+			for _, q := range c.Procs() {
+				m, err := c.Send(q, []byte("payload"))
+				if err != nil {
+					return nil, err
+				}
+				probe.sendAt[m.ID] = c.Now()
+				sends++
+			}
+			if err := c.RunFor(2 * time.Millisecond); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Run(); err != nil {
+			return nil, err
+		}
+		delta := c.Network().Stats().Sub(before)
+		t.AddRow(n, sends,
+			float64(delta.Sent.Total())/float64(sends),
+			msDur(probe.mean()), msDur(probe.percentile(95)))
+	}
+	return t, nil
+}
+
+// E10TotalOrder measures the latency a totally ordered multicast adds over
+// the plain FIFO service: non-sequencer messages pay one extra hop through
+// the sequencer's assignment.
+func E10TotalOrder(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Total order layered on WV_RFIFO",
+		Claim: "FIFO multicast is a base on which stronger ordering services are built (§4.1.1)",
+		Columns: []string{
+			"N", "FIFO latency", "total-order latency", "ratio",
+		},
+		Notes: "mean over all (message, receiver) pairs; the sequencer is the minimum-id member",
+	}
+	const perSender = 10
+	for _, n := range sizes {
+		fifoLat, err := fifoLatency(n, p, perSender)
+		if err != nil {
+			return nil, err
+		}
+		toLat, err := totalOrderLatency(n, p, perSender)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, msDur(fifoLat), msDur(toLat), float64(toLat)/float64(fifoLat))
+	}
+	return t, nil
+}
+
+func fifoLatency(n int, p Params, perSender int) (time.Duration, error) {
+	probe := &latencyProbe{sendAt: make(map[int64]time.Duration)}
+	c, err := newCluster(n, p, p.Seed+int64(n)*19, func(cfg *sim.Config) {
+		cfg.OnAppEvent = probe.onEvent
+	})
+	if err != nil {
+		return 0, err
+	}
+	probe.c = c
+	if _, _, err := c.ReconfigureTo(allOf(c)); err != nil {
+		return 0, err
+	}
+	for i := 0; i < perSender; i++ {
+		for _, q := range c.Procs() {
+			m, err := c.Send(q, []byte("x"))
+			if err != nil {
+				return 0, err
+			}
+			probe.sendAt[m.ID] = c.Now()
+		}
+		if err := c.RunFor(2 * time.Millisecond); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, err
+	}
+	return probe.mean(), nil
+}
+
+func totalOrderLatency(n int, p Params, perSender int) (time.Duration, error) {
+	type sessions = map[types.ProcID]*totalorder.Session
+	var (
+		c        *sim.Cluster
+		sess     = make(sessions)
+		sendAt   = make(map[string]time.Duration)
+		total    time.Duration
+		nSamples int64
+	)
+	cfg := sim.Config{
+		Procs:           sim.ProcIDs(n),
+		Latency:         p.latencyModel(),
+		MembershipRound: p.MembershipRound,
+		Seed:            p.Seed + int64(n)*23,
+		OnAppEvent: func(q types.ProcID, ev core.Event) {
+			if s := sess[q]; s != nil {
+				_ = s.HandleEvent(ev)
+			}
+		},
+	}
+	var err error
+	c, err = sim.NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, q := range c.Procs() {
+		q := q
+		s, err := totalorder.New(q,
+			func(payload []byte) error {
+				_, err := c.Send(q, payload)
+				return err
+			},
+			func(sender types.ProcID, payload []byte) {
+				if at, ok := sendAt[string(payload)]; ok {
+					total += c.Now() - at
+					nSamples++
+				}
+			},
+			nil)
+		if err != nil {
+			return 0, err
+		}
+		sess[q] = s
+	}
+	if _, _, err := c.ReconfigureTo(allOf(c)); err != nil {
+		return 0, err
+	}
+	for i := 0; i < perSender; i++ {
+		for _, q := range c.Procs() {
+			payload := fmt.Sprintf("%s-%d", q, i)
+			sendAt[payload] = c.Now()
+			if err := sess[q].Send([]byte(payload)); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.RunFor(2 * time.Millisecond); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, err
+	}
+	if nSamples == 0 {
+		return 0, fmt.Errorf("total order: no samples")
+	}
+	return total / time.Duration(nSamples), nil
+}

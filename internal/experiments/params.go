@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"time"
+
+	"vsgm/internal/baseline"
+	"vsgm/internal/corfifo"
+	"vsgm/internal/sim"
+	"vsgm/internal/types"
+)
+
+// Params are the common knobs of the simulated environment.
+type Params struct {
+	// Seed seeds every run (runs derive distinct sub-seeds from it).
+	Seed int64
+	// Latency is the base one-way link latency.
+	Latency time.Duration
+	// Jitter is the uniform latency jitter (±).
+	Jitter time.Duration
+	// MembershipRound is the simulated duration of the membership servers'
+	// agreement round.
+	MembershipRound time.Duration
+	// Reps is the number of repetitions averaged per data point.
+	Reps int
+}
+
+// DefaultParams returns the standard LAN-ish environment used by
+// EXPERIMENTS.md: 10ms ± 5ms links, a 10ms membership round, 5 repetitions.
+func DefaultParams() Params {
+	return Params{
+		Seed:            42,
+		Latency:         10 * time.Millisecond,
+		Jitter:          5 * time.Millisecond,
+		MembershipRound: 10 * time.Millisecond,
+		Reps:            5,
+	}
+}
+
+func (p Params) latencyModel() sim.LatencyModel {
+	return sim.UniformLatency{Base: p.Latency, Jitter: p.Jitter}
+}
+
+func (p Params) reps() int {
+	if p.Reps <= 0 {
+		return 1
+	}
+	return p.Reps
+}
+
+// newCluster builds a cluster of n of the paper's end-points.
+func newCluster(n int, p Params, seed int64, mutate func(*sim.Config)) (*sim.Cluster, error) {
+	cfg := sim.Config{
+		Procs:           sim.ProcIDs(n),
+		Latency:         p.latencyModel(),
+		MembershipRound: p.MembershipRound,
+		Seed:            seed,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sim.NewCluster(cfg)
+}
+
+// newBaselineCluster builds a cluster of two-round baseline end-points.
+func newBaselineCluster(n int, p Params, seed int64) (*sim.Cluster, error) {
+	return newCluster(n, p, seed, func(cfg *sim.Config) {
+		cfg.NewNode = func(id types.ProcID, idx int, tr *corfifo.Handle) (sim.Node, error) {
+			return baseline.NewTwoRound(id, tr, int64(idx+1)*1_000_000_000)
+		}
+	})
+}
+
+// allOf returns the full membership of a cluster.
+func allOf(c *sim.Cluster) types.ProcSet {
+	return types.NewProcSet(c.Procs()...)
+}
+
+func msDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/corfifo"
+	"vsgm/internal/sim"
+)
+
+// reconfigMeasurement is one algorithm's averaged view-change cost.
+type reconfigMeasurement struct {
+	dur     time.Duration
+	control corfifo.KindCounts
+	bytes   int64
+	blocked time.Duration
+}
+
+// measureReconfig forms a group of n and measures reps steady-state view
+// changes (same-membership reconfigurations, so both algorithms do identical
+// application work).
+func measureReconfig(n int, p Params, useBaseline bool) (reconfigMeasurement, error) {
+	var out reconfigMeasurement
+	reps := p.reps()
+	for rep := 0; rep < reps; rep++ {
+		seed := p.Seed + int64(rep)*101
+		var (
+			c   *sim.Cluster
+			err error
+		)
+		if useBaseline {
+			c, err = newBaselineCluster(n, p, seed)
+		} else {
+			c, err = newCluster(n, p, seed, nil)
+		}
+		if err != nil {
+			return out, err
+		}
+		all := allOf(c)
+		if _, _, err := c.ReconfigureTo(all); err != nil {
+			return out, fmt.Errorf("warm-up: %w", err)
+		}
+
+		// A little in-flight traffic so the cut agreement has real work.
+		for _, q := range c.Procs() {
+			if _, err := c.Send(q, []byte("steady")); err != nil {
+				return out, err
+			}
+		}
+		if err := c.Run(); err != nil {
+			return out, err
+		}
+
+		before := c.Network().Stats()
+		blockedBefore := totalBlocked(c)
+		_, d, err := c.ReconfigureTo(all)
+		if err != nil {
+			return out, err
+		}
+		delta := c.Network().Stats().Sub(before)
+		out.dur += d
+		out.control.View += delta.Sent.View
+		out.control.Sync += delta.Sent.Sync
+		out.control.Propose += delta.Sent.Propose
+		out.bytes += delta.SentBytes
+		out.blocked += (totalBlocked(c) - blockedBefore) / time.Duration(n)
+	}
+	out.dur /= time.Duration(reps)
+	out.blocked /= time.Duration(reps)
+	out.control.View /= int64(reps)
+	out.control.Sync /= int64(reps)
+	out.control.Propose /= int64(reps)
+	out.bytes /= int64(reps)
+	return out, nil
+}
+
+func totalBlocked(c *sim.Cluster) time.Duration {
+	var total time.Duration
+	for _, d := range c.Metrics().BlockedTotal {
+		total += d
+	}
+	return total
+}
+
+// E1Reconfiguration measures reconfiguration latency — from the membership
+// service's start_change to the last member's view installation — for the
+// paper's one-round algorithm against the two-round baseline.
+func E1Reconfiguration(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Reconfiguration latency vs group size",
+		Claim: "the virtual synchrony round runs in parallel with the membership round, so reconfiguration completes in one message round; prior algorithms pay an extra identifier pre-agreement round (§1, §5, §9)",
+		Columns: []string{
+			"N", "one-round (ours)", "two-round (baseline)", "saved", "speedup",
+		},
+		Notes: fmt.Sprintf("links %v±%v, membership round %v; duration = start_change → last view install, mean of %d runs",
+			p.Latency, p.Jitter, p.MembershipRound, p.reps()),
+	}
+	for _, n := range sizes {
+		ours, err := measureReconfig(n, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E1 ours n=%d: %w", n, err)
+		}
+		base, err := measureReconfig(n, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E1 baseline n=%d: %w", n, err)
+		}
+		t.AddRow(n, msDur(ours.dur), msDur(base.dur), msDur(base.dur-ours.dur),
+			float64(base.dur)/float64(ours.dur))
+	}
+	return t, nil
+}
+
+// E2ControlMessages counts the control messages (view announcements,
+// synchronization messages, identifier pre-agreement messages) each
+// algorithm spends per view change.
+func E2ControlMessages(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Control messages per view change",
+		Claim: "our algorithm spends one all-to-all round of synchronization messages; two-round algorithms add an equal-size pre-agreement round (§1, §5.2)",
+		Columns: []string{
+			"N", "ours sync", "ours total", "baseline sync", "baseline propose", "baseline total",
+		},
+		Notes: "counts are (message, destination) pairs; totals include the post-install view_msg announcements",
+	}
+	for _, n := range sizes {
+		ours, err := measureReconfig(n, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E2 ours n=%d: %w", n, err)
+		}
+		base, err := measureReconfig(n, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E2 baseline n=%d: %w", n, err)
+		}
+		t.AddRow(n,
+			ours.control.Sync, ours.control.Sync+ours.control.View,
+			base.control.Sync, base.control.Propose,
+			base.control.Sync+base.control.Propose+base.control.View)
+	}
+	return t, nil
+}
+
+// E6BlockingTime measures how long the application is blocked from sending
+// during a view change under each algorithm.
+func E6BlockingTime(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "Application blocking time during reconfiguration",
+		Claim: "blocking is bounded by the single synchronization round; some application messages are still delivered while the service reconfigures (§1, §5.3)",
+		Columns: []string{
+			"N", "ours blocked", "baseline blocked",
+		},
+		Notes: "mean per-member wall (virtual) time between block() and the next view delivery",
+	}
+	for _, n := range sizes {
+		ours, err := measureReconfig(n, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E6 ours n=%d: %w", n, err)
+		}
+		base, err := measureReconfig(n, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E6 baseline n=%d: %w", n, err)
+		}
+		t.AddRow(n, msDur(ours.blocked), msDur(base.blocked))
+	}
+	return t, nil
+}

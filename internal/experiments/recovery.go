@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// E7Recovery exercises the Section 8 semantics: an end-point crashes, the
+// survivors reconfigure and keep working, the end-point recovers with no
+// stable storage and rejoins under its original identity. The experiment
+// reports the rejoin latency and verifies that the whole execution satisfies
+// every safety specification.
+func E7Recovery(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Crash and recovery without stable storage",
+		Claim: "recovered end-points restart from initial state under their original identity; Local Monotonicity survives because the membership service retains their identifier state (§8)",
+		Columns: []string{
+			"N", "exclude change", "rejoin change", "safety",
+		},
+		Notes: "exclude = crash → survivors install the reduced view; rejoin = recover → everyone installs the full view again",
+	}
+	for _, n := range sizes {
+		exclude, rejoin, err := runRecovery(n, p)
+		if err != nil {
+			return nil, fmt.Errorf("E7 n=%d: %w", n, err)
+		}
+		t.AddRow(n, msDur(exclude), msDur(rejoin), "all specs hold")
+	}
+	return t, nil
+}
+
+func runRecovery(n int, p Params) (exclude, rejoin time.Duration, err error) {
+	suite := spec.FullSuite()
+	c, err := newCluster(n, p, p.Seed+int64(n)*29, func(cfg *sim.Config) {
+		cfg.Suite = suite
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	procs := c.Procs()
+	all := allOf(c)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		return 0, 0, err
+	}
+	for _, q := range procs {
+		if _, err := c.Send(q, []byte("pre-crash")); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, 0, err
+	}
+
+	victim := procs[n-1]
+	if err := c.Crash(victim); err != nil {
+		return 0, 0, err
+	}
+	survivors := all.Minus(types.NewProcSet(victim))
+	if _, exclude, err = c.ReconfigureTo(survivors); err != nil {
+		return 0, 0, err
+	}
+	for _, q := range survivors.Sorted() {
+		if _, err := c.Send(q, []byte("while-down")); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, 0, err
+	}
+
+	if err := c.Recover(victim); err != nil {
+		return 0, 0, err
+	}
+	if _, rejoin, err = c.ReconfigureTo(all); err != nil {
+		return 0, 0, err
+	}
+	if err := suite.Err(); err != nil {
+		return 0, 0, fmt.Errorf("spec violations: %w", err)
+	}
+	return exclude, rejoin, nil
+}

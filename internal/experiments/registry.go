@@ -1,0 +1,68 @@
+package experiments
+
+import "fmt"
+
+// Runner produces one experiment's table under the given parameters.
+type Runner func(p Params) (*Table, error)
+
+// Spec names one experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// DefaultSizes is the group-size sweep used by the standard tables.
+var DefaultSizes = []int{2, 4, 8, 16, 32}
+
+// All returns every experiment with its standard sweep.
+func All() []Spec {
+	return []Spec{
+		{ID: "E1", Title: "Reconfiguration latency", Run: func(p Params) (*Table, error) {
+			return E1Reconfiguration(DefaultSizes, p)
+		}},
+		{ID: "E2", Title: "Control messages per view change", Run: func(p Params) (*Table, error) {
+			return E2ControlMessages(DefaultSizes, p)
+		}},
+		{ID: "E3", Title: "Views delivered under cascading joins", Run: func(p Params) (*Table, error) {
+			return E3ObsoleteViews([]int{1, 2, 4, 8}, p)
+		}},
+		{ID: "E4", Title: "Forwarding strategies", Run: func(p Params) (*Table, error) {
+			return E4Forwarding([]int{1, 5, 10, 20}, p)
+		}},
+		{ID: "E5", Title: "Steady-state multicast cost", Run: func(p Params) (*Table, error) {
+			return E5Multicast(DefaultSizes, p)
+		}},
+		{ID: "E6", Title: "Application blocking time", Run: func(p Params) (*Table, error) {
+			return E6BlockingTime(DefaultSizes, p)
+		}},
+		{ID: "E7", Title: "Crash and recovery", Run: func(p Params) (*Table, error) {
+			return E7Recovery([]int{3, 5, 9}, p)
+		}},
+		{ID: "E8", Title: "Membership scalability", Run: func(p Params) (*Table, error) {
+			return E8MembershipScalability([]int{8, 32, 64, 128}, []int{2, 4}, p)
+		}},
+		{ID: "E9", Title: "Sync message size optimization", Run: func(p Params) (*Table, error) {
+			return E9SyncMessageSize([]int{2, 4, 8, 16}, p)
+		}},
+		{ID: "E10", Title: "Total order layered on FIFO", Run: func(p Params) (*Table, error) {
+			return E10TotalOrder([]int{2, 4, 8, 16}, p)
+		}},
+		{ID: "E11", Title: "Buffer reclamation ablation", Run: func(p Params) (*Table, error) {
+			return E11GarbageCollection([]int{0, 1, 5, 20}, p)
+		}},
+		{ID: "E12", Title: "Two-tier hierarchy vs flat sync exchange", Run: func(p Params) (*Table, error) {
+			return E12Hierarchy([]int{8, 16, 32, 64}, 8, p)
+		}},
+	}
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vsgm/internal/sim"
+	"vsgm/internal/types"
+)
+
+// E9SyncMessageSize measures the Section 5.2.4 optimizations: end-points in
+// start_change.set but outside the sender's current view receive a small,
+// cut-less synchronization message ("I am not in your transitional set"),
+// and current-view members receive syncs with the view elided (deducible
+// from the preceding view_msg). The scenario doubles the group — every
+// joiner would otherwise receive a full view + cut payload from every old
+// member and vice versa.
+func E9SyncMessageSize(sizes []int, p Params) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Synchronization message bytes per join wave (§5.2.4 optimizations)",
+		Claim: "end-points need not send their view and cut to processes that cannot have them in their transitional set, nor their view to processes that already know it from a view_msg (§5.2.4)",
+		Columns: []string{
+			"old members", "joiners", "bytes (plain)", "bytes (optimized)", "saved",
+		},
+		Notes: "bytes use the deterministic wire-size model of the substrate; the change doubles the group",
+	}
+	for _, n := range sizes {
+		plain, err := runJoinWave(n, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E9 plain n=%d: %w", n, err)
+		}
+		small, err := runJoinWave(n, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E9 small n=%d: %w", n, err)
+		}
+		saved := float64(plain-small) / float64(plain) * 100
+		t.AddRow(n, n, plain, small, fmt.Sprintf("%.1f%%", saved))
+	}
+	return t, nil
+}
+
+// runJoinWave forms a group of n, then admits n joiners in one change, and
+// returns the bytes of control traffic the change cost.
+func runJoinWave(n int, p Params, smallSync bool) (int64, error) {
+	c, err := newCluster(2*n, p, p.Seed+int64(n)*37, func(cfg *sim.Config) {
+		cfg.SmallSync = smallSync
+	})
+	if err != nil {
+		return 0, err
+	}
+	procs := c.Procs()
+	initial := types.NewProcSet(procs[:n]...)
+	if _, _, err := c.ReconfigureTo(initial); err != nil {
+		return 0, err
+	}
+	// In-flight state so the cuts are non-trivial.
+	for _, q := range initial.Sorted() {
+		if _, err := c.Send(q, []byte("warm")); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, err
+	}
+
+	before := c.Network().Stats()
+	if _, _, err := c.ReconfigureTo(allOf(c)); err != nil {
+		return 0, err
+	}
+	delta := c.Network().Stats().Sub(before)
+	return delta.SentBytes, nil
+}

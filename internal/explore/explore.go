@@ -1,0 +1,335 @@
+// Package explore is a stateless model checker for the group communication
+// service: it systematically explores message and membership-notification
+// interleavings of a fixed scenario, validating every schedule against the
+// specification checkers. Where the discrete-event simulator (internal/sim)
+// samples schedules from a latency distribution, the explorer *enumerates*
+// them — depth-first over the tree of scheduling choices, with replay from
+// the initial state on every branch — plus a seeded random swarm mode for
+// the deeper parts of the tree.
+//
+// The nondeterminism explored is exactly the asynchronous environment's:
+// which nonempty CO_RFIFO channel delivers next, and when each client hears
+// each membership notification. Per-channel and per-client FIFO order is
+// preserved, matching the substrate's guarantees.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vsgm/internal/core"
+	"vsgm/internal/corfifo"
+	"vsgm/internal/membership"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// chooser resolves scheduling choices. A prefix of forced choices replays a
+// branch; choices beyond the prefix default to 0 and are recorded together
+// with their branching factors so the explorer can backtrack.
+type chooser struct {
+	prefix []int
+	taken  []int
+	width  []int
+	rng    *rand.Rand // non-nil in swarm mode: free choices drawn at random
+}
+
+func (c *chooser) choose(n int) int {
+	idx := len(c.taken)
+	pick := 0
+	if idx < len(c.prefix) {
+		pick = c.prefix[idx]
+	} else if c.rng != nil {
+		pick = c.rng.Intn(n)
+	}
+	if pick >= n {
+		pick = n - 1
+	}
+	c.taken = append(c.taken, pick)
+	c.width = append(c.width, n)
+	return pick
+}
+
+// World is one instantiation of the system under exploration: end-points
+// over a substrate whose deliveries the chooser schedules, plus a
+// membership oracle whose notifications queue per client.
+type World struct {
+	procs  []types.ProcID
+	net    *corfifo.Network
+	eps    map[types.ProcID]*core.Endpoint
+	oracle *membership.Oracle
+	suite  *spec.Suite
+
+	notifs map[types.ProcID][]membership.Notification
+	choose func(n int) int
+}
+
+// Scenario drives a World through a fixed script; the schedule within the
+// script is what the explorer varies.
+type Scenario func(w *World) error
+
+// Config parameterizes an exploration.
+type Config struct {
+	// Procs lists the end-point identifiers; required.
+	Procs []types.ProcID
+	// Level selects the automaton layer; defaults to core.LevelGCS.
+	Level core.Level
+	// Forwarding selects the forwarding strategy; defaults to simple.
+	Forwarding core.ForwardingStrategy
+	// SmallSync enables the Section 5.2.4 optimizations.
+	SmallSync bool
+	// AckInterval enables within-view stability acknowledgments.
+	AckInterval int
+	// HierarchyGroupSize enables the two-tier synchronization hierarchy.
+	HierarchyGroupSize int
+	// NewSuite builds the specification suite checked on every schedule;
+	// defaults to spec.FullSuite.
+	NewSuite func() *spec.Suite
+}
+
+func newWorld(cfg Config, choose func(int) int) (*World, error) {
+	if cfg.Level == 0 {
+		cfg.Level = core.LevelGCS
+	}
+	newSuite := cfg.NewSuite
+	if newSuite == nil {
+		newSuite = func() *spec.Suite { return spec.FullSuite(spec.WithTrace()) }
+	}
+	w := &World{
+		procs:  append([]types.ProcID(nil), cfg.Procs...),
+		net:    corfifo.NewNetwork(),
+		eps:    make(map[types.ProcID]*core.Endpoint, len(cfg.Procs)),
+		suite:  newSuite(),
+		notifs: make(map[types.ProcID][]membership.Notification),
+		choose: choose,
+	}
+	w.oracle = membership.NewOracle(func(p types.ProcID, n membership.Notification) {
+		w.notifs[p] = append(w.notifs[p], n)
+	})
+	for i, p := range cfg.Procs {
+		ep, err := core.NewEndpoint(core.Config{
+			ID:                 p,
+			Transport:          w.net.Handle(p),
+			Level:              cfg.Level,
+			Forwarding:         cfg.Forwarding,
+			SmallSync:          cfg.SmallSync,
+			AckInterval:        cfg.AckInterval,
+			HierarchyGroupSize: cfg.HierarchyGroupSize,
+			AutoBlock:          true,
+			MsgIDBase:          int64(i+1) * 1_000_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.eps[p] = ep
+		w.oracle.Register(p)
+		pp := p
+		w.net.Register(p, corfifo.HandlerFunc(func(from types.ProcID, m types.WireMsg) {
+			ep.HandleMessage(from, m)
+			w.drain(pp)
+		}))
+	}
+	return w, nil
+}
+
+// Procs returns the world's process identifiers.
+func (w *World) Procs() []types.ProcID {
+	return append([]types.ProcID(nil), w.procs...)
+}
+
+// Endpoint returns the end-point for p.
+func (w *World) Endpoint(p types.ProcID) *core.Endpoint { return w.eps[p] }
+
+// Send multicasts from p.
+func (w *World) Send(p types.ProcID, payload []byte) (types.AppMsg, error) {
+	m, err := w.eps[p].Send(payload)
+	if err != nil {
+		return types.AppMsg{}, err
+	}
+	w.suite.OnEvent(spec.ESend{P: p, MsgID: m.ID})
+	w.drain(p)
+	return m, nil
+}
+
+// StartChange begins a membership change.
+func (w *World) StartChange(set types.ProcSet) error {
+	_, err := w.oracle.StartChange(set)
+	return err
+}
+
+// DeliverView commits a membership view.
+func (w *World) DeliverView(set types.ProcSet) (types.View, error) {
+	return w.oracle.DeliverView(set)
+}
+
+// Crash crashes end-point p (scenario-driven; crash timing relative to the
+// schedule is explored by where the scenario places the call).
+func (w *World) Crash(p types.ProcID) error {
+	w.suite.OnEvent(spec.ECrash{P: p})
+	w.eps[p].Crash()
+	w.net.Unregister(p)
+	return w.oracle.Crash(p)
+}
+
+// Recover restarts end-point p from its initial state.
+func (w *World) Recover(p types.ProcID) error {
+	w.suite.OnEvent(spec.ERecover{P: p})
+	if err := w.oracle.Recover(p); err != nil {
+		return err
+	}
+	ep := w.eps[p]
+	w.net.Register(p, corfifo.HandlerFunc(func(from types.ProcID, m types.WireMsg) {
+		ep.HandleMessage(from, m)
+		w.drain(p)
+	}))
+	ep.Recover()
+	w.drain(p)
+	return nil
+}
+
+func (w *World) drain(p types.ProcID) {
+	for _, ev := range w.eps[p].TakeEvents() {
+		switch e := ev.(type) {
+		case core.DeliverEvent:
+			w.suite.OnEvent(spec.EDeliver{P: p, From: e.Sender, MsgID: e.Msg.ID})
+		case core.ViewEvent:
+			w.suite.OnEvent(spec.EView{P: p, View: e.View, Trans: e.TransitionalSet,
+				HasTrans: e.TransitionalSet != nil})
+		case core.BlockEvent:
+			w.suite.OnEvent(spec.EBlock{P: p})
+			w.suite.OnEvent(spec.EBlockOK{P: p})
+		}
+	}
+}
+
+// step lists the schedulable steps and executes the chooser's pick. It
+// reports false at quiescence.
+func (w *World) step() bool {
+	type stepFn struct {
+		name string
+		run  func()
+	}
+	var steps []stepFn
+	for _, from := range w.procs {
+		for _, to := range w.procs {
+			if from == to || w.net.Pending(from, to) == 0 {
+				continue
+			}
+			from, to := from, to
+			steps = append(steps, stepFn{
+				name: fmt.Sprintf("deliver %s->%s", from, to),
+				run:  func() { w.net.DeliverNext(from, to) },
+			})
+		}
+	}
+	for _, p := range w.procs {
+		if len(w.notifs[p]) == 0 {
+			continue
+		}
+		p := p
+		steps = append(steps, stepFn{
+			name: fmt.Sprintf("notify %s", p),
+			run: func() {
+				n := w.notifs[p][0]
+				w.notifs[p] = w.notifs[p][1:]
+				switch n.Kind {
+				case membership.NotifyStartChange:
+					w.suite.OnEvent(spec.EMStartChange{P: p, SC: n.StartChange})
+					w.eps[p].HandleStartChange(n.StartChange)
+				case membership.NotifyView:
+					w.suite.OnEvent(spec.EMView{P: p, View: n.View})
+					w.eps[p].HandleView(n.View)
+				}
+				w.drain(p)
+			},
+		})
+	}
+	if len(steps) == 0 {
+		return false
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].name < steps[j].name })
+	steps[w.choose(len(steps))].run()
+	return true
+}
+
+// Drain schedules steps until quiescence (bounded against livelock).
+func (w *World) Drain() error {
+	for i := 0; i < 1_000_000; i++ {
+		if !w.step() {
+			return nil
+		}
+	}
+	return fmt.Errorf("explore: no quiescence after 1M steps")
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Exhausted reports whether the whole choice tree was covered (only
+	// meaningful for Exhaustive).
+	Exhausted bool
+}
+
+// runOne executes the scenario under the given chooser and returns the
+// chooser (for backtracking) and any violation.
+func runOne(cfg Config, scenario Scenario, ch *chooser) (*chooser, error) {
+	w, err := newWorld(cfg, ch.choose)
+	if err != nil {
+		return ch, err
+	}
+	if err := scenario(w); err != nil {
+		return ch, err
+	}
+	if err := w.suite.Err(); err != nil {
+		return ch, fmt.Errorf("schedule %v: %w", ch.taken, err)
+	}
+	return ch, nil
+}
+
+// Exhaustive explores the scenario's schedule tree depth-first, replaying
+// from the initial state on every branch, until the tree is exhausted or
+// maxSchedules have run. It returns an error for the first schedule that
+// violates a specification (or fails the scenario's own assertions).
+func Exhaustive(cfg Config, scenario Scenario, maxSchedules int) (Result, error) {
+	var res Result
+	prefix := []int{}
+	for {
+		if res.Schedules >= maxSchedules {
+			return res, nil
+		}
+		ch, err := runOne(cfg, scenario, &chooser{prefix: prefix})
+		res.Schedules++
+		if err != nil {
+			return res, err
+		}
+		// Backtrack: find the deepest choice point with an untried branch.
+		next := append([]int(nil), ch.taken...)
+		i := len(next) - 1
+		for ; i >= 0; i-- {
+			if next[i]+1 < ch.width[i] {
+				break
+			}
+		}
+		if i < 0 {
+			res.Exhausted = true
+			return res, nil
+		}
+		prefix = append(next[:i:i], next[i]+1)
+	}
+}
+
+// Swarm explores `runs` random schedules drawn from the given seed.
+func Swarm(cfg Config, scenario Scenario, runs int, seed int64) (Result, error) {
+	var res Result
+	for i := 0; i < runs; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		_, err := runOne(cfg, scenario, &chooser{rng: rng})
+		res.Schedules++
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

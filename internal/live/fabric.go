@@ -1,0 +1,244 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+)
+
+// mailbox is an unbounded FIFO queue: outbound sends and application events
+// enqueue here so the automaton's step loop never blocks on a slow consumer,
+// and a single goroutine drains in order.
+type mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []T
+	closed bool
+}
+
+func newMailbox[T any]() *mailbox[T] {
+	m := &mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues v; it reports false if the mailbox is closed.
+func (m *mailbox[T]) put(v T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, v)
+	m.cond.Signal()
+	return true
+}
+
+// take blocks until a value is available or the mailbox closes.
+func (m *mailbox[T]) take() (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+func (m *mailbox[T]) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// fabric owns a process's listener, its outbound connections (one per
+// destination, dialed lazily), and the inbound reader goroutines. Incoming
+// frames are handed to the receive callback in per-connection order.
+type fabric struct {
+	id      types.ProcID
+	ln      net.Listener
+	receive func(from types.ProcID, f frame)
+
+	mu    sync.Mutex
+	peers map[types.ProcID]string
+	outs  map[types.ProcID]*mailbox[frame]
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+}
+
+// newFabric starts listening on addr (use "127.0.0.1:0" for an ephemeral
+// port) and begins accepting inbound connections.
+func newFabric(id types.ProcID, addr string, receive func(types.ProcID, frame)) (*fabric, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	f := &fabric{
+		id:      id,
+		ln:      ln,
+		receive: receive,
+		peers:   make(map[types.ProcID]string),
+		outs:    make(map[types.ProcID]*mailbox[frame]),
+		closing: make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the fabric's listen address.
+func (f *fabric) Addr() string { return f.ln.Addr().String() }
+
+// SetPeers installs (or extends) the address directory.
+func (f *fabric) SetPeers(peers map[types.ProcID]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for p, addr := range peers {
+		f.peers[p] = addr
+	}
+}
+
+// Send enqueues m toward each destination, dialing lazily. Unknown or
+// unreachable destinations are dropped silently — exactly the substrate's
+// prerogative for processes outside the reliable set; the GCS layers above
+// are built to tolerate and recover from it.
+func (f *fabric) Send(dests []types.ProcID, m types.WireMsg) {
+	cp := m
+	fr := frame{From: f.id, Msg: &cp}
+	for _, q := range dests {
+		f.outbox(q).put(fr)
+	}
+}
+
+// SendNotify enqueues a membership notification toward one client.
+func (f *fabric) SendNotify(dest types.ProcID, n frame) {
+	n.From = f.id
+	f.outbox(dest).put(n)
+}
+
+func (f *fabric) outbox(q types.ProcID) *mailbox[frame] {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if mb, ok := f.outs[q]; ok {
+		return mb
+	}
+	mb := newMailbox[frame]()
+	f.outs[q] = mb
+	addr := f.peers[q]
+	f.wg.Add(1)
+	go f.writeLoop(addr, mb)
+	return mb
+}
+
+// writeLoop dials the destination and streams the mailbox into it.
+func (f *fabric) writeLoop(addr string, mb *mailbox[frame]) {
+	defer f.wg.Done()
+	if addr == "" {
+		// Unknown peer: drain and drop.
+		for {
+			if _, ok := mb.take(); !ok {
+				return
+			}
+		}
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		for {
+			if _, ok := mb.take(); !ok {
+				return
+			}
+		}
+	}
+	defer conn.Close()
+	go func() {
+		<-f.closing
+		conn.Close() // unblock a writer stuck in a syscall
+	}()
+	enc := wire.NewEncoder(conn)
+	if err := enc.Encode(frame{From: f.id}); err != nil {
+		return
+	}
+	for {
+		fr, ok := mb.take()
+		if !ok {
+			return
+		}
+		if err := enc.Encode(fr); err != nil {
+			return // connection broken; peer is gone
+		}
+	}
+}
+
+func (f *fabric) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-f.closing:
+				return
+			default:
+				continue
+			}
+		}
+		f.wg.Add(1)
+		go f.readLoop(conn)
+	}
+}
+
+func (f *fabric) readLoop(conn net.Conn) {
+	defer f.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-f.closing
+		conn.Close()
+	}()
+	dec := wire.NewDecoder(conn)
+	var hello frame
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	from := hello.From
+	for {
+		var fr frame
+		if err := dec.Decode(&fr); err != nil {
+			return
+		}
+		select {
+		case <-f.closing:
+			return
+		default:
+		}
+		f.receive(from, fr)
+	}
+}
+
+// Close shuts the fabric down: the listener stops, outboxes close, and all
+// goroutines are joined.
+func (f *fabric) Close() {
+	f.once.Do(func() {
+		close(f.closing)
+		f.ln.Close()
+		f.mu.Lock()
+		for _, mb := range f.outs {
+			mb.close()
+		}
+		f.mu.Unlock()
+	})
+	f.wg.Wait()
+}

@@ -1,0 +1,514 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/membership"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// liveWorld spins up membership servers and client nodes on real TCP
+// loopback sockets and collects every application event, tagged per client,
+// into a spec suite (serialized by a collector mutex: cross-process event
+// interleaving is arbitrary in a live system, but the per-process orders
+// the checkers rely on are preserved because each node dispatches its own
+// events in order).
+type liveWorld struct {
+	t       *testing.T
+	servers []*ServerNode
+	clients map[types.ProcID]*Node
+	homes   map[types.ProcID]types.ProcID
+
+	mu    sync.Mutex
+	suite *spec.Suite
+	views map[types.ProcID]types.View
+	dlvrs map[types.ProcID]int
+}
+
+func (w *liveWorld) homeOf(cid types.ProcID) types.ProcID { return w.homes[cid] }
+
+func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
+	t.Helper()
+	w := &liveWorld{
+		t:       t,
+		clients: make(map[types.ProcID]*Node),
+		homes:   make(map[types.ProcID]types.ProcID),
+		suite:   spec.NewSuite([]spec.Checker{spec.NewWVRFIFO(), spec.NewVSRFIFO(), spec.NewTransSet(), spec.NewSelfDelivery()}),
+		views:   make(map[types.ProcID]types.View),
+		dlvrs:   make(map[types.ProcID]int),
+	}
+
+	serverIDs := make([]types.ProcID, nServers)
+	for i := range serverIDs {
+		serverIDs[i] = types.ProcID(fmt.Sprintf("srv%d", i))
+	}
+	serverSet := types.NewProcSet(serverIDs...)
+
+	dir := make(map[types.ProcID]string)
+	for _, sid := range serverIDs {
+		sn, err := NewServerNode(ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.servers = append(w.servers, sn)
+		dir[sid] = sn.Addr()
+	}
+
+	for i := 0; i < nClients; i++ {
+		cid := types.ProcID(fmt.Sprintf("cli%d", i))
+		node, err := NewNode(NodeConfig{
+			ID:        cid,
+			Addr:      "127.0.0.1:0",
+			AutoBlock: true,
+			MsgIDBase: int64(i+1) * 1_000_000,
+			OnEvent:   func(ev core.Event) { w.onEvent(cid, ev) },
+			OnSend:    func(m types.AppMsg) { w.recordSend(cid, m.ID) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.clients[cid] = node
+		dir[cid] = node.Addr()
+	}
+
+	for _, sn := range w.servers {
+		sn.SetPeers(dir)
+	}
+	for _, node := range w.clients {
+		node.SetPeers(dir)
+	}
+
+	// Home each client at a server, round-robin.
+	i := 0
+	for cid := range w.clients {
+		srv := w.servers[i%len(w.servers)]
+		srv.AddClient(cid)
+		w.homes[cid] = srv.ID()
+		i++
+	}
+	return w
+}
+
+func (w *liveWorld) onEvent(p types.ProcID, ev core.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch e := ev.(type) {
+	case core.DeliverEvent:
+		w.dlvrs[p]++
+		w.suite.OnEvent(spec.EDeliver{P: p, From: e.Sender, MsgID: e.Msg.ID})
+	case core.ViewEvent:
+		w.views[p] = e.View
+		w.suite.OnEvent(spec.EView{P: p, View: e.View, Trans: e.TransitionalSet, HasTrans: true})
+	}
+}
+
+// specErr finalizes the suite under the collector lock (event pumps may
+// still be running).
+func (w *liveWorld) specErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.suite.Err()
+}
+
+func (w *liveWorld) recordSend(p types.ProcID, id int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.suite.OnEvent(spec.ESend{P: p, MsgID: id})
+}
+
+func (w *liveWorld) boot() {
+	all := types.NewProcSet()
+	for _, sn := range w.servers {
+		all.Add(sn.ID())
+	}
+	for _, sn := range w.servers {
+		sn.SetReachable(all)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func (w *liveWorld) waitFor(what string, cond func() bool) {
+	w.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.t.Fatalf("timed out waiting for %s", what)
+}
+
+func (w *liveWorld) close() {
+	for _, node := range w.clients {
+		node.Close()
+	}
+	for _, sn := range w.servers {
+		sn.Close()
+	}
+}
+
+func TestLiveTCPEndToEnd(t *testing.T) {
+	w := newLiveWorld(t, 2, 4)
+	defer w.close()
+	w.boot()
+
+	// Every client converges on the full view over real sockets.
+	want := types.NewProcSet()
+	for cid := range w.clients {
+		want.Add(cid)
+	}
+	w.waitFor("all clients to install the full view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(want) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Concurrent multicasts from every client, delivered everywhere with
+	// virtually synchronous semantics.
+	const perClient = 5
+	var senders sync.WaitGroup
+	for cid, node := range w.clients {
+		cid, node := cid, node
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := node.Send([]byte(fmt.Sprintf("%s-%d", cid, i))); err != nil {
+					t.Errorf("send from %s: %v", cid, err)
+					return
+				}
+			}
+		}()
+	}
+	senders.Wait()
+
+	total := perClient * len(w.clients)
+	w.waitFor("all messages to be delivered everywhere", func() bool {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		for cid := range w.clients {
+			if w.dlvrs[cid] < total {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations on the live run:\n%v", err)
+	}
+}
+
+func TestLiveViewChange(t *testing.T) {
+	w := newLiveWorld(t, 2, 3)
+	defer w.close()
+	w.boot()
+
+	all := types.NewProcSet()
+	for cid := range w.clients {
+		all.Add(cid)
+	}
+	w.waitFor("initial view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A member leaves via its home server; the survivors reconfigure.
+	leaver := all.Min()
+	for _, sn := range w.servers {
+		sn.RemoveClient(leaver)
+	}
+	w.servers[0].Reconfigure()
+
+	rest := all.Minus(types.NewProcSet(leaver))
+	w.waitFor("survivors to install the reduced view", func() bool {
+		for cid, node := range w.clients {
+			if cid == leaver {
+				continue
+			}
+			if !node.CurrentView().Members.Equal(rest) {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+}
+
+func TestLiveNodeCloseIsIdempotent(t *testing.T) {
+	node, err := NewNode(NodeConfig{ID: "x", Addr: "127.0.0.1:0", AutoBlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+	node.Close() // second close must not panic or hang
+}
+
+func TestMailboxOrderAndClose(t *testing.T) {
+	mb := newMailbox[int]()
+	for i := 0; i < 100; i++ {
+		if !mb.put(i) {
+			t.Fatal("put on open mailbox failed")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := mb.take()
+		if !ok || v != i {
+			t.Fatalf("take %d = (%d, %v)", i, v, ok)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := mb.take(); ok {
+			t.Error("take on closed empty mailbox reported a value")
+		}
+	}()
+	mb.close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("take did not unblock on close")
+	}
+	if mb.put(1) {
+		t.Fatal("put on closed mailbox succeeded")
+	}
+}
+
+func TestLiveSurvivesAbruptNodeDeath(t *testing.T) {
+	// A client dies without ceremony (its sockets close mid-traffic); the
+	// membership removes it and the survivors keep working.
+	w := newLiveWorld(t, 1, 3)
+	defer w.close()
+	w.boot()
+
+	all := types.NewProcSet()
+	for cid := range w.clients {
+		all.Add(cid)
+	}
+	w.waitFor("initial view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	victim := all.Min()
+	w.clients[victim].Close() // abrupt: connections break, no goodbye
+	for _, sn := range w.servers {
+		sn.RemoveClient(victim)
+	}
+	w.servers[0].Reconfigure()
+
+	rest := all.Minus(types.NewProcSet(victim))
+	w.waitFor("survivors to reconfigure past the dead node", func() bool {
+		for cid, node := range w.clients {
+			if cid == victim {
+				continue
+			}
+			if !node.CurrentView().Members.Equal(rest) {
+				return false
+			}
+		}
+		return true
+	})
+	for cid, node := range w.clients {
+		if cid == victim {
+			continue
+		}
+		if _, err := node.Send([]byte("post-mortem")); err != nil {
+			t.Fatalf("send from %s after the death: %v", cid, err)
+		}
+	}
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+}
+
+func TestLiveCloseJoinsAllGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		w := newLiveWorld(t, 2, 3)
+		w.boot()
+		all := types.NewProcSet()
+		for cid := range w.clients {
+			all.Add(cid)
+		}
+		w.waitFor("view", func() bool {
+			for _, node := range w.clients {
+				if !node.CurrentView().Members.Equal(all) {
+					return false
+				}
+			}
+			return true
+		})
+		w.close()
+	}
+	// Allow lingering conn-watcher goroutines to finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestLiveHeartbeatsBootstrapMembership(t *testing.T) {
+	// No SetReachable calls at all: the live heartbeat detectors discover
+	// the server set and bootstrap the first view themselves.
+	w := newLiveWorld(t, 2, 3)
+	defer w.close()
+
+	serverSet := types.NewProcSet()
+	for _, sn := range w.servers {
+		serverSet.Add(sn.ID())
+	}
+	for _, sn := range w.servers {
+		sn.StartHeartbeats(serverSet, 10*time.Millisecond, 50*time.Millisecond)
+	}
+
+	all := types.NewProcSet()
+	for cid := range w.clients {
+		all.Add(cid)
+	}
+	w.waitFor("heartbeat-driven group formation", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A server dies; the survivor's detector notices, and the surviving
+	// server's clients reconfigure down to its own clients.
+	dead := w.servers[1]
+	deadClients := types.NewProcSet()
+	for cid, node := range w.clients {
+		_ = node
+		if w.homeOf(cid) == dead.ID() {
+			deadClients.Add(cid)
+		}
+	}
+	dead.Close()
+
+	rest := all.Minus(deadClients)
+	w.waitFor("survivor-side reconfiguration after server death", func() bool {
+		for cid, node := range w.clients {
+			if deadClients.Contains(cid) {
+				continue
+			}
+			if !node.CurrentView().Members.Equal(rest) {
+				return false
+			}
+		}
+		return true
+	})
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+}
+
+func TestFrameGobRoundTripAllKinds(t *testing.T) {
+	// Every wire-message kind must survive the live transport's gob
+	// encoding — including ProcSet's custom codec and the view's startId
+	// maps (the cached view key is unexported and recomputed on demand).
+	v := types.NewView(3, types.NewProcSet("a", "b"),
+		map[types.ProcID]types.StartChangeID{"a": 1, "b": 2})
+	msgs := []types.WireMsg{
+		{Kind: types.KindView, View: v},
+		{Kind: types.KindApp, App: types.AppMsg{ID: 7, Payload: []byte("x")}, HistView: v, HistIndex: 2},
+		{Kind: types.KindFwd, App: types.AppMsg{ID: 8}, Origin: "a", View: v, Index: 3},
+		{Kind: types.KindSync, CID: 4, View: v, Cut: types.Cut{"a": 1, "b": 0}},
+		{Kind: types.KindSync, CID: 5, Small: true},
+		{Kind: types.KindSync, CID: 6, ElideView: true, Cut: types.Cut{"a": 2}},
+		{Kind: types.KindAck, Cut: types.Cut{"a": 9}},
+		{Kind: types.KindHeartbeat},
+		{Kind: types.KindMembProposal, MembProp: &types.MembProposal{
+			Attempt: 2, Servers: types.NewProcSet("s0", "s1"), MinVid: 4,
+			Clients: map[types.ProcID]types.StartChangeID{"c": 3},
+		}},
+		{Kind: types.KindSyncBundle, Bundle: []types.SyncEntry{
+			{From: "a", CID: 1, View: v, Cut: types.Cut{"a": 1}},
+			{From: "b", CID: 2, Small: true},
+		}},
+	}
+
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	for i, m := range msgs {
+		if err := enc.Encode(frame{From: "sender", Msg: &m}); err != nil {
+			t.Fatalf("encode kind %s: %v", m.Kind, err)
+		}
+		var got frame
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode kind %s: %v", m.Kind, err)
+		}
+		if got.From != "sender" || got.Msg == nil || got.Msg.Kind != m.Kind {
+			t.Fatalf("frame %d mangled: %+v", i, got)
+		}
+		switch m.Kind {
+		case types.KindView:
+			if !got.Msg.View.Equal(v) || got.Msg.View.Key() != v.Key() {
+				t.Fatalf("view mangled: %s vs %s", got.Msg.View, v)
+			}
+		case types.KindSync:
+			if got.Msg.CID != m.CID || got.Msg.Small != m.Small || got.Msg.ElideView != m.ElideView {
+				t.Fatalf("sync flags mangled: %+v", got.Msg)
+			}
+			if m.Cut != nil && !got.Msg.Cut.Equal(m.Cut) {
+				t.Fatalf("cut mangled: %v vs %v", got.Msg.Cut, m.Cut)
+			}
+		case types.KindMembProposal:
+			if !got.Msg.MembProp.Servers.Equal(m.MembProp.Servers) ||
+				got.Msg.MembProp.Clients["c"] != 3 {
+				t.Fatalf("proposal mangled: %+v", got.Msg.MembProp)
+			}
+		case types.KindSyncBundle:
+			if len(got.Msg.Bundle) != 2 || !got.Msg.Bundle[0].View.Equal(v) {
+				t.Fatalf("bundle mangled: %+v", got.Msg.Bundle)
+			}
+		}
+	}
+
+	// A membership notification frame.
+	notif := membership.Notification{
+		Kind:        membership.NotifyStartChange,
+		StartChange: types.StartChange{ID: 9, Set: types.NewProcSet("a", "b", "c")},
+	}
+	if err := enc.Encode(frame{From: "srv", Notify: &notif}); err != nil {
+		t.Fatal(err)
+	}
+	var got frame
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Notify == nil || got.Notify.StartChange.ID != 9 ||
+		!got.Notify.StartChange.Set.Equal(notif.StartChange.Set) {
+		t.Fatalf("notification mangled: %+v", got.Notify)
+	}
+}

@@ -1,0 +1,199 @@
+package live
+
+import (
+	"sync"
+
+	"vsgm/internal/core"
+	"vsgm/internal/membership"
+	"vsgm/internal/types"
+)
+
+// NodeConfig parameterizes a live GCS end-point.
+type NodeConfig struct {
+	// ID is the process identifier; required.
+	ID types.ProcID
+	// Addr is the TCP listen address; "127.0.0.1:0" picks an ephemeral
+	// port (read it back with Addr).
+	Addr string
+	// Level selects the automaton layer; defaults to core.LevelGCS.
+	Level core.Level
+	// Forwarding selects the forwarding strategy; defaults to simple.
+	Forwarding core.ForwardingStrategy
+	// AutoBlock makes the end-point acknowledge block requests itself.
+	AutoBlock bool
+	// SmallSync enables the Section 5.2.4 optimization.
+	SmallSync bool
+	// MsgIDBase offsets diagnostic message identifiers.
+	MsgIDBase int64
+	// OnEvent receives the end-point's application events, serialized (one
+	// at a time, in order).
+	OnEvent func(core.Event)
+	// OnSend observes successful sends, serialized on the same ordered
+	// stream as OnEvent — a send is reported before any event it caused
+	// (trace collectors rely on this ordering).
+	OnSend func(types.AppMsg)
+}
+
+// Node is a GCS end-point deployed as a concurrent process: inbound TCP
+// connections feed the automaton, outbound traffic flows through per-peer
+// mailbox goroutines, and application events are dispatched serially to the
+// configured callback.
+type Node struct {
+	id     types.ProcID
+	fabric *fabric
+
+	mu sync.Mutex
+	ep *core.Endpoint
+
+	// ready gates inbound frames until the endpoint exists: the listener is
+	// live before NewNode finishes wiring.
+	ready  chan struct{}
+	events *mailbox[func()]
+	pump   sync.WaitGroup
+
+	onEvent func(core.Event)
+	onSend  func(types.AppMsg)
+}
+
+// liveTransport adapts the fabric to core.Transport.
+type liveTransport struct {
+	f *fabric
+}
+
+func (t liveTransport) Send(dests []types.ProcID, m types.WireMsg) {
+	t.f.Send(dests, m)
+}
+
+func (t liveTransport) SetReliable(types.ProcSet) {
+	// TCP never drops acknowledged stream data; the reliable-set contract
+	// is vacuously met for connected peers, and disconnected peers already
+	// lose their suffix when the connection breaks.
+}
+
+// NewNode starts a live end-point listening on cfg.Addr.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	n := &Node{
+		id:      cfg.ID,
+		ready:   make(chan struct{}),
+		events:  newMailbox[func()](),
+		onEvent: cfg.OnEvent,
+		onSend:  cfg.OnSend,
+	}
+	f, err := newFabric(cfg.ID, cfg.Addr, n.receive)
+	if err != nil {
+		return nil, err
+	}
+	n.fabric = f
+	n.pump.Add(1)
+	go func() {
+		defer n.pump.Done()
+		for {
+			fn, ok := n.events.take()
+			if !ok {
+				return
+			}
+			fn()
+		}
+	}()
+	ep, err := core.NewEndpoint(core.Config{
+		ID:         cfg.ID,
+		Transport:  liveTransport{f: f},
+		Level:      cfg.Level,
+		Forwarding: cfg.Forwarding,
+		AutoBlock:  cfg.AutoBlock,
+		SmallSync:  cfg.SmallSync,
+		MsgIDBase:  cfg.MsgIDBase,
+	})
+	if err != nil {
+		close(n.ready) // unblock any early readers; they drop their frames
+		f.Close()
+		n.events.close()
+		n.pump.Wait()
+		return nil, err
+	}
+	n.mu.Lock()
+	n.ep = ep
+	n.mu.Unlock()
+	close(n.ready)
+	return n, nil
+}
+
+// Addr returns the node's listen address (for the peer directory).
+func (n *Node) Addr() string { return n.fabric.Addr() }
+
+// ID returns the node's process identifier.
+func (n *Node) ID() types.ProcID { return n.id }
+
+// SetPeers installs the address directory (other clients and the
+// membership servers).
+func (n *Node) SetPeers(peers map[types.ProcID]string) { n.fabric.SetPeers(peers) }
+
+// Send multicasts payload to the current view.
+func (n *Node) Send(payload []byte) (types.AppMsg, error) {
+	n.mu.Lock()
+	m, err := n.ep.Send(payload)
+	if err == nil && n.onSend != nil {
+		msg := m
+		n.events.put(func() { n.onSend(msg) })
+	}
+	n.dispatch(n.ep.TakeEvents())
+	n.mu.Unlock()
+	return m, err
+}
+
+// BlockOK acknowledges an outstanding block request.
+func (n *Node) BlockOK() {
+	n.mu.Lock()
+	n.ep.BlockOK()
+	n.dispatch(n.ep.TakeEvents())
+	n.mu.Unlock()
+}
+
+// CurrentView returns the view last delivered to the application.
+func (n *Node) CurrentView() types.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ep.CurrentView()
+}
+
+// receive handles one inbound frame from the fabric.
+func (n *Node) receive(from types.ProcID, fr frame) {
+	<-n.ready
+	n.mu.Lock()
+	if n.ep == nil {
+		n.mu.Unlock()
+		return
+	}
+	switch {
+	case fr.Notify != nil:
+		switch fr.Notify.Kind {
+		case membership.NotifyStartChange:
+			n.ep.HandleStartChange(fr.Notify.StartChange)
+		case membership.NotifyView:
+			n.ep.HandleView(fr.Notify.View)
+		}
+	case fr.Msg != nil:
+		n.ep.HandleMessage(from, *fr.Msg)
+	}
+	n.dispatch(n.ep.TakeEvents())
+	n.mu.Unlock()
+}
+
+// dispatch hands events to the pump goroutine. It must be called while
+// holding n.mu so that the global event order matches the automaton's.
+func (n *Node) dispatch(evs []core.Event) {
+	if n.onEvent == nil {
+		return
+	}
+	for _, ev := range evs {
+		ev := ev
+		n.events.put(func() { n.onEvent(ev) })
+	}
+}
+
+// Close shuts the node down and joins its goroutines.
+func (n *Node) Close() {
+	n.fabric.Close()
+	n.events.close()
+	n.pump.Wait()
+}

@@ -1,0 +1,186 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"vsgm/internal/membership"
+	"vsgm/internal/types"
+)
+
+// ServerConfig parameterizes a live membership server.
+type ServerConfig struct {
+	// ID is the server's identifier; required.
+	ID types.ProcID
+	// Addr is the TCP listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// Servers is the static set of all membership servers (including ID).
+	Servers types.ProcSet
+}
+
+// ServerNode is one dedicated membership server deployed as a concurrent
+// process: the one-round membership algorithm (internal/membership) runs
+// over TCP proposals to its peer servers, and start_change / view
+// notifications flow to its local clients as dedicated frames on the same
+// fabric.
+type ServerNode struct {
+	id     types.ProcID
+	fabric *fabric
+
+	mu       sync.Mutex
+	srv      *membership.Server
+	detector *membership.Detector
+	ready    chan struct{}
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+}
+
+// serverTransport adapts the fabric to membership.ServerTransport.
+type serverTransport struct {
+	f *fabric
+}
+
+func (t serverTransport) Send(dests []types.ProcID, m types.WireMsg) {
+	t.f.Send(dests, m)
+}
+
+// NewServerNode starts a live membership server listening on cfg.Addr.
+func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
+	n := &ServerNode{id: cfg.ID, ready: make(chan struct{})}
+	f, err := newFabric(cfg.ID, cfg.Addr, n.receive)
+	if err != nil {
+		return nil, err
+	}
+	n.fabric = f
+	srv, err := membership.NewServer(cfg.ID, cfg.Servers, serverTransport{f: f}, n.notify)
+	if err != nil {
+		close(n.ready)
+		f.Close()
+		return nil, err
+	}
+	n.mu.Lock()
+	n.srv = srv
+	n.mu.Unlock()
+	close(n.ready)
+	return n, nil
+}
+
+// Addr returns the server's listen address.
+func (n *ServerNode) Addr() string { return n.fabric.Addr() }
+
+// ID returns the server's identifier.
+func (n *ServerNode) ID() types.ProcID { return n.id }
+
+// SetPeers installs the address directory (peer servers and local clients).
+func (n *ServerNode) SetPeers(peers map[types.ProcID]string) { n.fabric.SetPeers(peers) }
+
+// AddClient registers a local client; follow with Reconfigure to admit it.
+func (n *ServerNode) AddClient(p types.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.srv.AddClient(p)
+}
+
+// RemoveClient deregisters a local client.
+func (n *ServerNode) RemoveClient(p types.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.srv.RemoveClient(p)
+}
+
+// SetReachable feeds the failure detector: the servers currently reachable.
+func (n *ServerNode) SetReachable(set types.ProcSet) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.srv.SetReachable(set)
+}
+
+// Reconfigure starts a fresh membership attempt.
+func (n *ServerNode) Reconfigure() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.srv.Reconfigure()
+}
+
+// notify relays a membership notification to a client over the fabric. It
+// runs with n.mu held (the server calls it from within its handlers), so it
+// must only enqueue.
+func (n *ServerNode) notify(p types.ProcID, notif membership.Notification) {
+	cp := notif
+	n.fabric.SendNotify(p, frame{Notify: &cp})
+}
+
+// receive handles an inbound server-to-server frame.
+func (n *ServerNode) receive(from types.ProcID, fr frame) {
+	<-n.ready
+	if fr.Msg == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if fr.Msg.Kind == types.KindHeartbeat {
+		if n.detector != nil {
+			n.detector.OnHeartbeat(from, time.Now())
+		}
+		return
+	}
+	if n.srv != nil {
+		n.srv.HandleMessage(from, *fr.Msg)
+	}
+}
+
+// Close shuts the server down and joins its goroutines.
+func (n *ServerNode) Close() {
+	n.mu.Lock()
+	if n.hbStop != nil {
+		close(n.hbStop)
+		n.hbStop = nil
+	}
+	n.mu.Unlock()
+	n.hbWG.Wait()
+	n.fabric.Close()
+}
+
+// StartHeartbeats runs a heartbeat failure detector for this server: every
+// interval it multicasts a heartbeat to its peer servers and re-evaluates
+// suspicions with the given timeout, feeding verdict changes straight into
+// the membership algorithm. Stop by closing the server (Close joins the
+// ticker goroutine).
+func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time.Duration) {
+	n.mu.Lock()
+	if n.detector == nil {
+		n.detector = membership.NewDetector(n.id, peers, timeout, time.Now())
+	}
+	if n.hbStop != nil {
+		n.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	n.hbStop = stop
+	n.mu.Unlock()
+
+	others := peers.Minus(types.NewProcSet(n.id)).Sorted()
+	n.hbWG.Add(1)
+	go func() {
+		defer n.hbWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if len(others) > 0 {
+					n.fabric.Send(others, types.WireMsg{Kind: types.KindHeartbeat})
+				}
+				n.mu.Lock()
+				reachable, changed := n.detector.Tick(time.Now())
+				if changed {
+					n.srv.SetReachable(reachable)
+				}
+				n.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,77 @@
+package membership
+
+import (
+	"time"
+
+	"vsgm/internal/types"
+)
+
+// Detector is a heartbeat-based failure detector for the membership
+// servers: each server periodically multicasts a heartbeat to its peers and
+// suspects any peer it has not heard from within the timeout. Its output —
+// the set of servers currently believed reachable — feeds
+// Server.SetReachable, closing the loop the paper leaves to "the failure
+// detector it employs" (Section 3.1's discussion of [27]'s liveness).
+//
+// The detector is a passive state machine: the deployment harness calls
+// OnHeartbeat when a heartbeat arrives and Tick on its heartbeat schedule;
+// Tick reports the new reachable set whenever the verdict changes. This
+// keeps it usable under both the simulated clock and real time.
+type Detector struct {
+	self    types.ProcID
+	peers   types.ProcSet
+	timeout time.Duration
+
+	lastSeen  map[types.ProcID]time.Time
+	reachable types.ProcSet
+}
+
+// NewDetector builds a detector for server self among the given peer set
+// (which includes self). A peer is suspected after timeout without a
+// heartbeat. Initially every peer is unsuspected, anchored at start.
+func NewDetector(self types.ProcID, peers types.ProcSet, timeout time.Duration, start time.Time) *Detector {
+	d := &Detector{
+		self:     self,
+		peers:    peers.Clone(),
+		timeout:  timeout,
+		lastSeen: make(map[types.ProcID]time.Time, peers.Len()),
+	}
+	for p := range peers {
+		d.lastSeen[p] = start
+	}
+	// The initial verdict is pessimistic ({self}); the first Tick after the
+	// anchor reports the full set as a change, which bootstraps the first
+	// membership attempt.
+	d.reachable = types.NewProcSet(self)
+	return d
+}
+
+// OnHeartbeat records a heartbeat from a peer at the given instant.
+func (d *Detector) OnHeartbeat(from types.ProcID, at time.Time) {
+	if !d.peers.Contains(from) {
+		return
+	}
+	if at.After(d.lastSeen[from]) {
+		d.lastSeen[from] = at
+	}
+}
+
+// Tick re-evaluates suspicions at the given instant. It returns the
+// reachable set and whether it changed since the last verdict.
+func (d *Detector) Tick(now time.Time) (types.ProcSet, bool) {
+	next := types.NewProcSet(d.self)
+	for p := range d.peers {
+		if p == d.self {
+			continue
+		}
+		if now.Sub(d.lastSeen[p]) <= d.timeout {
+			next.Add(p)
+		}
+	}
+	changed := !next.Equal(d.reachable)
+	d.reachable = next
+	return next.Clone(), changed
+}
+
+// Reachable returns the current verdict.
+func (d *Detector) Reachable() types.ProcSet { return d.reachable.Clone() }

@@ -1,0 +1,291 @@
+package membership
+
+import (
+	"fmt"
+
+	"vsgm/internal/types"
+)
+
+// ServerTransport is the sender side of the channel the membership servers
+// use among themselves (corfifo.Handle satisfies it).
+type ServerTransport interface {
+	Send(dests []types.ProcID, m types.WireMsg)
+}
+
+// Server is one dedicated membership server of the client-server
+// architecture (Section 1; after Keidar-Sussman-Marzullo-Dolev). A small,
+// static group of servers runs a one-round membership algorithm among
+// themselves and serves many clients: each client has a home server, which
+// issues its start_change notifications (with per-client locally unique
+// identifiers) and delivers its views.
+//
+// The algorithm per attempt: a server announces the estimated next
+// membership to its local clients via start_change, then multicasts a
+// proposal — its reachable-server set, a view-identifier floor, and its
+// local clients with their latest start-change identifiers — to the servers
+// it can reach. When a server holds proposals for the current attempt from
+// exactly its reachable set, all agreeing on that server set, it assembles
+// the view deterministically (member set = union of proposed clients, id =
+// max of the floors, startId = union of the proposed identifier maps) and
+// delivers it to its local clients. If the assembled membership exceeds
+// what a local client was told in its last start_change (cold caches), the
+// server re-announces and runs one more attempt, so a stable system
+// converges in at most two attempts and steady state takes one round.
+//
+// Server-side per-client state (identifiers, last view id) survives client
+// crashes, which is what lets recovered clients rejoin under their original
+// identity without stable storage (Section 8).
+type Server struct {
+	id        types.ProcID
+	transport ServerTransport
+	out       Output
+	servers   types.ProcSet
+
+	clients map[types.ProcID]*serverClient
+	cache   map[types.ProcID]map[types.ProcID]types.StartChangeID
+
+	reachable types.ProcSet
+	attempt   int64
+	proposals map[int64]map[types.ProcID]*types.MembProposal
+	maxVid    types.ViewID
+
+	attemptsRun    int64
+	viewsDelivered int64
+}
+
+type serverClient struct {
+	cid       types.StartChangeID
+	vid       types.ViewID
+	announced types.ProcSet
+	mode      clientMode
+	crashed   bool
+}
+
+// NewServer constructs a membership server. servers is the static set of
+// all server identifiers (including id); out receives client notifications.
+func NewServer(id types.ProcID, servers types.ProcSet, tr ServerTransport, out Output) (*Server, error) {
+	if !servers.Contains(id) {
+		return nil, fmt.Errorf("membership: server set %s does not contain %s", servers, id)
+	}
+	return &Server{
+		id:        id,
+		transport: tr,
+		out:       out,
+		servers:   servers.Clone(),
+		clients:   make(map[types.ProcID]*serverClient),
+		cache:     make(map[types.ProcID]map[types.ProcID]types.StartChangeID),
+		reachable: types.NewProcSet(id),
+		proposals: make(map[int64]map[types.ProcID]*types.MembProposal),
+	}, nil
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() types.ProcID { return s.id }
+
+// AttemptsRun counts the membership attempts this server initiated or
+// adopted.
+func (s *Server) AttemptsRun() int64 { return s.attemptsRun }
+
+// ViewsDelivered counts the views this server delivered to local clients.
+func (s *Server) ViewsDelivered() int64 { return s.viewsDelivered }
+
+// AddClient registers a local client. The caller triggers a reconfiguration
+// (SetReachable or Reconfigure) to admit it into a view.
+func (s *Server) AddClient(p types.ProcID) {
+	if _, ok := s.clients[p]; !ok {
+		s.clients[p] = &serverClient{mode: modeNormal}
+	}
+}
+
+// RemoveClient deregisters a local client (it has left the group).
+func (s *Server) RemoveClient(p types.ProcID) {
+	delete(s.clients, p)
+}
+
+// CrashClient marks a local client crashed: notifications stop but its
+// identifier state is retained (Section 8).
+func (s *Server) CrashClient(p types.ProcID) {
+	if c, ok := s.clients[p]; ok {
+		c.crashed = true
+	}
+}
+
+// RecoverClient marks a local client recovered.
+func (s *Server) RecoverClient(p types.ProcID) {
+	if c, ok := s.clients[p]; ok {
+		c.crashed = false
+		c.mode = modeNormal
+	}
+}
+
+// SetReachable is the failure-detector input: the set of servers (including
+// this one) currently believed reachable. A change starts a new attempt.
+func (s *Server) SetReachable(set types.ProcSet) {
+	if !set.Contains(s.id) {
+		set = set.Clone()
+		set.Add(s.id)
+	}
+	// The very first report always starts an attempt — a single-server
+	// deployment's reachable set ({self}) never differs from the initial
+	// state, yet its clients still need a first view.
+	if s.reachable.Equal(set) && s.attempt > 0 {
+		return
+	}
+	s.reachable = set.Clone()
+	s.startAttempt(s.attempt + 1)
+}
+
+// Reconfigure starts a new attempt without a failure-detector change (used
+// after client joins/leaves).
+func (s *Server) Reconfigure() {
+	s.startAttempt(s.attempt + 1)
+}
+
+// HandleMessage processes a server-to-server message.
+func (s *Server) HandleMessage(from types.ProcID, m types.WireMsg) {
+	if m.Kind != types.KindMembProposal || m.MembProp == nil {
+		return
+	}
+	prop := m.MembProp.Clone()
+	s.cache[from] = prop.Clients
+	row := s.proposals[prop.Attempt]
+	if row == nil {
+		row = make(map[types.ProcID]*types.MembProposal)
+		s.proposals[prop.Attempt] = row
+	}
+	row[from] = prop
+	if prop.MinVid > s.maxVid {
+		s.maxVid = prop.MinVid - 1
+	}
+	if prop.Attempt > s.attempt {
+		s.startAttempt(prop.Attempt)
+		return // startAttempt calls tryComplete
+	}
+	s.tryComplete()
+}
+
+// estimate returns the membership estimate: this server's clients plus the
+// cached clients of every reachable server.
+func (s *Server) estimate() types.ProcSet {
+	est := types.NewProcSet()
+	for p := range s.clients {
+		est.Add(p)
+	}
+	for srv := range s.reachable {
+		for p := range s.cache[srv] {
+			est.Add(p)
+		}
+	}
+	return est
+}
+
+// startAttempt announces the estimate to local clients and proposes.
+func (s *Server) startAttempt(a int64) {
+	s.attempt = a
+	s.attemptsRun++
+	est := s.estimate()
+
+	clients := make(map[types.ProcID]types.StartChangeID, len(s.clients))
+	for p, c := range s.clients {
+		c.cid++
+		c.announced = est.Clone()
+		c.mode = modeChangeStarted
+		clients[p] = c.cid
+		if !c.crashed {
+			s.out(p, Notification{
+				Kind:        NotifyStartChange,
+				StartChange: types.StartChange{ID: c.cid, Set: est.Clone()},
+			})
+		}
+	}
+
+	minVid := s.maxVid + 1
+	for _, c := range s.clients {
+		if c.vid >= minVid {
+			minVid = c.vid + 1
+		}
+	}
+	prop := &types.MembProposal{
+		Attempt: a,
+		Servers: s.reachable.Clone(),
+		MinVid:  minVid,
+		Clients: clients,
+	}
+	row := s.proposals[a]
+	if row == nil {
+		row = make(map[types.ProcID]*types.MembProposal)
+		s.proposals[a] = row
+	}
+	row[s.id] = prop
+	if others := s.reachable.Minus(types.NewProcSet(s.id)); others.Len() > 0 {
+		s.transport.Send(others.Sorted(), types.WireMsg{Kind: types.KindMembProposal, MembProp: prop.Clone()})
+	}
+	s.tryComplete()
+}
+
+// tryComplete assembles and delivers the view once the current attempt has
+// agreeing proposals from the whole reachable set.
+func (s *Server) tryComplete() {
+	row := s.proposals[s.attempt]
+	if row == nil {
+		return
+	}
+	for srv := range s.reachable {
+		prop, ok := row[srv]
+		if !ok {
+			return
+		}
+		if !prop.Servers.Equal(s.reachable) {
+			// Failure detectors disagree; wait for them to converge (a new
+			// SetReachable will start a fresh attempt).
+			return
+		}
+	}
+
+	members := types.NewProcSet()
+	startID := make(map[types.ProcID]types.StartChangeID)
+	vid := types.ViewID(0)
+	for srv := range s.reachable {
+		prop := row[srv]
+		for p, cid := range prop.Clients {
+			members.Add(p)
+			startID[p] = cid
+		}
+		if prop.MinVid > vid {
+			vid = prop.MinVid
+		}
+	}
+	if members.Len() == 0 {
+		return
+	}
+
+	// The MBRSHP spec requires v.set ⊆ start_change[p].set. If the
+	// assembled membership exceeds what a local client was last told, run
+	// another attempt: the caches are now warm, so it will complete.
+	for p, c := range s.clients {
+		if !members.Contains(p) {
+			continue
+		}
+		if c.mode != modeChangeStarted || !members.SubsetOf(c.announced) {
+			s.startAttempt(s.attempt + 1)
+			return
+		}
+	}
+
+	v := types.NewView(vid, members, startID)
+	if vid > s.maxVid {
+		s.maxVid = vid
+	}
+	delete(s.proposals, s.attempt)
+	s.viewsDelivered++
+	for p, c := range s.clients {
+		if !members.Contains(p) {
+			continue
+		}
+		c.vid = vid
+		c.mode = modeNormal
+		if !c.crashed {
+			s.out(p, Notification{Kind: NotifyView, View: v.Clone()})
+		}
+	}
+}

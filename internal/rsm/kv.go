@@ -1,0 +1,103 @@
+package rsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vsgm/internal/types"
+)
+
+// KVStore is a replicated key-value map: the canonical StateMachine used by
+// the examples and tests. Commands are JSON-encoded KVCommand values.
+type KVStore struct {
+	data map[string]string
+}
+
+// KVCommand is one key-value operation.
+type KVCommand struct {
+	Op    string `json:"op"` // "set" or "del"
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[string]string)}
+}
+
+// EncodeSet returns the command that sets key to value.
+func EncodeSet(key, value string) []byte {
+	b, _ := json.Marshal(KVCommand{Op: "set", Key: key, Value: value})
+	return b
+}
+
+// EncodeDel returns the command that deletes key.
+func EncodeDel(key string) []byte {
+	b, _ := json.Marshal(KVCommand{Op: "del", Key: key})
+	return b
+}
+
+// Apply implements StateMachine. Malformed commands are ignored (a replica
+// must never diverge by handling garbage differently from its peers, and
+// ignoring is deterministic).
+func (s *KVStore) Apply(_ types.ProcID, cmd []byte) {
+	var c KVCommand
+	if err := json.Unmarshal(cmd, &c); err != nil {
+		return
+	}
+	switch c.Op {
+	case "set":
+		s.data[c.Key] = c.Value
+	case "del":
+		delete(s.data, c.Key)
+	}
+}
+
+// Get returns the value for key.
+func (s *KVStore) Get(key string) (string, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *KVStore) Len() int { return len(s.data) }
+
+// Keys returns the keys in sorted order.
+func (s *KVStore) Keys() []string {
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot implements StateMachine.
+func (s *KVStore) Snapshot() []byte {
+	b, _ := json.Marshal(s.data)
+	return b
+}
+
+// Restore implements StateMachine.
+func (s *KVStore) Restore(snapshot []byte) error {
+	data := make(map[string]string)
+	if err := json.Unmarshal(snapshot, &data); err != nil {
+		return fmt.Errorf("kv restore: %w", err)
+	}
+	s.data = data
+	return nil
+}
+
+// Fingerprint returns a deterministic rendering of the whole store,
+// convenient for comparing replica states in tests.
+func (s *KVStore) Fingerprint() string {
+	keys := s.Keys()
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%s;", k, s.data[k])
+	}
+	return out
+}
+
+var _ StateMachine = (*KVStore)(nil)

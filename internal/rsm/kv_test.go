@@ -1,0 +1,130 @@
+package rsm
+
+import (
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func TestKVStoreApplyAndQuery(t *testing.T) {
+	s := NewKVStore()
+	s.Apply("p", EncodeSet("a", "1"))
+	s.Apply("p", EncodeSet("b", "2"))
+	s.Apply("p", EncodeSet("a", "override"))
+	s.Apply("p", EncodeDel("b"))
+
+	if v, ok := s.Get("a"); !ok || v != "override" {
+		t.Errorf("a = (%q, %v)", v, ok)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("b survived deletion")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if got := s.Keys(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestKVStoreIgnoresMalformedCommands(t *testing.T) {
+	s := NewKVStore()
+	s.Apply("p", []byte("not json"))
+	s.Apply("p", []byte(`{"op":"unknown","key":"k"}`))
+	if s.Len() != 0 {
+		t.Errorf("malformed commands mutated state: %q", s.Fingerprint())
+	}
+}
+
+func TestKVStoreSnapshotRoundTrip(t *testing.T) {
+	s := NewKVStore()
+	s.Apply("p", EncodeSet("x", "1"))
+	s.Apply("p", EncodeSet("y", "2"))
+
+	snap := s.Snapshot()
+	s2 := NewKVStore()
+	s2.Apply("p", EncodeSet("junk", "gone"))
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fingerprint() != s.Fingerprint() {
+		t.Fatalf("restored %q, want %q", s2.Fingerprint(), s.Fingerprint())
+	}
+	if _, ok := s2.Get("junk"); ok {
+		t.Error("restore did not replace the state")
+	}
+}
+
+func TestKVStoreRestoreRejectsGarbage(t *testing.T) {
+	s := NewKVStore()
+	s.Apply("p", EncodeSet("keep", "me"))
+	if err := s.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if v, ok := s.Get("keep"); !ok || v != "me" {
+		t.Error("failed restore corrupted the state")
+	}
+}
+
+func TestKVStoreFingerprintIsDeterministic(t *testing.T) {
+	a := NewKVStore()
+	b := NewKVStore()
+	a.Apply("p", EncodeSet("x", "1"))
+	a.Apply("p", EncodeSet("y", "2"))
+	b.Apply("p", EncodeSet("y", "2"))
+	b.Apply("p", EncodeSet("x", "1"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ for equal states: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestNewReplicaValidation(t *testing.T) {
+	send := func([]byte) error { return nil }
+	if _, err := NewReplica(Config{Send: send, Machine: NewKVStore()}); err == nil {
+		t.Error("missing ID accepted")
+	}
+	if _, err := NewReplica(Config{ID: "p", Machine: NewKVStore()}); err == nil {
+		t.Error("missing Send accepted")
+	}
+	if _, err := NewReplica(Config{ID: "p", Send: send}); err == nil {
+		t.Error("missing Machine accepted")
+	}
+	r, err := NewReplica(Config{ID: "p", Send: send, Machine: NewKVStore(), Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "p" || !r.Synced() || r.Applied() != 0 {
+		t.Error("fresh replica state wrong")
+	}
+	if !r.CurrentView().Equal(types.InitialView("p")) {
+		t.Errorf("view = %s", r.CurrentView())
+	}
+}
+
+func TestLogStateMachine(t *testing.T) {
+	l := NewLog()
+	l.Apply("a", []byte("one"))
+	l.Apply("b", []byte("two"))
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if e, ok := l.Entry(0); !ok || e.Proposer != "a" || e.Data != "one" {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if _, ok := l.Entry(5); ok {
+		t.Fatal("out-of-range entry reported present")
+	}
+
+	snap := l.Snapshot()
+	l2 := NewLog()
+	l2.Apply("junk", []byte("gone"))
+	if err := l2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Fingerprint() != l.Fingerprint() {
+		t.Fatalf("restored %q, want %q", l2.Fingerprint(), l.Fingerprint())
+	}
+	if err := l2.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

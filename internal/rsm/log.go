@@ -1,0 +1,67 @@
+package rsm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vsgm/internal/types"
+)
+
+// Log is an append-only replicated log: the second canonical StateMachine.
+// Every applied command is appended with its proposer, so all replicas hold
+// the identical sequence — the textbook state-machine-replication shape.
+type Log struct {
+	entries []LogEntry
+}
+
+// LogEntry is one appended record.
+type LogEntry struct {
+	Proposer types.ProcID `json:"proposer"`
+	Data     string       `json:"data"`
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Apply implements StateMachine: every command is appended verbatim.
+func (l *Log) Apply(sender types.ProcID, cmd []byte) {
+	l.entries = append(l.entries, LogEntry{Proposer: sender, Data: string(cmd)})
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Entry returns the i-th entry (0-based).
+func (l *Log) Entry(i int) (LogEntry, bool) {
+	if i < 0 || i >= len(l.entries) {
+		return LogEntry{}, false
+	}
+	return l.entries[i], true
+}
+
+// Snapshot implements StateMachine.
+func (l *Log) Snapshot() []byte {
+	b, _ := json.Marshal(l.entries)
+	return b
+}
+
+// Restore implements StateMachine.
+func (l *Log) Restore(snapshot []byte) error {
+	var entries []LogEntry
+	if err := json.Unmarshal(snapshot, &entries); err != nil {
+		return fmt.Errorf("log restore: %w", err)
+	}
+	l.entries = entries
+	return nil
+}
+
+// Fingerprint renders the whole log deterministically.
+func (l *Log) Fingerprint() string {
+	out := ""
+	for _, e := range l.entries {
+		out += fmt.Sprintf("%s:%s|", e.Proposer, e.Data)
+	}
+	return out
+}
+
+var _ StateMachine = (*Log)(nil)

@@ -1,0 +1,214 @@
+// Package rsm implements state-machine replication on top of the virtually
+// synchronous group multicast service, following the state-machine approach
+// the paper cites as the prime consumer of Virtual Synchrony (Section
+// 4.1.2): commands are disseminated in total order (internal/totalorder),
+// and the Transitional Set delivered with each view tells replicas exactly
+// who shares their state, so state transfer happens only when someone
+// actually joined from a different view.
+//
+// Protocol. Replicas apply totally ordered commands to a deterministic
+// state machine. At a view change, the total-order layer's boundary flush
+// plus Virtual Synchrony guarantee that all members of the transitional set
+// T have applied the identical command sequence. If T equals the new view's
+// membership, everyone moved together and no synchronization is needed —
+// this is precisely the "costly exchange avoided" benefit of Virtual
+// Synchrony. Otherwise the view starts in a sync phase: proposals are
+// queued, the minimum-identifier synced member of each transitional set
+// multicasts a snapshot, and the first snapshot in total order becomes the
+// authoritative state everyone adopts (a deterministic partition-merge
+// rule). The sync phase ends when that snapshot is delivered.
+package rsm
+
+import (
+	"errors"
+	"fmt"
+
+	"vsgm/internal/core"
+	"vsgm/internal/totalorder"
+	"vsgm/internal/types"
+)
+
+// StateMachine is the deterministic application state the replicas manage.
+type StateMachine interface {
+	// Apply executes one command.
+	Apply(sender types.ProcID, cmd []byte)
+	// Snapshot serializes the complete state.
+	Snapshot() []byte
+	// Restore replaces the state with a previously taken snapshot.
+	Restore(snapshot []byte) error
+}
+
+const (
+	tagCmd   byte = 1
+	tagState byte = 2
+)
+
+// Config parameterizes a replica.
+type Config struct {
+	// ID is the replica's process identifier; required.
+	ID types.ProcID
+	// Send multicasts a raw payload through the replica's GCS end-point;
+	// required.
+	Send totalorder.SendFunc
+	// Machine is the replicated state machine; required.
+	Machine StateMachine
+	// Bootstrap marks the replica as initially holding authoritative state
+	// (the group founder). Non-bootstrap replicas wait for a state
+	// transfer before applying commands.
+	Bootstrap bool
+	// OnApply observes each applied command; optional.
+	OnApply func(sender types.ProcID, cmd []byte)
+}
+
+// Replica is one member of the replicated state machine. Drive it by
+// feeding every event of the underlying GCS end-point to HandleEvent. Not
+// safe for concurrent use.
+type Replica struct {
+	id      types.ProcID
+	machine StateMachine
+	onApply func(types.ProcID, []byte)
+
+	session *totalorder.Session
+
+	view    types.View
+	synced  bool
+	syncing bool // view started with joiners; waiting for the first snapshot
+	queue   [][]byte
+	err     error
+
+	applied int64
+}
+
+// NewReplica constructs a replica.
+func NewReplica(cfg Config) (*Replica, error) {
+	if cfg.ID == "" || cfg.Send == nil || cfg.Machine == nil {
+		return nil, errors.New("rsm: config requires ID, Send, and Machine")
+	}
+	r := &Replica{
+		id:      cfg.ID,
+		machine: cfg.Machine,
+		onApply: cfg.OnApply,
+		view:    types.InitialView(cfg.ID),
+		synced:  cfg.Bootstrap,
+	}
+	var err error
+	r.session, err = totalorder.New(cfg.ID, cfg.Send, r.onOrdered, r.onView)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ID returns the replica's identifier.
+func (r *Replica) ID() types.ProcID { return r.id }
+
+// Synced reports whether the replica holds authoritative state.
+func (r *Replica) Synced() bool { return r.synced }
+
+// Applied returns the number of commands applied so far.
+func (r *Replica) Applied() int64 { return r.applied }
+
+// CurrentView returns the view the replica operates in.
+func (r *Replica) CurrentView() types.View { return r.view.Clone() }
+
+// HandleEvent feeds one event from the underlying GCS end-point and then
+// retries any queued proposals.
+func (r *Replica) HandleEvent(ev core.Event) error {
+	if err := r.session.HandleEvent(ev); err != nil {
+		return err
+	}
+	r.flushQueue()
+	if r.err != nil {
+		err := r.err
+		r.err = nil
+		return err
+	}
+	return nil
+}
+
+// Propose submits a command. During a sync phase or a view change the
+// command is queued and sent as soon as the group is ready.
+func (r *Replica) Propose(cmd []byte) error {
+	buf := make([]byte, 1+len(cmd))
+	buf[0] = tagCmd
+	copy(buf[1:], cmd)
+	if r.syncing {
+		r.queue = append(r.queue, buf)
+		return nil
+	}
+	if err := r.session.Send(buf); err != nil {
+		if errors.Is(err, totalorder.ErrBlocked) {
+			r.queue = append(r.queue, buf)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func (r *Replica) flushQueue() {
+	if r.syncing {
+		return
+	}
+	for len(r.queue) > 0 {
+		if err := r.session.Send(r.queue[0]); err != nil {
+			return // still blocked; retry on the next event
+		}
+		r.queue = r.queue[1:]
+	}
+}
+
+// onOrdered receives totally ordered messages from the session.
+func (r *Replica) onOrdered(sender types.ProcID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case tagCmd:
+		if !r.synced {
+			return // awaiting state transfer; the snapshot covers this command
+		}
+		cmd := payload[1:]
+		r.machine.Apply(sender, cmd)
+		r.applied++
+		if r.onApply != nil {
+			r.onApply(sender, cmd)
+		}
+	case tagState:
+		if r.syncing {
+			// The first snapshot in total order is authoritative for
+			// everyone — including previously synced members, which makes
+			// partition merges deterministic.
+			if err := r.machine.Restore(payload[1:]); err == nil {
+				r.synced = true
+				r.syncing = false
+			}
+		}
+	}
+}
+
+// onView handles a view boundary: all transitional-set members now agree on
+// the applied command sequence. If someone joined from another view, enter
+// the sync phase and have the minimum synced member of T publish state.
+func (r *Replica) onView(v types.View, trans types.ProcSet) {
+	r.view = v.Clone()
+	movedTogether := trans != nil && trans.Equal(v.Members)
+	if movedTogether {
+		// Virtual Synchrony at work: everyone's state is already
+		// identical; no exchange needed.
+		r.syncing = false
+		return
+	}
+	r.syncing = true
+	if r.synced && trans != nil && trans.Min() == r.id {
+		snap := r.machine.Snapshot()
+		buf := make([]byte, 1+len(snap))
+		buf[0] = tagState
+		copy(buf[1:], snap)
+		if err := r.session.Send(buf); err != nil {
+			// The view just arrived, so the end-point cannot be blocked; a
+			// failure here is surfaced through the next HandleEvent call.
+			r.err = fmt.Errorf("rsm: state transfer send: %w", err)
+		}
+	}
+}

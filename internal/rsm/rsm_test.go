@@ -1,0 +1,348 @@
+package rsm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/rsm"
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+)
+
+// world wires one replica (over a KV store) per cluster member.
+type world struct {
+	c        *sim.Cluster
+	replicas map[types.ProcID]*rsm.Replica
+	stores   map[types.ProcID]*rsm.KVStore
+}
+
+func newWorld(t *testing.T, n int, seed int64, bootstrap func(types.ProcID) bool, opts ...func(*sim.Config)) *world {
+	t.Helper()
+	w := &world{
+		replicas: make(map[types.ProcID]*rsm.Replica),
+		stores:   make(map[types.ProcID]*rsm.KVStore),
+	}
+	cfg := sim.Config{
+		Procs:           sim.ProcIDs(n),
+		Latency:         sim.UniformLatency{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
+		MembershipRound: 10 * time.Millisecond,
+		Seed:            seed,
+		Suite:           spec.FullSuite(),
+		OnAppEvent: func(p types.ProcID, ev core.Event) {
+			if r := w.replicas[p]; r != nil {
+				if err := r.HandleEvent(ev); err != nil {
+					t.Errorf("replica %s: %v", p, err)
+				}
+			}
+		},
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c, err := sim.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.c = c
+	for _, p := range c.Procs() {
+		p := p
+		store := rsm.NewKVStore()
+		r, err := rsm.NewReplica(rsm.Config{
+			ID:        p,
+			Machine:   store,
+			Bootstrap: bootstrap(p),
+			Send: func(payload []byte) error {
+				_, err := c.Send(p, payload)
+				return err
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.replicas[p] = r
+		w.stores[p] = store
+	}
+	return w
+}
+
+func (w *world) assertConverged(t *testing.T, members types.ProcSet) {
+	t.Helper()
+	var ref string
+	var refProc types.ProcID
+	for i, p := range members.Sorted() {
+		if !w.replicas[p].Synced() {
+			t.Fatalf("replica %s is not synced", p)
+		}
+		fp := w.stores[p].Fingerprint()
+		if i == 0 {
+			ref, refProc = fp, p
+			continue
+		}
+		if fp != ref {
+			t.Fatalf("state diverged: %s has %q, %s has %q", p, fp, refProc, ref)
+		}
+	}
+}
+
+func TestReplicationSteadyState(t *testing.T) {
+	w := newWorld(t, 3, 31, func(types.ProcID) bool { return true })
+	all := types.NewProcSet(w.c.Procs()...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		p := w.c.Procs()[i%3]
+		if err := w.replicas[p].Propose(rsm.EncodeSet(fmt.Sprintf("k%d", i), string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	if got := w.stores[w.c.Procs()[0]].Len(); got != 10 {
+		t.Errorf("store has %d keys, want 10", got)
+	}
+}
+
+func TestStateTransferToJoiner(t *testing.T) {
+	// p02 is a late joiner with no state; the transitional set tells the
+	// founders it needs a snapshot.
+	w := newWorld(t, 3, 37, func(p types.ProcID) bool { return p != "p02" })
+	procs := w.c.Procs()
+	founders := types.NewProcSet(procs[0], procs[1])
+	if _, _, err := w.c.ReconfigureTo(founders); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.replicas[procs[0]].Propose(rsm.EncodeSet(fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.replicas[procs[2]].Synced() {
+		t.Fatal("joiner should not be synced before joining")
+	}
+
+	all := types.NewProcSet(procs...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	if got, want := w.stores[procs[2]].Len(), 5; got != want {
+		t.Errorf("joiner store has %d keys, want %d", got, want)
+	}
+
+	// The joiner participates after syncing.
+	if err := w.replicas[procs[2]].Propose(rsm.EncodeSet("late", "yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	if v, ok := w.stores[procs[0]].Get("late"); !ok || v != "yes" {
+		t.Errorf("founder store missing joiner's update, got %q ok=%v", v, ok)
+	}
+}
+
+func TestNoStateTransferWhenMovingTogether(t *testing.T) {
+	// When all members move together (T == members), Virtual Synchrony
+	// guarantees identical state and the replicas skip the snapshot
+	// exchange entirely — the paper's Section 4.1.2 motivation.
+	w := newWorld(t, 3, 41, func(types.ProcID) bool { return true })
+	all := types.NewProcSet(w.c.Procs()...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[w.c.Procs()[0]].Propose(rsm.EncodeSet("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	applied := make(map[types.ProcID]int64)
+	for _, p := range w.c.Procs() {
+		applied[p] = w.replicas[p].Applied()
+	}
+	// Same-membership reconfiguration: everyone moves together.
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	for _, p := range w.c.Procs() {
+		if got := w.replicas[p].Applied(); got != applied[p] {
+			t.Errorf("%s applied %d new commands across a together-move, want 0", p, got-applied[p])
+		}
+	}
+}
+
+func TestPartitionMergeAdoptsDeterministicState(t *testing.T) {
+	w := newWorld(t, 4, 43, func(types.ProcID) bool { return true })
+	procs := w.c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[0]].Propose(rsm.EncodeSet("shared", "0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	left := types.NewProcSet(procs[0], procs[1])
+	right := types.NewProcSet(procs[2], procs[3])
+	if _, err := w.c.Partition(left, right); err != nil {
+		t.Fatal(err)
+	}
+	// Divergent updates on the two sides.
+	if err := w.replicas[procs[0]].Propose(rsm.EncodeSet("left", "L")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[2]].Propose(rsm.EncodeSet("right", "R")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, left)
+	w.assertConverged(t, right)
+
+	// Merge: all four replicas converge on one deterministic state.
+	w.c.HealConnectivity()
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+}
+
+func TestReplicationOverHierarchicalSyncs(t *testing.T) {
+	// The full application stack (RSM over total order over the GCS) on top
+	// of the two-tier hierarchy extension: a 6-member store with groups of
+	// 2 converges through a partition/merge exactly like the flat
+	// configuration.
+	w := newWorld(t, 6, 53, func(types.ProcID) bool { return true },
+		func(cfg *sim.Config) { cfg.HierarchyGroupSize = 2 })
+	procs := w.c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.replicas[procs[i]].Propose(rsm.EncodeSet(fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+
+	left := types.NewProcSet(procs[0], procs[1], procs[2])
+	right := types.NewProcSet(procs[3], procs[4], procs[5])
+	if _, err := w.c.Partition(left, right); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[0]].Propose(rsm.EncodeSet("left", "L")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[4]].Propose(rsm.EncodeSet("right", "R")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.c.HealConnectivity()
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	if got := w.stores[procs[0]].Len(); got < 6 {
+		t.Errorf("store lost keys across the merge: %d", got)
+	}
+}
+
+func TestReplicatedLogOrderIsIdentical(t *testing.T) {
+	// The Log machine over the full stack: concurrent proposals from all
+	// members append in exactly the same order at every replica.
+	logs := make(map[types.ProcID]*rsm.Log)
+	replicas := make(map[types.ProcID]*rsm.Replica)
+	c, err := sim.NewCluster(sim.Config{
+		Procs:           sim.ProcIDs(3),
+		Latency:         sim.UniformLatency{Base: 10 * time.Millisecond, Jitter: 8 * time.Millisecond},
+		MembershipRound: 10 * time.Millisecond,
+		Seed:            61,
+		OnAppEvent: func(p types.ProcID, ev core.Event) {
+			if r := replicas[p]; r != nil {
+				if err := r.HandleEvent(ev); err != nil {
+					t.Errorf("replica %s: %v", p, err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Procs() {
+		p := p
+		l := rsm.NewLog()
+		logs[p] = l
+		replicas[p], err = rsm.NewReplica(rsm.Config{
+			ID: p, Machine: l, Bootstrap: true,
+			Send: func(b []byte) error {
+				_, err := c.Send(p, b)
+				return err
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := types.NewProcSet(c.Procs()...)
+	if _, _, err := c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for _, p := range c.Procs() {
+			if err := replicas[p].Propose([]byte(fmt.Sprintf("%s-%d", p, round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.RunFor(3 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 15
+	ref := logs[c.Procs()[0]].Fingerprint()
+	for _, p := range c.Procs() {
+		if logs[p].Len() != want {
+			t.Errorf("%s log has %d entries, want %d", p, logs[p].Len(), want)
+		}
+		if logs[p].Fingerprint() != ref {
+			t.Errorf("%s log order diverged", p)
+		}
+	}
+}

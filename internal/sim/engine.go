@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"vsgm/internal/corfifo"
+	"vsgm/internal/types"
+)
+
+// engine owns the virtual clock, the event queue, the seeded RNG, and the
+// scheduling of CO_RFIFO deliveries under a latency model and a mutable
+// connectivity relation. Cluster (GCS end-points under the oracle
+// membership) and ServerWorld (clients under the distributed membership
+// servers) both build on it.
+type engine struct {
+	rng     *rand.Rand
+	now     time.Duration
+	queue   eventQueue
+	net     *corfifo.Network
+	latency LatencyModel
+
+	procs       []types.ProcID
+	comp        map[types.ProcID]int
+	blockedLink map[pair]bool
+	lastArrival map[pair]time.Duration
+	scheduled   map[pair]int
+}
+
+func newEngine(procs []types.ProcID, latency LatencyModel, seed int64) *engine {
+	e := &engine{
+		rng:         rand.New(rand.NewSource(seed)),
+		net:         corfifo.NewNetwork(),
+		latency:     latency,
+		procs:       append([]types.ProcID(nil), procs...),
+		comp:        make(map[types.ProcID]int, len(procs)),
+		blockedLink: make(map[pair]bool),
+		lastArrival: make(map[pair]time.Duration),
+		scheduled:   make(map[pair]int),
+	}
+	for _, p := range procs {
+		e.comp[p] = 0
+	}
+	e.net.SetSendObserver(e.onSend)
+	return e
+}
+
+// At schedules fn to run after the given delay of virtual time.
+func (e *engine) At(delay time.Duration, fn func()) {
+	e.queue.push(e.now+delay, fn)
+}
+
+// Now returns the current virtual time.
+func (e *engine) Now() time.Duration { return e.now }
+
+// Network exposes the substrate (for traffic statistics).
+func (e *engine) Network() *corfifo.Network { return e.net }
+
+// Run processes events until the queue is empty. It guards against runaway
+// executions with a large step bound.
+func (e *engine) Run() error {
+	const maxSteps = 50_000_000
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps; likely livelock", maxSteps)
+		}
+		ev, ok := e.queue.pop()
+		if !ok {
+			return nil
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+}
+
+// RunFor processes all events scheduled within the next d of virtual time
+// and advances the clock to exactly now+d.
+func (e *engine) RunFor(d time.Duration) error {
+	deadline := e.now + d
+	const maxSteps = 50_000_000
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps; likely livelock", maxSteps)
+		}
+		ev, ok := e.queue.peek()
+		if !ok || ev.at > deadline {
+			e.now = deadline
+			return nil
+		}
+		ev, _ = e.queue.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+}
+
+func (e *engine) connected(from, to types.ProcID) bool {
+	if e.blockedLink[pair{from, to}] {
+		return false
+	}
+	return e.comp[from] == e.comp[to]
+}
+
+// SetConnectivity partitions the processes into the given groups; processes
+// not mentioned become singletons. Queued traffic on newly connected links
+// is flushed into delivery.
+func (e *engine) SetConnectivity(groups ...types.ProcSet) {
+	next := len(groups) + 1
+	assigned := make(map[types.ProcID]bool, len(e.procs))
+	for i, g := range groups {
+		for p := range g {
+			e.comp[p] = i
+			assigned[p] = true
+		}
+	}
+	for _, p := range e.procs {
+		if !assigned[p] {
+			e.comp[p] = next
+			next++
+		}
+	}
+	e.flushConnected()
+}
+
+// HealConnectivity reconnects every process.
+func (e *engine) HealConnectivity() {
+	for _, p := range e.procs {
+		e.comp[p] = 0
+	}
+	e.flushConnected()
+}
+
+// BlockLink severs the directed link from → to regardless of components.
+func (e *engine) BlockLink(from, to types.ProcID) {
+	e.blockedLink[pair{from, to}] = true
+}
+
+// UnblockLink restores the directed link and flushes its queued traffic.
+func (e *engine) UnblockLink(from, to types.ProcID) {
+	delete(e.blockedLink, pair{from, to})
+	e.flushConnected()
+}
+
+// flushConnected schedules delivery events for messages that were queued
+// while their link was severed and is now connected again.
+func (e *engine) flushConnected() {
+	procs := append([]types.ProcID(nil), e.procs...)
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, from := range procs {
+		for _, to := range procs {
+			if from == to || !e.connected(from, to) {
+				continue
+			}
+			pr := pair{from, to}
+			backlog := e.net.Pending(from, to) - e.scheduled[pr]
+			for i := 0; i < backlog; i++ {
+				e.scheduleDelivery(from, to)
+			}
+		}
+	}
+}
+
+func (e *engine) scheduleDelivery(from, to types.ProcID) {
+	pr := pair{from, to}
+	arrival := e.now + e.latency.Sample(from, to, e.rng)
+	if arrival < e.lastArrival[pr] {
+		arrival = e.lastArrival[pr]
+	}
+	e.lastArrival[pr] = arrival
+	e.scheduled[pr]++
+	e.queue.push(arrival, func() {
+		e.scheduled[pr]--
+		e.net.DeliverNext(from, to)
+	})
+}
+
+// onSend is the substrate's send observer: if the link is up, schedule the
+// delivery; otherwise the message stays queued (and is flushed on heal, or
+// implicitly lost if the link never heals — the CO_RFIFO lose action for
+// non-reliable destinations).
+func (e *engine) onSend(from, to types.ProcID, _ types.WireMsg) {
+	if !e.connected(from, to) {
+		return
+	}
+	e.scheduleDelivery(from, to)
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"vsgm/internal/types"
+)
+
+// LatencyModel samples one-way message latencies per ordered link.
+type LatencyModel interface {
+	// Sample draws the latency for one message from 'from' to 'to'.
+	Sample(from, to types.ProcID, r *rand.Rand) time.Duration
+}
+
+// UniformLatency draws latencies uniformly from [Base-Jitter, Base+Jitter].
+type UniformLatency struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(_, _ types.ProcID, r *rand.Rand) time.Duration {
+	if u.Jitter <= 0 {
+		return u.Base
+	}
+	d := u.Base - u.Jitter + time.Duration(r.Int63n(int64(2*u.Jitter)+1))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// FixedLatency returns the same latency for every message; useful for
+// reasoning about rounds precisely in unit tests.
+type FixedLatency time.Duration
+
+// Sample implements LatencyModel.
+func (f FixedLatency) Sample(_, _ types.ProcID, _ *rand.Rand) time.Duration {
+	return time.Duration(f)
+}
+
+// DefaultLatency is the standard LAN-ish model used by the experiments:
+// 10ms ± 5ms per hop.
+func DefaultLatency() LatencyModel {
+	return UniformLatency{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+}

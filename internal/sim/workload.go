@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/types"
+)
+
+// Workload schedules application multicasts onto a cluster over virtual
+// time. The zero value of optional fields picks sensible defaults.
+type Workload struct {
+	// Senders lists the multicasting members; defaults to every process.
+	Senders []types.ProcID
+	// PerSender is the number of multicasts each sender issues; required.
+	PerSender int
+	// Interval spaces successive rounds (one message per sender per round);
+	// 0 issues everything immediately.
+	Interval time.Duration
+	// Burst issues this many messages back-to-back per sender per round;
+	// defaults to 1.
+	Burst int
+	// PayloadSize is the message body size in bytes; defaults to 16.
+	PayloadSize int
+	// IgnoreBlocked drops sends rejected because the client is blocked for
+	// a view change (useful for workloads running across reconfigurations);
+	// otherwise a blocked send aborts the workload.
+	IgnoreBlocked bool
+}
+
+// Apply schedules the workload's sends on the cluster's virtual clock and
+// returns after scheduling (call Run or RunFor to execute). The returned
+// counter is incremented as sends execute.
+func (w Workload) Apply(c *Cluster) (*WorkloadStats, error) {
+	if w.PerSender <= 0 {
+		return nil, fmt.Errorf("sim: workload requires PerSender > 0")
+	}
+	senders := w.Senders
+	if len(senders) == 0 {
+		senders = c.Procs()
+	}
+	burst := w.Burst
+	if burst <= 0 {
+		burst = 1
+	}
+	size := w.PayloadSize
+	if size <= 0 {
+		size = 16
+	}
+
+	stats := &WorkloadStats{}
+	rounds := (w.PerSender + burst - 1) / burst
+	for round := 0; round < rounds; round++ {
+		round := round
+		at := time.Duration(round) * w.Interval
+		for _, p := range senders {
+			p := p
+			c.At(at, func() {
+				for b := 0; b < burst; b++ {
+					seq := round*burst + b
+					if seq >= w.PerSender {
+						return
+					}
+					payload := make([]byte, size)
+					copy(payload, fmt.Sprintf("%s-%d", p, seq))
+					if _, err := c.Send(p, payload); err != nil {
+						if w.IgnoreBlocked && err == core.ErrBlocked {
+							stats.Blocked++
+							continue
+						}
+						stats.Failed++
+						stats.lastErr = err
+						continue
+					}
+					stats.Sent++
+				}
+			})
+		}
+	}
+	return stats, nil
+}
+
+// WorkloadStats counts the workload's outcomes.
+type WorkloadStats struct {
+	Sent    int
+	Blocked int
+	Failed  int
+	lastErr error
+}
+
+// Err returns the last non-blocked send failure, if any.
+func (s *WorkloadStats) Err() error { return s.lastErr }

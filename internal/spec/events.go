@@ -1,0 +1,154 @@
+// Package spec implements the paper's specification automata as trace
+// checkers. Each abstract automaton of Section 4 (WV_RFIFO:SPEC,
+// VS_RFIFO:SPEC, TRANS_SET:SPEC, SELF:SPEC), the MBRSHP specification of
+// Section 3.1, the blocking-client specification of Figure 12, and the
+// conditional liveness property (Property 4.2) are realized as online
+// checkers over a global trace of external events.
+//
+// A trace is legal for a specification automaton exactly when the checker
+// reports no violations; the checkers therefore play the role of the
+// simulation proofs of Sections 6-7, validated mechanically on every
+// execution the tests and benchmarks produce.
+package spec
+
+import (
+	"fmt"
+
+	"vsgm/internal/types"
+)
+
+// Event is one external action of the composed system, tagged with the
+// process it occurs at.
+type Event interface {
+	Proc() types.ProcID
+	String() string
+}
+
+// ESend is GCS.send_p(m): the application at P multicasts the message.
+type ESend struct {
+	P     types.ProcID
+	MsgID int64
+}
+
+// Proc returns the event's process.
+func (e ESend) Proc() types.ProcID { return e.P }
+
+func (e ESend) String() string { return fmt.Sprintf("%s: send(#%d)", e.P, e.MsgID) }
+
+// EDeliver is GCS.deliver_p(q, m): P's application receives message MsgID
+// originally sent by From.
+type EDeliver struct {
+	P     types.ProcID
+	From  types.ProcID
+	MsgID int64
+}
+
+// Proc returns the event's process.
+func (e EDeliver) Proc() types.ProcID { return e.P }
+
+func (e EDeliver) String() string {
+	return fmt.Sprintf("%s: deliver(from=%s #%d)", e.P, e.From, e.MsgID)
+}
+
+// EView is GCS.view_p(v, T): P's application receives the new view. HasTrans
+// distinguishes levels that deliver transitional sets from WV_RFIFO runs.
+type EView struct {
+	P        types.ProcID
+	View     types.View
+	Trans    types.ProcSet
+	HasTrans bool
+}
+
+// Proc returns the event's process.
+func (e EView) Proc() types.ProcID { return e.P }
+
+func (e EView) String() string {
+	if e.HasTrans {
+		return fmt.Sprintf("%s: view(%s T=%s)", e.P, e.View, e.Trans)
+	}
+	return fmt.Sprintf("%s: view(%s)", e.P, e.View)
+}
+
+// EBlock is GCS.block_p().
+type EBlock struct{ P types.ProcID }
+
+// Proc returns the event's process.
+func (e EBlock) Proc() types.ProcID { return e.P }
+
+func (e EBlock) String() string { return fmt.Sprintf("%s: block()", e.P) }
+
+// EBlockOK is client.block_ok_p().
+type EBlockOK struct{ P types.ProcID }
+
+// Proc returns the event's process.
+func (e EBlockOK) Proc() types.ProcID { return e.P }
+
+func (e EBlockOK) String() string { return fmt.Sprintf("%s: block_ok()", e.P) }
+
+// EMStartChange is MBRSHP.start_change_p(cid, set).
+type EMStartChange struct {
+	P  types.ProcID
+	SC types.StartChange
+}
+
+// Proc returns the event's process.
+func (e EMStartChange) Proc() types.ProcID { return e.P }
+
+func (e EMStartChange) String() string {
+	return fmt.Sprintf("%s: mbrshp.start_change(cid=%d set=%s)", e.P, e.SC.ID, e.SC.Set)
+}
+
+// EMView is MBRSHP.view_p(v).
+type EMView struct {
+	P    types.ProcID
+	View types.View
+}
+
+// Proc returns the event's process.
+func (e EMView) Proc() types.ProcID { return e.P }
+
+func (e EMView) String() string { return fmt.Sprintf("%s: mbrshp.view(%s)", e.P, e.View) }
+
+// ECrash is crash_p() (Section 8).
+type ECrash struct{ P types.ProcID }
+
+// Proc returns the event's process.
+func (e ECrash) Proc() types.ProcID { return e.P }
+
+func (e ECrash) String() string { return fmt.Sprintf("%s: crash()", e.P) }
+
+// ERecover is recover_p() (Section 8).
+type ERecover struct{ P types.ProcID }
+
+// Proc returns the event's process.
+func (e ERecover) Proc() types.ProcID { return e.P }
+
+func (e ERecover) String() string { return fmt.Sprintf("%s: recover()", e.P) }
+
+// Checker consumes a trace event-by-event and accumulates violations.
+type Checker interface {
+	// Name identifies the specification the checker enforces.
+	Name() string
+	// OnEvent feeds the next trace event.
+	OnEvent(ev Event)
+	// Finalize performs end-of-trace checks (used by properties that can
+	// only be evaluated once the whole trace is known).
+	Finalize()
+	// Violations returns the violations found so far.
+	Violations() []string
+}
+
+// base provides violation collection for checkers.
+type base struct {
+	name string
+	errs []string
+}
+
+func (b *base) Name() string { return b.name }
+
+// Violations returns the collected violations.
+func (b *base) Violations() []string { return b.errs }
+
+func (b *base) failf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,97 @@
+package spec
+
+import "vsgm/internal/types"
+
+// Membership checks the MBRSHP specification (Figure 2) over the membership
+// events of a trace:
+//
+//   - start_change identifiers are locally increasing and include the
+//     recipient in the proposed set;
+//   - view identifiers are locally monotone;
+//   - every view is preceded by a start_change (mode discipline), its member
+//     set is a subset of that start_change's set, it includes the recipient,
+//     and its startId entry for the recipient equals the latest cid.
+//
+// It validates any membership implementation — the controllable oracle as
+// well as the distributed server group.
+type Membership struct {
+	base
+
+	view    map[types.ProcID]types.View
+	lastSC  map[types.ProcID]types.StartChange
+	mode    map[types.ProcID]string
+	crashed map[types.ProcID]bool
+}
+
+// NewMembership returns a checker for the MBRSHP specification.
+func NewMembership() *Membership {
+	return &Membership{
+		base:    base{name: "MBRSHP:SPEC"},
+		view:    make(map[types.ProcID]types.View),
+		lastSC:  make(map[types.ProcID]types.StartChange),
+		mode:    make(map[types.ProcID]string),
+		crashed: make(map[types.ProcID]bool),
+	}
+}
+
+// OnEvent implements Checker.
+func (c *Membership) OnEvent(ev Event) {
+	switch e := ev.(type) {
+	case EMStartChange:
+		last, seen := c.lastSC[e.P]
+		if !seen {
+			last = types.StartChange{ID: types.InitialStartChangeID}
+		}
+		if e.SC.ID <= last.ID {
+			c.failf("%s received start_change cid %d after cid %d: identifiers must increase",
+				e.P, e.SC.ID, last.ID)
+		}
+		if !e.SC.Set.Contains(e.P) {
+			c.failf("%s received start_change with set %s not containing itself", e.P, e.SC.Set)
+		}
+		c.lastSC[e.P] = e.SC.Clone()
+		c.mode[e.P] = "change_started"
+
+	case EMView:
+		cur, seen := c.view[e.P]
+		if !seen {
+			cur = types.InitialView(e.P)
+		}
+		if e.View.ID <= cur.ID {
+			c.failf("%s received membership view id %d after id %d: violates Local Monotonicity",
+				e.P, e.View.ID, cur.ID)
+		}
+		if !e.View.Contains(e.P) {
+			c.failf("%s received membership view %s without itself: violates Self Inclusion",
+				e.P, e.View)
+		}
+		if c.mode[e.P] != "change_started" {
+			c.failf("%s received membership view %s without a preceding start_change", e.P, e.View)
+		}
+		last := c.lastSC[e.P]
+		if !e.View.Members.SubsetOf(last.Set) {
+			c.failf("%s received view members %s not a subset of start_change set %s",
+				e.P, e.View.Members, last.Set)
+		}
+		if sid, ok := e.View.StartID[e.P]; !ok || sid != last.ID {
+			c.failf("%s received view with startId(%s)=%d, want latest cid %d",
+				e.P, e.P, sid, last.ID)
+		}
+		c.view[e.P] = e.View.Clone()
+		c.mode[e.P] = "normal"
+
+	case ECrash:
+		c.crashed[e.P] = true
+
+	case ERecover:
+		// The membership service itself does not crash; recover_p resets
+		// mode[p] to normal while identifier state is preserved (Section 8).
+		c.crashed[e.P] = false
+		c.mode[e.P] = "normal"
+	}
+}
+
+// Finalize implements Checker.
+func (c *Membership) Finalize() {}
+
+var _ Checker = (*Membership)(nil)

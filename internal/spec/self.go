@@ -1,0 +1,123 @@
+package spec
+
+import "vsgm/internal/types"
+
+// SelfDelivery checks SELF : SPEC (Figure 7): an end-point does not deliver
+// a new view before it has delivered every message its own application sent
+// in the current view. The property is meaningful only for GCS-level runs
+// (with client blocking); VS-level runs intentionally fail it.
+type SelfDelivery struct {
+	base
+
+	sent      map[types.ProcID]int
+	delivered map[types.ProcID]int
+	crashed   map[types.ProcID]bool
+}
+
+// NewSelfDelivery returns a checker for SELF : SPEC.
+func NewSelfDelivery() *SelfDelivery {
+	return &SelfDelivery{
+		base:      base{name: "SELF:SPEC"},
+		sent:      make(map[types.ProcID]int),
+		delivered: make(map[types.ProcID]int),
+		crashed:   make(map[types.ProcID]bool),
+	}
+}
+
+// OnEvent implements Checker.
+func (c *SelfDelivery) OnEvent(ev Event) {
+	switch e := ev.(type) {
+	case ESend:
+		if !c.crashed[e.P] {
+			c.sent[e.P]++
+		}
+	case EDeliver:
+		if !c.crashed[e.P] && e.From == e.P {
+			c.delivered[e.P]++
+		}
+	case EView:
+		if c.crashed[e.P] {
+			return
+		}
+		if c.delivered[e.P] != c.sent[e.P] {
+			c.failf("%s installed view %s having self-delivered %d of %d own messages: violates Self Delivery",
+				e.P, e.View, c.delivered[e.P], c.sent[e.P])
+		}
+		c.sent[e.P] = 0
+		c.delivered[e.P] = 0
+	case ECrash:
+		c.crashed[e.P] = true
+	case ERecover:
+		c.crashed[e.P] = false
+		c.sent[e.P] = 0
+		c.delivered[e.P] = 0
+	}
+}
+
+// Finalize implements Checker; Self Delivery has no end-of-trace
+// obligations (undelivered messages at trace end are a liveness concern).
+func (c *SelfDelivery) Finalize() {}
+
+var _ Checker = (*SelfDelivery)(nil)
+
+// BlockingClient checks the abstract client specification of Figure 12: the
+// application never sends while blocked, and block_ok only answers an
+// outstanding block request. The next view unblocks the client.
+type BlockingClient struct {
+	base
+
+	status  map[types.ProcID]string
+	crashed map[types.ProcID]bool
+}
+
+// NewBlockingClient returns a checker for CLIENT : SPEC.
+func NewBlockingClient() *BlockingClient {
+	return &BlockingClient{
+		base:    base{name: "CLIENT:SPEC"},
+		status:  make(map[types.ProcID]string),
+		crashed: make(map[types.ProcID]bool),
+	}
+}
+
+// OnEvent implements Checker.
+func (c *BlockingClient) OnEvent(ev Event) {
+	st := func(p types.ProcID) string {
+		if s, ok := c.status[p]; ok {
+			return s
+		}
+		return "unblocked"
+	}
+	switch e := ev.(type) {
+	case ESend:
+		if !c.crashed[e.P] && st(e.P) == "blocked" {
+			c.failf("%s sent #%d while blocked: violates the blocking-client contract", e.P, e.MsgID)
+		}
+	case EBlock:
+		if !c.crashed[e.P] {
+			c.status[e.P] = "requested"
+		}
+	case EBlockOK:
+		if c.crashed[e.P] {
+			return
+		}
+		if st(e.P) != "requested" {
+			c.failf("%s acknowledged block_ok without an outstanding block request (status %s)",
+				e.P, st(e.P))
+		}
+		c.status[e.P] = "blocked"
+	case EView:
+		if !c.crashed[e.P] {
+			c.status[e.P] = "unblocked"
+		}
+	case ECrash:
+		c.crashed[e.P] = true
+	case ERecover:
+		c.crashed[e.P] = false
+		c.status[e.P] = "unblocked"
+	}
+}
+
+// Finalize implements Checker.
+func (c *BlockingClient) Finalize() {}
+
+var _ Checker = (*BlockingClient)(nil)

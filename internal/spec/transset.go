@@ -1,0 +1,134 @@
+package spec
+
+import "vsgm/internal/types"
+
+// transRecord captures one view installation: process P moved from the view
+// with key fromKey (member set fromSet) into view toKey, delivering
+// transitional set T.
+type transRecord struct {
+	p       types.ProcID
+	fromKey string
+	fromSet types.ProcSet
+	toKey   string
+	toSet   types.ProcSet
+	trans   types.ProcSet
+}
+
+// TransSet checks the Transitional Set property (Property 4.1): when p moves
+// from view v to v', the transitional set delivered with v' is a subset of
+// v.set ∩ v'.set containing p and every process that moves directly from v
+// to v', and no member of v'.set that moves to v' from a different view.
+//
+// Because whether q "moves directly from v to v'" is only observable when q
+// itself installs v', the cross-process obligations are evaluated in
+// Finalize, over the complete trace.
+type TransSet struct {
+	base
+
+	views   map[types.ProcID]procView
+	records []transRecord
+	// moved[q][toKey] = fromKey of the view q moved to toKey from.
+	moved   map[types.ProcID]map[string]string
+	crashed map[types.ProcID]bool
+}
+
+// NewTransSet returns a checker for TRANS_SET : SPEC.
+func NewTransSet() *TransSet {
+	return &TransSet{
+		base:    base{name: "TRANS_SET:SPEC"},
+		views:   make(map[types.ProcID]procView),
+		moved:   make(map[types.ProcID]map[string]string),
+		crashed: make(map[types.ProcID]bool),
+	}
+}
+
+func (c *TransSet) viewOf(p types.ProcID) procView {
+	if pv, ok := c.views[p]; ok {
+		return pv
+	}
+	pv := procView{view: types.InitialView(p)}
+	c.views[p] = pv
+	return pv
+}
+
+// OnEvent implements Checker.
+func (c *TransSet) OnEvent(ev Event) {
+	switch e := ev.(type) {
+	case EView:
+		if c.crashed[e.P] || !e.HasTrans {
+			// WV_RFIFO-level runs deliver no transitional sets.
+			if !c.crashed[e.P] {
+				from := c.viewOf(e.P)
+				c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+			}
+			return
+		}
+		from := c.viewOf(e.P)
+		rec := transRecord{
+			p:       e.P,
+			fromKey: from.key(),
+			fromSet: from.view.Members.Clone(),
+			toKey:   e.View.Key(),
+			toSet:   e.View.Members.Clone(),
+			trans:   e.Trans.Clone(),
+		}
+		c.records = append(c.records, rec)
+		row := c.moved[e.P]
+		if row == nil {
+			row = make(map[string]string)
+			c.moved[e.P] = row
+		}
+		row[rec.toKey] = rec.fromKey
+		c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+
+	case ECrash:
+		c.crashed[e.P] = true
+
+	case ERecover:
+		c.crashed[e.P] = false
+		pv := c.viewOf(e.P)
+		c.views[e.P] = procView{view: types.InitialView(e.P), epoch: pv.epoch + 1}
+	}
+}
+
+// Finalize evaluates the cross-process conditions of Property 4.1.
+func (c *TransSet) Finalize() {
+	for _, rec := range c.records {
+		inter := rec.toSet.Intersect(rec.fromSet)
+		if !rec.trans.SubsetOf(inter) {
+			c.failf("%s -> %s at %s: transitional set %s not a subset of v.set ∩ v'.set %s",
+				rec.fromKey, rec.toKey, rec.p, rec.trans, inter)
+		}
+		if !rec.trans.Contains(rec.p) {
+			c.failf("%s -> %s at %s: transitional set %s does not include the process itself",
+				rec.fromKey, rec.toKey, rec.p, rec.trans)
+		}
+		for q := range inter {
+			qFrom, qMoved := c.moved[q][rec.toKey]
+			if !qMoved {
+				// q never installed this view in the trace; whether it
+				// "moves directly" is unobservable, so no obligation.
+				continue
+			}
+			movesDirectly := qFrom == rec.fromKey
+			inT := rec.trans.Contains(q)
+			if movesDirectly && !inT {
+				c.failf("%s -> %s at %s: %s moves directly from the same view but is missing from T=%s",
+					rec.fromKey, rec.toKey, rec.p, q, rec.trans)
+			}
+			if !movesDirectly && inT {
+				c.failf("%s -> %s at %s: %s moves from view %s (not %s) but appears in T=%s",
+					rec.fromKey, rec.toKey, rec.p, q, qFrom, rec.fromKey, rec.trans)
+			}
+		}
+		// Members of v'.set outside v.set can never be in T.
+		for q := range rec.trans {
+			if !rec.toSet.Contains(q) {
+				c.failf("%s -> %s at %s: T member %s is not a member of the new view",
+					rec.fromKey, rec.toKey, rec.p, q)
+			}
+		}
+	}
+}
+
+var _ Checker = (*TransSet)(nil)

@@ -1,0 +1,125 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vsgm/internal/types"
+)
+
+// VSRFIFO checks the Virtual Synchrony property added by VS_RFIFO : SPEC
+// (Figure 5): all processes that move together from view v to view v'
+// deliver the same set of messages in v. Because delivery is gap-free FIFO
+// (checked by WVRFIFO), the delivered set is captured by the per-sender
+// last-delivered indices at the moment of the view change — the cut.
+type VSRFIFO struct {
+	base
+
+	views   map[types.ProcID]procView
+	counts  map[types.ProcID]types.Cut
+	cuts    map[string]types.Cut // (fromKey -> toKey) -> agreed cut
+	cutsBy  map[string]types.ProcID
+	crashed map[types.ProcID]bool
+}
+
+// NewVSRFIFO returns a checker for VS_RFIFO : SPEC.
+func NewVSRFIFO() *VSRFIFO {
+	return &VSRFIFO{
+		base:    base{name: "VS_RFIFO:SPEC"},
+		views:   make(map[types.ProcID]procView),
+		counts:  make(map[types.ProcID]types.Cut),
+		cuts:    make(map[string]types.Cut),
+		cutsBy:  make(map[string]types.ProcID),
+		crashed: make(map[types.ProcID]bool),
+	}
+}
+
+func (c *VSRFIFO) viewOf(p types.ProcID) procView {
+	if pv, ok := c.views[p]; ok {
+		return pv
+	}
+	pv := procView{view: types.InitialView(p)}
+	c.views[p] = pv
+	return pv
+}
+
+// OnEvent implements Checker.
+func (c *VSRFIFO) OnEvent(ev Event) {
+	switch e := ev.(type) {
+	case EDeliver:
+		if c.crashed[e.P] {
+			return
+		}
+		cut := c.counts[e.P]
+		if cut == nil {
+			cut = make(types.Cut)
+			c.counts[e.P] = cut
+		}
+		cut[e.From]++
+
+	case EView:
+		if c.crashed[e.P] {
+			return
+		}
+		from := c.viewOf(e.P)
+		key := from.key() + "->" + e.View.Key()
+		cut := c.counts[e.P]
+		if cut == nil {
+			cut = make(types.Cut)
+		}
+		if agreed, ok := c.cuts[key]; ok {
+			if !cutsEqual(agreed, cut) {
+				c.failf("%s moved %s with cut %s but %s moved with cut %s: violates Virtual Synchrony",
+					e.P, key, fmtCut(cut), c.cutsBy[key], fmtCut(agreed))
+			}
+		} else {
+			c.cuts[key] = cut.Clone()
+			c.cutsBy[key] = e.P
+		}
+		c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+		c.counts[e.P] = make(types.Cut)
+
+	case ECrash:
+		c.crashed[e.P] = true
+
+	case ERecover:
+		c.crashed[e.P] = false
+		pv := c.viewOf(e.P)
+		c.views[e.P] = procView{view: types.InitialView(e.P), epoch: pv.epoch + 1}
+		c.counts[e.P] = make(types.Cut)
+	}
+}
+
+// Finalize implements Checker; Virtual Synchrony has no end-of-trace
+// obligations.
+func (c *VSRFIFO) Finalize() {}
+
+// cutsEqual treats absent entries as zero: a process that delivered nothing
+// from some sender has the same cut entry as one whose map omits the sender.
+func cutsEqual(a, b types.Cut) bool {
+	for q, n := range a {
+		if b[q] != n {
+			return false
+		}
+	}
+	for q, n := range b {
+		if a[q] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtCut(c types.Cut) string {
+	procs := make([]string, 0, len(c))
+	for q, n := range c {
+		if n != 0 {
+			procs = append(procs, fmt.Sprintf("%s:%d", q, n))
+		}
+	}
+	sort.Strings(procs)
+	return "[" + strings.Join(procs, " ") + "]"
+}
+
+var _ Checker = (*VSRFIFO)(nil)

@@ -1,0 +1,226 @@
+// Package totalorder layers a totally ordered multicast on top of the
+// virtually synchronous FIFO service, substantiating the paper's remark
+// (Section 4.1.1) that WV_RFIFO is a base on which stronger ordering
+// services — like the totally ordered multicast of Chockler-Huleihel-Dolev —
+// are built.
+//
+// The algorithm is sequencer-based within each view: the minimum-identifier
+// member of the current view assigns global sequence numbers to the
+// (sender, per-sender index) pairs it delivers, and multicasts the
+// assignments as ordinary application messages. Every member releases data
+// messages to the application in assignment order. Virtual Synchrony makes
+// view changes safe: processes moving together deliver the same set of data
+// and assignment messages in the old view, so the deterministic flush at a
+// view boundary (remaining unassigned messages, sorted by sender and index)
+// yields the identical order at every member of the transitional set.
+package totalorder
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vsgm/internal/core"
+	"vsgm/internal/types"
+)
+
+// SendFunc multicasts a raw payload through the underlying GCS end-point.
+type SendFunc func(payload []byte) error
+
+// DeliverFunc receives one totally ordered application message.
+type DeliverFunc func(sender types.ProcID, payload []byte)
+
+// ViewFunc observes view changes after the boundary flush.
+type ViewFunc func(v types.View, transitionalSet types.ProcSet)
+
+const (
+	tagData  byte = 1
+	tagOrder byte = 2
+)
+
+// ErrBlocked is returned by Send while the underlying end-point is blocked
+// for a view change.
+var ErrBlocked = core.ErrBlocked
+
+// pendingMsg is a data message delivered by the GCS but not yet released in
+// total order.
+type pendingMsg struct {
+	sender  types.ProcID
+	index   int
+	payload []byte
+}
+
+// Session is one process's total-order layer. Feed it every event of the
+// underlying GCS end-point via HandleEvent, and send through Send. Not safe
+// for concurrent use.
+type Session struct {
+	id      types.ProcID
+	send    SendFunc
+	deliver DeliverFunc
+	onView  ViewFunc
+
+	view      types.View
+	seen      map[types.ProcID]int // per-sender data-message count in this view
+	pending   map[string]*pendingMsg
+	order     []string // assigned order keys not yet released
+	sequenced map[string]bool
+}
+
+// New builds a session for end-point id. deliver is required; onView may be
+// nil.
+func New(id types.ProcID, send SendFunc, deliver DeliverFunc, onView ViewFunc) (*Session, error) {
+	if send == nil || deliver == nil {
+		return nil, errors.New("totalorder: send and deliver functions are required")
+	}
+	s := &Session{
+		id:      id,
+		send:    send,
+		deliver: deliver,
+		onView:  onView,
+		view:    types.InitialView(id),
+	}
+	s.resetView()
+	return s, nil
+}
+
+func (s *Session) resetView() {
+	s.seen = make(map[types.ProcID]int)
+	s.pending = make(map[string]*pendingMsg)
+	s.order = nil
+	s.sequenced = make(map[string]bool)
+}
+
+// Send multicasts payload in total order.
+func (s *Session) Send(payload []byte) error {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = tagData
+	copy(buf[1:], payload)
+	return s.send(buf)
+}
+
+// sequencer returns the current view's sequencer.
+func (s *Session) sequencer() types.ProcID { return s.view.Members.Min() }
+
+// HandleEvent feeds one event from the underlying GCS end-point.
+func (s *Session) HandleEvent(ev core.Event) error {
+	switch e := ev.(type) {
+	case core.DeliverEvent:
+		return s.onDeliver(e)
+	case core.ViewEvent:
+		s.flush()
+		s.view = e.View.Clone()
+		s.resetView()
+		if s.onView != nil {
+			s.onView(e.View, e.TransitionalSet)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *Session) onDeliver(e core.DeliverEvent) error {
+	if len(e.Msg.Payload) == 0 {
+		return fmt.Errorf("totalorder: empty payload from %s", e.Sender)
+	}
+	switch e.Msg.Payload[0] {
+	case tagData:
+		s.seen[e.Sender]++
+		idx := s.seen[e.Sender]
+		key := orderKey(e.Sender, idx)
+		s.pending[key] = &pendingMsg{
+			sender:  e.Sender,
+			index:   idx,
+			payload: append([]byte(nil), e.Msg.Payload[1:]...),
+		}
+		if s.sequencer() == s.id {
+			if err := s.sendAssignment(e.Sender, idx); err != nil && !errors.Is(err, ErrBlocked) {
+				return err
+			}
+			// ErrBlocked: a view change is in progress; the boundary flush
+			// will order this message deterministically instead.
+		}
+		s.release()
+		return nil
+	case tagOrder:
+		sender, idx, err := decodeAssignment(e.Msg.Payload[1:])
+		if err != nil {
+			return err
+		}
+		key := orderKey(sender, idx)
+		if !s.sequenced[key] {
+			s.sequenced[key] = true
+			s.order = append(s.order, key)
+		}
+		s.release()
+		return nil
+	default:
+		return fmt.Errorf("totalorder: unknown tag %d from %s", e.Msg.Payload[0], e.Sender)
+	}
+}
+
+// release delivers every assigned message whose data has arrived, in
+// assignment order, stopping at the first gap.
+func (s *Session) release() {
+	for len(s.order) > 0 {
+		key := s.order[0]
+		m, ok := s.pending[key]
+		if !ok {
+			return // data not here yet; FIFO guarantees it will arrive
+		}
+		s.order = s.order[1:]
+		delete(s.pending, key)
+		s.deliver(m.sender, m.payload)
+	}
+}
+
+// flush deterministically drains the layer at a view boundary: first the
+// assigned backlog in assignment order (skipping assignments whose data
+// never arrived — possible only when the assigner itself disconnected), then
+// the never-assigned remainder sorted by sender and index. Virtual Synchrony
+// guarantees every member of the transitional set holds the identical sets,
+// so the flushed order agrees everywhere.
+func (s *Session) flush() {
+	s.release()
+	for _, key := range s.order {
+		if m, ok := s.pending[key]; ok {
+			delete(s.pending, key)
+			s.deliver(m.sender, m.payload)
+		}
+	}
+	s.order = nil
+	rest := make([]*pendingMsg, 0, len(s.pending))
+	for _, m := range s.pending {
+		rest = append(rest, m)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].sender != rest[j].sender {
+			return rest[i].sender < rest[j].sender
+		}
+		return rest[i].index < rest[j].index
+	})
+	for _, m := range rest {
+		s.deliver(m.sender, m.payload)
+	}
+}
+
+func (s *Session) sendAssignment(sender types.ProcID, idx int) error {
+	buf := make([]byte, 1+8+len(sender))
+	buf[0] = tagOrder
+	binary.BigEndian.PutUint64(buf[1:9], uint64(idx))
+	copy(buf[9:], sender)
+	return s.send(buf)
+}
+
+func decodeAssignment(b []byte) (types.ProcID, int, error) {
+	if len(b) < 9 {
+		return "", 0, fmt.Errorf("totalorder: short assignment payload (%d bytes)", len(b))
+	}
+	idx := int(binary.BigEndian.Uint64(b[:8]))
+	return types.ProcID(b[8:]), idx, nil
+}
+
+func orderKey(p types.ProcID, idx int) string {
+	return fmt.Sprintf("%s/%d", p, idx)
+}

@@ -1,0 +1,200 @@
+package totalorder_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/sim"
+	"vsgm/internal/spec"
+	"vsgm/internal/totalorder"
+	"vsgm/internal/types"
+)
+
+// harness wires one total-order session per cluster member.
+type harness struct {
+	c        *sim.Cluster
+	sessions map[types.ProcID]*totalorder.Session
+	orders   map[types.ProcID][]string
+	views    map[types.ProcID]int
+}
+
+func newHarness(t *testing.T, n int, seed int64) *harness {
+	t.Helper()
+	h := &harness{
+		sessions: make(map[types.ProcID]*totalorder.Session),
+		orders:   make(map[types.ProcID][]string),
+		views:    make(map[types.ProcID]int),
+	}
+	cfg := sim.Config{
+		Procs:           sim.ProcIDs(n),
+		Latency:         sim.UniformLatency{Base: 10 * time.Millisecond, Jitter: 8 * time.Millisecond},
+		MembershipRound: 10 * time.Millisecond,
+		Seed:            seed,
+		Suite:           spec.FullSuite(),
+		OnAppEvent: func(p types.ProcID, ev core.Event) {
+			if s := h.sessions[p]; s != nil {
+				if err := s.HandleEvent(ev); err != nil {
+					t.Errorf("session %s: %v", p, err)
+				}
+			}
+		},
+	}
+	c, err := sim.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.c = c
+	for _, p := range c.Procs() {
+		p := p
+		s, err := totalorder.New(p,
+			func(payload []byte) error {
+				_, err := c.Send(p, payload)
+				return err
+			},
+			func(sender types.ProcID, payload []byte) {
+				h.orders[p] = append(h.orders[p], fmt.Sprintf("%s:%s", sender, payload))
+			},
+			func(types.View, types.ProcSet) { h.views[p]++ },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.sessions[p] = s
+	}
+	return h
+}
+
+func (h *harness) assertIdenticalOrders(t *testing.T, members types.ProcSet) {
+	t.Helper()
+	var ref []string
+	var refProc types.ProcID
+	for i, p := range members.Sorted() {
+		got := h.orders[p]
+		if i == 0 {
+			ref = got
+			refProc = p
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s delivered %d messages, %s delivered %d", p, len(got), refProc, len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("order diverges at %d: %s has %q, %s has %q", j, p, got[j], refProc, ref[j])
+			}
+		}
+	}
+}
+
+func TestTotalOrderConcurrentSenders(t *testing.T) {
+	h := newHarness(t, 4, 21)
+	all := types.NewProcSet(h.c.Procs()...)
+	if _, _, err := h.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave sends from every member with some virtual-time spacing so
+	// the streams genuinely race.
+	for round := 0; round < 8; round++ {
+		for i, p := range h.c.Procs() {
+			p := p
+			msg := fmt.Sprintf("r%d", round)
+			h.c.At(time.Duration(i)*3*time.Millisecond, func() {
+				if err := h.sessions[p].Send([]byte(msg)); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			})
+		}
+		if err := h.c.RunFor(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := 8 * len(h.c.Procs())
+	for _, p := range h.c.Procs() {
+		if got := len(h.orders[p]); got != want {
+			t.Errorf("%s delivered %d ordered messages, want %d", p, got, want)
+		}
+	}
+	h.assertIdenticalOrders(t, all)
+}
+
+func TestTotalOrderAcrossViewChange(t *testing.T) {
+	h := newHarness(t, 4, 23)
+	procs := h.c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := h.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	// Send while a member leaves: the view-boundary flush must produce the
+	// same order at all survivors.
+	for i := 0; i < 6; i++ {
+		for _, p := range procs {
+			if err := h.sessions[p].Send([]byte(fmt.Sprintf("m%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	survivors := types.NewProcSet(procs[0], procs[1], procs[2])
+	if _, _, err := h.c.ReconfigureTo(survivors); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h.assertIdenticalOrders(t, survivors)
+
+	// All messages sent in the old view must have been flushed everywhere.
+	want := 6 * len(procs)
+	for _, p := range survivors.Sorted() {
+		if got := len(h.orders[p]); got != want {
+			t.Errorf("%s delivered %d messages, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTotalOrderSequencerLeaves(t *testing.T) {
+	h := newHarness(t, 3, 29)
+	procs := h.c.Procs()
+	all := types.NewProcSet(procs...)
+	if _, _, err := h.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+
+	// p00 is the sequencer (minimum id). Load the group, let the data
+	// propagate (so the survivors' cuts commit to the sequencer's
+	// messages), then remove it.
+	for i := 0; i < 5; i++ {
+		for _, p := range procs {
+			if err := h.sessions[p].Send([]byte(fmt.Sprintf("x%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := h.c.RunFor(60 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rest := types.NewProcSet(procs[1], procs[2])
+	if _, _, err := h.c.ReconfigureTo(rest); err != nil {
+		t.Fatal(err)
+	}
+	// The new sequencer (p01) takes over.
+	if err := h.sessions[procs[1]].Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h.assertIdenticalOrders(t, rest)
+	for _, p := range rest.Sorted() {
+		if got, want := len(h.orders[p]), 5*3+1; got != want {
+			t.Errorf("%s delivered %d messages, want %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package types
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchView(n int) View {
+	members := NewProcSet()
+	sid := make(map[ProcID]StartChangeID, n)
+	for i := 0; i < n; i++ {
+		p := ProcID(fmt.Sprintf("p%02d", i))
+		members.Add(p)
+		sid[p] = StartChangeID(i)
+	}
+	return NewView(7, members, sid)
+}
+
+func BenchmarkViewKeyCached(b *testing.B) {
+	v := benchView(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkViewKeyComputed(b *testing.B) {
+	v := benchView(32)
+	raw := View{ID: v.ID, Members: v.Members, StartID: v.StartID} // no cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if raw.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkProcSetSorted(b *testing.B) {
+	s := benchView(32).Members
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Sorted()) != 32 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+func BenchmarkMaxCut(b *testing.B) {
+	cuts := make([]Cut, 8)
+	for i := range cuts {
+		c := make(Cut)
+		for j := 0; j < 32; j++ {
+			c[ProcID(fmt.Sprintf("p%02d", j))] = i*j + 1
+		}
+		cuts[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(MaxCut(cuts)) != 32 {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMsgKindString(t *testing.T) {
+	tests := []struct {
+		kind MsgKind
+		want string
+	}{
+		{KindView, "view_msg"},
+		{KindApp, "app_msg"},
+		{KindFwd, "fwd_msg"},
+		{KindSync, "sync_msg"},
+		{KindPropose, "propose_msg"},
+		{KindMembProposal, "memb_proposal"},
+		{MsgKind(99), "msg_kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("kind %d string = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestWireMsgSizeModel(t *testing.T) {
+	v := NewView(1, NewProcSet("a", "b"), map[ProcID]StartChangeID{"a": 1, "b": 1})
+
+	app := WireMsg{Kind: KindApp, App: AppMsg{Payload: make([]byte, 100)}}
+	if got := app.Size(); got != 8+8+100 {
+		t.Errorf("app size = %d", got)
+	}
+
+	fullSync := WireMsg{Kind: KindSync, CID: 1, View: v, Cut: Cut{"a": 1, "b": 2}}
+	smallSync := WireMsg{Kind: KindSync, CID: 1, Small: true}
+	if fullSync.Size() <= smallSync.Size() {
+		t.Errorf("full sync (%d bytes) should exceed small sync (%d bytes)",
+			fullSync.Size(), smallSync.Size())
+	}
+
+	// A view message grows with membership.
+	small := WireMsg{Kind: KindView, View: v}
+	big := WireMsg{Kind: KindView, View: NewView(1, NewProcSet("a", "b", "c", "d"),
+		map[ProcID]StartChangeID{"a": 1, "b": 1, "c": 1, "d": 1})}
+	if big.Size() <= small.Size() {
+		t.Errorf("view size should grow with membership: %d vs %d", big.Size(), small.Size())
+	}
+}
+
+func TestWireMsgString(t *testing.T) {
+	v := InitialView("a")
+	tests := []struct {
+		m    WireMsg
+		want string
+	}{
+		{WireMsg{Kind: KindApp, App: AppMsg{ID: 7}}, "app_msg(#7)"},
+		{WireMsg{Kind: KindFwd, App: AppMsg{ID: 7}, Origin: "a", Index: 3}, "fwd_msg(#7 from a i=3)"},
+		{WireMsg{Kind: KindSync, CID: 2, Small: true}, "sync_msg(cid=2 small)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("string = %q, want %q", got, tt.want)
+		}
+	}
+	if got := (WireMsg{Kind: KindView, View: v}).String(); !strings.HasPrefix(got, "view_msg(") {
+		t.Errorf("view msg string = %q", got)
+	}
+}
+
+func TestMembProposalClone(t *testing.T) {
+	p := &MembProposal{
+		Attempt: 2,
+		Servers: NewProcSet("s0", "s1"),
+		MinVid:  7,
+		Clients: map[ProcID]StartChangeID{"c0": 1},
+	}
+	c := p.Clone()
+	c.Servers.Add("s2")
+	c.Clients["c1"] = 9
+	if p.Servers.Contains("s2") || len(p.Clients) != 1 {
+		t.Fatal("clone shares structure")
+	}
+}

@@ -1,0 +1,125 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	s := NewProcSet("b", "a", "c")
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Fatal("membership wrong")
+	}
+	s.Add("d")
+	s.Remove("a")
+	want := []ProcID{"b", "c", "d"}
+	if got := s.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v, want %v", got, want)
+	}
+	if got := s.Min(); got != "b" {
+		t.Fatalf("min = %s, want b", got)
+	}
+	if got := s.String(); got != "{b, c, d}" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func TestProcSetEmpty(t *testing.T) {
+	var s ProcSet
+	if s.Len() != 0 || s.Contains("a") || s.Min() != "" {
+		t.Fatal("empty-set behavior wrong")
+	}
+	if got := NewProcSet().String(); got != "{}" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func TestProcSetAlgebra(t *testing.T) {
+	a := NewProcSet("p", "q", "r")
+	b := NewProcSet("q", "r", "s")
+
+	if got := a.Union(b).Sorted(); !reflect.DeepEqual(got, []ProcID{"p", "q", "r", "s"}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b).Sorted(); !reflect.DeepEqual(got, []ProcID{"q", "r"}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Minus(b).Sorted(); !reflect.DeepEqual(got, []ProcID{"p"}) {
+		t.Errorf("minus = %v", got)
+	}
+	if !a.Intersect(b).SubsetOf(a) || !a.Intersect(b).SubsetOf(b) {
+		t.Error("intersection not a subset of operands")
+	}
+	if a.Equal(b) || !a.Equal(NewProcSet("r", "q", "p")) {
+		t.Error("equality wrong")
+	}
+}
+
+func TestProcSetCloneIsIndependent(t *testing.T) {
+	a := NewProcSet("x", "y")
+	b := a.Clone()
+	b.Add("z")
+	b.Remove("x")
+	if !a.Contains("x") || a.Contains("z") {
+		t.Fatal("clone mutated the original")
+	}
+}
+
+// randomSet draws a small random set for property tests.
+func randomSet(r *rand.Rand) ProcSet {
+	s := NewProcSet()
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		s.Add(ProcID(string(rune('a' + r.Intn(8)))))
+	}
+	return s
+}
+
+func TestProcSetProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomSet(r))
+			}
+		},
+	}
+
+	// Union is commutative; intersection distributes as expected;
+	// A = (A∩B) ∪ (A−B).
+	decompose := func(a, b ProcSet) bool {
+		return a.Intersect(b).Union(a.Minus(b)).Equal(a)
+	}
+	if err := quick.Check(decompose, cfg); err != nil {
+		t.Errorf("decomposition property: %v", err)
+	}
+	commutative := func(a, b ProcSet) bool {
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("commutativity property: %v", err)
+	}
+	sortedIsSorted := func(a ProcSet) bool {
+		got := a.Sorted()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			len(got) == a.Len()
+	}
+	if err := quick.Check(sortedIsSorted, cfg); err != nil {
+		t.Errorf("sorted property: %v", err)
+	}
+	minIsSmallest := func(a ProcSet) bool {
+		if a.Len() == 0 {
+			return a.Min() == ""
+		}
+		return a.Min() == a.Sorted()[0]
+	}
+	if err := quick.Check(minIsSmallest, cfg); err != nil {
+		t.Errorf("min property: %v", err)
+	}
+}

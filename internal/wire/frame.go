@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"vsgm/internal/membership"
+	"vsgm/internal/types"
+)
+
+// Frame is the live transport's unit: a sender identifier plus either a
+// wire message or a membership notification (a bare frame with neither is
+// the connection handshake).
+type Frame struct {
+	From   types.ProcID
+	Msg    *types.WireMsg
+	Notify *membership.Notification
+}
+
+const (
+	frameHandshake uint8 = 0
+	frameMsg       uint8 = 1
+	frameNotify    uint8 = 2
+
+	notifyStartChange uint8 = 1
+	notifyView        uint8 = 2
+
+	// maxFrameSize bounds a frame on the wire (16 MiB), protecting readers
+	// from hostile or corrupt length prefixes.
+	maxFrameSize = 16 << 20
+)
+
+// ErrFrameTooLarge reports a frame exceeding the transport bound.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+
+// MarshalFrame encodes a frame.
+func MarshalFrame(f Frame) ([]byte, error) {
+	w := &buffer{}
+	if err := w.id(f.From); err != nil {
+		return nil, err
+	}
+	switch {
+	case f.Msg != nil:
+		w.u8(frameMsg)
+		if err := appendMsg(w, *f.Msg); err != nil {
+			return nil, err
+		}
+	case f.Notify != nil:
+		w.u8(frameNotify)
+		switch f.Notify.Kind {
+		case membership.NotifyStartChange:
+			w.u8(notifyStartChange)
+			w.u64(uint64(f.Notify.StartChange.ID))
+			if err := w.procSet(f.Notify.StartChange.Set); err != nil {
+				return nil, err
+			}
+		case membership.NotifyView:
+			w.u8(notifyView)
+			if err := w.view(f.Notify.View); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: unknown notification kind %d", int(f.Notify.Kind))
+		}
+	default:
+		w.u8(frameHandshake)
+	}
+	return w.b, nil
+}
+
+// UnmarshalFrame decodes a frame.
+func UnmarshalFrame(b []byte) (Frame, error) {
+	r := &reader{b: b}
+	from, err := r.id()
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{From: from}
+	tag, err := r.u8()
+	if err != nil {
+		return Frame{}, err
+	}
+	switch tag {
+	case frameHandshake:
+		return f, nil
+	case frameMsg:
+		m, err := readMsg(r)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Msg = &m
+		return f, nil
+	case frameNotify:
+		kind, err := r.u8()
+		if err != nil {
+			return Frame{}, err
+		}
+		switch kind {
+		case notifyStartChange:
+			cid, err := r.u64()
+			if err != nil {
+				return Frame{}, err
+			}
+			set, err := r.procSet()
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Notify = &membership.Notification{
+				Kind:        membership.NotifyStartChange,
+				StartChange: types.StartChange{ID: types.StartChangeID(cid), Set: set},
+			}
+			return f, nil
+		case notifyView:
+			v, err := r.view()
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Notify = &membership.Notification{Kind: membership.NotifyView, View: v}
+			return f, nil
+		default:
+			return Frame{}, fmt.Errorf("wire: unknown notification tag %d", kind)
+		}
+	default:
+		return Frame{}, fmt.Errorf("wire: unknown frame tag %d", tag)
+	}
+}
+
+// Encoder writes length-prefixed frames to a stream.
+type Encoder struct {
+	w *bufio.Writer
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode writes one frame and flushes.
+func (e *Encoder) Encode(f Frame) error {
+	b, err := MarshalFrame(f)
+	if err != nil {
+		return err
+	}
+	if len(b) > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	if len(b) > math.MaxUint32 {
+		return ErrFrameTooLarge
+	}
+	hdr[0] = byte(len(b) >> 24)
+	hdr[1] = byte(len(b) >> 16)
+	hdr[2] = byte(len(b) >> 8)
+	hdr[3] = byte(len(b))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(b); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads length-prefixed frames from a stream.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads one frame.
+func (d *Decoder) Decode(f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return err
+	}
+	got, err := UnmarshalFrame(body)
+	if err != nil {
+		return err
+	}
+	*f = got
+	return nil
+}
