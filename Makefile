@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test short race fuzz bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Trimmed run: randomized sweeps shrink, chaos soak tests are skipped.
+short:
+	$(GO) test -short ./...
+
+# Race detector across every package (the live transport and chaos tests
+# are the main customers, but nothing is exempt).
+race:
+	$(GO) test -race ./...
+
+# Native fuzzing of the wire codec: malformed length prefixes and truncated
+# payloads must error, never panic or over-allocate.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The pre-merge gate: vet, the full suite, and the race detector on the
+# concurrency-heavy packages.
+check: vet test
+	$(GO) test -race ./internal/live/ ./cmd/vsgm-live/

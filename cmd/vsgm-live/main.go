@@ -7,6 +7,13 @@
 //
 //	vsgm-live -servers 2 -clients 4 -msgs 10
 //	vsgm-live -clients 5 -leave
+//	vsgm-live -servers 2 -clients 4 -partition
+//
+// With -partition the servers run live heartbeat failure detectors, the
+// chaos fabric splits the deployment into two components mid-run, each side
+// reconfigures independently, and the partition then heals back into one
+// merged view. The final report includes per-node transport counters
+// (dials, retries, reconnects, drops) so the degradation is observable.
 package main
 
 import (
@@ -37,14 +44,18 @@ func run(args []string, out io.Writer) error {
 		nServers = fs.Int("servers", 2, "number of membership servers")
 		nClients = fs.Int("clients", 4, "number of client end-points")
 		msgs     = fs.Int("msgs", 10, "multicasts per client")
-		leave    = fs.Bool("leave", false, "remove one member after the traffic phase")
-		timeout  = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
+		leave     = fs.Bool("leave", false, "remove one member after the traffic phase")
+		partition = fs.Bool("partition", false, "partition and heal the servers after the traffic phase")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nServers < 1 || *nClients < 1 {
 		return fmt.Errorf("need at least one server and one client")
+	}
+	if *partition && *nServers < 2 {
+		return fmt.Errorf("-partition needs at least two servers")
 	}
 
 	var (
@@ -98,13 +109,24 @@ func run(args []string, out io.Writer) error {
 	for _, node := range clients {
 		node.SetPeers(dir)
 	}
+	homes := make(map[types.ProcID]types.ProcID, *nClients)
 	for i, cid := range clientIDs {
-		servers[i%len(servers)].AddClient(cid)
+		srv := servers[i%len(servers)]
+		srv.AddClient(cid)
+		homes[cid] = srv.ID()
 	}
 
 	fmt.Fprintf(out, "booting %d servers and %d clients on loopback TCP\n", *nServers, *nClients)
-	for _, sn := range servers {
-		sn.SetReachable(serverSet)
+	if *partition {
+		// The partition scenario needs live failure detection: heartbeats
+		// notice the silence across the cut and reconfigure each side.
+		for _, sn := range servers {
+			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
+		}
+	} else {
+		for _, sn := range servers {
+			sn.SetReachable(serverSet)
+		}
 	}
 	all := types.NewProcSet(clientIDs...)
 	if err := waitFor(*timeout, func() bool {
@@ -158,6 +180,72 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("traffic phase: %w", err)
 	}
 
+	if *partition {
+		// Split the servers into two halves; each component is a server
+		// group plus its homed clients, and every member blocks outbound
+		// frames to the other side — the transport stays up, the frames
+		// silently vanish, and the heartbeat detectors observe the silence.
+		half := *nServers / 2
+		groupA := types.NewProcSet(serverIDs[:half]...)
+		groupB := types.NewProcSet(serverIDs[half:]...)
+		compA, compB := groupA.Clone(), groupB.Clone()
+		for cid, home := range homes {
+			if groupA.Contains(home) {
+				compA.Add(cid)
+			} else {
+				compB.Add(cid)
+			}
+		}
+		chaos := make(map[types.ProcID]*live.Chaos)
+		for _, sn := range servers {
+			chaos[sn.ID()] = sn.Chaos()
+		}
+		for cid, node := range clients {
+			chaos[cid] = node.Chaos()
+		}
+		union := compA.Union(compB)
+		for _, comp := range []types.ProcSet{compA, compB} {
+			outside := union.Minus(comp).Sorted()
+			for p := range comp {
+				chaos[p].BlockOutbound(outside...)
+			}
+		}
+		fmt.Fprintf(out, "partitioning servers into %s | %s\n", groupA, groupB)
+
+		clientsA := compA.Minus(groupA)
+		clientsB := compB.Minus(groupB)
+		if err := waitFor(*timeout, func() bool {
+			for cid, node := range clients {
+				want := clientsA
+				if compB.Contains(cid) {
+					want = clientsB
+				}
+				if !node.CurrentView().Members.Equal(want) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("partition phase: %w", err)
+		}
+		fmt.Fprintf(out, "partition observed: sides installed %s and %s\n", clientsA, clientsB)
+
+		for _, c := range chaos {
+			c.Heal()
+		}
+		if err := waitFor(*timeout, func() bool {
+			for _, node := range clients {
+				if !node.CurrentView().Members.Equal(all) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("heal phase: %w", err)
+		}
+		fmt.Fprintf(out, "healed: group reconverged on %s\n", clients[clientIDs[0]].CurrentView())
+	}
+
 	if *leave && *nClients > 1 {
 		leaver := clientIDs[*nClients-1]
 		fmt.Fprintf(out, "%s leaves the group\n", leaver)
@@ -188,6 +276,29 @@ func run(args []string, out io.Writer) error {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, cid := range ids {
 		fmt.Fprintf(out, "  %s delivered %d messages\n", cid, delivered[cid])
+	}
+
+	fmt.Fprintln(out, "transport counters:")
+	printStats := func(id types.ProcID, stats map[types.ProcID]live.LinkStats) {
+		var a live.LinkStats
+		for _, s := range stats {
+			a.Dials += s.Dials
+			a.DialFailures += s.DialFailures
+			a.Retries += s.Retries
+			a.Reconnects += s.Reconnects
+			a.FramesSent += s.FramesSent
+			a.WriteErrors += s.WriteErrors
+			a.QueueDrops += s.QueueDrops
+			a.ChaosDrops += s.ChaosDrops
+		}
+		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d writeErrs=%d drops=%d\n",
+			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.WriteErrors, a.Drops())
+	}
+	for _, sn := range servers {
+		printStats(sn.ID(), sn.LinkStats())
+	}
+	for _, cid := range ids {
+		printStats(cid, clients[cid].LinkStats())
 	}
 	fmt.Fprintln(out, "done")
 	return nil

@@ -29,8 +29,31 @@ func TestRunLiveWithLeave(t *testing.T) {
 	}
 }
 
+func TestRunLiveWithPartition(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-servers", "2", "-clients", "4", "-msgs", "2", "-partition"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"partitioning servers",
+		"partition observed",
+		"healed: group reconverged",
+		"transport counters:",
+		"drops=",
+		"done",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunLiveValidatesFlags(t *testing.T) {
 	if err := run([]string{"-clients", "0"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("zero clients accepted")
+	}
+	if err := run([]string{"-servers", "1", "-partition"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-partition with one server accepted")
 	}
 }

@@ -136,12 +136,27 @@ func run() error {
 	}
 
 	mu.Lock()
-	defer mu.Unlock()
 	for _, cid := range clientIDs {
 		msgs := append([]string(nil), delivered[cid]...)
 		sort.Strings(msgs)
 		fmt.Printf("  %s delivered %v\n", cid, msgs)
 	}
+	mu.Unlock()
+
+	// The supervised transport keeps per-link counters; a healthy run shows
+	// one dial per active link and no retries or drops.
+	fmt.Println("\ntransport counters:")
+	for _, cid := range clientIDs {
+		var dials, retries, drops, frames int64
+		for _, s := range clients[cid].LinkStats() {
+			dials += s.Dials
+			retries += s.Retries
+			frames += s.FramesSent
+			drops += s.Drops()
+		}
+		fmt.Printf("  %s: dials=%d retries=%d frames=%d drops=%d\n", cid, dials, retries, frames, drops)
+	}
+
 	fmt.Println("\nvirtually synchronous multicast over real sockets ✓")
 	return nil
 }

@@ -1,0 +1,729 @@
+package live
+
+// Regime 3 tests: the live deployment under fault injection. The chaos
+// fabric degrades real TCP links (partitions, latency, partial writes,
+// drops, duplicates) while the full spec suite checks every safety
+// property, and white-box transport tests pin down the supervision
+// guarantees: bounded queues, backoff without goroutine leaks, dial and
+// write deadlines, and prompt teardown behind dead or stuck peers.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/types"
+)
+
+// waitUntil polls cond until it holds or the timeout passes.
+func waitUntil(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// deliveredSnapshot copies the per-client delivery counters.
+func (w *liveWorld) deliveredSnapshot() map[types.ProcID]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[types.ProcID]int, len(w.dlvrs))
+	for k, v := range w.dlvrs {
+		out[k] = v
+	}
+	return out
+}
+
+// sendRetry multicasts from cid, retrying through block windows (view
+// changes block clients transiently; that is correct behavior, not failure).
+func (w *liveWorld) sendRetry(cid types.ProcID, payload string) {
+	w.t.Helper()
+	node := w.clients[cid]
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, err := node.Send([]byte(payload))
+		if err == nil {
+			return
+		}
+		if err != core.ErrBlocked {
+			w.t.Fatalf("send from %s: %v", cid, err)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	w.t.Fatalf("send from %s still blocked after 10s", cid)
+}
+
+// sideClients returns the clients homed at the given server.
+func (w *liveWorld) sideClients(srv types.ProcID) types.ProcSet {
+	s := types.NewProcSet()
+	for cid, home := range w.homes {
+		if home == srv {
+			s.Add(cid)
+		}
+	}
+	return s
+}
+
+// allClients returns the full client set.
+func (w *liveWorld) allClients() types.ProcSet {
+	s := types.NewProcSet()
+	for cid := range w.clients {
+		s.Add(cid)
+	}
+	return s
+}
+
+// TestLiveChaosPartitionAndHeal is the live-network mirror of
+// sim.TestServerWorldPartitionAndHeal: two servers with two clients each
+// run over real sockets, the chaos fabric partitions the deployment
+// mid-multicast, each side reconfigures down to its own component and keeps
+// multicasting, the partition heals, and the group reconverges on the
+// merged view — with the full spec suite checking every event throughout.
+func TestLiveChaosPartitionAndHeal(t *testing.T) {
+	w := newLiveWorld(t, 2, 4)
+	defer w.close()
+	w.startHeartbeats(15*time.Millisecond, 120*time.Millisecond)
+
+	all := w.allClients()
+	w.waitFor("initial full view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Pre-partition round: everyone hears everyone.
+	base := w.deliveredSnapshot()
+	for cid := range w.clients {
+		w.sendRetry(cid, "pre-"+string(cid))
+	}
+	w.waitFor("pre-partition deliveries everywhere", func() bool {
+		snap := w.deliveredSnapshot()
+		for cid := range w.clients {
+			if snap[cid] < base[cid]+len(w.clients) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Background traffic keeps flowing through the partition onset and the
+	// heal, so the faults land mid-multicast rather than between quiet
+	// phases. Errors (block windows during view changes) are expected.
+	stop := make(chan struct{})
+	var traffic sync.WaitGroup
+	for cid, node := range w.clients {
+		cid, node := cid, node
+		traffic.Add(1)
+		go func() {
+			defer traffic.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node.Send([]byte(fmt.Sprintf("bg-%s-%d", cid, i)))
+				time.Sleep(3 * time.Millisecond)
+			}
+		}()
+	}
+
+	sideA := w.sideClients(w.servers[0].ID())
+	sideB := w.sideClients(w.servers[1].ID())
+	w.partitionServers(
+		types.NewProcSet(w.servers[0].ID()),
+		types.NewProcSet(w.servers[1].ID()),
+	)
+
+	w.waitFor("each side to install its own view", func() bool {
+		for cid, node := range w.clients {
+			want := sideA
+			if sideB.Contains(cid) {
+				want = sideB
+			}
+			if !node.CurrentView().Members.Equal(want) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Mid-partition round: each component keeps multicasting internally.
+	mid := w.deliveredSnapshot()
+	for cid := range w.clients {
+		w.sendRetry(cid, "mid-"+string(cid))
+	}
+	w.waitFor("mid-partition deliveries within each side", func() bool {
+		snap := w.deliveredSnapshot()
+		for cid := range w.clients {
+			side := sideA
+			if sideB.Contains(cid) {
+				side = sideB
+			}
+			if snap[cid] < mid[cid]+side.Len() {
+				return false
+			}
+		}
+		return true
+	})
+
+	w.healServers()
+	w.waitFor("clients to reconverge on the merged view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	close(stop)
+	traffic.Wait()
+
+	// Post-heal round: the merged group is fully connected again.
+	post := w.deliveredSnapshot()
+	for cid := range w.clients {
+		w.sendRetry(cid, "post-"+string(cid))
+	}
+	w.waitFor("post-heal deliveries everywhere", func() bool {
+		snap := w.deliveredSnapshot()
+		for cid := range w.clients {
+			if snap[cid] < post[cid]+len(w.clients) {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations across partition and heal:\n%v", err)
+	}
+
+	// The degradation was observable: the partition blocks counted drops.
+	var chaosDrops int64
+	for _, sn := range w.servers {
+		for _, s := range sn.LinkStats() {
+			chaosDrops += s.ChaosDrops
+		}
+	}
+	for _, node := range w.clients {
+		for _, s := range node.LinkStats() {
+			chaosDrops += s.ChaosDrops
+		}
+	}
+	if chaosDrops == 0 {
+		t.Error("partition dropped no frames — chaos blocks never engaged")
+	}
+}
+
+// TestLiveLinkFailureFeedsSuspicion pins the transport→detector wiring:
+// with a heartbeat timeout far past the test's lifetime, the only way the
+// surviving server can learn of its peer's death is the transport reporting
+// the broken link (linkDown → Detector.Suspect).
+func TestLiveLinkFailureFeedsSuspicion(t *testing.T) {
+	w := newLiveWorld(t, 2, 2)
+	defer w.close()
+	w.startHeartbeats(20*time.Millisecond, 60*time.Second)
+
+	all := w.allClients()
+	w.waitFor("initial full view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	dead := w.servers[1]
+	deadClients := w.sideClients(dead.ID())
+	dead.Close()
+
+	rest := all.Minus(deadClients)
+	w.waitFor("link-failure suspicion to reconfigure the survivors", func() bool {
+		for cid, node := range w.clients {
+			if deadClients.Contains(cid) {
+				continue
+			}
+			if !node.CurrentView().Members.Equal(rest) {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
+	}
+}
+
+// TestLiveReconnectBackoffAndResume kills a peer's listener mid-traffic,
+// asserts the supervisor backs off in place (no per-attempt goroutine
+// growth), restarts the listener on the same address, and asserts delivery
+// resumes with the retry counters advanced.
+func TestLiveReconnectBackoffAndResume(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout:  time.Second,
+		WriteTimeout: time.Second,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		QueueCap:     256,
+	}
+
+	var mu sync.Mutex
+	var got []string
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			mu.Lock()
+			got = append(got, string(fr.Msg.App.Payload))
+			mu.Unlock()
+		}
+	}
+	has := func(want string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range got {
+			if s == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	before := runtime.NumGoroutine()
+
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fb.Addr()
+	fa.SetPeers(map[types.ProcID]string{"b": addr})
+
+	send := func(payload string, id int64) {
+		fa.Send([]types.ProcID{"b"}, types.WireMsg{
+			Kind: types.KindApp,
+			App:  types.AppMsg{ID: id, Payload: []byte(payload)},
+		})
+	}
+
+	send("first", 1)
+	waitUntil(t, "first delivery", 5*time.Second, func() bool { return has("first") })
+
+	// Kill the listener. An idle link only discovers the break on its next
+	// write, so probe while waiting; the supervisor must then retry in place.
+	fb.Close()
+	probe := 0
+	waitUntil(t, "the break to be noticed", 5*time.Second, func() bool {
+		send(fmt.Sprintf("probe-%d", probe), int64(500+probe))
+		probe++
+		s := fa.Stats()["b"]
+		return s.DialFailures >= 1 || s.WriteErrors >= 1
+	})
+
+	g0 := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		send(fmt.Sprintf("down-%d", i), int64(10+i))
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitUntil(t, "backoff retries to accumulate", 5*time.Second, func() bool {
+		return fa.Stats()["b"].Retries >= 3
+	})
+	if g1 := runtime.NumGoroutine(); g1 > g0+10 {
+		t.Fatalf("goroutines grew while the peer was down: %d -> %d (per-attempt leak?)", g0, g1)
+	}
+	if s := fa.Stats()["b"]; s.DialFailures < 1 {
+		t.Fatalf("expected dial failures while the listener was down, got %+v", s)
+	}
+
+	// Restart the listener on the same address; delivery must resume. The
+	// OS may briefly hold the port, so rebinding retries.
+	var fb2 *fabric
+	waitUntil(t, "rebinding the peer's address", 5*time.Second, func() bool {
+		fb2, err = newFabric("b", addr, cfg, recv, nil)
+		return err == nil
+	})
+
+	send("after-restart", 1000)
+	waitUntil(t, "delivery to resume after restart", 10*time.Second, func() bool {
+		return has("after-restart")
+	})
+
+	s := fa.Stats()["b"]
+	if s.Reconnects < 1 {
+		t.Errorf("expected >=1 reconnect, got %+v", s)
+	}
+	if s.Retries < 3 {
+		t.Errorf("expected >=3 retries, got %+v", s)
+	}
+
+	fa.Close()
+	fb2.Close()
+	waitUntil(t, "goroutines to settle after close", 5*time.Second, func() bool {
+		return runtime.NumGoroutine() <= before+3
+	})
+}
+
+// TestLiveDeadPeerNeverWedgesSend sends a burst at an address that refuses
+// connections: Send must return immediately (bounded queue, supervised
+// dialing), the dial failures must be counted, and Close must stay prompt.
+func TestLiveDeadPeerNeverWedgesSend(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout:  200 * time.Millisecond,
+		WriteTimeout: time.Second,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		QueueCap:     64,
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A port that refuses connections: bind one, note it, close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	fa.SetPeers(map[types.ProcID]string{"ghost": deadAddr})
+
+	start := time.Now()
+	for i := 0; i < 500; i++ {
+		fa.Send([]types.ProcID{"ghost"}, types.WireMsg{Kind: types.KindHeartbeat})
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("500 sends to a dead peer took %v — Send must never block on the network", d)
+	}
+
+	waitUntil(t, "supervised dial failures", 5*time.Second, func() bool {
+		s := fa.Stats()["ghost"]
+		return s.DialFailures >= 2 && s.Retries >= 2
+	})
+	if s := fa.Stats()["ghost"]; s.QueueDrops == 0 {
+		t.Errorf("expected the bounded queue to shed load (500 sends, cap 64): %+v", s)
+	}
+
+	done := make(chan struct{})
+	go func() { fa.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close wedged behind a dead peer")
+	}
+}
+
+// TestLiveChaosPartialWritesAndLatency fragments every socket write into
+// 7-byte chunks and adds jittered latency: frames must still arrive intact
+// and in order, because framing is length-prefixed and the decoder reads
+// incrementally.
+func TestLiveChaosPartialWritesAndLatency(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+	}
+	var mu sync.Mutex
+	var got []string
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			mu.Lock()
+			got = append(got, string(fr.Msg.App.Payload))
+			mu.Unlock()
+		}
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+
+	fa.Chaos().SetPartialWrites(true)
+	fa.Chaos().SetLatency(time.Millisecond, 2*time.Millisecond)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		fa.Send([]types.ProcID{"b"}, types.WireMsg{
+			Kind: types.KindApp,
+			App:  types.AppMsg{ID: int64(i), Payload: []byte(fmt.Sprintf("m-%02d", i))},
+		})
+	}
+	waitUntil(t, "all frames to arrive through the degraded link", 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range got {
+		if want := fmt.Sprintf("m-%02d", i); s != want {
+			t.Fatalf("frame %d out of order or corrupted: got %q, want %q", i, s, want)
+		}
+	}
+	if s := fa.Stats()["b"]; s.FramesSent != n {
+		t.Errorf("FramesSent = %d, want %d", s.FramesSent, n)
+	}
+}
+
+// TestLiveChaosDropAndDuplicate drives the probabilistic knobs at 1.0 so
+// their effect is deterministic: dup doubles every frame (counted), drop
+// suppresses every frame (counted), and Heal restores faithful delivery.
+func TestLiveChaosDropAndDuplicate(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+	}
+	var received atomic.Int64
+	var dropped atomic.Int64
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg == nil || fr.Msg.Kind != types.KindApp {
+			return
+		}
+		if bytes.HasPrefix(fr.Msg.App.Payload, []byte("drop-")) {
+			dropped.Add(1)
+			return
+		}
+		received.Add(1)
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+
+	send := func(payload string, id int64) {
+		fa.Send([]types.ProcID{"b"}, types.WireMsg{
+			Kind: types.KindApp,
+			App:  types.AppMsg{ID: id, Payload: []byte(payload)},
+		})
+	}
+
+	const n = 10
+	fa.Chaos().SetDuplicateProbability(1.0)
+	for i := 0; i < n; i++ {
+		send(fmt.Sprintf("dup-%d", i), int64(i))
+	}
+	waitUntil(t, "every frame to arrive twice", 10*time.Second, func() bool {
+		return received.Load() == 2*n
+	})
+	if s := fa.Stats()["b"]; s.ChaosDups != n {
+		t.Errorf("ChaosDups = %d, want %d", s.ChaosDups, n)
+	}
+
+	fa.Chaos().Heal()
+	fa.Chaos().SetDropProbability(1.0)
+	for i := 0; i < n; i++ {
+		send(fmt.Sprintf("drop-%d", i), int64(100+i))
+	}
+	waitUntil(t, "every frame to be dropped", 10*time.Second, func() bool {
+		return fa.Stats()["b"].ChaosDrops >= n
+	})
+	if got := dropped.Load(); got != 0 {
+		t.Errorf("%d frames leaked through a 1.0 drop probability", got)
+	}
+
+	fa.Chaos().Heal()
+	send("probe", 1000)
+	waitUntil(t, "faithful delivery after Heal", 10*time.Second, func() bool {
+		return received.Load() == 2*n+1
+	})
+	if got := dropped.Load(); got != 0 {
+		t.Errorf("dropped frames resurfaced after Heal: %d", got)
+	}
+}
+
+// TestLiveWriteDeadlineBreaksStuckPeer connects to a listener that accepts
+// and then never reads. Once the kernel buffers fill, writes stall; the
+// write deadline must break the stall, count it, surface it through onDown,
+// and leave Close prompt.
+func TestLiveWriteDeadlineBreaksStuckPeer(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout:  time.Second,
+		WriteTimeout: 250 * time.Millisecond,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		QueueCap:     8,
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var cmu sync.Mutex
+	var held []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			cmu.Lock()
+			held = append(held, c)
+			cmu.Unlock()
+		}
+	}()
+	defer func() {
+		cmu.Lock()
+		defer cmu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+
+	var downs atomic.Int64
+	fa, err := newFabric("a", "127.0.0.1:0", cfg,
+		func(types.ProcID, frame) {},
+		func(types.ProcID, error) { downs.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.SetPeers(map[types.ProcID]string{"stuck": ln.Addr().String()})
+
+	// Keep feeding large frames until the socket buffers fill and the
+	// deadline fires (buffer sizes vary by host, so a fixed burst is not
+	// enough).
+	payload := bytes.Repeat([]byte("x"), 512<<10)
+	big := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 1, Payload: payload}}
+	waitUntil(t, "the write deadline to break the stuck link", 15*time.Second, func() bool {
+		fa.Send([]types.ProcID{"stuck"}, big)
+		return fa.Stats()["stuck"].WriteErrors >= 1
+	})
+	if downs.Load() == 0 {
+		t.Error("link failure was not reported through onDown")
+	}
+
+	done := make(chan struct{})
+	go func() { fa.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged behind a stuck peer")
+	}
+}
+
+// TestLiveChaosSoakPartitionCycles runs repeated partition/heal cycles with
+// latency and partial writes on every link while background traffic flows,
+// then checks the full spec suite. Skipped under -short.
+func TestLiveChaosSoakPartitionCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: repeated partition/heal cycles under degraded links")
+	}
+	w := newLiveWorld(t, 2, 4)
+	defer w.close()
+	w.startHeartbeats(15*time.Millisecond, 120*time.Millisecond)
+
+	all := w.allClients()
+	fullView := func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	}
+	w.waitFor("initial full view", fullView)
+
+	// Degrade every link; Heal clears these, so reapply after each cycle.
+	degrade := func() {
+		for _, c := range w.chaosOf() {
+			c.SetLatency(0, 2*time.Millisecond)
+			c.SetPartialWrites(true)
+		}
+	}
+	degrade()
+
+	stop := make(chan struct{})
+	var traffic sync.WaitGroup
+	for cid, node := range w.clients {
+		cid, node := cid, node
+		traffic.Add(1)
+		go func() {
+			defer traffic.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node.Send([]byte(fmt.Sprintf("soak-%s-%d", cid, i)))
+				time.Sleep(3 * time.Millisecond)
+			}
+		}()
+	}
+
+	sideA := w.sideClients(w.servers[0].ID())
+	sideB := w.sideClients(w.servers[1].ID())
+	for cycle := 0; cycle < 2; cycle++ {
+		w.partitionServers(
+			types.NewProcSet(w.servers[0].ID()),
+			types.NewProcSet(w.servers[1].ID()),
+		)
+		w.waitFor(fmt.Sprintf("cycle %d: side views", cycle), func() bool {
+			for cid, node := range w.clients {
+				want := sideA
+				if sideB.Contains(cid) {
+					want = sideB
+				}
+				if !node.CurrentView().Members.Equal(want) {
+					return false
+				}
+			}
+			return true
+		})
+		w.healServers()
+		w.waitFor(fmt.Sprintf("cycle %d: merged view", cycle), fullView)
+		degrade()
+	}
+
+	close(stop)
+	traffic.Wait()
+
+	post := w.deliveredSnapshot()
+	for cid := range w.clients {
+		w.sendRetry(cid, "final-"+string(cid))
+	}
+	w.waitFor("final deliveries everywhere", func() bool {
+		snap := w.deliveredSnapshot()
+		for cid := range w.clients {
+			if snap[cid] < post[cid]+len(w.clients) {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations across soak cycles:\n%v", err)
+	}
+}

@@ -3,21 +3,98 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
 )
 
-// mailbox is an unbounded FIFO queue: outbound sends and application events
-// enqueue here so the automaton's step loop never blocks on a slow consumer,
-// and a single goroutine drains in order.
+// TransportConfig tunes the supervised transport underneath a live node.
+// The zero value selects production defaults; tests shrink the timeouts to
+// keep fault-injection runs fast.
+type TransportConfig struct {
+	// DialTimeout bounds one connection attempt; a dead peer can never
+	// block connection setup past it. Default 3s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write, so a peer that stops draining
+	// its socket stalls a sender for at most this long before the link is
+	// torn down and redialed. Default 10s.
+	WriteTimeout time.Duration
+	// ReadIdleTimeout, when positive, severs an inbound connection that has
+	// been silent for the duration. Off by default: client links are
+	// legitimately idle between multicasts.
+	ReadIdleTimeout time.Duration
+	// BackoffBase is the first reconnection delay; each failed attempt
+	// doubles it (with jitter) up to BackoffMax. Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QueueCap bounds each per-peer outbound queue; when a link is down
+	// long enough to fill it, the oldest frames are evicted (and counted)
+	// so senders never block. Default 4096.
+	QueueCap int
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	return c
+}
+
+// LinkStats are the per-peer transport counters a fabric accumulates; they
+// make degradation observable (tests assert on them, cmd/vsgm-live prints
+// them).
+type LinkStats struct {
+	// Dials counts connection attempts; DialFailures the ones that errored.
+	Dials        int64
+	DialFailures int64
+	// Reconnects counts successful connections after the first.
+	Reconnects int64
+	// Retries counts backoff sleeps taken while the link was down.
+	Retries int64
+	// FramesSent counts frames written to the socket.
+	FramesSent int64
+	// WriteErrors counts frame writes that failed (each tears the
+	// connection down for a supervised redial).
+	WriteErrors int64
+	// QueueDrops counts frames evicted from the bounded outbound queue.
+	QueueDrops int64
+	// ChaosDrops / ChaosDups count frames dropped or duplicated by the
+	// chaos controller (including one-way partition drops).
+	ChaosDrops int64
+	ChaosDups  int64
+}
+
+// Drops is the total of all dropped frames on the link.
+func (s LinkStats) Drops() int64 { return s.QueueDrops + s.ChaosDrops }
+
+// mailbox is a FIFO queue: outbound sends and application events enqueue
+// here so the automaton's step loop never blocks on a slow consumer, and a
+// single goroutine drains in order. With a positive cap the queue is
+// bounded: a full queue evicts its oldest entry (counted) instead of
+// blocking the producer.
 type mailbox[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []T
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []T
+	cap     int
+	evicted int64
+	closed  bool
 }
 
 func newMailbox[T any]() *mailbox[T] {
@@ -26,12 +103,23 @@ func newMailbox[T any]() *mailbox[T] {
 	return m
 }
 
-// put enqueues v; it reports false if the mailbox is closed.
+func newBoundedMailbox[T any](cap int) *mailbox[T] {
+	m := newMailbox[T]()
+	m.cap = cap
+	return m
+}
+
+// put enqueues v; it reports false if the mailbox is closed. A bounded
+// mailbox at capacity evicts its oldest entry to make room.
 func (m *mailbox[T]) put(v T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return false
+	}
+	if m.cap > 0 && len(m.queue) >= m.cap {
+		m.queue = m.queue[1:]
+		m.evicted++
 	}
 	m.queue = append(m.queue, v)
 	m.cond.Signal()
@@ -61,17 +149,56 @@ func (m *mailbox[T]) close() {
 	m.cond.Broadcast()
 }
 
-// fabric owns a process's listener, its outbound connections (one per
-// destination, dialed lazily), and the inbound reader goroutines. Incoming
-// frames are handed to the receive callback in per-connection order.
+func (m *mailbox[T]) evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// link is the supervised state for one destination: its bounded outbound
+// queue plus counters. The writer goroutine starts on first use and owns
+// the dial/backoff/reconnect cycle.
+type link struct {
+	peer    types.ProcID
+	mb      *mailbox[frame]
+	started bool
+
+	mu        sync.Mutex
+	stats     LinkStats
+	connected bool // ever connected (distinguishes connects from reconnects)
+}
+
+func (l *link) bump(f func(*LinkStats)) {
+	l.mu.Lock()
+	f(&l.stats)
+	l.mu.Unlock()
+}
+
+func (l *link) snapshot() LinkStats {
+	l.mu.Lock()
+	s := l.stats
+	l.mu.Unlock()
+	s.QueueDrops += l.mb.evictions()
+	return s
+}
+
+// fabric owns a process's listener, its supervised outbound links (one per
+// destination, dialed lazily with timeout/backoff/reconnect), and the
+// inbound reader goroutines. Incoming frames are handed to the receive
+// callback in per-connection order. Link failures are reported through
+// onDown so the layer above can translate them into detector suspicions.
 type fabric struct {
 	id      types.ProcID
+	cfg     TransportConfig
 	ln      net.Listener
 	receive func(from types.ProcID, f frame)
+	onDown  func(peer types.ProcID, err error)
+	chaos   *Chaos
 
-	mu    sync.Mutex
-	peers map[types.ProcID]string
-	outs  map[types.ProcID]*mailbox[frame]
+	mu     sync.Mutex
+	peers  map[types.ProcID]string
+	links  map[types.ProcID]*link
+	closed bool
 
 	wg      sync.WaitGroup
 	closing chan struct{}
@@ -79,18 +206,24 @@ type fabric struct {
 }
 
 // newFabric starts listening on addr (use "127.0.0.1:0" for an ephemeral
-// port) and begins accepting inbound connections.
-func newFabric(id types.ProcID, addr string, receive func(types.ProcID, frame)) (*fabric, error) {
+// port) and begins accepting inbound connections. onDown (optional) is
+// invoked from transport goroutines whenever an established link breaks or
+// a dial fails; it must not block.
+func newFabric(id types.ProcID, addr string, cfg TransportConfig,
+	receive func(types.ProcID, frame), onDown func(types.ProcID, error)) (*fabric, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
 	}
 	f := &fabric{
 		id:      id,
+		cfg:     cfg.withDefaults(),
 		ln:      ln,
 		receive: receive,
+		onDown:  onDown,
+		chaos:   newChaos(),
 		peers:   make(map[types.ProcID]string),
-		outs:    make(map[types.ProcID]*mailbox[frame]),
+		links:   make(map[types.ProcID]*link),
 		closing: make(chan struct{}),
 	}
 	f.wg.Add(1)
@@ -101,7 +234,11 @@ func newFabric(id types.ProcID, addr string, receive func(types.ProcID, frame)) 
 // Addr returns the fabric's listen address.
 func (f *fabric) Addr() string { return f.ln.Addr().String() }
 
-// SetPeers installs (or extends) the address directory.
+// Chaos returns the fabric's fault-injection controller.
+func (f *fabric) Chaos() *Chaos { return f.chaos }
+
+// SetPeers installs (or extends) the address directory. A link whose peer
+// address arrives late is picked up on its next reconnection attempt.
 func (f *fabric) SetPeers(peers map[types.ProcID]string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -110,10 +247,31 @@ func (f *fabric) SetPeers(peers map[types.ProcID]string) {
 	}
 }
 
-// Send enqueues m toward each destination, dialing lazily. Unknown or
-// unreachable destinations are dropped silently — exactly the substrate's
-// prerogative for processes outside the reliable set; the GCS layers above
-// are built to tolerate and recover from it.
+func (f *fabric) addrOf(q types.ProcID) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peers[q]
+}
+
+// Stats snapshots the per-link transport counters, keyed by peer.
+func (f *fabric) Stats() map[types.ProcID]LinkStats {
+	f.mu.Lock()
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	out := make(map[types.ProcID]LinkStats, len(links))
+	for _, l := range links {
+		out[l.peer] = l.snapshot()
+	}
+	return out
+}
+
+// Send enqueues m toward each destination. Delivery is supervised per link:
+// unknown or unreachable destinations retry with backoff in the background
+// while the bounded queue absorbs (and eventually sheds) the backlog — a
+// dead peer can never wedge the caller.
 func (f *fabric) Send(dests []types.ProcID, m types.WireMsg) {
 	cp := m
 	fr := frame{From: f.id, Msg: &cp}
@@ -128,56 +286,191 @@ func (f *fabric) SendNotify(dest types.ProcID, n frame) {
 	f.outbox(dest).put(n)
 }
 
+// linkFor returns (creating if needed) the link record for q without
+// starting its writer — inbound chaos accounting needs stats-only access.
+func (f *fabric) linkFor(q types.ProcID) *link {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.linkLocked(q)
+}
+
+func (f *fabric) linkLocked(q types.ProcID) *link {
+	if l, ok := f.links[q]; ok {
+		return l
+	}
+	l := &link{peer: q, mb: newBoundedMailbox[frame](f.cfg.QueueCap)}
+	if f.closed {
+		l.mb.close()
+	}
+	f.links[q] = l
+	return l
+}
+
 func (f *fabric) outbox(q types.ProcID) *mailbox[frame] {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if mb, ok := f.outs[q]; ok {
-		return mb
+	l := f.linkLocked(q)
+	if !l.started && !f.closed {
+		l.started = true
+		f.wg.Add(1)
+		go f.writeLoop(l)
 	}
-	mb := newMailbox[frame]()
-	f.outs[q] = mb
-	addr := f.peers[q]
-	f.wg.Add(1)
-	go f.writeLoop(addr, mb)
-	return mb
+	return l.mb
 }
 
-// writeLoop dials the destination and streams the mailbox into it.
-func (f *fabric) writeLoop(addr string, mb *mailbox[frame]) {
-	defer f.wg.Done()
-	if addr == "" {
-		// Unknown peer: drain and drop.
-		for {
-			if _, ok := mb.take(); !ok {
-				return
-			}
-		}
+// sleep pauses for d, returning false if the fabric closed meanwhile.
+func (f *fabric) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		for {
-			if _, ok := mb.take(); !ok {
-				return
-			}
-		}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.closing:
+		return false
+	case <-t.C:
+		return true
 	}
-	defer conn.Close()
-	go func() {
-		<-f.closing
-		conn.Close() // unblock a writer stuck in a syscall
-	}()
-	enc := wire.NewEncoder(conn)
-	if err := enc.Encode(frame{From: f.id}); err != nil {
+}
+
+func (f *fabric) isClosing() bool {
+	select {
+	case <-f.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// linkDown reports a broken or undialable link upward (unless the fabric
+// itself is shutting down, when breakage is expected).
+func (f *fabric) linkDown(peer types.ProcID, err error) {
+	if f.isClosing() || f.onDown == nil {
 		return
 	}
+	f.onDown(peer, err)
+}
+
+// watchConn closes conn when the fabric shuts down (unblocking any stuck
+// syscall) and exits promptly when the connection is retired.
+func (f *fabric) watchConn(conn net.Conn, retired <-chan struct{}) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		select {
+		case <-f.closing:
+			conn.Close()
+		case <-retired:
+		}
+	}()
+}
+
+// connect dials l's peer until a connection (with handshake) is
+// established, backing off exponentially with jitter between attempts. It
+// returns nils only when the fabric is closing. The peer address is
+// re-resolved on every attempt, so directories installed after the first
+// Send are picked up.
+func (f *fabric) connect(l *link) (net.Conn, *wire.Encoder, chan struct{}) {
+	backoff := f.cfg.BackoffBase
 	for {
-		fr, ok := mb.take()
-		if !ok {
-			return
+		if f.isClosing() {
+			return nil, nil, nil
 		}
-		if err := enc.Encode(fr); err != nil {
-			return // connection broken; peer is gone
+		if addr := f.addrOf(l.peer); addr != "" {
+			l.bump(func(s *LinkStats) { s.Dials++ })
+			d := net.Dialer{Timeout: f.cfg.DialTimeout}
+			conn, err := d.Dial("tcp", addr)
+			if err == nil {
+				enc := wire.NewEncoder(f.chaos.wrap(conn))
+				enc.ArmWriteDeadline(conn, f.cfg.WriteTimeout)
+				if err = enc.Encode(frame{From: f.id}); err == nil {
+					l.mu.Lock()
+					if l.connected {
+						l.stats.Reconnects++
+					}
+					l.connected = true
+					l.mu.Unlock()
+					retired := make(chan struct{})
+					f.watchConn(conn, retired)
+					return conn, enc, retired
+				}
+				conn.Close()
+			}
+			l.bump(func(s *LinkStats) { s.DialFailures++ })
+			f.linkDown(l.peer, err)
 		}
+		l.bump(func(s *LinkStats) { s.Retries++ })
+		if !f.sleep(jitter(backoff)) {
+			return nil, nil, nil
+		}
+		backoff = min(2*backoff, f.cfg.BackoffMax)
+	}
+}
+
+// jitter spreads a backoff delay over [d/2, d] so a fleet of links redialing
+// the same recovered peer does not thunder in lockstep.
+func jitter(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// writeLoop supervises one outbound link: it drains the bounded queue,
+// applies outbound chaos, dials (and redials) the peer with backoff, and
+// retains an unsent frame across reconnects so a transient failure loses at
+// most the bytes the kernel had already accepted.
+func (f *fabric) writeLoop(l *link) {
+	defer f.wg.Done()
+	var (
+		conn    net.Conn
+		enc     *wire.Encoder
+		retired chan struct{}
+		pending []frame // ≤2 entries: the frame, plus a chaos duplicate
+	)
+	dropConn := func() {
+		if conn != nil {
+			conn.Close()
+			close(retired)
+			conn, enc, retired = nil, nil, nil
+		}
+	}
+	defer dropConn()
+	for {
+		if len(pending) == 0 {
+			fr, ok := l.mb.take()
+			if !ok {
+				return
+			}
+			verdict := f.chaos.outbound(l.peer)
+			if verdict.delay > 0 && !f.sleep(verdict.delay) {
+				return
+			}
+			if verdict.drop {
+				l.bump(func(s *LinkStats) { s.ChaosDrops++ })
+				continue
+			}
+			pending = append(pending, fr)
+			if verdict.dup {
+				l.bump(func(s *LinkStats) { s.ChaosDups++ })
+				pending = append(pending, fr)
+			}
+		}
+		if conn == nil {
+			conn, enc, retired = f.connect(l)
+			if conn == nil {
+				return // fabric closing
+			}
+		}
+		if err := enc.Encode(pending[0]); err != nil {
+			l.bump(func(s *LinkStats) { s.WriteErrors++ })
+			dropConn()
+			f.linkDown(l.peer, err)
+			continue // pending retained; resent after reconnect
+		}
+		l.bump(func(s *LinkStats) { s.FramesSent++ })
+		pending = pending[1:]
 	}
 }
 
@@ -204,11 +497,11 @@ func (f *fabric) acceptLoop() {
 func (f *fabric) readLoop(conn net.Conn) {
 	defer f.wg.Done()
 	defer conn.Close()
-	go func() {
-		<-f.closing
-		conn.Close()
-	}()
+	retired := make(chan struct{})
+	defer close(retired)
+	f.watchConn(conn, retired)
 	dec := wire.NewDecoder(conn)
+	dec.ArmReadDeadline(conn, f.cfg.ReadIdleTimeout)
 	var hello frame
 	if err := dec.Decode(&hello); err != nil {
 		return
@@ -217,12 +510,17 @@ func (f *fabric) readLoop(conn net.Conn) {
 	for {
 		var fr frame
 		if err := dec.Decode(&fr); err != nil {
+			// A broken inbound stream is link-failure evidence too: the
+			// peer crashed, closed, or went idle past the read deadline.
+			f.linkDown(from, err)
 			return
 		}
-		select {
-		case <-f.closing:
+		if f.isClosing() {
 			return
-		default:
+		}
+		if f.chaos.inboundBlocked(from) {
+			f.linkFor(from).bump(func(s *LinkStats) { s.ChaosDrops++ })
+			continue
 		}
 		f.receive(from, fr)
 	}
@@ -235,8 +533,9 @@ func (f *fabric) Close() {
 		close(f.closing)
 		f.ln.Close()
 		f.mu.Lock()
-		for _, mb := range f.outs {
-			mb.close()
+		f.closed = true
+		for _, l := range f.links {
+			l.mb.close()
 		}
 		f.mu.Unlock()
 	})

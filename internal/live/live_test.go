@@ -35,13 +35,24 @@ type liveWorld struct {
 
 func (w *liveWorld) homeOf(cid types.ProcID) types.ProcID { return w.homes[cid] }
 
+// testTransport shrinks the supervised transport's timeouts so
+// fault-injection tests reconnect and shed load quickly.
+func testTransport() TransportConfig {
+	return TransportConfig{
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   250 * time.Millisecond,
+	}
+}
+
 func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
 	t.Helper()
 	w := &liveWorld{
 		t:       t,
 		clients: make(map[types.ProcID]*Node),
 		homes:   make(map[types.ProcID]types.ProcID),
-		suite:   spec.NewSuite([]spec.Checker{spec.NewWVRFIFO(), spec.NewVSRFIFO(), spec.NewTransSet(), spec.NewSelfDelivery()}),
+		suite:   spec.FullSuite(spec.WithTrace()),
 		views:   make(map[types.ProcID]types.View),
 		dlvrs:   make(map[types.ProcID]int),
 	}
@@ -54,7 +65,7 @@ func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
 
 	dir := make(map[types.ProcID]string)
 	for _, sid := range serverIDs {
-		sn, err := NewServerNode(ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet})
+		sn, err := NewServerNode(ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet, Transport: testTransport()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,8 +80,10 @@ func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
 			Addr:      "127.0.0.1:0",
 			AutoBlock: true,
 			MsgIDBase: int64(i+1) * 1_000_000,
+			Transport: testTransport(),
 			OnEvent:   func(ev core.Event) { w.onEvent(cid, ev) },
 			OnSend:    func(m types.AppMsg) { w.recordSend(cid, m.ID) },
+			OnNotify:  func(n membership.Notification) { w.onNotify(cid, n) },
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -107,6 +120,23 @@ func (w *liveWorld) onEvent(p types.ProcID, ev core.Event) {
 	case core.ViewEvent:
 		w.views[p] = e.View
 		w.suite.OnEvent(spec.EView{P: p, View: e.View, Trans: e.TransitionalSet, HasTrans: true})
+	case core.BlockEvent:
+		// AutoBlock end-points acknowledge immediately (as in sim.drain).
+		w.suite.OnEvent(spec.EBlock{P: p})
+		w.suite.OnEvent(spec.EBlockOK{P: p})
+	}
+}
+
+// onNotify feeds membership notifications into the MBRSHP checker, in the
+// per-client order the node's event pump guarantees.
+func (w *liveWorld) onNotify(p types.ProcID, n membership.Notification) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch n.Kind {
+	case membership.NotifyStartChange:
+		w.suite.OnEvent(spec.EMStartChange{P: p, SC: n.StartChange})
+	case membership.NotifyView:
+		w.suite.OnEvent(spec.EMView{P: p, View: n.View})
 	}
 }
 
@@ -131,6 +161,68 @@ func (w *liveWorld) boot() {
 	}
 	for _, sn := range w.servers {
 		sn.SetReachable(all)
+	}
+}
+
+func (w *liveWorld) startHeartbeats(interval, timeout time.Duration) {
+	serverSet := types.NewProcSet()
+	for _, sn := range w.servers {
+		serverSet.Add(sn.ID())
+	}
+	for _, sn := range w.servers {
+		sn.StartHeartbeats(serverSet, interval, timeout)
+	}
+}
+
+// chaosOf returns every node's chaos controller keyed by process.
+func (w *liveWorld) chaosOf() map[types.ProcID]*Chaos {
+	out := make(map[types.ProcID]*Chaos)
+	for _, sn := range w.servers {
+		out[sn.ID()] = sn.Chaos()
+	}
+	for cid, node := range w.clients {
+		out[cid] = node.Chaos()
+	}
+	return out
+}
+
+// partitionServers splits the deployment the way sim.PartitionServers does:
+// each group of servers plus the clients homed at them becomes one
+// component, and every node blocks outbound frames to nodes outside its
+// component. The heartbeat detectors then observe the silence and
+// reconfigure each side independently.
+func (w *liveWorld) partitionServers(groups ...types.ProcSet) {
+	comps := make([]types.ProcSet, len(groups))
+	for i, g := range groups {
+		comp := g.Clone()
+		for cid, home := range w.homes {
+			if g.Contains(home) {
+				comp.Add(cid)
+			}
+		}
+		comps[i] = comp
+	}
+	all := types.NewProcSet()
+	for _, comp := range comps {
+		for p := range comp {
+			all.Add(p)
+		}
+	}
+	chaos := w.chaosOf()
+	for _, comp := range comps {
+		outside := all.Minus(comp).Sorted()
+		for p := range comp {
+			if c := chaos[p]; c != nil {
+				c.BlockOutbound(outside...)
+			}
+		}
+	}
+}
+
+// healServers lifts every partition block.
+func (w *liveWorld) healServers() {
+	for _, c := range w.chaosOf() {
+		c.Heal()
 	}
 }
 

@@ -32,6 +32,18 @@ type NodeConfig struct {
 	// stream as OnEvent — a send is reported before any event it caused
 	// (trace collectors rely on this ordering).
 	OnSend func(types.AppMsg)
+	// OnNotify observes membership notifications (start_change and view)
+	// as they arrive from the node's server, serialized on the same ordered
+	// stream as OnEvent — a notification is reported before any event it
+	// caused. Spec harnesses feed EMStartChange/EMView from here.
+	OnNotify func(membership.Notification)
+	// OnLinkDown observes transport-link failures (broken connections and
+	// failed dials), serialized on the event stream. The supervised
+	// transport keeps retrying regardless; this is observability only.
+	OnLinkDown func(peer types.ProcID, err error)
+	// Transport tunes the supervised transport (timeouts, backoff, queue
+	// bounds); the zero value selects production defaults.
+	Transport TransportConfig
 }
 
 // Node is a GCS end-point deployed as a concurrent process: inbound TCP
@@ -51,8 +63,10 @@ type Node struct {
 	events *mailbox[func()]
 	pump   sync.WaitGroup
 
-	onEvent func(core.Event)
-	onSend  func(types.AppMsg)
+	onEvent    func(core.Event)
+	onSend     func(types.AppMsg)
+	onNotify   func(membership.Notification)
+	onLinkDown func(types.ProcID, error)
 }
 
 // liveTransport adapts the fabric to core.Transport.
@@ -73,13 +87,15 @@ func (t liveTransport) SetReliable(types.ProcSet) {
 // NewNode starts a live end-point listening on cfg.Addr.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
-		id:      cfg.ID,
-		ready:   make(chan struct{}),
-		events:  newMailbox[func()](),
-		onEvent: cfg.OnEvent,
-		onSend:  cfg.OnSend,
+		id:         cfg.ID,
+		ready:      make(chan struct{}),
+		events:     newMailbox[func()](),
+		onEvent:    cfg.OnEvent,
+		onSend:     cfg.OnSend,
+		onNotify:   cfg.OnNotify,
+		onLinkDown: cfg.OnLinkDown,
 	}
-	f, err := newFabric(cfg.ID, cfg.Addr, n.receive)
+	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +144,22 @@ func (n *Node) ID() types.ProcID { return n.id }
 // membership servers).
 func (n *Node) SetPeers(peers map[types.ProcID]string) { n.fabric.SetPeers(peers) }
 
+// LinkStats snapshots the node's per-peer transport counters.
+func (n *Node) LinkStats() map[types.ProcID]LinkStats { return n.fabric.Stats() }
+
+// Chaos returns the node's fault-injection controller.
+func (n *Node) Chaos() *Chaos { return n.fabric.Chaos() }
+
+// linkDown relays a transport-link failure onto the serialized event
+// stream. The supervised transport is already redialing; this only makes
+// the failure observable.
+func (n *Node) linkDown(peer types.ProcID, err error) {
+	if n.onLinkDown == nil {
+		return
+	}
+	n.events.put(func() { n.onLinkDown(peer, err) })
+}
+
 // Send multicasts payload to the current view.
 func (n *Node) Send(payload []byte) (types.AppMsg, error) {
 	n.mu.Lock()
@@ -166,6 +198,10 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 	}
 	switch {
 	case fr.Notify != nil:
+		if n.onNotify != nil {
+			cp := *fr.Notify
+			n.events.put(func() { n.onNotify(cp) })
+		}
 		switch fr.Notify.Kind {
 		case membership.NotifyStartChange:
 			n.ep.HandleStartChange(fr.Notify.StartChange)

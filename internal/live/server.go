@@ -16,6 +16,9 @@ type ServerConfig struct {
 	Addr string
 	// Servers is the static set of all membership servers (including ID).
 	Servers types.ProcSet
+	// Transport tunes the supervised transport (timeouts, backoff, queue
+	// bounds); the zero value selects production defaults.
+	Transport TransportConfig
 }
 
 // ServerNode is one dedicated membership server deployed as a concurrent
@@ -48,7 +51,7 @@ func (t serverTransport) Send(dests []types.ProcID, m types.WireMsg) {
 // NewServerNode starts a live membership server listening on cfg.Addr.
 func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 	n := &ServerNode{id: cfg.ID, ready: make(chan struct{})}
-	f, err := newFabric(cfg.ID, cfg.Addr, n.receive)
+	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +77,29 @@ func (n *ServerNode) ID() types.ProcID { return n.id }
 
 // SetPeers installs the address directory (peer servers and local clients).
 func (n *ServerNode) SetPeers(peers map[types.ProcID]string) { n.fabric.SetPeers(peers) }
+
+// LinkStats snapshots the server's per-peer transport counters.
+func (n *ServerNode) LinkStats() map[types.ProcID]LinkStats { return n.fabric.Stats() }
+
+// Chaos returns the server's fault-injection controller.
+func (n *ServerNode) Chaos() *Chaos { return n.fabric.Chaos() }
+
+// linkDown translates transport-link failures into failure-detector
+// suspicions: a broken or undialable connection to a peer server is
+// evidence of unreachability, and feeding it here makes the membership
+// react immediately instead of waiting out the heartbeat timeout. The
+// detector ignores non-server peers, so client-link churn is harmless.
+func (n *ServerNode) linkDown(peer types.ProcID, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.detector == nil || n.srv == nil {
+		return
+	}
+	n.detector.Suspect(peer, time.Now())
+	if reachable, changed := n.detector.Tick(time.Now()); changed {
+		n.srv.SetReachable(reachable)
+	}
+}
 
 // AddClient registers a local client; follow with Reconfigure to admit it.
 func (n *ServerNode) AddClient(p types.ProcID) {

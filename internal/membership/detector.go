@@ -56,6 +56,21 @@ func (d *Detector) OnHeartbeat(from types.ProcID, at time.Time) {
 	}
 }
 
+// Suspect records external evidence (as of instant at) that peer p is
+// unreachable — typically a broken or repeatedly undialable transport link.
+// The peer's last-seen time is pushed past the timeout horizon so the next
+// Tick excludes it immediately instead of waiting out the heartbeat
+// timeout; a subsequent heartbeat from p restores trust as usual.
+func (d *Detector) Suspect(p types.ProcID, at time.Time) {
+	if p == d.self || !d.peers.Contains(p) {
+		return
+	}
+	if at.Before(d.lastSeen[p]) {
+		return // stale evidence: a heartbeat arrived after the failure
+	}
+	d.lastSeen[p] = at.Add(-d.timeout - time.Nanosecond)
+}
+
 // Tick re-evaluates suspicions at the given instant. It returns the
 // reachable set and whether it changed since the last verdict.
 func (d *Detector) Tick(now time.Time) (types.ProcSet, bool) {

@@ -260,3 +260,42 @@ func TestDetectorIgnoresStrangersAndStaleBeats(t *testing.T) {
 		t.Fatal("stale heartbeat regressed B's freshness")
 	}
 }
+
+func TestDetectorSuspectIsImmediateAndRecoverable(t *testing.T) {
+	start := time.Unix(0, 0)
+	peers := types.NewProcSet("A", "B", "C")
+	d := NewDetector("A", peers, 50*time.Millisecond, start)
+	d.Tick(start)
+
+	// External link-failure evidence removes B well before the heartbeat
+	// timeout would have.
+	at := start.Add(10 * time.Millisecond)
+	d.Suspect("B", at)
+	reachable, changed := d.Tick(at)
+	if !changed || reachable.Contains("B") {
+		t.Fatalf("after Suspect, Tick = (%s, %v), want B excluded and changed", reachable, changed)
+	}
+	if !reachable.Contains("C") {
+		t.Fatal("Suspect(B) removed an unrelated peer")
+	}
+
+	// A fresh heartbeat restores trust.
+	d.OnHeartbeat("B", start.Add(20*time.Millisecond))
+	if reachable, _ := d.Tick(start.Add(25 * time.Millisecond)); !reachable.Contains("B") {
+		t.Fatal("heartbeat after Suspect did not restore trust")
+	}
+
+	// Suspecting self or a stranger is a no-op.
+	d.Suspect("A", at)
+	d.Suspect("ghost", at)
+	if reachable, _ := d.Tick(start.Add(30 * time.Millisecond)); !reachable.Contains("A") {
+		t.Fatal("Suspect(self) removed self")
+	}
+
+	// A Suspect older than current freshness must not regress lastSeen.
+	d.OnHeartbeat("C", start.Add(100*time.Millisecond))
+	d.Suspect("C", start.Add(40*time.Millisecond))
+	if reachable, _ := d.Tick(start.Add(110 * time.Millisecond)); !reachable.Contains("C") {
+		t.Fatal("stale Suspect regressed C's freshness")
+	}
+}

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"vsgm/internal/membership"
 	"vsgm/internal/types"
@@ -128,9 +130,22 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 	}
 }
 
+// WriteDeadliner is the subset of net.Conn needed to arm write deadlines.
+type WriteDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// ReadDeadliner is the subset of net.Conn needed to arm read deadlines.
+type ReadDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
 // Encoder writes length-prefixed frames to a stream.
 type Encoder struct {
 	w *bufio.Writer
+
+	dl        WriteDeadliner
+	dlTimeout time.Duration
 }
 
 // NewEncoder wraps w.
@@ -138,11 +153,24 @@ func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bufio.NewWriter(w)}
 }
 
+// ArmWriteDeadline makes every subsequent Encode arm a write deadline of
+// timeout on c before writing, so a peer that stops draining its socket can
+// stall a writer for at most timeout instead of forever. A non-positive
+// timeout disarms.
+func (e *Encoder) ArmWriteDeadline(c WriteDeadliner, timeout time.Duration) {
+	e.dl, e.dlTimeout = c, timeout
+}
+
 // Encode writes one frame and flushes.
 func (e *Encoder) Encode(f Frame) error {
 	b, err := MarshalFrame(f)
 	if err != nil {
 		return err
+	}
+	if e.dl != nil && e.dlTimeout > 0 {
+		if err := e.dl.SetWriteDeadline(time.Now().Add(e.dlTimeout)); err != nil {
+			return err
+		}
 	}
 	if len(b) > maxFrameSize {
 		return ErrFrameTooLarge
@@ -166,7 +194,11 @@ func (e *Encoder) Encode(f Frame) error {
 
 // Decoder reads length-prefixed frames from a stream.
 type Decoder struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	buf bytes.Buffer
+
+	dl        ReadDeadliner
+	dlTimeout time.Duration
 }
 
 // NewDecoder wraps r.
@@ -174,8 +206,25 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: bufio.NewReader(r)}
 }
 
+// ArmReadDeadline makes every subsequent Decode arm a read deadline of
+// timeout on c before blocking, turning a silent peer into a timeout error
+// after at most timeout of idleness. A non-positive timeout disarms.
+func (d *Decoder) ArmReadDeadline(c ReadDeadliner, timeout time.Duration) {
+	d.dl, d.dlTimeout = c, timeout
+}
+
+// initialBodyAlloc caps the up-front buffer reservation per frame; larger
+// bodies grow as their bytes actually arrive, so a corrupt or hostile length
+// prefix cannot force a large allocation on its own.
+const initialBodyAlloc = 64 << 10
+
 // Decode reads one frame.
 func (d *Decoder) Decode(f *Frame) error {
+	if d.dl != nil && d.dlTimeout > 0 {
+		if err := d.dl.SetReadDeadline(time.Now().Add(d.dlTimeout)); err != nil {
+			return err
+		}
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
 		return err
@@ -184,11 +233,15 @@ func (d *Decoder) Decode(f *Frame) error {
 	if n > maxFrameSize {
 		return ErrFrameTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(d.r, body); err != nil {
+	d.buf.Reset()
+	d.buf.Grow(min(n, initialBodyAlloc))
+	if _, err := io.CopyN(&d.buf, d.r, int64(n)); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
 		return err
 	}
-	got, err := UnmarshalFrame(body)
+	got, err := UnmarshalFrame(d.buf.Bytes())
 	if err != nil {
 		return err
 	}

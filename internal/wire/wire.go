@@ -127,6 +127,17 @@ func (r *reader) bytes() ([]byte, error) {
 	return append([]byte(nil), b...), nil
 }
 
+// hint clamps a wire-declared element count to what the remaining input
+// could possibly hold (elemSize is the minimum encoded size of one element),
+// so a corrupt count cannot force a huge up-front map allocation.
+func (r *reader) hint(n uint32, elemSize int) int {
+	most := len(r.b)/elemSize + 1
+	if int(n) < most {
+		return int(n)
+	}
+	return most
+}
+
 // ---- composite encoders ----
 
 func (w *buffer) view(v types.View) error {
@@ -152,7 +163,7 @@ func (r *reader) view() (types.View, error) {
 		return types.View{}, err
 	}
 	members := types.NewProcSet()
-	startID := make(map[types.ProcID]types.StartChangeID, n)
+	startID := make(map[types.ProcID]types.StartChangeID, r.hint(n, 10))
 	for i := uint32(0); i < n; i++ {
 		p, err := r.id()
 		if err != nil {
@@ -192,7 +203,7 @@ func (r *reader) cut() (types.Cut, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	c := make(types.Cut, n)
+	c := make(types.Cut, r.hint(n, 10))
 	for i := uint32(0); i < n; i++ {
 		p, err := r.id()
 		if err != nil {
