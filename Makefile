@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz bench check
+.PHONY: all build vet test short race fuzz bench benchstat check
 
 all: check
 
@@ -27,8 +27,28 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
+# Every benchmark in the tree, including the transport data-path set
+# (BenchmarkFabricBroadcast, BenchmarkWireMarshal, BenchmarkMsgBufGrowth).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Transport data-path benchmarks with regression tracking: run the set,
+# save it as BENCH_new.txt, and compare against BENCH_baseline.txt with
+# cmd/vsgm-benchstat (benchstat-style old/new/delta tables, JSON copy in
+# BENCH_transport.json). The first run seeds the baseline; refresh it by
+# deleting BENCH_baseline.txt.
+BENCH_PATTERN = BenchmarkFabricBroadcast|BenchmarkWireMarshal|BenchmarkMsgBufGrowth
+BENCH_PKGS = ./internal/wire/ ./internal/live/ ./internal/core/
+
+benchstat:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=2 -run=^$$ $(BENCH_PKGS) | tee BENCH_new.txt
+	@if [ -f BENCH_baseline.txt ]; then \
+		$(GO) run ./cmd/vsgm-benchstat -json BENCH_transport.json BENCH_baseline.txt BENCH_new.txt; \
+	else \
+		$(GO) run ./cmd/vsgm-benchstat -json BENCH_transport.json BENCH_new.txt; \
+		cp BENCH_new.txt BENCH_baseline.txt; \
+		echo "baseline seeded: BENCH_baseline.txt"; \
+	fi
 
 # The pre-merge gate: vet, the full suite, and the race detector on the
 # concurrency-heavy packages.

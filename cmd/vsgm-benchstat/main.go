@@ -1,0 +1,282 @@
+// Command vsgm-benchstat summarizes and compares `go test -bench` output
+// without external tooling. With one input file it prints per-benchmark
+// means across repeated counts; with two it prints an old/new comparison
+// with deltas, benchstat-style, plus a geomean row per metric.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=2 ./... | tee BENCH_new.txt
+//	vsgm-benchstat BENCH_new.txt
+//	vsgm-benchstat BENCH_baseline.txt BENCH_new.txt
+//	vsgm-benchstat -json BENCH_transport.json BENCH_baseline.txt BENCH_new.txt
+//
+// The -json flag additionally writes the summarized numbers to a file, for
+// BENCH_*.json regression tracking.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vsgm-benchstat:", err)
+		os.Exit(1)
+	}
+}
+
+// metrics maps a unit ("ns/op", "B/op", "allocs/op", "MB/s") to the mean of
+// its samples for one benchmark.
+type metrics map[string]float64
+
+// benchFile is one parsed `go test -bench` output: benchmark name (with the
+// trailing -GOMAXPROCS stripped) to averaged metrics, plus the name order of
+// first appearance.
+type benchFile struct {
+	order []string
+	bench map[string]metrics
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output, averaging repeated counts of
+// the same benchmark.
+func parseBench(r io.Reader) (*benchFile, error) {
+	f := &benchFile{bench: make(map[string]metrics)}
+	counts := make(map[string]map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		m := f.bench[name]
+		if m == nil {
+			m = make(metrics)
+			f.bench[name] = m
+			counts[name] = make(map[string]int)
+			f.order = append(f.order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			n := counts[name][unit]
+			m[unit] = (m[unit]*float64(n) + v) / float64(n+1) // running mean
+			counts[name][unit] = n + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return f, nil
+}
+
+func parseBenchPath(path string) (*benchFile, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	bf, err := parseBench(fd)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// units lists every metric unit present, in a stable, conventional order.
+func units(files ...*benchFile) []string {
+	rank := map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2, "MB/s": 3}
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, m := range f.bench {
+			for u := range m {
+				if !seen[u] {
+					seen[u] = true
+					out = append(out, u)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, iOK := rank[out[i]]
+		rj, jOK := rank[out[j]]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK != jOK:
+			return iOK
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}
+
+// fmtDelta renders the old→new change. For MB/s higher is better, for
+// everything else lower is better; the sign convention is benchstat's
+// (negative = improvement for costs).
+func fmtDelta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.2f%%", (new-old)/old*100)
+}
+
+// summarize prints one file's averaged metrics.
+func summarize(w io.Writer, f *benchFile) {
+	for _, u := range units(f) {
+		fmt.Fprintf(w, "metric: %s\n", u)
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		var logSum float64
+		var logN int
+		for _, name := range f.order {
+			v, ok := f.bench[name][u]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%s\n", name, fmtVal(v))
+			if v > 0 {
+				logSum += math.Log(v)
+				logN++
+			}
+		}
+		if logN > 1 {
+			fmt.Fprintf(tw, "  geomean\t%s\n", fmtVal(math.Exp(logSum/float64(logN))))
+		}
+		tw.Flush()
+	}
+}
+
+// compare prints an old/new/delta table per metric for benchmarks present
+// in both files.
+func compare(w io.Writer, old, new *benchFile) {
+	for _, u := range units(old, new) {
+		fmt.Fprintf(w, "metric: %s\n", u)
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintf(tw, "  \told\tnew\tdelta\n")
+		var logSum float64
+		var logN int
+		for _, name := range new.order {
+			nv, nok := new.bench[name][u]
+			ov, ook := old.bench[name][u]
+			if !nok || !ook {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", name, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv))
+			if ov > 0 && nv > 0 {
+				logSum += math.Log(nv / ov)
+				logN++
+			}
+		}
+		if logN > 1 {
+			fmt.Fprintf(tw, "  geomean\t\t\t%+.2f%%\n", (math.Exp(logSum/float64(logN))-1)*100)
+		}
+		tw.Flush()
+	}
+}
+
+// jsonReport is the -json output shape: per benchmark, the averaged metrics
+// (and, when comparing, the old values and relative deltas).
+type jsonReport struct {
+	Benchmarks []jsonBench `json:"benchmarks"`
+}
+
+type jsonBench struct {
+	Name    string             `json:"name"`
+	Metrics metrics            `json:"metrics"`
+	Old     metrics            `json:"old,omitempty"`
+	Delta   map[string]float64 `json:"delta,omitempty"` // (new-old)/old
+}
+
+func report(old, new *benchFile) jsonReport {
+	var rep jsonReport
+	for _, name := range new.order {
+		jb := jsonBench{Name: name, Metrics: new.bench[name]}
+		if old != nil {
+			if om, ok := old.bench[name]; ok {
+				jb.Old = om
+				jb.Delta = make(map[string]float64)
+				for u, nv := range new.bench[name] {
+					if ov, ok := om[u]; ok && ov != 0 {
+						jb.Delta[u] = (nv - ov) / ov
+					}
+				}
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, jb)
+	}
+	return rep
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vsgm-benchstat", flag.ContinueOnError)
+	jsonPath := fs.String("json", "", "also write the summary as JSON to this file")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var old, new *benchFile
+	switch fs.NArg() {
+	case 1:
+		bf, err := parseBenchPath(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		new = bf
+		summarize(out, new)
+	case 2:
+		var err error
+		if old, err = parseBenchPath(fs.Arg(0)); err != nil {
+			return err
+		}
+		if new, err = parseBenchPath(fs.Arg(1)); err != nil {
+			return err
+		}
+		compare(out, old, new)
+	default:
+		return fmt.Errorf("usage: vsgm-benchstat [-json file] bench.txt | old.txt new.txt")
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report(old, new), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

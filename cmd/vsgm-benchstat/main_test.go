@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: vsgm/internal/live
+BenchmarkFabricBroadcast/fanout-8/encode-once-4     100000	 4000 ns/op	 800 B/op	 20 allocs/op
+BenchmarkFabricBroadcast/fanout-8/encode-once-4     100000	 2000 ns/op	 600 B/op	 20 allocs/op
+BenchmarkWireMarshal/append-pooled-4               5000000	  400 ns/op	  32 B/op	  1 allocs/op
+PASS
+`
+
+const sampleNew = `BenchmarkFabricBroadcast/fanout-8/encode-once-4     200000	 1500 ns/op	 350 B/op	 5 allocs/op
+BenchmarkWireMarshal/append-pooled-4               6000000	  200 ns/op	  32 B/op	  1 allocs/op
+`
+
+func TestParseBenchAveragesCounts(t *testing.T) {
+	bf, err := parseBench(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.order) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(bf.order), bf.order)
+	}
+	name := "BenchmarkFabricBroadcast/fanout-8/encode-once"
+	m, ok := bf.bench[name]
+	if !ok {
+		t.Fatalf("missing %s (GOMAXPROCS suffix not stripped?): %v", name, bf.order)
+	}
+	// Two counts of 4000 and 2000 ns/op average to 3000.
+	if got := m["ns/op"]; got != 3000 {
+		t.Fatalf("ns/op mean = %v, want 3000", got)
+	}
+	if got := m["B/op"]; got != 700 {
+		t.Fatalf("B/op mean = %v, want 700", got)
+	}
+	if got := m["allocs/op"]; got != 20 {
+		t.Fatalf("allocs/op mean = %v, want 20", got)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok  \tvsgm\t0.1s\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestRunSummarizesSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"metric: ns/op", "metric: allocs/op", "encode-once", "3000", "geomean"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunComparesTwoFilesWithJSON(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(oldPath, []byte(sampleOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(sampleNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-json", jsonPath, oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// 3000 → 1500 ns/op is -50%; 20 → 5 allocs/op is -75%.
+	for _, want := range []string{"old", "new", "delta", "-50.00%", "-75.00%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("comparison missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("JSON has %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	bb := rep.Benchmarks[0]
+	if bb.Name != "BenchmarkFabricBroadcast/fanout-8/encode-once" {
+		t.Fatalf("unexpected first benchmark %q", bb.Name)
+	}
+	if got := bb.Metrics["ns/op"]; got != 1500 {
+		t.Fatalf("JSON new ns/op = %v, want 1500", got)
+	}
+	if got := bb.Old["ns/op"]; got != 3000 {
+		t.Fatalf("JSON old ns/op = %v, want 3000", got)
+	}
+	if got := bb.Delta["ns/op"]; math.Abs(got+0.5) > 1e-9 {
+		t.Fatalf("JSON ns/op delta = %v, want -0.5", got)
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want usage error with no arguments")
+	}
+}

@@ -287,12 +287,13 @@ func run(args []string, out io.Writer) error {
 			a.Retries += s.Retries
 			a.Reconnects += s.Reconnects
 			a.FramesSent += s.FramesSent
+			a.Flushes += s.Flushes
 			a.WriteErrors += s.WriteErrors
 			a.QueueDrops += s.QueueDrops
 			a.ChaosDrops += s.ChaosDrops
 		}
-		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d writeErrs=%d drops=%d\n",
-			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.WriteErrors, a.Drops())
+		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d flushes=%d writeErrs=%d drops=%d\n",
+			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.Flushes, a.WriteErrors, a.Drops())
 	}
 	for _, sn := range servers {
 		printStats(sn.ID(), sn.LinkStats())

@@ -66,3 +66,28 @@ func BenchmarkEndpointSendPath(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMsgBufGrowth measures msgBuf.set's buffer-growth cost: the
+// contiguous FIFO fill of a sender's own stream, and the forwarded-hole jump
+// where one message lands far past the current end. Growth is a reslice or
+// one doubling allocation per step, never an element-at-a-time nil append.
+func BenchmarkMsgBufGrowth(b *testing.B) {
+	const n = 1024
+	msg := types.AppMsg{ID: 1, Payload: []byte("x")}
+	b.Run("contiguous", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf msgBuf
+			for j := 1; j <= n; j++ {
+				buf.set(j, msg)
+			}
+		}
+	})
+	b.Run("hole-jump", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf msgBuf
+			buf.set(n, msg)
+		}
+	})
+}

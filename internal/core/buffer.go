@@ -17,12 +17,23 @@ type msgBuf struct {
 // an index is idempotent by Invariant 6.6 (a forwarded copy equals the
 // original), so the existing value is kept; indices at or below base are
 // stable everywhere and dropped.
+//
+// Growth is one step, not an element-at-a-time nil append: a reslice when
+// the capacity already covers index i (the backing array beyond len is
+// all-nil — it is freshly allocated here or by collect, and nothing else
+// writes past len), otherwise a single doubling allocation.
 func (b *msgBuf) set(i int, m types.AppMsg) {
 	if i <= b.base {
 		return
 	}
-	for len(b.items) < i-b.base {
-		b.items = append(b.items, nil)
+	if n := i - b.base; n > len(b.items) {
+		if n <= cap(b.items) {
+			b.items = b.items[:n]
+		} else {
+			grown := make([]*types.AppMsg, n, max(n, 2*cap(b.items)))
+			copy(grown, b.items)
+			b.items = grown
+		}
 	}
 	if b.items[i-1-b.base] == nil {
 		cp := m

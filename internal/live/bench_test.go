@@ -1,0 +1,163 @@
+package live
+
+// Transport data-path benchmarks. BenchmarkFabricBroadcast measures one
+// multicast through the real fabric — encode, fan-out across per-peer
+// queues, supervised writers, TCP sockets — against raw discard sinks, so
+// the numbers isolate the sender path. Each fan-out runs twice: the
+// encode-once coalescing path the fabric ships, and a baseline replicating
+// the pre-change design (one marshal per destination, one flush per frame)
+// for BENCH_*.json tracking of the win.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+)
+
+// startSink runs a raw TCP server that accepts connections and discards
+// every byte: the cheapest possible peer, so sender-side cost dominates.
+func startSink(b *testing.B) (addr string, closeFn func()) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				select {
+				case <-done:
+					return
+				default:
+				}
+				io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { close(done); ln.Close() }
+}
+
+// sendEncodePerLink replicates the pre-coalescing transmit path: one
+// marshal per destination instead of one shared encoding.
+func sendEncodePerLink(f *fabric, dests []types.ProcID, m types.WireMsg) {
+	for _, q := range dests {
+		fb, err := wire.EncodeFrame(frame{From: f.id, Msg: &m})
+		if err != nil {
+			return
+		}
+		if !f.outbox(q).put(fb) {
+			fb.Release()
+		}
+	}
+}
+
+func benchBroadcast(b *testing.B, fanout int, perLink bool) {
+	cfg := TransportConfig{
+		DialTimeout: 2 * time.Second, WriteTimeout: 5 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+		QueueCap: 1 << 16,
+	}
+	if perLink {
+		// The legacy shape also flushed after every frame.
+		cfg.MaxBatchFrames = 1
+		cfg.MaxBatchBytes = 1
+	}
+	dests := make([]types.ProcID, fanout)
+	dir := make(map[types.ProcID]string, fanout)
+	for i := range dests {
+		q := types.ProcID(fmt.Sprintf("sink%02d", i))
+		addr, closeSink := startSink(b)
+		defer closeSink()
+		dests[i] = q
+		dir[q] = addr
+	}
+	fa, err := newFabric("bench", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fa.Close()
+	fa.SetPeers(dir)
+
+	msg := types.WireMsg{
+		Kind: types.KindApp,
+		App:  types.AppMsg{ID: 0, Payload: make([]byte, 64)},
+		HistView: types.NewView(3, types.NewProcSet("p0", "p1", "p2", "p3"),
+			map[types.ProcID]types.StartChangeID{"p0": 1, "p1": 1, "p2": 1, "p3": 1}),
+		HistIndex: 7,
+	}
+
+	// Drain-wait: every link has put target frames on the wire, none shed.
+	drained := func(target int64, deadline time.Duration) bool {
+		limit := time.Now().Add(deadline)
+		for time.Now().Before(limit) {
+			ok := true
+			for _, s := range fa.Stats() {
+				if s.QueueDrops > 0 {
+					b.Fatalf("bounded queue shed load mid-benchmark: %+v", s)
+				}
+				if s.FramesSent < target {
+					ok = false
+				}
+			}
+			if ok {
+				return true
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return false
+	}
+
+	// Prime the links so dial/backoff stays out of the timed region.
+	fa.Send(dests, msg)
+	if !drained(1, 10*time.Second) {
+		b.Fatal("links never came up")
+	}
+
+	const window = 1 << 14 // backpressure: bound the in-flight backlog
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.App.ID = int64(i + 1)
+		if perLink {
+			sendEncodePerLink(fa, dests, msg)
+		} else {
+			fa.Send(dests, msg)
+		}
+		if i%window == window-1 {
+			if !drained(int64(i+2-window), 30*time.Second) {
+				b.Fatal("writers fell too far behind")
+			}
+		}
+	}
+	if !drained(int64(b.N+1), 60*time.Second) {
+		b.Fatal("benchmark frames never fully drained")
+	}
+	b.StopTimer()
+	b.SetBytes(int64(fanout * len(msg.App.Payload)))
+}
+
+// BenchmarkFabricBroadcast: one multicast to N destinations through the
+// live transport. "encode-once" is the shipping path (single marshal,
+// shared pooled buffer, coalesced flushes); "encode-per-link" replicates
+// the pre-change path (marshal per destination, flush per frame).
+func BenchmarkFabricBroadcast(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("fanout-%d/encode-once", n), func(b *testing.B) {
+			benchBroadcast(b, n, false)
+		})
+		b.Run(fmt.Sprintf("fanout-%d/encode-per-link", n), func(b *testing.B) {
+			benchBroadcast(b, n, true)
+		})
+	}
+}

@@ -727,3 +727,240 @@ func TestLiveChaosSoakPartitionCycles(t *testing.T) {
 		t.Fatalf("spec violations across soak cycles:\n%v", err)
 	}
 }
+
+// ---- batching vs. chaos interplay ----
+//
+// The coalescing writer batches many frames into one flush; these tests pin
+// that fault injection still operates at frame granularity: per-frame drop,
+// dup, and partition verdicts land mid-batch with exact counters, and frame
+// boundaries survive arbitrarily fragmented coalesced writes.
+
+// TestLiveChaosMidBatchDropsKeepFrameBoundaries pushes a burst through a
+// link with probabilistic drops and duplicates plus partial-write
+// fragmentation. Every enqueued frame must be accounted for exactly once
+// (sent or chaos-dropped, dups extra), and the receiver must see an intact,
+// non-decreasing subsequence — a mid-batch drop is a cleanly missing frame,
+// never a corrupt boundary.
+func TestLiveChaosMidBatchDropsKeepFrameBoundaries(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		QueueCap: 2048,
+	}
+	var mu sync.Mutex
+	var got []int64
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			mu.Lock()
+			got = append(got, fr.Msg.App.ID)
+			mu.Unlock()
+		}
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+
+	fa.Chaos().SetPartialWrites(true)
+	fa.Chaos().SetDropProbability(0.3)
+	fa.Chaos().SetDuplicateProbability(0.3)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		fa.Send([]types.ProcID{"b"}, types.WireMsg{
+			Kind: types.KindApp,
+			App:  types.AppMsg{ID: int64(i), Payload: []byte(fmt.Sprintf("burst-%03d", i))},
+		})
+	}
+
+	// Every frame resolved: sent or dropped, duplicates on top.
+	waitUntil(t, "per-frame accounting to close", 15*time.Second, func() bool {
+		s := fa.Stats()["b"]
+		return s.FramesSent+s.ChaosDrops == n+s.ChaosDups && s.QueueDrops == 0
+	})
+	s := fa.Stats()["b"]
+	if s.ChaosDrops == 0 || s.ChaosDups == 0 {
+		t.Fatalf("probabilistic faults never engaged mid-batch: %+v", s)
+	}
+	waitUntil(t, "every sent frame to arrive", 15*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return int64(len(got)) == s.FramesSent
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	seen := make(map[int64]int)
+	for i, id := range got {
+		if i > 0 && id < got[i-1] {
+			t.Fatalf("frame order violated at %d: %d after %d", i, id, got[i-1])
+		}
+		seen[id]++
+		if seen[id] > 2 {
+			t.Fatalf("frame %d delivered %d times with one dup verdict max", id, seen[id])
+		}
+	}
+}
+
+// TestLiveChaosOneWayPartitionMidBatch flips a one-way partition on and off
+// between bursts while reverse traffic keeps flowing: the blocked window is
+// dropped and counted exactly, the surviving bursts arrive intact and in
+// order, and the unblocked direction never loses a frame.
+func TestLiveChaosOneWayPartitionMidBatch(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		QueueCap: 2048,
+	}
+	var mu sync.Mutex
+	var fwd []int64
+	var rev atomic.Int64
+	recvB := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			mu.Lock()
+			fwd = append(fwd, fr.Msg.App.ID)
+			mu.Unlock()
+		}
+	}
+	recvA := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			rev.Add(1)
+		}
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, recvA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recvB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+	fb.SetPeers(map[types.ProcID]string{"a": fa.Addr()})
+
+	send := func(f *fabric, dest types.ProcID, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f.Send([]types.ProcID{dest}, types.WireMsg{
+				Kind: types.KindApp,
+				App:  types.AppMsg{ID: int64(i), Payload: []byte(fmt.Sprintf("p-%03d", i))},
+			})
+		}
+	}
+
+	send(fa, "b", 0, 100)
+	waitUntil(t, "first burst sent", 10*time.Second, func() bool {
+		return fa.Stats()["b"].FramesSent == 100
+	})
+
+	// One-way: a→b blocked, b→a untouched.
+	fa.Chaos().BlockOutbound("b")
+	send(fa, "b", 100, 200)
+	send(fb, "a", 0, 100)
+	waitUntil(t, "blocked window to be dropped and counted", 10*time.Second, func() bool {
+		return fa.Stats()["b"].ChaosDrops == 100
+	})
+	waitUntil(t, "reverse direction to stay open", 10*time.Second, func() bool {
+		return rev.Load() == 100
+	})
+
+	fa.Chaos().Unblock("b")
+	send(fa, "b", 200, 300)
+	waitUntil(t, "post-heal burst sent", 10*time.Second, func() bool {
+		return fa.Stats()["b"].FramesSent == 200
+	})
+	waitUntil(t, "post-heal burst delivered", 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(fwd) == 200
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range fwd {
+		want := int64(i)
+		if i >= 100 {
+			want = int64(i + 100) // the blocked window [100,200) is cleanly missing
+		}
+		if id != want {
+			t.Fatalf("frame %d: got id %d, want %d (partition must not reorder or corrupt)", i, id, want)
+		}
+	}
+	if s := fa.Stats()["b"]; s.FramesSent+s.ChaosDrops != 300 {
+		t.Errorf("accounting: FramesSent=%d + ChaosDrops=%d != 300", s.FramesSent, s.ChaosDrops)
+	}
+}
+
+// TestLiveBatchCoalescingBacklogFlushesOnce pins the syscall win: a backlog
+// accumulated while the peer address was unknown drains in big batches —
+// far fewer flushes than frames — through partial-write fragmentation, with
+// order and boundaries intact.
+func TestLiveBatchCoalescingBacklogFlushesOnce(t *testing.T) {
+	cfg := TransportConfig{
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+		QueueCap: 2048,
+	}
+	var mu sync.Mutex
+	var got []int64
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			mu.Lock()
+			got = append(got, fr.Msg.App.ID)
+			mu.Unlock()
+		}
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	fa.Chaos().SetPartialWrites(true)
+
+	// Enqueue the whole burst before the directory knows b's address: the
+	// writer can only back off, so the backlog is guaranteed to be present
+	// when the first connection comes up.
+	const n = 100
+	for i := 0; i < n; i++ {
+		fa.Send([]types.ProcID{"b"}, types.WireMsg{
+			Kind: types.KindApp,
+			App:  types.AppMsg{ID: int64(i), Payload: []byte(fmt.Sprintf("bl-%03d", i))},
+		})
+	}
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+
+	waitUntil(t, "backlog to drain", 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+
+	mu.Lock()
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("frame %d out of order after batched drain: got %d", i, id)
+		}
+	}
+	mu.Unlock()
+
+	s := fa.Stats()["b"]
+	if s.FramesSent != n {
+		t.Fatalf("FramesSent = %d, want %d", s.FramesSent, n)
+	}
+	if s.Flushes == 0 || s.Flushes > n/5 {
+		t.Errorf("Flushes = %d for %d frames — coalescing should need far fewer flushes than frames", s.Flushes, n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vsgm/internal/membership"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
 )
@@ -35,6 +36,14 @@ type TransportConfig struct {
 	// long enough to fill it, the oldest frames are evicted (and counted)
 	// so senders never block. Default 4096.
 	QueueCap int
+	// MaxBatchFrames bounds how many queued frames the link writer drains
+	// in one batch: a burst of k<=MaxBatchFrames frames costs one flush
+	// instead of k. Default 64.
+	MaxBatchFrames int
+	// MaxBatchBytes caps the bytes coalesced into a single flush, so a
+	// batch of large frames cannot defer the write (and the armed write
+	// deadline) arbitrarily. Default 128 KiB.
+	MaxBatchBytes int
 }
 
 func (c TransportConfig) withDefaults() TransportConfig {
@@ -53,6 +62,12 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 4096
 	}
+	if c.MaxBatchFrames <= 0 {
+		c.MaxBatchFrames = 64
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 128 << 10
+	}
 	return c
 }
 
@@ -69,6 +84,9 @@ type LinkStats struct {
 	Retries int64
 	// FramesSent counts frames written to the socket.
 	FramesSent int64
+	// Flushes counts socket flushes; the coalescing writer keeps it well
+	// below FramesSent under bursts (one flush per drained batch).
+	Flushes int64
 	// WriteErrors counts frame writes that failed (each tears the
 	// connection down for a supervised redial).
 	WriteErrors int64
@@ -85,16 +103,42 @@ func (s LinkStats) Drops() int64 { return s.QueueDrops + s.ChaosDrops }
 
 // mailbox is a FIFO queue: outbound sends and application events enqueue
 // here so the automaton's step loop never blocks on a slow consumer, and a
-// single goroutine drains in order. With a positive cap the queue is
+// single goroutine drains in order (one entry at a time with take, or in
+// coalesced batches with takeBatch). With a positive cap the queue is
 // bounded: a full queue evicts its oldest entry (counted) instead of
-// blocking the producer.
+// blocking the producer. onDrop, when set, observes every entry the mailbox
+// discards — evictions and anything still queued at close — so pooled
+// entries can be released; such a mailbox drops its backlog at close instead
+// of handing it out.
 type mailbox[T any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []T
+	queue   []T // live entries are queue[head:]; the prefix is zeroed slack
+	head    int
 	cap     int
+	onDrop  func(T)
 	evicted int64
 	closed  bool
+}
+
+// compact reclaims the consumed prefix so the backing array is reused
+// instead of reallocated: a full reset when the queue drains, a copy-down
+// when an append would otherwise grow the array past dead slack.
+func (m *mailbox[T]) compact() {
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+		return
+	}
+	if m.head > 0 && len(m.queue) == cap(m.queue) {
+		n := copy(m.queue, m.queue[m.head:])
+		var zero T
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = zero
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
 }
 
 func newMailbox[T any]() *mailbox[T] {
@@ -103,24 +147,33 @@ func newMailbox[T any]() *mailbox[T] {
 	return m
 }
 
-func newBoundedMailbox[T any](cap int) *mailbox[T] {
+func newBoundedMailbox[T any](cap int, onDrop func(T)) *mailbox[T] {
 	m := newMailbox[T]()
 	m.cap = cap
+	m.onDrop = onDrop
 	return m
 }
 
-// put enqueues v; it reports false if the mailbox is closed. A bounded
-// mailbox at capacity evicts its oldest entry to make room.
+// put enqueues v; it reports false if the mailbox is closed (the caller
+// keeps ownership of v). A bounded mailbox at capacity evicts its oldest
+// entry to make room.
 func (m *mailbox[T]) put(v T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return false
 	}
-	if m.cap > 0 && len(m.queue) >= m.cap {
-		m.queue = m.queue[1:]
+	if m.cap > 0 && len(m.queue)-m.head >= m.cap {
+		old := m.queue[m.head]
+		var zero T
+		m.queue[m.head] = zero
+		m.head++
 		m.evicted++
+		if m.onDrop != nil {
+			m.onDrop(old)
+		}
 	}
+	m.compact()
 	m.queue = append(m.queue, v)
 	m.cond.Signal()
 	return true
@@ -130,22 +183,60 @@ func (m *mailbox[T]) put(v T) bool {
 func (m *mailbox[T]) take() (T, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.head == len(m.queue) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.head == len(m.queue) {
 		var zero T
 		return zero, false
 	}
-	v := m.queue[0]
-	m.queue = m.queue[1:]
+	v := m.queue[m.head]
+	var zero T
+	m.queue[m.head] = zero
+	m.head++
+	m.compact()
 	return v, true
+}
+
+// takeBatch blocks until at least one entry is available (or the mailbox
+// closes empty), then drains up to max entries into dst in FIFO order. One
+// takeBatch per burst is what turns k queued frames into a single flush.
+func (m *mailbox[T]) takeBatch(dst []T, max int) ([]T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	n := len(m.queue) - m.head
+	if n == 0 {
+		return dst, false
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	dst = append(dst, m.queue[m.head:m.head+n]...)
+	var zero T
+	for i := 0; i < n; i++ {
+		m.queue[m.head+i] = zero
+	}
+	m.head += n
+	m.compact()
+	return dst, true
 }
 
 func (m *mailbox[T]) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
+	if m.onDrop != nil {
+		for i := m.head; i < len(m.queue); i++ {
+			m.onDrop(m.queue[i])
+			var zero T
+			m.queue[i] = zero
+		}
+		m.queue = nil
+		m.head = 0
+	}
 	m.cond.Broadcast()
 }
 
@@ -156,11 +247,11 @@ func (m *mailbox[T]) evictions() int64 {
 }
 
 // link is the supervised state for one destination: its bounded outbound
-// queue plus counters. The writer goroutine starts on first use and owns
-// the dial/backoff/reconnect cycle.
+// queue of pre-encoded frames plus counters. The writer goroutine starts on
+// first use and owns the dial/backoff/reconnect cycle.
 type link struct {
 	peer    types.ProcID
-	mb      *mailbox[frame]
+	mb      *mailbox[*wire.FrameBuf]
 	started bool
 
 	mu        sync.Mutex
@@ -268,22 +359,45 @@ func (f *fabric) Stats() map[types.ProcID]LinkStats {
 	return out
 }
 
-// Send enqueues m toward each destination. Delivery is supervised per link:
-// unknown or unreachable destinations retry with backoff in the background
-// while the bounded queue absorbs (and eventually sheds) the backlog — a
-// dead peer can never wedge the caller.
+// Send enqueues m toward each destination. The frame is marshaled exactly
+// once — every destination queue holds a reference to the same pooled
+// encoding, so fan-out costs one marshal instead of len(dests). Delivery is
+// supervised per link: unknown or unreachable destinations retry with
+// backoff in the background while the bounded queue absorbs (and eventually
+// sheds) the backlog — a dead peer can never wedge the caller. A frame that
+// cannot be encoded (or exceeds the wire bound) is dropped here, before any
+// queue, rather than left to wedge a writer forever.
 func (f *fabric) Send(dests []types.ProcID, m types.WireMsg) {
-	cp := m
-	fr := frame{From: f.id, Msg: &cp}
-	for _, q := range dests {
-		f.outbox(q).put(fr)
+	if len(dests) == 0 {
+		return
 	}
+	fb, err := wire.EncodeFrame(frame{From: f.id, Msg: &m})
+	if err != nil {
+		return
+	}
+	f.fanOut(fb, dests)
 }
 
 // SendNotify enqueues a membership notification toward one client.
-func (f *fabric) SendNotify(dest types.ProcID, n frame) {
-	n.From = f.id
-	f.outbox(dest).put(n)
+func (f *fabric) SendNotify(dest types.ProcID, n membership.Notification) {
+	fb, err := wire.EncodeFrame(frame{From: f.id, Notify: &n})
+	if err != nil {
+		return
+	}
+	f.fanOut(fb, []types.ProcID{dest})
+}
+
+// fanOut shares one encoded frame across every destination's queue. The
+// extra references are taken before the first put so a fast writer draining
+// one queue cannot recycle the buffer while it is still being enqueued
+// elsewhere.
+func (f *fabric) fanOut(fb *wire.FrameBuf, dests []types.ProcID) {
+	fb.Retain(int32(len(dests) - 1))
+	for _, q := range dests {
+		if !f.outbox(q).put(fb) {
+			fb.Release() // mailbox closed; this destination's reference
+		}
+	}
 }
 
 // linkFor returns (creating if needed) the link record for q without
@@ -298,7 +412,8 @@ func (f *fabric) linkLocked(q types.ProcID) *link {
 	if l, ok := f.links[q]; ok {
 		return l
 	}
-	l := &link{peer: q, mb: newBoundedMailbox[frame](f.cfg.QueueCap)}
+	l := &link{peer: q}
+	l.mb = newBoundedMailbox(f.cfg.QueueCap, (*wire.FrameBuf).Release)
 	if f.closed {
 		l.mb.close()
 	}
@@ -306,7 +421,7 @@ func (f *fabric) linkLocked(q types.ProcID) *link {
 	return l
 }
 
-func (f *fabric) outbox(q types.ProcID) *mailbox[frame] {
+func (f *fabric) outbox(q types.ProcID) *mailbox[*wire.FrameBuf] {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l := f.linkLocked(q)
@@ -417,17 +532,22 @@ func jitter(d time.Duration) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
-// writeLoop supervises one outbound link: it drains the bounded queue,
-// applies outbound chaos, dials (and redials) the peer with backoff, and
-// retains an unsent frame across reconnects so a transient failure loses at
-// most the bytes the kernel had already accepted.
+// writeLoop supervises one outbound link: it drains the bounded queue in
+// batches, applies outbound chaos frame by frame (so per-frame drop, dup,
+// and latency verdicts — and their counters — are unchanged by coalescing),
+// dials (and redials) the peer with backoff, and writes each surviving batch
+// through the encoder with as few flushes as MaxBatchBytes allows. Frames
+// not yet known flushed are retained across reconnects, so a transient
+// failure loses at most the bytes the kernel had already accepted.
 func (f *fabric) writeLoop(l *link) {
 	defer f.wg.Done()
 	var (
 		conn    net.Conn
 		enc     *wire.Encoder
 		retired chan struct{}
-		pending []frame // ≤2 entries: the frame, plus a chaos duplicate
+		batch   []*wire.FrameBuf // frames drained from the mailbox this round
+		pending []*wire.FrameBuf // chaos survivors awaiting a flushed write
+		bufs    [][]byte         // scratch aliasing pending for EncodeBatch
 	)
 	dropConn := func() {
 		if conn != nil {
@@ -437,24 +557,40 @@ func (f *fabric) writeLoop(l *link) {
 		}
 	}
 	defer dropConn()
+	defer func() { // fabric closing: drop the unsent tail
+		for _, fb := range pending {
+			fb.Release()
+		}
+	}()
 	for {
 		if len(pending) == 0 {
-			fr, ok := l.mb.take()
+			var ok bool
+			batch, ok = l.mb.takeBatch(batch[:0], f.cfg.MaxBatchFrames)
 			if !ok {
 				return
 			}
-			verdict := f.chaos.outbound(l.peer)
-			if verdict.delay > 0 && !f.sleep(verdict.delay) {
-				return
+			for i, fb := range batch {
+				verdict := f.chaos.outbound(l.peer)
+				if verdict.delay > 0 && !f.sleep(verdict.delay) {
+					for _, rest := range batch[i:] {
+						rest.Release()
+					}
+					return
+				}
+				if verdict.drop {
+					l.bump(func(s *LinkStats) { s.ChaosDrops++ })
+					fb.Release()
+					continue
+				}
+				pending = append(pending, fb)
+				if verdict.dup {
+					l.bump(func(s *LinkStats) { s.ChaosDups++ })
+					fb.Retain(1)
+					pending = append(pending, fb)
+				}
 			}
-			if verdict.drop {
-				l.bump(func(s *LinkStats) { s.ChaosDrops++ })
+			if len(pending) == 0 {
 				continue
-			}
-			pending = append(pending, fr)
-			if verdict.dup {
-				l.bump(func(s *LinkStats) { s.ChaosDups++ })
-				pending = append(pending, fr)
 			}
 		}
 		if conn == nil {
@@ -463,14 +599,27 @@ func (f *fabric) writeLoop(l *link) {
 				return // fabric closing
 			}
 		}
-		if err := enc.Encode(pending[0]); err != nil {
+		bufs = bufs[:0]
+		for _, fb := range pending {
+			bufs = append(bufs, fb.Bytes())
+		}
+		sent, flushes, err := enc.EncodeBatch(bufs, f.cfg.MaxBatchBytes)
+		if sent > 0 || flushes > 0 {
+			l.bump(func(s *LinkStats) {
+				s.FramesSent += int64(sent)
+				s.Flushes += int64(flushes)
+			})
+		}
+		for _, fb := range pending[:sent] {
+			fb.Release()
+		}
+		pending = append(pending[:0], pending[sent:]...)
+		if err != nil {
 			l.bump(func(s *LinkStats) { s.WriteErrors++ })
 			dropConn()
 			f.linkDown(l.peer, err)
-			continue // pending retained; resent after reconnect
+			// pending retained; resent after reconnect
 		}
-		l.bump(func(s *LinkStats) { s.FramesSent++ })
-		pending = pending[1:]
 	}
 }
 

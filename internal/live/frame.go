@@ -11,6 +11,12 @@
 // CO_RFIFO contract — follows from TCP's in-order byte stream plus the
 // per-destination outbox goroutine. Membership notifications travel over
 // the same fabric as dedicated frames.
+//
+// Data path: a multicast is marshaled exactly once and the pooled encoding
+// is shared (reference-counted) across every destination's bounded queue;
+// each link writer drains its queue in batches and coalesces a batch into
+// as few socket flushes as the configured byte cap allows. See DESIGN.md
+// "Transport performance".
 package live
 
 import "vsgm/internal/wire"

@@ -47,9 +47,9 @@ type NodeConfig struct {
 }
 
 // Node is a GCS end-point deployed as a concurrent process: inbound TCP
-// connections feed the automaton, outbound traffic flows through per-peer
-// mailbox goroutines, and application events are dispatched serially to the
-// configured callback.
+// connections feed the automaton, outbound multicasts are encoded once and
+// fanned out through per-peer mailbox goroutines that batch their writes,
+// and application events are dispatched serially to the configured callback.
 type Node struct {
 	id     types.ProcID
 	fabric *fabric

@@ -131,10 +131,10 @@ func (n *ServerNode) Reconfigure() {
 
 // notify relays a membership notification to a client over the fabric. It
 // runs with n.mu held (the server calls it from within its handlers), so it
-// must only enqueue.
+// must only enqueue — the fabric encodes the frame immediately and queues
+// the bytes, never blocking on the network.
 func (n *ServerNode) notify(p types.ProcID, notif membership.Notification) {
-	cp := notif
-	n.fabric.SendNotify(p, frame{Notify: &cp})
+	n.fabric.SendNotify(p, notif)
 }
 
 // receive handles an inbound server-to-server frame.

@@ -9,7 +9,7 @@
 package types
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -108,7 +108,7 @@ func (s ProcSet) Sorted() []ProcID {
 	for p := range s {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

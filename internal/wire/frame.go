@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vsgm/internal/membership"
@@ -38,16 +40,23 @@ const (
 // ErrFrameTooLarge reports a frame exceeding the transport bound.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
 
-// MarshalFrame encodes a frame.
+// MarshalFrame encodes a frame into a fresh buffer.
 func MarshalFrame(f Frame) ([]byte, error) {
-	w := &buffer{}
+	return AppendFrame(nil, f)
+}
+
+// AppendFrame encodes a frame onto dst and returns the extended slice. It is
+// the allocation-frugal entry point: callers that reuse dst (or obtain one
+// through EncodeFrame's pool) marshal without per-call buffer allocations.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	w := buffer{b: dst}
 	if err := w.id(f.From); err != nil {
 		return nil, err
 	}
 	switch {
 	case f.Msg != nil:
 		w.u8(frameMsg)
-		if err := appendMsg(w, *f.Msg); err != nil {
+		if err := appendMsg(&w, *f.Msg); err != nil {
 			return nil, err
 		}
 	case f.Notify != nil:
@@ -130,6 +139,62 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 	}
 }
 
+// FrameBuf is a pooled, reference-counted encoded frame. EncodeFrame returns
+// one holding a single reference; a fan-out sender calls Retain once per
+// additional consumer, and every consumer calls Release exactly once when it
+// is done (after the frame was written, dropped, or evicted). The final
+// Release returns the buffer to the pool, after which Bytes must no longer
+// be read. This is what lets a multicast marshal once and share the encoded
+// bytes across every destination queue without copies.
+type FrameBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+// maxPooledFrame caps the capacity retained by the pool; occasional giant
+// frames are released to the GC instead of pinning their backing arrays.
+const maxPooledFrame = 64 << 10
+
+var framePool = sync.Pool{New: func() any { return new(FrameBuf) }}
+
+// EncodeFrame marshals f into a pooled buffer holding one reference. A
+// frame exceeding the transport bound is rejected here, before it can enter
+// any outbound queue, so writers never face an unsendable frame.
+func EncodeFrame(f Frame) (*FrameBuf, error) {
+	fb := framePool.Get().(*FrameBuf)
+	b, err := AppendFrame(fb.b[:0], f)
+	if err == nil && len(b) > maxFrameSize {
+		err = ErrFrameTooLarge
+	}
+	if err != nil {
+		framePool.Put(fb)
+		return nil, err
+	}
+	fb.b = b
+	fb.refs.Store(1)
+	return fb, nil
+}
+
+// Bytes returns the encoded frame. Valid until the final Release.
+func (fb *FrameBuf) Bytes() []byte { return fb.b }
+
+// Retain adds n references.
+func (fb *FrameBuf) Retain(n int32) { fb.refs.Add(n) }
+
+// Release drops one reference, recycling the buffer on the last one.
+func (fb *FrameBuf) Release() {
+	switch n := fb.refs.Add(-1); {
+	case n > 0:
+	case n == 0:
+		if cap(fb.b) > maxPooledFrame {
+			fb.b = nil
+		}
+		framePool.Put(fb)
+	default:
+		panic("wire: FrameBuf over-released")
+	}
+}
+
 // WriteDeadliner is the subset of net.Conn needed to arm write deadlines.
 type WriteDeadliner interface {
 	SetWriteDeadline(t time.Time) error
@@ -142,7 +207,8 @@ type ReadDeadliner interface {
 
 // Encoder writes length-prefixed frames to a stream.
 type Encoder struct {
-	w *bufio.Writer
+	w   *bufio.Writer
+	hdr [4]byte // length-prefix scratch; a local would escape through bufio
 
 	dl        WriteDeadliner
 	dlTimeout time.Duration
@@ -161,35 +227,99 @@ func (e *Encoder) ArmWriteDeadline(c WriteDeadliner, timeout time.Duration) {
 	e.dl, e.dlTimeout = c, timeout
 }
 
-// Encode writes one frame and flushes.
+// arm sets the write deadline, if one is configured.
+func (e *Encoder) arm() error {
+	if e.dl != nil && e.dlTimeout > 0 {
+		return e.dl.SetWriteDeadline(time.Now().Add(e.dlTimeout))
+	}
+	return nil
+}
+
+// writeFrame buffers one length-prefixed frame without flushing.
+func (e *Encoder) writeFrame(b []byte) error {
+	if len(b) > maxFrameSize || len(b) > math.MaxUint32 {
+		return ErrFrameTooLarge
+	}
+	e.hdr[0] = byte(len(b) >> 24)
+	e.hdr[1] = byte(len(b) >> 16)
+	e.hdr[2] = byte(len(b) >> 8)
+	e.hdr[3] = byte(len(b))
+	if _, err := e.w.Write(e.hdr[:]); err != nil {
+		return err
+	}
+	_, err := e.w.Write(b)
+	return err
+}
+
+// Encode writes one frame and flushes. The marshal buffer comes from the
+// frame pool, so steady-state encoding allocates nothing.
 func (e *Encoder) Encode(f Frame) error {
-	b, err := MarshalFrame(f)
+	fb, err := EncodeFrame(f)
 	if err != nil {
 		return err
 	}
-	if e.dl != nil && e.dlTimeout > 0 {
-		if err := e.dl.SetWriteDeadline(time.Now().Add(e.dlTimeout)); err != nil {
-			return err
-		}
-	}
-	if len(b) > maxFrameSize {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	if len(b) > math.MaxUint32 {
-		return ErrFrameTooLarge
-	}
-	hdr[0] = byte(len(b) >> 24)
-	hdr[1] = byte(len(b) >> 16)
-	hdr[2] = byte(len(b) >> 8)
-	hdr[3] = byte(len(b))
-	if _, err := e.w.Write(hdr[:]); err != nil {
+	defer fb.Release()
+	if err := e.arm(); err != nil {
 		return err
 	}
-	if _, err := e.w.Write(b); err != nil {
+	if err := e.writeFrame(fb.b); err != nil {
 		return err
 	}
 	return e.w.Flush()
+}
+
+// EncodeBytes buffers one pre-encoded frame without flushing; pair with
+// Flush (or use EncodeBatch) to put it on the wire.
+func (e *Encoder) EncodeBytes(b []byte) error {
+	if err := e.arm(); err != nil {
+		return err
+	}
+	return e.writeFrame(b)
+}
+
+// Flush arms the write deadline and drains the buffered bytes to the
+// underlying stream.
+func (e *Encoder) Flush() error {
+	if err := e.arm(); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// EncodeBatch writes a run of pre-encoded frames coalesced into as few
+// flushes as possible: frames accumulate in the write buffer and are flushed
+// whenever maxBytes (<=0: no cap) of frame data is pending and once at the
+// end. It returns how many leading frames are known flushed — on error a
+// caller retries frames[sent:] on a fresh connection — and how many flushes
+// reached the stream. Framing is untouched by coalescing: each frame keeps
+// its own length prefix, only the syscall boundaries move.
+func (e *Encoder) EncodeBatch(frames [][]byte, maxBytes int) (sent, flushes int, err error) {
+	if err := e.arm(); err != nil {
+		return 0, 0, err
+	}
+	buffered := 0
+	for i, b := range frames {
+		if err := e.writeFrame(b); err != nil {
+			return sent, flushes, err
+		}
+		buffered += len(b) + 4
+		if maxBytes > 0 && buffered >= maxBytes {
+			if err := e.Flush(); err != nil {
+				return sent, flushes, err
+			}
+			flushes++
+			sent = i + 1
+			buffered = 0
+		}
+	}
+	if sent < len(frames) {
+		if err := e.Flush(); err != nil {
+			return sent, flushes, err
+		}
+		flushes++
+		sent = len(frames)
+	}
+	return sent, flushes, nil
 }
 
 // Decoder reads length-prefixed frames from a stream.

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"vsgm/internal/types"
 )
@@ -28,8 +28,18 @@ type buffer struct {
 	b []byte
 }
 
-func (w *buffer) u8(v uint8)   { w.b = append(w.b, v) }
-func (w *buffer) bool(v bool)  { w.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (w *buffer) u8(v uint8) { w.b = append(w.b, v) }
+
+// bool encodes v as one byte. A branch, not a map literal: this runs once
+// per bool field on the marshal hot path, and a map composite would allocate
+// on every call.
+func (w *buffer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
 func (w *buffer) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
 func (w *buffer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
 func (w *buffer) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
@@ -184,7 +194,7 @@ func (w *buffer) cut(c types.Cut) error {
 	for p := range c {
 		procs = append(procs, p)
 	}
-	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	slices.Sort(procs)
 	w.u32(uint32(len(procs)))
 	for _, p := range procs {
 		if err := w.id(p); err != nil {
@@ -360,7 +370,7 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 		for p := range m.MembProp.Clients {
 			clients = append(clients, p)
 		}
-		sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+		slices.Sort(clients)
 		w.u32(uint32(len(clients)))
 		for _, p := range clients {
 			if err := w.id(p); err != nil {
