@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz bench benchstat check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat check
 
 all: check
 
@@ -27,6 +27,13 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
+# Quick fuzz pass over every wire-facing decoder (frames, raw bodies, WAL
+# records): 5 seconds per target, run as part of the pre-merge gate.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wire/
+	$(GO) test -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeWALRecord -fuzztime=5s ./internal/wire/
+
 # Every benchmark in the tree, including the transport data-path set
 # (BenchmarkFabricBroadcast, BenchmarkWireMarshal, BenchmarkMsgBufGrowth).
 bench:
@@ -50,7 +57,8 @@ benchstat:
 		echo "baseline seeded: BENCH_baseline.txt"; \
 	fi
 
-# The pre-merge gate: vet, the full suite, and the race detector on the
-# concurrency-heavy packages.
+# The pre-merge gate: vet, the full suite, the race detector on the
+# concurrency-heavy packages, and a fuzz smoke pass over the decoders.
 check: vet test
-	$(GO) test -race ./internal/live/ ./cmd/vsgm-live/
+	$(GO) test -race ./internal/live/ ./internal/membership/ ./cmd/vsgm-live/
+	$(MAKE) fuzz-smoke

@@ -8,19 +8,30 @@
 //	vsgm-live -servers 2 -clients 4 -msgs 10
 //	vsgm-live -clients 5 -leave
 //	vsgm-live -servers 2 -clients 4 -partition
+//	vsgm-live -servers 2 -clients 4 -kill-server 0 -restart-server
 //
 // With -partition the servers run live heartbeat failure detectors, the
 // chaos fabric splits the deployment into two components mid-run, each side
 // reconfigures independently, and the partition then heals back into one
 // merged view. The final report includes per-node transport counters
 // (dials, retries, reconnects, drops) so the degradation is observable.
+//
+// With -kill-server N the deployment runs in crash-recovery mode: clients
+// register through the in-band attach protocol, every server journals its
+// identifier state to a WAL under -state-dir, and server N is killed
+// mid-deployment — its clients fail over down their home lists and traffic
+// resumes. Adding -restart-server then brings the dead server back on the
+// same address, recovering its records from the WAL and rejoining the
+// group. Every run ends with per-node stats snapshots in JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -41,12 +52,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vsgm-live", flag.ContinueOnError)
 	var (
-		nServers = fs.Int("servers", 2, "number of membership servers")
-		nClients = fs.Int("clients", 4, "number of client end-points")
-		msgs     = fs.Int("msgs", 10, "multicasts per client")
-		leave     = fs.Bool("leave", false, "remove one member after the traffic phase")
-		partition = fs.Bool("partition", false, "partition and heal the servers after the traffic phase")
-		timeout   = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
+		nServers   = fs.Int("servers", 2, "number of membership servers")
+		nClients   = fs.Int("clients", 4, "number of client end-points")
+		msgs       = fs.Int("msgs", 10, "multicasts per client")
+		leave      = fs.Bool("leave", false, "remove one member after the traffic phase")
+		partition  = fs.Bool("partition", false, "partition and heal the servers after the traffic phase")
+		killServer = fs.Int("kill-server", -1, "kill this server (by index) after the traffic phase; enables in-band attach and WAL-backed servers")
+		restartSrv = fs.Bool("restart-server", false, "with -kill-server: restart the killed server from its WAL")
+		stateDir   = fs.String("state-dir", "", "root directory for per-server durable state (default: a temporary directory)")
+		timeout    = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +70,30 @@ func run(args []string, out io.Writer) error {
 	}
 	if *partition && *nServers < 2 {
 		return fmt.Errorf("-partition needs at least two servers")
+	}
+	attachMode := *killServer >= 0
+	if attachMode {
+		if *killServer >= *nServers {
+			return fmt.Errorf("-kill-server %d out of range (have %d servers)", *killServer, *nServers)
+		}
+		if *nServers < 2 {
+			return fmt.Errorf("-kill-server needs at least two servers to fail over to")
+		}
+		if *partition || *leave {
+			return fmt.Errorf("-kill-server cannot combine with -partition or -leave")
+		}
+	}
+	if *restartSrv && !attachMode {
+		return fmt.Errorf("-restart-server needs -kill-server")
+	}
+	stateRoot := *stateDir
+	if attachMode && stateRoot == "" {
+		tmp, err := os.MkdirTemp("", "vsgm-live-state-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		stateRoot = tmp
 	}
 
 	var (
@@ -69,7 +107,19 @@ func run(args []string, out io.Writer) error {
 
 	var servers []*live.ServerNode
 	for _, sid := range serverIDs {
-		sn, err := live.NewServerNode(live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet})
+		cfg := live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet}
+		if attachMode {
+			// Crash-recovery mode: durable identifier state plus a fast
+			// watchdog, so a restarted server resumes above everything it
+			// issued and stalled attempts repair in demo time.
+			store, err := live.NewFileStore(filepath.Join(stateRoot, string(sid)))
+			if err != nil {
+				return err
+			}
+			cfg.Store = store
+			cfg.Watchdog = 25 * time.Millisecond
+		}
+		sn, err := live.NewServerNode(cfg)
 		if err != nil {
 			return err
 		}
@@ -82,7 +132,7 @@ func run(args []string, out io.Writer) error {
 	clients := make(map[types.ProcID]*live.Node, *nClients)
 	for i, cid := range clientIDs {
 		cid := cid
-		node, err := live.NewNode(live.NodeConfig{
+		cfg := live.NodeConfig{
 			ID:        cid,
 			Addr:      "127.0.0.1:0",
 			AutoBlock: true,
@@ -94,7 +144,20 @@ func run(args []string, out io.Writer) error {
 					mu.Unlock()
 				}
 			},
-		})
+		}
+		if attachMode {
+			// In-band attachment: each client courts the servers in a
+			// rotated order, so preferred homes round-robin and a dead home
+			// fails over to the next server along.
+			homeList := make([]types.ProcID, *nServers)
+			for j := range homeList {
+				homeList[j] = serverIDs[(i+j)%*nServers]
+			}
+			cfg.HomeServers = homeList
+			cfg.AttachInterval = 40 * time.Millisecond
+			cfg.AttachTimeout = 250 * time.Millisecond
+		}
+		node, err := live.NewNode(cfg)
 		if err != nil {
 			return err
 		}
@@ -112,18 +175,28 @@ func run(args []string, out io.Writer) error {
 	homes := make(map[types.ProcID]types.ProcID, *nClients)
 	for i, cid := range clientIDs {
 		srv := servers[i%len(servers)]
-		srv.AddClient(cid)
+		if !attachMode {
+			srv.AddClient(cid)
+		}
 		homes[cid] = srv.ID()
 	}
 
 	fmt.Fprintf(out, "booting %d servers and %d clients on loopback TCP\n", *nServers, *nClients)
-	if *partition {
+	switch {
+	case *partition:
 		// The partition scenario needs live failure detection: heartbeats
 		// notice the silence across the cut and reconfigure each side.
 		for _, sn := range servers {
 			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
 		}
-	} else {
+	case attachMode:
+		// Crash recovery needs both: a known-good starting reachability and
+		// heartbeats so the survivors observe the kill.
+		for _, sn := range servers {
+			sn.SetReachable(serverSet)
+			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
+		}
+	default:
 		for _, sn := range servers {
 			sn.SetReachable(serverSet)
 		}
@@ -131,6 +204,9 @@ func run(args []string, out io.Writer) error {
 	all := types.NewProcSet(clientIDs...)
 	if err := waitFor(*timeout, func() bool {
 		for _, node := range clients {
+			if attachMode && node.Home() == "" {
+				return false
+			}
 			if !node.CurrentView().Members.Equal(all) {
 				return false
 			}
@@ -141,30 +217,33 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "group %s formed\n", clients[clientIDs[0]].CurrentView())
 
-	fmt.Fprintf(out, "multicasting %d messages per client concurrently\n", *msgs)
-	var wg sync.WaitGroup
-	for _, cid := range clientIDs {
-		node := clients[cid]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < *msgs; i++ {
-				// A send can race a view change; ErrBlocked simply means
-				// retry after the change.
-				for {
-					_, err := node.Send([]byte(fmt.Sprintf("m%d", i)))
-					if err == nil {
-						break
+	sendAll := func() {
+		fmt.Fprintf(out, "multicasting %d messages per client concurrently\n", *msgs)
+		var wg sync.WaitGroup
+		for _, cid := range clientIDs {
+			node := clients[cid]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < *msgs; i++ {
+					// A send can race a view change; ErrBlocked simply means
+					// retry after the change.
+					for {
+						_, err := node.Send([]byte(fmt.Sprintf("m%d", i)))
+						if err == nil {
+							break
+						}
+						if err != core.ErrBlocked {
+							return
+						}
+						time.Sleep(time.Millisecond)
 					}
-					if err != core.ErrBlocked {
-						return
-					}
-					time.Sleep(time.Millisecond)
 				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	sendAll()
 
 	want := *msgs * *nClients
 	if err := waitFor(*timeout, func() bool {
@@ -178,6 +257,90 @@ func run(args []string, out io.Writer) error {
 		return true
 	}); err != nil {
 		return fmt.Errorf("traffic phase: %w", err)
+	}
+
+	if attachMode {
+		killed := servers[*killServer]
+		killedID, killedAddr := killed.ID(), killed.Addr()
+		floor := maxViewID(clients)
+		fmt.Fprintf(out, "killing %s mid-deployment\n", killedID)
+		killed.Close()
+
+		if err := waitFor(*timeout, func() bool {
+			for _, node := range clients {
+				h := node.Home()
+				if h == "" || h == killedID {
+					return false
+				}
+				v := node.CurrentView()
+				if v.ID <= floor || !v.Members.Equal(all) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("failover phase: %w", err)
+		}
+		for _, cid := range clientIDs {
+			fmt.Fprintf(out, "  %s failed over to %s\n", cid, clients[cid].Home())
+		}
+		fmt.Fprintf(out, "failover complete: %s\n", clients[clientIDs[0]].CurrentView())
+
+		// Traffic resumes through the survivors.
+		sendAll()
+		if err := waitFor(*timeout, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, cid := range clientIDs {
+				if delivered[cid] < 2*want {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("post-failover traffic: %w", err)
+		}
+		fmt.Fprintln(out, "post-failover traffic delivered")
+
+		if *restartSrv {
+			store, err := live.NewFileStore(filepath.Join(stateRoot, string(killedID)))
+			if err != nil {
+				return err
+			}
+			sn, err := live.NewServerNode(live.ServerConfig{
+				ID:       killedID,
+				Addr:     killedAddr,
+				Servers:  serverSet,
+				Store:    store,
+				Watchdog: 25 * time.Millisecond,
+			})
+			if err != nil {
+				return fmt.Errorf("restart %s: %w", killedID, err)
+			}
+			defer sn.Close()
+			servers[*killServer] = sn
+			recs := sn.Records()
+			rj, _ := json.Marshal(recs)
+			fmt.Fprintf(out, "restarted %s on %s: recovered %d records from its WAL: %s\n",
+				killedID, killedAddr, len(recs), rj)
+
+			floor = maxViewID(clients)
+			sn.SetPeers(dir)
+			sn.SetReachable(serverSet)
+			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
+			if err := waitFor(*timeout, func() bool {
+				for _, node := range clients {
+					v := node.CurrentView()
+					if v.ID <= floor || !v.Members.Equal(all) {
+						return false
+					}
+				}
+				return true
+			}); err != nil {
+				return fmt.Errorf("rejoin phase: %w", err)
+			}
+			fmt.Fprintf(out, "%s rejoined the server group: %s\n", killedID, clients[clientIDs[0]].CurrentView())
+		}
 	}
 
 	if *partition {
@@ -301,8 +464,32 @@ func run(args []string, out io.Writer) error {
 	for _, cid := range ids {
 		printStats(cid, clients[cid].LinkStats())
 	}
+
+	// Full per-node snapshots, one JSON object per line, for scraping.
+	fmt.Fprintln(out, "node stats:")
+	for _, sn := range servers {
+		if b, err := json.Marshal(sn.Stats()); err == nil {
+			fmt.Fprintf(out, "  %s\n", b)
+		}
+	}
+	for _, cid := range ids {
+		if b, err := json.Marshal(clients[cid].Stats()); err == nil {
+			fmt.Fprintf(out, "  %s\n", b)
+		}
+	}
 	fmt.Fprintln(out, "done")
 	return nil
+}
+
+// maxViewID returns the highest view identifier any client has installed.
+func maxViewID(clients map[types.ProcID]*live.Node) types.ViewID {
+	var max types.ViewID
+	for _, node := range clients {
+		if v := node.CurrentView().ID; v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 func waitFor(limit time.Duration, cond func() bool) error {

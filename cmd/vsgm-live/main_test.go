@@ -49,11 +49,51 @@ func TestRunLiveWithPartition(t *testing.T) {
 	}
 }
 
+func TestRunLiveKillAndRestartServer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-servers", "2", "-clients", "4", "-msgs", "2",
+		"-kill-server", "0", "-restart-server",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"killing s00 mid-deployment",
+		"failed over to",
+		"failover complete",
+		"post-failover traffic delivered",
+		"recovered",
+		"from its WAL",
+		"rejoined the server group",
+		"node stats:",
+		`"failovers":1`,
+		"done",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunLiveValidatesFlags(t *testing.T) {
 	if err := run([]string{"-clients", "0"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("zero clients accepted")
 	}
 	if err := run([]string{"-servers", "1", "-partition"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("-partition with one server accepted")
+	}
+	if err := run([]string{"-servers", "1", "-clients", "2", "-kill-server", "0"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-kill-server with one server accepted")
+	}
+	if err := run([]string{"-restart-server"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-restart-server without -kill-server accepted")
+	}
+	if err := run([]string{"-servers", "2", "-kill-server", "5"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("out-of-range -kill-server accepted")
+	}
+	if err := run([]string{"-servers", "2", "-kill-server", "0", "-leave"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-kill-server combined with -leave accepted")
 	}
 }

@@ -132,9 +132,57 @@ func (e *Endpoint) trySendSync() bool {
 		e.syncMsgs[e.id] = row
 	}
 	row[cid] = &types.SyncMsg{View: e.currentView.Clone(), Cut: cut}
+	e.ownSync.valid = true
+	e.ownSync.cid = cid
+	e.ownSync.view = e.currentView.Clone()
+	e.ownSync.cut = cut.Clone()
 	e.limitsValid = false
 	e.fwdDirty = true
 	return true
+}
+
+// ResendSync replays this end-point's committed synchronization message for
+// the pending start_change, marked as a probe, to the other members of the
+// change set. A probed peer answers with its own latest sync, so both
+// directions of a lost sync exchange are repaired. The resend carries the
+// originally committed view and cut verbatim — the cut is binding — and it
+// is always the full message: a duplicate full sync is idempotent for every
+// receiver, while re-deriving the Section 5.2.4 small/elided forms here
+// could not rely on FIFO adjacency to a view_msg. It reports whether a
+// probe was sent (false when no change is pending or no sync was sent yet).
+func (e *Endpoint) ResendSync() bool {
+	if e.crashed || e.startChange == nil || !e.ownSync.valid || e.ownSync.cid != e.startChange.ID {
+		return false
+	}
+	others := e.startChange.Set.Minus(types.NewProcSet(e.id))
+	if others.Len() == 0 {
+		return false
+	}
+	e.transport.Send(others.Sorted(), types.WireMsg{
+		Kind:  types.KindSync,
+		CID:   e.ownSync.cid,
+		View:  e.ownSync.view.Clone(),
+		Cut:   e.ownSync.cut.Clone(),
+		Probe: true,
+	})
+	return true
+}
+
+// answerSyncProbe responds to a probe by resending our own latest committed
+// sync directly to the prober. This covers the asymmetric wedge: we may
+// have already installed the view (nothing pending, so we would never probe
+// ourselves) while the prober still lacks our sync. Answers are plain
+// syncs, never probes, so two healthy peers cannot ping-pong.
+func (e *Endpoint) answerSyncProbe(from types.ProcID) {
+	if !e.ownSync.valid || from == e.id {
+		return
+	}
+	e.transport.Send([]types.ProcID{from}, types.WireMsg{
+		Kind: types.KindSync,
+		CID:  e.ownSync.cid,
+		View: e.ownSync.view.Clone(),
+		Cut:  e.ownSync.cut.Clone(),
+	})
 }
 
 // trySendViewMsg is co_rfifo.send_p(set, view_msg, v) (Figure 9): before

@@ -201,6 +201,17 @@ type Endpoint struct {
 	syncMsgs    map[types.ProcID]map[types.StartChangeID]*types.SyncMsg
 	forwarded   map[forwardKey]struct{}
 
+	// ownSync remembers the last synchronization message this end-point
+	// committed to (cid, view, cut). The committed cut is binding, so a
+	// watchdog resend (ResendSync) and probe answers must replay exactly
+	// these values, never recompute them.
+	ownSync struct {
+		valid bool
+		cid   types.StartChangeID
+		view  types.View
+		cut   types.Cut
+	}
+
 	// GCS state extension (Figure 11).
 	blockStatus BlockStatus
 
@@ -276,6 +287,7 @@ func (e *Endpoint) reset() {
 	e.viewMsg = map[types.ProcID]types.View{e.id: types.InitialView(e.id)}
 	e.reliableSet = types.NewProcSet(e.id)
 	e.startChange = nil
+	e.ownSync.valid = false
 	e.syncMsgs = make(map[types.ProcID]map[types.StartChangeID]*types.SyncMsg)
 	e.forwarded = make(map[forwardKey]struct{})
 	e.blockStatus = Unblocked
@@ -443,6 +455,9 @@ func (e *Endpoint) HandleMessage(from types.ProcID, m types.WireMsg) {
 			e.hQueue(types.SyncEntry{
 				From: from, CID: m.CID, View: view.Clone(), Cut: m.Cut.Clone(), Small: m.Small,
 			}, false)
+		}
+		if m.Probe {
+			e.answerSyncProbe(from)
 		}
 	case types.KindSyncBundle:
 		if e.level == LevelWV {

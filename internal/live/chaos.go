@@ -32,6 +32,7 @@ type Chaos struct {
 	latency       time.Duration
 	latencyJitter time.Duration
 	dropProb      float64
+	dropFor       map[types.ProcID]float64
 	dupProb       float64
 	partialWrites bool
 	blockOut      map[types.ProcID]bool
@@ -41,6 +42,7 @@ type Chaos struct {
 func newChaos() *Chaos {
 	return &Chaos{
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		dropFor:  make(map[types.ProcID]float64),
 		blockOut: make(map[types.ProcID]bool),
 		blockIn:  make(map[types.ProcID]bool),
 	}
@@ -59,6 +61,23 @@ func (c *Chaos) SetDropProbability(p float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dropProb = p
+}
+
+// SetDropProbabilityFor makes each outbound frame addressed to one of the
+// given peers vanish with probability p, leaving other links faithful —
+// lossy server-to-server trunks with healthy client links, for example. It
+// overrides the global probability for those peers; p = 0 removes the
+// override.
+func (c *Chaos) SetDropProbabilityFor(p float64, peers ...types.ProcID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, q := range peers {
+		if p <= 0 {
+			delete(c.dropFor, q)
+		} else {
+			c.dropFor[q] = p
+		}
+	}
 }
 
 // SetDuplicateProbability makes each outbound frame go out twice with
@@ -114,6 +133,7 @@ func (c *Chaos) Heal() {
 	defer c.mu.Unlock()
 	c.latency, c.latencyJitter = 0, 0
 	c.dropProb, c.dupProb = 0, 0
+	c.dropFor = make(map[types.ProcID]float64)
 	c.partialWrites = false
 	c.blockOut = make(map[types.ProcID]bool)
 	c.blockIn = make(map[types.ProcID]bool)
@@ -138,7 +158,11 @@ func (c *Chaos) outbound(peer types.ProcID) chaosVerdict {
 	if c.latencyJitter > 0 {
 		v.delay += time.Duration(c.rng.Int63n(int64(c.latencyJitter) + 1))
 	}
-	if c.dropProb > 0 && c.rng.Float64() < c.dropProb {
+	drop := c.dropProb
+	if p, ok := c.dropFor[peer]; ok {
+		drop = p
+	}
+	if drop > 0 && c.rng.Float64() < drop {
 		v.drop = true
 		return v
 	}

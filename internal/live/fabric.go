@@ -387,6 +387,15 @@ func (f *fabric) SendNotify(dest types.ProcID, n membership.Notification) {
 	f.fanOut(fb, []types.ProcID{dest})
 }
 
+// SendAttach enqueues an attach-protocol frame toward one peer.
+func (f *fabric) SendAttach(dest types.ProcID, a wire.Attach) {
+	fb, err := wire.EncodeFrame(frame{From: f.id, Attach: &a})
+	if err != nil {
+		return
+	}
+	f.fanOut(fb, []types.ProcID{dest})
+}
+
 // fanOut shares one encoded frame across every destination's queue. The
 // extra references are taken before the first put so a fast writer draining
 // one queue cannot recycle the buffer while it is still being enqueued

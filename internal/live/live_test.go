@@ -13,6 +13,7 @@ import (
 	"vsgm/internal/membership"
 	"vsgm/internal/spec"
 	"vsgm/internal/types"
+	"vsgm/internal/wire"
 )
 
 // liveWorld spins up membership servers and client nodes on real TCP
@@ -537,11 +538,13 @@ func TestFrameGobRoundTripAllKinds(t *testing.T) {
 		{Kind: types.KindSync, CID: 4, View: v, Cut: types.Cut{"a": 1, "b": 0}},
 		{Kind: types.KindSync, CID: 5, Small: true},
 		{Kind: types.KindSync, CID: 6, ElideView: true, Cut: types.Cut{"a": 2}},
+		{Kind: types.KindSync, CID: 7, Probe: true, View: v, Cut: types.Cut{"a": 3}},
 		{Kind: types.KindAck, Cut: types.Cut{"a": 9}},
 		{Kind: types.KindHeartbeat},
 		{Kind: types.KindMembProposal, MembProp: &types.MembProposal{
 			Attempt: 2, Servers: types.NewProcSet("s0", "s1"), MinVid: 4,
 			Clients: map[types.ProcID]types.StartChangeID{"c": 3},
+			Epochs:  map[types.ProcID]int64{"c": 2},
 		}},
 		{Kind: types.KindSyncBundle, Bundle: []types.SyncEntry{
 			{From: "a", CID: 1, View: v, Cut: types.Cut{"a": 1}},
@@ -569,7 +572,8 @@ func TestFrameGobRoundTripAllKinds(t *testing.T) {
 				t.Fatalf("view mangled: %s vs %s", got.Msg.View, v)
 			}
 		case types.KindSync:
-			if got.Msg.CID != m.CID || got.Msg.Small != m.Small || got.Msg.ElideView != m.ElideView {
+			if got.Msg.CID != m.CID || got.Msg.Small != m.Small ||
+				got.Msg.ElideView != m.ElideView || got.Msg.Probe != m.Probe {
 				t.Fatalf("sync flags mangled: %+v", got.Msg)
 			}
 			if m.Cut != nil && !got.Msg.Cut.Equal(m.Cut) {
@@ -577,7 +581,8 @@ func TestFrameGobRoundTripAllKinds(t *testing.T) {
 			}
 		case types.KindMembProposal:
 			if !got.Msg.MembProp.Servers.Equal(m.MembProp.Servers) ||
-				got.Msg.MembProp.Clients["c"] != 3 {
+				got.Msg.MembProp.Clients["c"] != 3 ||
+				got.Msg.MembProp.Epochs["c"] != 2 {
 				t.Fatalf("proposal mangled: %+v", got.Msg.MembProp)
 			}
 		case types.KindSyncBundle:
@@ -602,5 +607,18 @@ func TestFrameGobRoundTripAllKinds(t *testing.T) {
 	if got.Notify == nil || got.Notify.StartChange.ID != 9 ||
 		!got.Notify.StartChange.Set.Equal(notif.StartChange.Set) {
 		t.Fatalf("notification mangled: %+v", got.Notify)
+	}
+
+	// An attach-protocol frame.
+	att := wire.Attach{Kind: wire.AttachAck, Client: "c", Epoch: 2, CID: 2 << 32, Vid: 5}
+	if err := enc.Encode(frame{From: "srv", Attach: &att}); err != nil {
+		t.Fatal(err)
+	}
+	var gotAtt frame
+	if err := dec.Decode(&gotAtt); err != nil {
+		t.Fatal(err)
+	}
+	if gotAtt.Attach == nil || *gotAtt.Attach != att {
+		t.Fatalf("attach frame mangled: %+v", gotAtt.Attach)
 	}
 }

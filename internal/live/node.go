@@ -2,10 +2,12 @@ package live
 
 import (
 	"sync"
+	"time"
 
 	"vsgm/internal/core"
 	"vsgm/internal/membership"
 	"vsgm/internal/types"
+	"vsgm/internal/wire"
 )
 
 // NodeConfig parameterizes a live GCS end-point.
@@ -41,6 +43,22 @@ type NodeConfig struct {
 	// failed dials), serialized on the event stream. The supervised
 	// transport keeps retrying regardless; this is observability only.
 	OnLinkDown func(peer types.ProcID, err error)
+	// HomeServers, when non-empty, enables in-band attachment: the node
+	// registers with HomeServers[0] through the attach protocol and fails
+	// over down the list (wrapping around) when its home goes silent or its
+	// link dies. Notifications from any server other than the current home
+	// are ignored, so a stale previous home cannot corrupt the notification
+	// stream. Empty keeps the legacy out-of-band mode (ServerNode.AddClient
+	// plus notifications accepted from anyone).
+	HomeServers []types.ProcID
+	// AttachInterval paces the attach manager: attach requests (first
+	// registration and keepalives) go out at this jittered period, and the
+	// stuck-view probe counts in these ticks. Defaults to 1s.
+	AttachInterval time.Duration
+	// AttachTimeout is how long the home may stay silent (no attach ack)
+	// before the node fails over to the next server in HomeServers.
+	// Defaults to 4× AttachInterval.
+	AttachTimeout time.Duration
 	// Transport tunes the supervised transport (timeouts, backoff, queue
 	// bounds); the zero value selects production defaults.
 	Transport TransportConfig
@@ -67,6 +85,28 @@ type Node struct {
 	onSend     func(types.AppMsg)
 	onNotify   func(membership.Notification)
 	onLinkDown func(types.ProcID, error)
+
+	// Attach/failover state, guarded by amu (a leaf lock: it may be taken
+	// while holding mu, and no code path acquires mu while holding amu).
+	amu           sync.Mutex
+	homeList      []types.ProcID
+	homeIdx       int
+	home          types.ProcID
+	epoch         int64
+	lastAck       time.Time
+	lastCID       types.StartChangeID
+	lastVid       types.ViewID
+	attaches      int64
+	failovers     int64
+	attachRetries int64
+	staleNotifies int64
+	syncProbes    int64
+
+	attachInterval time.Duration
+	attachTimeout  time.Duration
+	mgrStop        chan struct{}
+	mgrWG          sync.WaitGroup
+	closeOnce      sync.Once
 }
 
 // liveTransport adapts the fabric to core.Transport.
@@ -87,13 +127,26 @@ func (t liveTransport) SetReliable(types.ProcSet) {
 // NewNode starts a live end-point listening on cfg.Addr.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
-		id:         cfg.ID,
-		ready:      make(chan struct{}),
-		events:     newMailbox[func()](),
-		onEvent:    cfg.OnEvent,
-		onSend:     cfg.OnSend,
-		onNotify:   cfg.OnNotify,
-		onLinkDown: cfg.OnLinkDown,
+		id:             cfg.ID,
+		ready:          make(chan struct{}),
+		events:         newMailbox[func()](),
+		onEvent:        cfg.OnEvent,
+		onSend:         cfg.OnSend,
+		onNotify:       cfg.OnNotify,
+		onLinkDown:     cfg.OnLinkDown,
+		homeList:       append([]types.ProcID(nil), cfg.HomeServers...),
+		attachInterval: cfg.AttachInterval,
+		attachTimeout:  cfg.AttachTimeout,
+		mgrStop:        make(chan struct{}),
+	}
+	if n.attachInterval <= 0 {
+		n.attachInterval = time.Second
+	}
+	if n.attachTimeout <= 0 {
+		n.attachTimeout = 4 * n.attachInterval
+	}
+	if len(n.homeList) > 0 {
+		n.epoch = 1
 	}
 	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
 	if err != nil {
@@ -131,7 +184,104 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.ep = ep
 	n.mu.Unlock()
 	close(n.ready)
+	n.startManager()
 	return n, nil
+}
+
+// startManager runs the node's periodic maintenance loop: attach requests
+// and keepalives toward the home server, silent-home failover, and the
+// stuck-view sync probe. The loop runs for every node — probing repairs
+// lost sync messages regardless of how the node was registered — while the
+// attach duties engage only when HomeServers is configured.
+func (n *Node) startManager() {
+	n.mgrWG.Add(1)
+	go func() {
+		defer n.mgrWG.Done()
+		n.amu.Lock()
+		n.lastAck = time.Now() // courting starts now, not at the epoch origin
+		n.amu.Unlock()
+		// First tick immediately: a node with a home list attaches one dial,
+		// not one interval, after it starts.
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		var (
+			stuckCID   types.StartChangeID = -1
+			stuckTicks int
+		)
+		for {
+			select {
+			case <-timer.C:
+				n.attachTick(time.Now())
+				stuckCID, stuckTicks = n.probeTick(stuckCID, stuckTicks)
+				timer.Reset(jitter(n.attachInterval))
+			case <-n.mgrStop:
+				return
+			}
+		}
+	}()
+}
+
+// attachTick performs one round of attach maintenance: fail over if the
+// home has been silent past the timeout, then (re)send an attach request to
+// the current target — a keepalive when attached, a registration retry when
+// not.
+func (n *Node) attachTick(now time.Time) {
+	n.amu.Lock()
+	if len(n.homeList) == 0 {
+		n.amu.Unlock()
+		return
+	}
+	if now.Sub(n.lastAck) > n.attachTimeout {
+		n.failoverLocked(now)
+	}
+	if n.home == "" && n.attaches > 0 {
+		n.attachRetries++
+	}
+	target := n.homeList[n.homeIdx%len(n.homeList)]
+	epoch := n.epoch
+	n.amu.Unlock()
+	n.fabric.SendAttach(target, wire.Attach{Kind: wire.AttachRequest, Client: n.id, Epoch: epoch})
+}
+
+// failoverLocked abandons the current target: a best-effort detach is sent
+// to it (rescinding only our current epoch, so it cannot evict a future
+// re-attach), and courting moves to the next server in the list under a
+// fresh epoch. Callers hold amu.
+func (n *Node) failoverLocked(now time.Time) {
+	old := n.homeList[n.homeIdx%len(n.homeList)]
+	oldEpoch := n.epoch
+	n.homeIdx++
+	n.epoch++
+	n.home = ""
+	n.lastAck = now
+	n.failovers++
+	n.fabric.SendAttach(old, wire.Attach{Kind: wire.AttachDetach, Client: n.id, Epoch: oldEpoch})
+}
+
+// probeTick watches for a wedged view change: a start_change that stays
+// pending across consecutive ticks means sync messages were lost (either
+// ours to a peer or a peer's to us), so resend ours as a probe — receivers
+// answer a probe with their own latest sync, repairing both directions.
+func (n *Node) probeTick(prevCID types.StartChangeID, prevTicks int) (types.StartChangeID, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sc, ok := n.ep.PendingStartChange()
+	if !ok {
+		return -1, 0
+	}
+	if sc.ID != prevCID {
+		return sc.ID, 0
+	}
+	if prevTicks+1 < 2 {
+		return prevCID, prevTicks + 1
+	}
+	if n.ep.ResendSync() {
+		n.amu.Lock()
+		n.syncProbes++
+		n.amu.Unlock()
+	}
+	n.dispatch(n.ep.TakeEvents())
+	return prevCID, 0
 }
 
 // Addr returns the node's listen address (for the peer directory).
@@ -151,9 +301,16 @@ func (n *Node) LinkStats() map[types.ProcID]LinkStats { return n.fabric.Stats() 
 func (n *Node) Chaos() *Chaos { return n.fabric.Chaos() }
 
 // linkDown relays a transport-link failure onto the serialized event
-// stream. The supervised transport is already redialing; this only makes
-// the failure observable.
+// stream, and — when the failed link is the home server's — fails over
+// immediately instead of waiting out the silent-home timeout: a broken
+// connection is positive evidence, so the next manager tick courts the next
+// server in the list.
 func (n *Node) linkDown(peer types.ProcID, err error) {
+	n.amu.Lock()
+	if len(n.homeList) > 0 && peer == n.home && n.home != "" {
+		n.failoverLocked(time.Now())
+	}
+	n.amu.Unlock()
 	if n.onLinkDown == nil {
 		return
 	}
@@ -191,6 +348,17 @@ func (n *Node) CurrentView() types.View {
 // receive handles one inbound frame from the fabric.
 func (n *Node) receive(from types.ProcID, fr frame) {
 	<-n.ready
+	if fr.Attach != nil {
+		n.handleAttach(from, *fr.Attach)
+		return
+	}
+	if fr.Notify != nil && !n.acceptNotify(from) {
+		// In-band attach mode: only the current home server's notifications
+		// feed the endpoint. A stale previous home (partitioned, not yet
+		// evicted) may still think it serves us; its notifications would
+		// violate the per-client monotonicity the home hand-off preserved.
+		return
+	}
 	n.mu.Lock()
 	if n.ep == nil {
 		n.mu.Unlock()
@@ -215,6 +383,62 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 	n.mu.Unlock()
 }
 
+// acceptNotify decides whether a notification from the given server may
+// feed the endpoint. Legacy mode (no home list) accepts everything.
+func (n *Node) acceptNotify(from types.ProcID) bool {
+	n.amu.Lock()
+	defer n.amu.Unlock()
+	if len(n.homeList) == 0 {
+		return true
+	}
+	if from == n.home {
+		return true
+	}
+	n.staleNotifies++
+	return false
+}
+
+// handleAttach processes an attach-protocol frame from a server. An ack
+// from the currently courted target completes (or refreshes) the
+// attachment; it is handled synchronously on the receive path so that the
+// home is set before the notifications that follow it on the same FIFO
+// link are filtered. An ack may carry a higher epoch than ours: the server
+// remembers an earlier incarnation of this client (Section 8 recovery), and
+// adopting its epoch resumes that identity. A detach from the current home
+// is an eviction; fail over.
+func (n *Node) handleAttach(from types.ProcID, a wire.Attach) {
+	n.amu.Lock()
+	defer n.amu.Unlock()
+	if len(n.homeList) == 0 {
+		return
+	}
+	switch a.Kind {
+	case wire.AttachAck:
+		if from != n.homeList[n.homeIdx%len(n.homeList)] || a.Epoch < n.epoch {
+			return // stale ack from an abandoned target or epoch
+		}
+		n.epoch = a.Epoch
+		if n.home != from {
+			n.home = from
+			n.attaches++
+		}
+		n.lastAck = time.Now()
+		n.lastCID, n.lastVid = a.CID, a.Vid
+	case wire.AttachDetach:
+		if from == n.home && n.home != "" {
+			n.failoverLocked(time.Now())
+		}
+	}
+}
+
+// Home returns the server the node is currently attached to ("" while
+// detached or in legacy mode).
+func (n *Node) Home() types.ProcID {
+	n.amu.Lock()
+	defer n.amu.Unlock()
+	return n.home
+}
+
 // dispatch hands events to the pump goroutine. It must be called while
 // holding n.mu so that the global event order matches the automaton's.
 func (n *Node) dispatch(evs []core.Event) {
@@ -227,8 +451,46 @@ func (n *Node) dispatch(evs []core.Event) {
 	}
 }
 
+// NodeStats is a JSON-able snapshot of a node's counters.
+type NodeStats struct {
+	ID            types.ProcID               `json:"id"`
+	Home          types.ProcID               `json:"home"`
+	Epoch         int64                      `json:"epoch"`
+	LastCID       types.StartChangeID        `json:"last_cid"`
+	LastVid       types.ViewID               `json:"last_vid"`
+	Attaches      int64                      `json:"attaches"`
+	Failovers     int64                      `json:"failovers"`
+	AttachRetries int64                      `json:"attach_retries"`
+	StaleNotifies int64                      `json:"stale_notifies"`
+	SyncProbes    int64                      `json:"sync_probes"`
+	Links         map[types.ProcID]LinkStats `json:"links"`
+}
+
+// Stats snapshots the node's attach, failover, probe, and per-link
+// transport counters.
+func (n *Node) Stats() NodeStats {
+	n.amu.Lock()
+	s := NodeStats{
+		ID:            n.id,
+		Home:          n.home,
+		Epoch:         n.epoch,
+		LastCID:       n.lastCID,
+		LastVid:       n.lastVid,
+		Attaches:      n.attaches,
+		Failovers:     n.failovers,
+		AttachRetries: n.attachRetries,
+		StaleNotifies: n.staleNotifies,
+		SyncProbes:    n.syncProbes,
+	}
+	n.amu.Unlock()
+	s.Links = n.fabric.Stats()
+	return s
+}
+
 // Close shuts the node down and joins its goroutines.
 func (n *Node) Close() {
+	n.closeOnce.Do(func() { close(n.mgrStop) })
+	n.mgrWG.Wait()
 	n.fabric.Close()
 	n.events.close()
 	n.pump.Wait()

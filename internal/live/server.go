@@ -6,6 +6,7 @@ import (
 
 	"vsgm/internal/membership"
 	"vsgm/internal/types"
+	"vsgm/internal/wire"
 )
 
 // ServerConfig parameterizes a live membership server.
@@ -16,16 +17,34 @@ type ServerConfig struct {
 	Addr string
 	// Servers is the static set of all membership servers (including ID).
 	Servers types.ProcSet
+	// Store durably backs the per-client identifier state (cid, view id,
+	// attach epoch): every mutation is appended to it and its contents are
+	// replayed on construction, so a restarted server resumes above
+	// everything it issued before the crash. Nil runs without durability.
+	Store Store
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appends. 0 selects the default (64); negative disables compaction.
+	SnapshotEvery int
+	// Watchdog is the stall-detection interval: an attempt still incomplete
+	// across two consecutive ticks gets its proposal re-sent, repairing
+	// proposal frames lost to faults. 0 selects the default (500ms);
+	// negative disables the watchdog.
+	Watchdog time.Duration
 	// Transport tunes the supervised transport (timeouts, backoff, queue
 	// bounds); the zero value selects production defaults.
 	Transport TransportConfig
 }
 
+const (
+	defaultSnapshotEvery = 64
+	defaultWatchdog      = 500 * time.Millisecond
+)
+
 // ServerNode is one dedicated membership server deployed as a concurrent
 // process: the one-round membership algorithm (internal/membership) runs
-// over TCP proposals to its peer servers, and start_change / view
-// notifications flow to its local clients as dedicated frames on the same
-// fabric.
+// over TCP proposals to its peer servers, start_change / view notifications
+// flow to its local clients as dedicated frames on the same fabric, and
+// clients register themselves in-band through the attach protocol.
 type ServerNode struct {
 	id     types.ProcID
 	fabric *fabric
@@ -35,8 +54,20 @@ type ServerNode struct {
 	detector *membership.Detector
 	ready    chan struct{}
 
+	store         Store
+	snapshotEvery int
+	sinceSnapshot int
+	walAppends    int64
+	walSnapshots  int64
+
+	attachesServed int64
+	detaches       int64
+
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
+
+	wdStop chan struct{}
+	wdWG   sync.WaitGroup
 }
 
 // serverTransport adapts the fabric to membership.ServerTransport.
@@ -48,9 +79,26 @@ func (t serverTransport) Send(dests []types.ProcID, m types.WireMsg) {
 	t.f.Send(dests, m)
 }
 
-// NewServerNode starts a live membership server listening on cfg.Addr.
+// NewServerNode starts a live membership server listening on cfg.Addr. With
+// a Store configured, the previously persisted identifier state is replayed
+// before the listener serves its first frame.
 func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
-	n := &ServerNode{id: cfg.ID, ready: make(chan struct{})}
+	n := &ServerNode{
+		id:            cfg.ID,
+		ready:         make(chan struct{}),
+		store:         cfg.Store,
+		snapshotEvery: cfg.SnapshotEvery,
+	}
+	if n.snapshotEvery == 0 {
+		n.snapshotEvery = defaultSnapshotEvery
+	}
+	var restored map[types.ProcID]membership.ClientRecord
+	if n.store != nil {
+		var err error
+		if restored, err = n.store.Load(); err != nil {
+			return nil, err
+		}
+	}
 	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
 	if err != nil {
 		return nil, err
@@ -62,11 +110,79 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 		f.Close()
 		return nil, err
 	}
+	if len(restored) > 0 {
+		srv.RestoreRecords(restored)
+	}
+	if n.store != nil {
+		srv.SetRecorder(n.onRecord)
+	}
 	n.mu.Lock()
 	n.srv = srv
 	n.mu.Unlock()
 	close(n.ready)
+
+	wd := cfg.Watchdog
+	if wd == 0 {
+		wd = defaultWatchdog
+	}
+	if wd > 0 {
+		n.startWatchdog(wd)
+	}
 	return n, nil
+}
+
+// onRecord is the membership recorder hook: it appends every identifier
+// mutation to the WAL and periodically compacts it into a snapshot. It runs
+// with n.mu held (the server invokes it from within its handlers), so the
+// snapshot can read the server's state directly.
+func (n *ServerNode) onRecord(p types.ProcID, rec membership.ClientRecord) {
+	if n.store.Append(wire.WALRecord{Client: p, CID: rec.CID, Vid: rec.Vid, Epoch: rec.Epoch}) != nil {
+		return
+	}
+	n.walAppends++
+	n.sinceSnapshot++
+	if n.snapshotEvery > 0 && n.sinceSnapshot >= n.snapshotEvery {
+		if n.store.WriteSnapshot(n.srv.ClientRecords()) == nil {
+			n.walSnapshots++
+			n.sinceSnapshot = 0
+		}
+	}
+}
+
+// startWatchdog re-proposes the current attempt whenever it stays stalled
+// across two consecutive ticks: a one-round attempt that has not completed
+// after a full interval has almost certainly lost a proposal frame, and
+// proposals are idempotent, so retrying is always safe. The tick is
+// jittered so co-started servers do not retry in lockstep.
+func (n *ServerNode) startWatchdog(interval time.Duration) {
+	stop := make(chan struct{})
+	n.wdStop = stop
+	n.wdWG.Add(1)
+	go func() {
+		defer n.wdWG.Done()
+		timer := time.NewTimer(jitter(interval))
+		defer timer.Stop()
+		lastAttempt := int64(-1)
+		for {
+			select {
+			case <-timer.C:
+				n.mu.Lock()
+				if n.srv.Stalled() {
+					if a := n.srv.CurrentAttempt(); a == lastAttempt {
+						n.srv.Repropose()
+					} else {
+						lastAttempt = a
+					}
+				} else {
+					lastAttempt = -1
+				}
+				n.mu.Unlock()
+				timer.Reset(jitter(interval))
+			case <-stop:
+				return
+			}
+		}
+	}()
 }
 
 // Addr returns the server's listen address.
@@ -115,6 +231,21 @@ func (n *ServerNode) RemoveClient(p types.ProcID) {
 	n.srv.RemoveClient(p)
 }
 
+// Clients returns the currently registered local clients.
+func (n *ServerNode) Clients() types.ProcSet {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv.LocalClients()
+}
+
+// Records snapshots the durable per-client identifier state this server
+// holds (live registrations plus retained records).
+func (n *ServerNode) Records() map[types.ProcID]membership.ClientRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv.ClientRecords()
+}
+
 // SetReachable feeds the failure detector: the servers currently reachable.
 func (n *ServerNode) SetReachable(set types.ProcSet) {
 	n.mu.Lock()
@@ -137,9 +268,14 @@ func (n *ServerNode) notify(p types.ProcID, notif membership.Notification) {
 	n.fabric.SendNotify(p, notif)
 }
 
-// receive handles an inbound server-to-server frame.
+// receive handles an inbound frame: attach-protocol frames from clients,
+// heartbeats and proposals from peer servers.
 func (n *ServerNode) receive(from types.ProcID, fr frame) {
 	<-n.ready
+	if fr.Attach != nil {
+		n.handleAttach(from, *fr.Attach)
+		return
+	}
 	if fr.Msg == nil {
 		return
 	}
@@ -156,23 +292,109 @@ func (n *ServerNode) receive(from types.ProcID, fr frame) {
 	}
 }
 
-// Close shuts the server down and joins its goroutines.
+// handleAttach serves the in-band attach protocol. A request registers (or
+// keeps alive) the sender under its attach epoch and is always acknowledged
+// with the server's recorded identifier state; only a registration this
+// call created triggers a reconfiguration, so keepalives are cheap. A
+// detach deregisters the sender unless the registration has moved to a
+// newer epoch since (a late detach must not evict a fresh attach).
+func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv == nil {
+		return
+	}
+	switch a.Kind {
+	case wire.AttachRequest:
+		rec, added := n.srv.AttachClient(from, a.Epoch)
+		n.attachesServed++
+		// The ack must precede any notification from the registration's
+		// first attempt on the client's FIFO link, so enqueue it before
+		// reconfiguring.
+		n.fabric.SendAttach(from, wire.Attach{
+			Kind:   wire.AttachAck,
+			Client: from,
+			Epoch:  rec.Epoch,
+			CID:    rec.CID,
+			Vid:    rec.Vid,
+		})
+		if added {
+			n.srv.Reconfigure()
+		}
+	case wire.AttachDetach:
+		if rec, ok := n.srv.RecordOf(from); ok && rec.Epoch > a.Epoch {
+			return
+		}
+		if n.srv.HasClient(from) {
+			n.srv.RemoveClient(from)
+			n.detaches++
+			n.srv.Reconfigure()
+		}
+	}
+}
+
+// ServerStats is a JSON-able snapshot of a server node's counters.
+type ServerStats struct {
+	ID             types.ProcID               `json:"id"`
+	Clients        []types.ProcID             `json:"clients"`
+	AttachesServed int64                      `json:"attaches_served"`
+	Detaches       int64                      `json:"detaches"`
+	Evictions      int64                      `json:"evictions"`
+	Reproposals    int64                      `json:"reproposals"`
+	AttemptsRun    int64                      `json:"attempts_run"`
+	ViewsDelivered int64                      `json:"views_delivered"`
+	WALAppends     int64                      `json:"wal_appends"`
+	WALSnapshots   int64                      `json:"wal_snapshots"`
+	Links          map[types.ProcID]LinkStats `json:"links"`
+}
+
+// Stats snapshots the server node's attach, membership, durability, and
+// per-link transport counters.
+func (n *ServerNode) Stats() ServerStats {
+	n.mu.Lock()
+	s := ServerStats{
+		ID:             n.id,
+		Clients:        n.srv.LocalClients().Sorted(),
+		AttachesServed: n.attachesServed,
+		Detaches:       n.detaches,
+		Evictions:      n.srv.Evictions(),
+		Reproposals:    n.srv.Reproposals(),
+		AttemptsRun:    n.srv.AttemptsRun(),
+		ViewsDelivered: n.srv.ViewsDelivered(),
+		WALAppends:     n.walAppends,
+		WALSnapshots:   n.walSnapshots,
+	}
+	n.mu.Unlock()
+	s.Links = n.fabric.Stats()
+	return s
+}
+
+// Close shuts the server down, joins its goroutines, and closes its store.
 func (n *ServerNode) Close() {
 	n.mu.Lock()
 	if n.hbStop != nil {
 		close(n.hbStop)
 		n.hbStop = nil
 	}
+	if n.wdStop != nil {
+		close(n.wdStop)
+		n.wdStop = nil
+	}
 	n.mu.Unlock()
 	n.hbWG.Wait()
+	n.wdWG.Wait()
 	n.fabric.Close()
+	if n.store != nil {
+		n.store.Close()
+	}
 }
 
-// StartHeartbeats runs a heartbeat failure detector for this server: every
-// interval it multicasts a heartbeat to its peer servers and re-evaluates
-// suspicions with the given timeout, feeding verdict changes straight into
-// the membership algorithm. Stop by closing the server (Close joins the
-// ticker goroutine).
+// StartHeartbeats runs a heartbeat failure detector for this server: it
+// multicasts a heartbeat to its peer servers — immediately on start, then
+// at jittered intervals so co-started servers don't burst in lockstep — and
+// re-evaluates suspicions with the given timeout, feeding verdict changes
+// straight into the membership algorithm. Stop by closing the server (Close
+// joins the ticker goroutine).
 func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time.Duration) {
 	n.mu.Lock()
 	if n.detector == nil {
@@ -190,11 +412,13 @@ func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time
 	n.hbWG.Add(1)
 	go func() {
 		defer n.hbWG.Done()
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		// Fire immediately: peers learn of this server one dial, not one
+		// interval, after it starts.
+		timer := time.NewTimer(0)
+		defer timer.Stop()
 		for {
 			select {
-			case <-ticker.C:
+			case <-timer.C:
 				if len(others) > 0 {
 					n.fabric.Send(others, types.WireMsg{Kind: types.KindHeartbeat})
 				}
@@ -204,6 +428,7 @@ func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time
 					n.srv.SetReachable(reachable)
 				}
 				n.mu.Unlock()
+				timer.Reset(jitter(interval))
 			case <-stop:
 				return
 			}

@@ -1,0 +1,231 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vsgm/internal/membership"
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+)
+
+// Store is the durable backing for a membership server's per-client
+// identifier state. A ServerNode appends one WALRecord per state mutation
+// and periodically compacts the log into a snapshot; on restart, Load
+// returns the merged state, which is replayed into the server so a bounced
+// server never regresses an identifier it issued before the crash.
+type Store interface {
+	// Append durably logs one identifier-state mutation.
+	Append(rec wire.WALRecord) error
+	// WriteSnapshot replaces the compacted state and truncates the log.
+	WriteSnapshot(state map[types.ProcID]membership.ClientRecord) error
+	// Load returns the state recovered from snapshot plus log replay.
+	Load() (map[types.ProcID]membership.ClientRecord, error)
+	// Close releases any resources. The store is unusable afterwards.
+	Close() error
+}
+
+// mergeRecord folds one WAL record into a recovered-state map, keeping
+// field-wise maxima so replay order and duplicates are immaterial.
+func mergeRecord(state map[types.ProcID]membership.ClientRecord, rec wire.WALRecord) {
+	cur := state[rec.Client]
+	if rec.CID > cur.CID {
+		cur.CID = rec.CID
+	}
+	if rec.Vid > cur.Vid {
+		cur.Vid = rec.Vid
+	}
+	if rec.Epoch > cur.Epoch {
+		cur.Epoch = rec.Epoch
+	}
+	state[rec.Client] = cur
+}
+
+// replay decodes a concatenation of WAL records into state, stopping at the
+// first undecodable record: an append torn by a crash leaves a truncated
+// tail, and everything before it is still good.
+func replay(b []byte, state map[types.ProcID]membership.ClientRecord) {
+	for len(b) > 0 {
+		rec, rest, err := wire.DecodeWALRecord(b)
+		if err != nil {
+			return
+		}
+		mergeRecord(state, rec)
+		b = rest
+	}
+}
+
+// MemStore is an in-memory Store for tests and ephemeral deployments. It
+// survives a ServerNode restart (hand the same MemStore to the new node)
+// but not a process restart.
+type MemStore struct {
+	mu    sync.Mutex
+	state map[types.ProcID]membership.ClientRecord
+	wal   []wire.WALRecord
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{state: make(map[types.ProcID]membership.ClientRecord)}
+}
+
+// Append implements Store.
+func (s *MemStore) Append(rec wire.WALRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = append(s.wal, rec)
+	return nil
+}
+
+// WriteSnapshot implements Store.
+func (s *MemStore) WriteSnapshot(state map[types.ProcID]membership.ClientRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = make(map[types.ProcID]membership.ClientRecord, len(state))
+	for p, rec := range state {
+		s.state[p] = rec
+	}
+	s.wal = s.wal[:0]
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load() (map[types.ProcID]membership.ClientRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[types.ProcID]membership.ClientRecord, len(s.state))
+	for p, rec := range s.state {
+		out[p] = rec
+	}
+	for _, rec := range s.wal {
+		mergeRecord(out, rec)
+	}
+	return out, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed Store: an append-only WAL (`wal.log`) plus a
+// compacted snapshot (`snapshot.bin`), both living in one directory per
+// server. Snapshots are written to a temporary file and renamed into place,
+// then the WAL is truncated, so a crash at any point leaves a recoverable
+// pair: at worst the WAL still holds records the snapshot already covers,
+// and Load's max-merge makes that harmless. Appends are buffered by the OS
+// (surviving a process crash, not a power cut); the snapshot path fsyncs.
+type FileStore struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *os.File
+	buf  []byte
+	done bool
+}
+
+const (
+	walFileName  = "wal.log"
+	snapFileName = "snapshot.bin"
+)
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: store dir: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("live: open wal: %w", err)
+	}
+	return &FileStore{dir: dir, wal: wal}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Append implements Store.
+func (s *FileStore) Append(rec wire.WALRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return fmt.Errorf("live: store closed")
+	}
+	b, err := wire.AppendWALRecord(s.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	s.buf = b
+	_, err = s.wal.Write(b)
+	return err
+}
+
+// WriteSnapshot implements Store.
+func (s *FileStore) WriteSnapshot(state map[types.ProcID]membership.ClientRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return fmt.Errorf("live: store closed")
+	}
+	var b []byte
+	for p, rec := range state {
+		var err error
+		b, err = wire.AppendWALRecord(b, wire.WALRecord{Client: p, CID: rec.CID, Vid: rec.Vid, Epoch: rec.Epoch})
+		if err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(s.dir, snapFileName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapFileName)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The snapshot covers everything the WAL held; truncating is safe even
+	// if we crash before it happens (max-merge deduplicates on Load).
+	return os.Truncate(filepath.Join(s.dir, walFileName), 0)
+}
+
+// Load implements Store.
+func (s *FileStore) Load() (map[types.ProcID]membership.ClientRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	state := make(map[types.ProcID]membership.ClientRecord)
+	if b, err := os.ReadFile(filepath.Join(s.dir, snapFileName)); err == nil {
+		replay(b, state)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if b, err := os.ReadFile(filepath.Join(s.dir, walFileName)); err == nil {
+		replay(b, state)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return state, nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	s.done = true
+	return s.wal.Close()
+}

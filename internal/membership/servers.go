@@ -44,21 +44,83 @@ type Server struct {
 	clients map[types.ProcID]*serverClient
 	cache   map[types.ProcID]map[types.ProcID]types.StartChangeID
 
+	// records retains identifier state for clients that are no longer
+	// registered locally — crashed, departed, evicted to another server, or
+	// restored from a WAL replay. It is what AttachClient consults so a
+	// returning client never regresses below an identifier this server ever
+	// issued (Section 8, extended to server restarts).
+	records map[types.ProcID]ClientRecord
+
+	// recorder, when set, observes every mutation of a client's durable
+	// identifier state (cid, vid, epoch). The live layer points it at a
+	// write-ahead log; the membership core itself stays storage-free.
+	recorder func(types.ProcID, ClientRecord)
+
 	reachable types.ProcSet
 	attempt   int64
 	proposals map[int64]map[types.ProcID]*types.MembProposal
 	maxVid    types.ViewID
 
+	// lastProp is this server's proposal for the current attempt, kept so a
+	// watchdog can re-send it (Repropose) and so a peer stuck on an attempt
+	// we already completed can be answered directly.
+	lastProp      *types.MembProposal
+	lastCompleted int64
+
 	attemptsRun    int64
 	viewsDelivered int64
+	reproposals    int64
+	evictions      int64
 }
 
 type serverClient struct {
 	cid       types.StartChangeID
 	vid       types.ViewID
+	epoch     int64
 	announced types.ProcSet
 	mode      clientMode
 	crashed   bool
+}
+
+// ClientRecord is the durable per-client identifier state a home server
+// maintains on behalf of a client: the last start-change identifier it
+// issued, the last view identifier it delivered, and the attach epoch the
+// registration is held under. It is what must survive server restarts for
+// Local Monotonicity to hold across a crash.
+type ClientRecord struct {
+	CID   types.StartChangeID
+	Vid   types.ViewID
+	Epoch int64
+}
+
+// merge folds other into r field-wise, keeping the maxima.
+func (r ClientRecord) merge(other ClientRecord) ClientRecord {
+	if other.CID > r.CID {
+		r.CID = other.CID
+	}
+	if other.Vid > r.Vid {
+		r.Vid = other.Vid
+	}
+	if other.Epoch > r.Epoch {
+		r.Epoch = other.Epoch
+	}
+	return r
+}
+
+// cidEpochShift partitions the start-change identifier space by attach
+// epoch: cid = epoch<<cidEpochShift + counter. Each failover increments the
+// client's epoch, so the adopting server's identifiers are strictly above
+// everything any previous home ever issued — even identifiers whose gossip
+// was lost with the crashed server. Epoch 0 (out-of-band registration)
+// degenerates to plain counters, leaving legacy deployments untouched.
+const cidEpochShift = 32
+
+// nextCID returns the successor of last within epoch's identifier range.
+func nextCID(epoch int64, last types.StartChangeID) types.StartChangeID {
+	if floor := types.StartChangeID(epoch << cidEpochShift); last < floor {
+		last = floor
+	}
+	return last + 1
 }
 
 // NewServer constructs a membership server. servers is the static set of
@@ -74,9 +136,32 @@ func NewServer(id types.ProcID, servers types.ProcSet, tr ServerTransport, out O
 		servers:   servers.Clone(),
 		clients:   make(map[types.ProcID]*serverClient),
 		cache:     make(map[types.ProcID]map[types.ProcID]types.StartChangeID),
+		records:   make(map[types.ProcID]ClientRecord),
 		reachable: types.NewProcSet(id),
 		proposals: make(map[int64]map[types.ProcID]*types.MembProposal),
 	}, nil
+}
+
+// SetRecorder installs the observer for durable identifier-state mutations.
+// Pass nil to disable. The recorder is invoked synchronously from whatever
+// call mutates the state, before any resulting notification is emitted, so
+// a write-ahead log is always at least as fresh as what clients have seen.
+func (s *Server) SetRecorder(f func(types.ProcID, ClientRecord)) { s.recorder = f }
+
+// record reports c's current durable state to the recorder.
+func (s *Server) record(p types.ProcID, c *serverClient) {
+	if s.recorder != nil {
+		s.recorder(p, ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch})
+	}
+}
+
+// RestoreRecords merges previously persisted identifier state (a WAL
+// replay) into the retained-record map. Field-wise maxima are kept, so
+// replay order and duplicate records do not matter.
+func (s *Server) RestoreRecords(recs map[types.ProcID]ClientRecord) {
+	for p, rec := range recs {
+		s.records[p] = s.records[p].merge(rec)
+	}
 }
 
 // ID returns the server's identifier.
@@ -90,16 +175,129 @@ func (s *Server) AttemptsRun() int64 { return s.attemptsRun }
 func (s *Server) ViewsDelivered() int64 { return s.viewsDelivered }
 
 // AddClient registers a local client. The caller triggers a reconfiguration
-// (SetReachable or Reconfigure) to admit it into a view.
+// (SetReachable or Reconfigure) to admit it into a view. A retained record
+// for p (an earlier registration, or a WAL replay) seeds its identifier
+// state, so re-adding a client never regresses its identifiers.
 func (s *Server) AddClient(p types.ProcID) {
-	if _, ok := s.clients[p]; !ok {
-		s.clients[p] = &serverClient{mode: modeNormal}
+	s.register(p, 0)
+}
+
+// AttachClient registers (or refreshes) a local client under an attach
+// epoch — the in-band protocol's entry point. It returns the client's
+// durable record and whether this call created the registration (a fresh
+// registration needs a Reconfigure to enter a view; a keepalive does not).
+// The returned record merges every identifier source this server knows:
+// its retained records, the live registration, and peer gossip.
+func (s *Server) AttachClient(p types.ProcID, epoch int64) (ClientRecord, bool) {
+	c, added := s.register(p, epoch)
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+	if added || epoch > 0 {
+		s.record(p, c)
+	}
+	return ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch}, added
+}
+
+// register inserts p if absent, seeding from retained records and gossip.
+func (s *Server) register(p types.ProcID, epoch int64) (*serverClient, bool) {
+	if c, ok := s.clients[p]; ok {
+		return c, false
+	}
+	c := &serverClient{mode: modeNormal, epoch: epoch}
+	if rec, ok := s.records[p]; ok {
+		c.cid, c.vid, c.epoch = rec.CID, rec.Vid, rec.Epoch
+		if epoch > c.epoch {
+			c.epoch = epoch
+		}
+		delete(s.records, p)
+	}
+	if cid := s.gossipCID(p); cid > c.cid {
+		c.cid = cid
+	}
+	s.clients[p] = c
+	return c, true
+}
+
+// gossipCID returns the highest start-change identifier any peer's cached
+// proposal claims for p — the adoption path's defense against issuing an
+// identifier the client has already seen from its previous home.
+func (s *Server) gossipCID(p types.ProcID) types.StartChangeID {
+	var max types.StartChangeID
+	for _, clients := range s.cache {
+		if cid, ok := clients[p]; ok && cid > max {
+			max = cid
+		}
+	}
+	return max
+}
+
+// RemoveClient deregisters a local client (it has left the group). Its
+// identifier state is retained so a later re-registration resumes above it.
+func (s *Server) RemoveClient(p types.ProcID) {
+	if c, ok := s.clients[p]; ok {
+		s.records[p] = s.records[p].merge(ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch})
+		delete(s.clients, p)
 	}
 }
 
-// RemoveClient deregisters a local client (it has left the group).
-func (s *Server) RemoveClient(p types.ProcID) {
-	delete(s.clients, p)
+// ExportClient deregisters a local client and returns its durable record,
+// for handing the registration to another server.
+func (s *Server) ExportClient(p types.ProcID) (ClientRecord, bool) {
+	c, ok := s.clients[p]
+	if !ok {
+		return ClientRecord{}, false
+	}
+	s.RemoveClient(p)
+	return ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch}, true
+}
+
+// AdoptClient registers a local client with explicit identifier state (the
+// counterpart of ExportClient). The caller triggers a reconfiguration to
+// admit it into a view.
+func (s *Server) AdoptClient(p types.ProcID, rec ClientRecord) {
+	s.records[p] = s.records[p].merge(rec)
+	c, _ := s.register(p, rec.Epoch)
+	s.record(p, c)
+}
+
+// RecordOf returns the durable record this server holds for p — from the
+// live registration if present, else the retained records.
+func (s *Server) RecordOf(p types.ProcID) (ClientRecord, bool) {
+	if c, ok := s.clients[p]; ok {
+		return ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch}, true
+	}
+	rec, ok := s.records[p]
+	return rec, ok
+}
+
+// HasClient reports whether p is currently registered locally.
+func (s *Server) HasClient(p types.ProcID) bool {
+	_, ok := s.clients[p]
+	return ok
+}
+
+// LocalClients returns the currently registered local clients.
+func (s *Server) LocalClients() types.ProcSet {
+	set := types.NewProcSet()
+	for p := range s.clients {
+		set.Add(p)
+	}
+	return set
+}
+
+// ClientRecords snapshots the durable identifier state of every client this
+// server knows — live registrations and retained records — for snapshots
+// and diagnostics.
+func (s *Server) ClientRecords() map[types.ProcID]ClientRecord {
+	out := make(map[types.ProcID]ClientRecord, len(s.clients)+len(s.records))
+	for p, rec := range s.records {
+		out[p] = rec
+	}
+	for p, c := range s.clients {
+		out[p] = out[p].merge(ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch})
+	}
+	return out
 }
 
 // CrashClient marks a local client crashed: notifications stop but its
@@ -148,6 +346,7 @@ func (s *Server) HandleMessage(from types.ProcID, m types.WireMsg) {
 	}
 	prop := m.MembProp.Clone()
 	s.cache[from] = prop.Clients
+	s.evictClaimed(prop)
 	row := s.proposals[prop.Attempt]
 	if row == nil {
 		row = make(map[types.ProcID]*types.MembProposal)
@@ -161,7 +360,27 @@ func (s *Server) HandleMessage(from types.ProcID, m types.WireMsg) {
 		s.startAttempt(prop.Attempt)
 		return // startAttempt calls tryComplete
 	}
+	if prop.Attempt <= s.lastCompleted && s.lastProp != nil {
+		// The sender is still working an attempt we already completed — our
+		// proposal to it was evidently lost. Answer with our latest proposal
+		// directly so its watchdog retries converge instead of spinning.
+		s.transport.Send([]types.ProcID{from}, types.WireMsg{Kind: types.KindMembProposal, MembProp: s.lastProp.Clone()})
+	}
 	s.tryComplete()
+}
+
+// evictClaimed detaches any local client that a peer's proposal claims
+// under a strictly higher attach epoch: the client has failed over, and a
+// stale registration here would double-serve it. The identifier state moves
+// to the retained records.
+func (s *Server) evictClaimed(prop *types.MembProposal) {
+	for p, epoch := range prop.Epochs {
+		if c, ok := s.clients[p]; ok && epoch > c.epoch {
+			s.evictions++
+			s.RemoveClient(p)
+			s.records[p] = s.records[p].merge(ClientRecord{Epoch: epoch})
+		}
+	}
 }
 
 // estimate returns the membership estimate: this server's clients plus the
@@ -186,11 +405,25 @@ func (s *Server) startAttempt(a int64) {
 	est := s.estimate()
 
 	clients := make(map[types.ProcID]types.StartChangeID, len(s.clients))
+	var epochs map[types.ProcID]int64
 	for p, c := range s.clients {
-		c.cid++
+		// Never issue an identifier at or below one a peer has proposed for
+		// this client: a healed partition may reveal that its previous home
+		// kept counting while we could not hear it.
+		if cid := s.gossipCID(p); cid > c.cid {
+			c.cid = cid
+		}
+		c.cid = nextCID(c.epoch, c.cid)
 		c.announced = est.Clone()
 		c.mode = modeChangeStarted
 		clients[p] = c.cid
+		if c.epoch > 0 {
+			if epochs == nil {
+				epochs = make(map[types.ProcID]int64)
+			}
+			epochs[p] = c.epoch
+		}
+		s.record(p, c)
 		if !c.crashed {
 			s.out(p, Notification{
 				Kind:        NotifyStartChange,
@@ -210,7 +443,9 @@ func (s *Server) startAttempt(a int64) {
 		Servers: s.reachable.Clone(),
 		MinVid:  minVid,
 		Clients: clients,
+		Epochs:  epochs,
 	}
+	s.lastProp = prop
 	row := s.proposals[a]
 	if row == nil {
 		row = make(map[types.ProcID]*types.MembProposal)
@@ -249,7 +484,12 @@ func (s *Server) tryComplete() {
 		prop := row[srv]
 		for p, cid := range prop.Clients {
 			members.Add(p)
-			startID[p] = cid
+			// A client can appear in two proposals during a migration
+			// window; take the maximum so every server assembles the same
+			// startID regardless of map iteration order.
+			if cid > startID[p] {
+				startID[p] = cid
+			}
 		}
 		if prop.MinVid > vid {
 			vid = prop.MinVid
@@ -277,6 +517,7 @@ func (s *Server) tryComplete() {
 		s.maxVid = vid
 	}
 	delete(s.proposals, s.attempt)
+	s.lastCompleted = s.attempt
 	s.viewsDelivered++
 	for p, c := range s.clients {
 		if !members.Contains(p) {
@@ -284,8 +525,41 @@ func (s *Server) tryComplete() {
 		}
 		c.vid = vid
 		c.mode = modeNormal
+		s.record(p, c)
 		if !c.crashed {
 			s.out(p, Notification{Kind: NotifyView, View: v.Clone()})
 		}
 	}
 }
+
+// Stalled reports whether the current attempt has yet to complete. A stall
+// can be transient (proposals in flight) or permanent (proposal frames
+// lost); the watchdog re-proposes when a stall persists.
+func (s *Server) Stalled() bool { return s.attempt > s.lastCompleted }
+
+// CurrentAttempt returns the attempt number the server is working on.
+func (s *Server) CurrentAttempt() int64 { return s.attempt }
+
+// Repropose re-sends this server's proposal for the current attempt to the
+// reachable peers. Proposals are idempotent — a receiver simply overwrites
+// the row entry — so the watchdog may call this freely when an attempt
+// stalls; it reports whether anything was sent.
+func (s *Server) Repropose() bool {
+	if !s.Stalled() || s.lastProp == nil || s.lastProp.Attempt != s.attempt {
+		return false
+	}
+	others := s.reachable.Minus(types.NewProcSet(s.id))
+	if others.Len() == 0 {
+		return false
+	}
+	s.reproposals++
+	s.transport.Send(others.Sorted(), types.WireMsg{Kind: types.KindMembProposal, MembProp: s.lastProp.Clone()})
+	return true
+}
+
+// Reproposals counts watchdog-triggered proposal re-sends.
+func (s *Server) Reproposals() int64 { return s.reproposals }
+
+// Evictions counts local registrations dropped because a peer claimed the
+// client under a higher attach epoch.
+func (s *Server) Evictions() int64 { return s.evictions }

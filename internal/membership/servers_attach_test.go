@@ -1,0 +1,195 @@
+package membership
+
+// Unit tests for the crash-recovery surface of the membership server: the
+// attach protocol's epoch-ranged identifiers, ownership arbitration through
+// epoch gossip, record retention across deregistration, and the watchdog's
+// proposal-repair path (Repropose plus the reply-on-completed-attempt rule).
+
+import (
+	"testing"
+)
+
+func TestAttachClientIssuesEpochRangedCids(t *testing.T) {
+	rig := newServerRig(t, 1)
+	srv := rig.servers["A"]
+	rig.boot(t)
+
+	if _, added := srv.AttachClient("c", 1); !added {
+		t.Fatal("first attach did not register the client")
+	}
+	srv.Reconfigure()
+	rig.pump(t)
+	rec1, ok := srv.RecordOf("c")
+	if !ok {
+		t.Fatal("no record after first attempt")
+	}
+	if rec1.CID < 1<<cidEpochShift || rec1.CID >= 2<<cidEpochShift {
+		t.Fatalf("epoch-1 cid %d outside its epoch range", rec1.CID)
+	}
+	if rec1.Vid <= 0 {
+		t.Fatalf("no view recorded: %+v", rec1)
+	}
+
+	// A keepalive under the same epoch is idempotent: no new registration.
+	if _, added := srv.AttachClient("c", 1); added {
+		t.Fatal("keepalive reported a fresh registration")
+	}
+
+	// A re-attach under a higher epoch (post-failover identity) jumps the
+	// cid into the new epoch's range, dominating everything issued before.
+	srv.RemoveClient("c")
+	if _, added := srv.AttachClient("c", 2); !added {
+		t.Fatal("re-attach did not register the client")
+	}
+	srv.Reconfigure()
+	rig.pump(t)
+	rec2, ok := srv.RecordOf("c")
+	if !ok {
+		t.Fatal("no record after re-attach")
+	}
+	if rec2.CID < 2<<cidEpochShift {
+		t.Fatalf("epoch-2 cid %d not in the new epoch's range", rec2.CID)
+	}
+	if rec2.CID <= rec1.CID || rec2.Vid <= rec1.Vid {
+		t.Fatalf("identifiers regressed across re-attach: %+v -> %+v", rec1, rec2)
+	}
+}
+
+func TestRemoveClientRetainsRecord(t *testing.T) {
+	rig := newServerRig(t, 1)
+	srv := rig.servers["A"]
+	rig.boot(t)
+
+	srv.AttachClient("c", 1)
+	srv.Reconfigure()
+	rig.pump(t)
+	before, ok := srv.RecordOf("c")
+	if !ok || before.CID == 0 {
+		t.Fatalf("expected a populated record, got %+v (ok=%v)", before, ok)
+	}
+
+	srv.RemoveClient("c")
+	if srv.HasClient("c") {
+		t.Fatal("client still registered after removal")
+	}
+	after, ok := srv.RecordOf("c")
+	if !ok || after.CID < before.CID || after.Vid < before.Vid {
+		t.Fatalf("record lost or regressed on removal: %+v -> %+v (ok=%v)", before, after, ok)
+	}
+}
+
+func TestEpochGossipEvictsStaleOwner(t *testing.T) {
+	rig := newServerRig(t, 2)
+	a, b := rig.servers["A"], rig.servers["B"]
+	rig.boot(t)
+
+	a.AttachClient("c", 1)
+	a.Reconfigure()
+	rig.pump(t)
+	if !a.HasClient("c") {
+		t.Fatal("A lost its client before any failover")
+	}
+
+	// The client fails over to B under a fresh epoch while A still believes
+	// it owns the registration. B's proposal gossips the higher epoch, and A
+	// must cede rather than fight over ownership.
+	b.AttachClient("c", 2)
+	b.Reconfigure()
+	rig.pump(t)
+
+	if a.HasClient("c") {
+		t.Fatal("A kept a registration superseded by a higher epoch")
+	}
+	if !b.HasClient("c") {
+		t.Fatal("B lost the adopted client")
+	}
+	if ev := a.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	// A's retained record remembers the newer epoch, so a late detach or
+	// stale re-attach for the old incarnation cannot resurrect it.
+	rec, ok := a.RecordOf("c")
+	if !ok || rec.Epoch < 2 {
+		t.Fatalf("A's retained record missed the newer epoch: %+v (ok=%v)", rec, ok)
+	}
+	// Both servers agree on the client's view after the hand-off.
+	if va, vb := lastView(t, rig.out, "c"), b.ClientRecords()["c"]; va.ID != vb.Vid {
+		t.Fatalf("view disagreement after hand-off: delivered %d, B recorded %d", va.ID, vb.Vid)
+	}
+}
+
+func TestReproposeRepairsLostProposal(t *testing.T) {
+	rig := newServerRig(t, 2)
+	a, b := rig.servers["A"], rig.servers["B"]
+	a.AddClient("c0")
+	b.AddClient("c1")
+	rig.boot(t)
+	if a.Stalled() || b.Stalled() {
+		t.Fatal("servers stalled after a clean boot")
+	}
+	firstView := lastView(t, rig.out, "c0")
+
+	// A starts an attempt and its proposal to B is lost in transit: the
+	// one-round protocol is wedged until someone retries.
+	a.Reconfigure()
+	if err := rig.net.LoseTail("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	rig.pump(t)
+	if !a.Stalled() {
+		t.Fatal("A not stalled after its proposal was lost")
+	}
+
+	// The watchdog's retry path: resend the current proposal and converge.
+	if !a.Repropose() {
+		t.Fatal("Repropose refused to resend a stalled attempt")
+	}
+	rig.pump(t)
+	if a.Stalled() || b.Stalled() {
+		t.Fatalf("attempt still stalled after repropose (A=%v B=%v)", a.Stalled(), b.Stalled())
+	}
+	if got := a.Reproposals(); got != 1 {
+		t.Fatalf("reproposals = %d, want 1", got)
+	}
+	if v := lastView(t, rig.out, "c0"); v.ID <= firstView.ID {
+		t.Fatalf("no fresh view after repair: %d -> %d", firstView.ID, v.ID)
+	}
+}
+
+func TestReproposeAgainstCompletedAttemptGetsReply(t *testing.T) {
+	rig := newServerRig(t, 2)
+	a, b := rig.servers["A"], rig.servers["B"]
+	a.AddClient("c0")
+	b.AddClient("c1")
+	rig.boot(t)
+
+	// Asymmetric loss: B receives A's proposal and completes the attempt,
+	// but B's own proposal back to A is lost — only A is wedged.
+	a.Reconfigure()
+	if _, ok := rig.net.DeliverNext("A", "B"); !ok {
+		t.Fatal("no proposal queued from A to B")
+	}
+	if err := rig.net.LoseTail("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	rig.pump(t)
+	if b.Stalled() {
+		t.Fatal("B should have completed the attempt")
+	}
+	if !a.Stalled() {
+		t.Fatal("A should be wedged awaiting B's proposal")
+	}
+
+	// A's retry hits an attempt B already completed; B must answer with its
+	// last proposal instead of ignoring the stale-looking frame.
+	if !a.Repropose() {
+		t.Fatal("Repropose refused to resend")
+	}
+	rig.pump(t)
+	if a.Stalled() {
+		t.Fatal("A still wedged: completed peer did not reply to the retry")
+	}
+	if va, vb := lastView(t, rig.out, "c0"), lastView(t, rig.out, "c1"); va.ID != vb.ID || !va.Members.Equal(vb.Members) {
+		t.Fatalf("servers diverged after repair: %+v vs %+v", va, vb)
+	}
+}

@@ -68,6 +68,12 @@ type MembProposal struct {
 	Servers ProcSet
 	MinVid  ViewID
 	Clients map[ProcID]StartChangeID
+
+	// Epochs carries the attach epoch under which each in-band-attached
+	// local client is claimed (zero epochs — out-of-band registrations —
+	// are omitted). Peers use it to arbitrate ownership after a failover:
+	// a strictly higher epoch claim evicts a stale registration.
+	Epochs map[ProcID]int64
 }
 
 // Clone returns a deep copy of the proposal.
@@ -76,11 +82,19 @@ func (p *MembProposal) Clone() *MembProposal {
 	for c, cid := range p.Clients {
 		clients[c] = cid
 	}
+	var epochs map[ProcID]int64
+	if len(p.Epochs) > 0 {
+		epochs = make(map[ProcID]int64, len(p.Epochs))
+		for c, e := range p.Epochs {
+			epochs[c] = e
+		}
+	}
 	return &MembProposal{
 		Attempt: p.Attempt,
 		Servers: p.Servers.Clone(),
 		MinVid:  p.MinVid,
 		Clients: clients,
+		Epochs:  epochs,
 	}
 }
 
@@ -144,11 +158,16 @@ type WireMsg struct {
 	// Synchronization-message tags (KindSync). Small is the Section 5.2.4
 	// cut-less notice to processes outside the sender's view; ElideView is
 	// the section's second optimization — the view is omitted because the
-	// recipient can deduce it from the sender's preceding view_msg.
+	// recipient can deduce it from the sender's preceding view_msg. Probe
+	// marks a watchdog resend of an already-committed sync message: the
+	// receiver answers a probe by resending its own latest sync directly to
+	// the prober, so lost sync messages are repaired instead of wedging the
+	// view change.
 	CID       StartChangeID
 	Cut       Cut
 	Small     bool
 	ElideView bool
+	Probe     bool
 
 	// History tags (KindApp only; Section 6.1.1). Populated by the sending
 	// end-point for verification purposes.
@@ -188,7 +207,7 @@ func (m WireMsg) Size() int {
 		n += word // proposed identifier
 	case KindMembProposal:
 		if m.MembProp != nil {
-			n += 2*word + m.MembProp.Servers.Len()*word + len(m.MembProp.Clients)*2*word
+			n += 2*word + m.MembProp.Servers.Len()*word + len(m.MembProp.Clients)*2*word + len(m.MembProp.Epochs)*2*word
 		}
 	case KindAck:
 		n += word * (1 + len(m.Cut))

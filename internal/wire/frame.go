@@ -16,18 +16,48 @@ import (
 )
 
 // Frame is the live transport's unit: a sender identifier plus either a
-// wire message or a membership notification (a bare frame with neither is
-// the connection handshake).
+// wire message, a membership notification, or an attach-protocol frame (a
+// bare frame with none of them is the connection handshake).
 type Frame struct {
 	From   types.ProcID
 	Msg    *types.WireMsg
 	Notify *membership.Notification
+	Attach *Attach
+}
+
+// AttachKind discriminates the in-band client attach protocol frames.
+type AttachKind uint8
+
+const (
+	// AttachRequest registers (or keeps alive) a client at its home server
+	// under the given epoch.
+	AttachRequest AttachKind = 1
+	// AttachAck is the server's reply: the epoch the registration is held
+	// under and the recorded cid/view-id, so a recovered client resumes
+	// under its original identity.
+	AttachAck AttachKind = 2
+	// AttachDetach rescinds a registration (client is failing over or
+	// leaving). The server ignores it if its registration epoch is newer
+	// than the frame's, so late detaches cannot evict a fresh attach.
+	AttachDetach AttachKind = 3
+)
+
+// Attach is one frame of the in-band attach protocol between a client node
+// and its home server. Client identity travels as Frame.From; Client echoes
+// the subject explicitly so acks stay self-describing.
+type Attach struct {
+	Kind   AttachKind
+	Client types.ProcID
+	Epoch  int64
+	CID    types.StartChangeID
+	Vid    types.ViewID
 }
 
 const (
 	frameHandshake uint8 = 0
 	frameMsg       uint8 = 1
 	frameNotify    uint8 = 2
+	frameAttach    uint8 = 3
 
 	notifyStartChange uint8 = 1
 	notifyView        uint8 = 2
@@ -76,6 +106,20 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		default:
 			return nil, fmt.Errorf("wire: unknown notification kind %d", int(f.Notify.Kind))
 		}
+	case f.Attach != nil:
+		w.u8(frameAttach)
+		switch f.Attach.Kind {
+		case AttachRequest, AttachAck, AttachDetach:
+		default:
+			return nil, fmt.Errorf("wire: unknown attach kind %d", int(f.Attach.Kind))
+		}
+		w.u8(uint8(f.Attach.Kind))
+		if err := w.id(f.Attach.Client); err != nil {
+			return nil, err
+		}
+		w.u64(uint64(f.Attach.Epoch))
+		w.u64(uint64(f.Attach.CID))
+		w.u64(uint64(f.Attach.Vid))
 	default:
 		w.u8(frameHandshake)
 	}
@@ -134,6 +178,40 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 		default:
 			return Frame{}, fmt.Errorf("wire: unknown notification tag %d", kind)
 		}
+	case frameAttach:
+		kind, err := r.u8()
+		if err != nil {
+			return Frame{}, err
+		}
+		switch AttachKind(kind) {
+		case AttachRequest, AttachAck, AttachDetach:
+		default:
+			return Frame{}, fmt.Errorf("wire: unknown attach tag %d", kind)
+		}
+		client, err := r.id()
+		if err != nil {
+			return Frame{}, err
+		}
+		epoch, err := r.u64()
+		if err != nil {
+			return Frame{}, err
+		}
+		cid, err := r.u64()
+		if err != nil {
+			return Frame{}, err
+		}
+		vid, err := r.u64()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Attach = &Attach{
+			Kind:   AttachKind(kind),
+			Client: client,
+			Epoch:  int64(epoch),
+			CID:    types.StartChangeID(cid),
+			Vid:    types.ViewID(vid),
+		}
+		return f, nil
 	default:
 		return Frame{}, fmt.Errorf("wire: unknown frame tag %d", tag)
 	}

@@ -26,6 +26,7 @@ func frameCorpus(t testing.TB) [][]byte {
 		msg(types.WireMsg{Kind: types.KindMembProposal, MembProp: &types.MembProposal{
 			Attempt: 2, Servers: types.NewProcSet("s0"), MinVid: 4,
 			Clients: map[types.ProcID]types.StartChangeID{"c": 3},
+			Epochs:  map[types.ProcID]int64{"c": 2},
 		}}),
 		msg(types.WireMsg{Kind: types.KindSyncBundle, Bundle: []types.SyncEntry{
 			{From: "a", CID: 1, View: v, Cut: types.Cut{"a": 1}},
@@ -35,6 +36,9 @@ func frameCorpus(t testing.TB) [][]byte {
 			StartChange: types.StartChange{ID: 9, Set: types.NewProcSet("a", "b")},
 		}},
 		{From: "srv", Notify: &membership.Notification{Kind: membership.NotifyView, View: v}},
+		{From: "c", Attach: &Attach{Kind: AttachRequest, Client: "c", Epoch: 2}},
+		{From: "srv", Attach: &Attach{Kind: AttachAck, Client: "c", Epoch: 2, CID: 1 << 33, Vid: 7}},
+		{From: "c", Attach: &Attach{Kind: AttachDetach, Client: "c", Epoch: 1}},
 	}
 	var out [][]byte
 	for _, fr := range frames {

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"errors"
+
+	"vsgm/internal/types"
+)
+
+// errBadWALMagic reports a WAL stream whose record tag is not walMagic.
+var errBadWALMagic = errors.New("wire: bad WAL record magic")
+
+// WALRecord is one append-only log entry of a membership server's durable
+// per-client identifier state: the last start-change identifier issued to
+// the client, the last view identifier delivered to it, and the attach
+// epoch its registration is held under. A server replays its WAL on restart
+// so a bounced server rejoins the static server set without regressing any
+// identifier it handed out before the crash (Local Monotonicity, Section 8
+// extended to server failures).
+//
+// Records are self-delimiting — a length-prefixed identifier followed by
+// three fixed-width integers — so a log is simply their concatenation and a
+// torn tail surfaces as ErrTruncated on the final partial record.
+type WALRecord struct {
+	Client types.ProcID
+	CID    types.StartChangeID
+	Vid    types.ViewID
+	Epoch  int64
+}
+
+// walMagic distinguishes a WAL/snapshot stream from arbitrary bytes; each
+// record carries it so replay detects corruption at record granularity.
+const walMagic uint8 = 0xA7
+
+// AppendWALRecord encodes rec onto dst and returns the extended slice.
+func AppendWALRecord(dst []byte, rec WALRecord) ([]byte, error) {
+	w := buffer{b: dst}
+	w.u8(walMagic)
+	if err := w.id(rec.Client); err != nil {
+		return nil, err
+	}
+	w.u64(uint64(rec.CID))
+	w.u64(uint64(rec.Vid))
+	w.u64(uint64(rec.Epoch))
+	return w.b, nil
+}
+
+// DecodeWALRecord decodes one record from the front of b, returning the
+// record and the remaining bytes. A short or corrupt input yields
+// ErrTruncated or a tag error; callers replaying a log stop at the first
+// failure, which tolerates a torn tail from a crash mid-append.
+func DecodeWALRecord(b []byte) (WALRecord, []byte, error) {
+	r := &reader{b: b}
+	magic, err := r.u8()
+	if err != nil {
+		return WALRecord{}, nil, err
+	}
+	if magic != walMagic {
+		return WALRecord{}, nil, errBadWALMagic
+	}
+	client, err := r.id()
+	if err != nil {
+		return WALRecord{}, nil, err
+	}
+	cid, err := r.u64()
+	if err != nil {
+		return WALRecord{}, nil, err
+	}
+	vid, err := r.u64()
+	if err != nil {
+		return WALRecord{}, nil, err
+	}
+	epoch, err := r.u64()
+	if err != nil {
+		return WALRecord{}, nil, err
+	}
+	return WALRecord{
+		Client: client,
+		CID:    types.StartChangeID(cid),
+		Vid:    types.ViewID(vid),
+		Epoch:  int64(epoch),
+	}, r.b, nil
+}

@@ -347,6 +347,7 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 		w.u64(uint64(m.CID))
 		w.bool(m.Small)
 		w.bool(m.ElideView)
+		w.bool(m.Probe)
 		if err := w.view(m.View); err != nil {
 			return err
 		}
@@ -377,6 +378,18 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 				return err
 			}
 			w.u64(uint64(m.MembProp.Clients[p]))
+		}
+		epochs := make([]types.ProcID, 0, len(m.MembProp.Epochs))
+		for p := range m.MembProp.Epochs {
+			epochs = append(epochs, p)
+		}
+		slices.Sort(epochs)
+		w.u32(uint32(len(epochs)))
+		for _, p := range epochs {
+			if err := w.id(p); err != nil {
+				return err
+			}
+			w.u64(uint64(m.MembProp.Epochs[p]))
 		}
 		return nil
 	case types.KindSyncBundle:
@@ -447,6 +460,9 @@ func readMsg(r *reader) (types.WireMsg, error) {
 		if m.ElideView, err = r.bool(); err != nil {
 			return m, err
 		}
+		if m.Probe, err = r.bool(); err != nil {
+			return m, err
+		}
 		if m.View, err = r.view(); err != nil {
 			return m, err
 		}
@@ -489,6 +505,24 @@ func readMsg(r *reader) (types.WireMsg, error) {
 				return m, err
 			}
 			prop.Clients[p] = types.StartChangeID(cid)
+		}
+		ne, err := r.u32()
+		if err != nil {
+			return m, err
+		}
+		if ne > 0 {
+			prop.Epochs = make(map[types.ProcID]int64, ne)
+		}
+		for i := uint32(0); i < ne; i++ {
+			p, err := r.id()
+			if err != nil {
+				return m, err
+			}
+			e, err := r.u64()
+			if err != nil {
+				return m, err
+			}
+			prop.Epochs[p] = int64(e)
 		}
 		m.MembProp = prop
 		return m, nil

@@ -64,6 +64,7 @@ func sampleMsg(r *rand.Rand) types.WireMsg {
 			CID:       types.StartChangeID(r.Intn(50)),
 			Small:     r.Intn(2) == 0,
 			ElideView: r.Intn(2) == 0,
+			Probe:     r.Intn(2) == 0,
 			View:      sampleView(r),
 			Cut:       sampleCut(r),
 		}
@@ -78,11 +79,19 @@ func sampleMsg(r *rand.Rand) types.WireMsg {
 		for i := 0; i < r.Intn(3); i++ {
 			clients[types.ProcID(string(rune('p'+r.Intn(4))))] = types.StartChangeID(r.Intn(9))
 		}
+		var epochs map[types.ProcID]int64
+		for i := 0; i < r.Intn(3); i++ {
+			if epochs == nil {
+				epochs = make(map[types.ProcID]int64)
+			}
+			epochs[types.ProcID(string(rune('p'+r.Intn(4))))] = 1 + r.Int63n(8)
+		}
 		return types.WireMsg{Kind: types.KindMembProposal, MembProp: &types.MembProposal{
 			Attempt: r.Int63n(100),
 			Servers: types.NewProcSet("s0", "s1"),
 			MinVid:  types.ViewID(r.Intn(40)),
 			Clients: clients,
+			Epochs:  epochs,
 		}}
 	default:
 		var bundle []types.SyncEntry
@@ -103,7 +112,7 @@ func sampleMsg(r *rand.Rand) types.WireMsg {
 func msgEqual(a, b types.WireMsg) bool {
 	if a.Kind != b.Kind || a.Origin != b.Origin || a.Index != b.Index ||
 		a.CID != b.CID || a.Small != b.Small || a.ElideView != b.ElideView ||
-		a.HistIndex != b.HistIndex {
+		a.Probe != b.Probe || a.HistIndex != b.HistIndex {
 		return false
 	}
 	if !a.View.Equal(b.View) || !a.HistView.Equal(b.HistView) {
@@ -121,7 +130,8 @@ func msgEqual(a, b types.WireMsg) bool {
 	if a.MembProp != nil {
 		if a.MembProp.Attempt != b.MembProp.Attempt || a.MembProp.MinVid != b.MembProp.MinVid ||
 			!a.MembProp.Servers.Equal(b.MembProp.Servers) ||
-			!reflect.DeepEqual(a.MembProp.Clients, b.MembProp.Clients) {
+			!reflect.DeepEqual(a.MembProp.Clients, b.MembProp.Clients) ||
+			!reflect.DeepEqual(a.MembProp.Epochs, b.MembProp.Epochs) {
 			return false
 		}
 	}
@@ -224,6 +234,9 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 			Kind: membership.NotifyView,
 			View: types.NewView(2, types.NewProcSet("a"), map[types.ProcID]types.StartChangeID{"a": 4}),
 		}},
+		{From: "a", Attach: &Attach{Kind: AttachRequest, Client: "a", Epoch: 3}},
+		{From: "srv", Attach: &Attach{Kind: AttachAck, Client: "a", Epoch: 3, CID: 3 << 32, Vid: 9}},
+		{From: "a", Attach: &Attach{Kind: AttachDetach, Client: "a", Epoch: 2}},
 	}
 
 	var buf bytes.Buffer
@@ -242,8 +255,12 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 		if got.From != want.From {
 			t.Fatalf("frame %d from = %s", i, got.From)
 		}
-		if (got.Msg == nil) != (want.Msg == nil) || (got.Notify == nil) != (want.Notify == nil) {
+		if (got.Msg == nil) != (want.Msg == nil) || (got.Notify == nil) != (want.Notify == nil) ||
+			(got.Attach == nil) != (want.Attach == nil) {
 			t.Fatalf("frame %d shape mismatch: %+v", i, got)
+		}
+		if want.Attach != nil && *got.Attach != *want.Attach {
+			t.Fatalf("frame %d attach mismatch: got %+v want %+v", i, *got.Attach, *want.Attach)
 		}
 	}
 }
