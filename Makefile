@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wire/
 	$(GO) test -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeWALRecord -fuzztime=5s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeCreditFrame -fuzztime=5s ./internal/wire/
 
 # Every benchmark in the tree, including the transport data-path set
 # (BenchmarkFabricBroadcast, BenchmarkWireMarshal, BenchmarkMsgBufGrowth).
@@ -44,7 +45,7 @@ bench:
 # cmd/vsgm-benchstat (benchstat-style old/new/delta tables, JSON copy in
 # BENCH_transport.json). The first run seeds the baseline; refresh it by
 # deleting BENCH_baseline.txt.
-BENCH_PATTERN = BenchmarkFabricBroadcast|BenchmarkWireMarshal|BenchmarkMsgBufGrowth
+BENCH_PATTERN = BenchmarkFabricBroadcast|BenchmarkSendUnderBackpressure|BenchmarkWireMarshal|BenchmarkMsgBufGrowth
 BENCH_PKGS = ./internal/wire/ ./internal/live/ ./internal/core/
 
 benchstat:

@@ -9,6 +9,7 @@
 //	vsgm-live -clients 5 -leave
 //	vsgm-live -servers 2 -clients 4 -partition
 //	vsgm-live -servers 2 -clients 4 -kill-server 0 -restart-server
+//	vsgm-live -servers 2 -clients 4 -slow-client 3 -window 4
 //
 // With -partition the servers run live heartbeat failure detectors, the
 // chaos fabric splits the deployment into two components mid-run, each side
@@ -23,6 +24,15 @@
 // resumes. Adding -restart-server then brings the dead server back on the
 // same address, recovering its records from the WAL and rejoining the
 // group. Every run ends with per-node stats snapshots in JSON.
+//
+// With -slow-client N the deployment exercises end-to-end flow control:
+// client N throttles its event consumption by -slow-delay per event, the
+// small -window credit budget shuts the other clients' send windows toward
+// it, their Send calls block instead of shedding frames, and after the
+// configured grace the laggard is reported, evicted, and banned — the
+// survivors reconfigure to a smaller live view and traffic completes. The
+// report includes the flow-control counters (credits granted/consumed,
+// sends blocked, overload evictions).
 package main
 
 import (
@@ -60,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		killServer = fs.Int("kill-server", -1, "kill this server (by index) after the traffic phase; enables in-band attach and WAL-backed servers")
 		restartSrv = fs.Bool("restart-server", false, "with -kill-server: restart the killed server from its WAL")
 		stateDir   = fs.String("state-dir", "", "root directory for per-server durable state (default: a temporary directory)")
+		slowClient = fs.Int("slow-client", -1, "throttle this client (by index) into a slow consumer; enables flow control with a small credit window and eviction of the laggard")
+		slowDelay  = fs.Duration("slow-delay", 500*time.Millisecond, "with -slow-client: extra processing time per delivered event")
+		window     = fs.Int("window", 4, "with -slow-client: per-sender credit window in frames")
 		timeout    = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +99,22 @@ func run(args []string, out io.Writer) error {
 	if *restartSrv && !attachMode {
 		return fmt.Errorf("-restart-server needs -kill-server")
 	}
+	slowMode := *slowClient >= 0
+	if slowMode {
+		if *slowClient >= *nClients {
+			return fmt.Errorf("-slow-client %d out of range (have %d clients)", *slowClient, *nClients)
+		}
+		if *nClients < 2 {
+			return fmt.Errorf("-slow-client needs at least two clients (someone must outpace the laggard)")
+		}
+		if *window < 1 {
+			return fmt.Errorf("-window must be at least 1")
+		}
+		if attachMode || *partition || *leave {
+			return fmt.Errorf("-slow-client cannot combine with -kill-server, -partition, or -leave")
+		}
+	}
+	inband := attachMode || slowMode
 	stateRoot := *stateDir
 	if attachMode && stateRoot == "" {
 		tmp, err := os.MkdirTemp("", "vsgm-live-state-*")
@@ -119,6 +148,13 @@ func run(args []string, out io.Writer) error {
 			cfg.Store = store
 			cfg.Watchdog = 25 * time.Millisecond
 		}
+		if slowMode {
+			// Overload mode: a fast watchdog keeps the eviction
+			// reconfiguration snappy, and the ban outlives the run so the
+			// evicted laggard cannot re-attach and flap the view.
+			cfg.Watchdog = 25 * time.Millisecond
+			cfg.SlowBan = time.Minute
+		}
 		sn, err := live.NewServerNode(cfg)
 		if err != nil {
 			return err
@@ -145,7 +181,7 @@ func run(args []string, out io.Writer) error {
 				}
 			},
 		}
-		if attachMode {
+		if inband {
 			// In-band attachment: each client courts the servers in a
 			// rotated order, so preferred homes round-robin and a dead home
 			// fails over to the next server along.
@@ -156,6 +192,22 @@ func run(args []string, out io.Writer) error {
 			cfg.HomeServers = homeList
 			cfg.AttachInterval = 40 * time.Millisecond
 			cfg.AttachTimeout = 250 * time.Millisecond
+		}
+		if slowMode {
+			// Flow-control mode: a small per-sender credit window, a short
+			// slow-consumer grace so the laggard is reported in demo time,
+			// and a memory budget clamping total resident bytes.
+			cfg.Transport.Window = *window
+			cfg.SlowConsumerGrace = 250 * time.Millisecond
+			cfg.MemHighWater = 1 << 20
+			if i == *slowClient {
+				inner := cfg.OnEvent
+				delay := *slowDelay
+				cfg.OnEvent = func(ev core.Event) {
+					time.Sleep(delay)
+					inner(ev)
+				}
+			}
 		}
 		node, err := live.NewNode(cfg)
 		if err != nil {
@@ -175,7 +227,7 @@ func run(args []string, out io.Writer) error {
 	homes := make(map[types.ProcID]types.ProcID, *nClients)
 	for i, cid := range clientIDs {
 		srv := servers[i%len(servers)]
-		if !attachMode {
+		if !inband {
 			srv.AddClient(cid)
 		}
 		homes[cid] = srv.ID()
@@ -189,9 +241,9 @@ func run(args []string, out io.Writer) error {
 		for _, sn := range servers {
 			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
 		}
-	case attachMode:
-		// Crash recovery needs both: a known-good starting reachability and
-		// heartbeats so the survivors observe the kill.
+	case inband:
+		// Crash recovery and overload degradation need both: a known-good
+		// starting reachability and heartbeats so membership stays live.
 		for _, sn := range servers {
 			sn.SetReachable(serverSet)
 			sn.StartHeartbeats(serverSet, 20*time.Millisecond, 150*time.Millisecond)
@@ -204,7 +256,7 @@ func run(args []string, out io.Writer) error {
 	all := types.NewProcSet(clientIDs...)
 	if err := waitFor(*timeout, func() bool {
 		for _, node := range clients {
-			if attachMode && node.Home() == "" {
+			if inband && node.Home() == "" {
 				return false
 			}
 			if !node.CurrentView().Members.Equal(all) {
@@ -217,10 +269,26 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "group %s formed\n", clients[clientIDs[0]].CurrentView())
 
+	// In slow mode the laggard only consumes: the other clients' traffic is
+	// what exhausts its credit windows, and keeping it out of the sender
+	// pool makes the survivors' delivery totals deterministic after its
+	// eviction.
+	laggard := types.ProcID("")
+	senders := clientIDs
+	if slowMode {
+		laggard = clientIDs[*slowClient]
+		senders = make([]types.ProcID, 0, *nClients-1)
+		for _, cid := range clientIDs {
+			if cid != laggard {
+				senders = append(senders, cid)
+			}
+		}
+		fmt.Fprintf(out, "throttling %s: +%v per delivered event (credit window %d)\n", laggard, *slowDelay, *window)
+	}
 	sendAll := func() {
 		fmt.Fprintf(out, "multicasting %d messages per client concurrently\n", *msgs)
 		var wg sync.WaitGroup
-		for _, cid := range clientIDs {
+		for _, cid := range senders {
 			node := clients[cid]
 			wg.Add(1)
 			go func() {
@@ -245,11 +313,11 @@ func run(args []string, out io.Writer) error {
 	}
 	sendAll()
 
-	want := *msgs * *nClients
+	want := *msgs * len(senders)
 	if err := waitFor(*timeout, func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		for _, cid := range clientIDs {
+		for _, cid := range senders {
 			if delivered[cid] < want {
 				return false
 			}
@@ -257,6 +325,33 @@ func run(args []string, out io.Writer) error {
 		return true
 	}); err != nil {
 		return fmt.Errorf("traffic phase: %w", err)
+	}
+
+	if slowMode {
+		rest := all.Minus(types.NewProcSet(laggard))
+		if err := waitFor(*timeout, func() bool {
+			var evicted int64
+			for _, sn := range servers {
+				evicted += sn.Stats().OverloadEvictions
+			}
+			if evicted == 0 {
+				return false
+			}
+			for _, cid := range senders {
+				if !clients[cid].CurrentView().Members.Equal(rest) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return fmt.Errorf("overload eviction phase: %w", err)
+		}
+		var blocked int64
+		for _, cid := range senders {
+			blocked += clients[cid].Stats().SendsBlocked
+		}
+		fmt.Fprintf(out, "slow consumer %s evicted for overload; survivors installed %s (%d sends blocked en route)\n",
+			laggard, clients[senders[0]].CurrentView(), blocked)
 	}
 
 	if attachMode {
@@ -454,9 +549,14 @@ func run(args []string, out io.Writer) error {
 			a.WriteErrors += s.WriteErrors
 			a.QueueDrops += s.QueueDrops
 			a.ChaosDrops += s.ChaosDrops
+			a.CreditsConsumed += s.CreditsConsumed
+			a.CreditsGranted += s.CreditsGranted
+			a.CreditFrames += s.CreditFrames
+			a.WindowExhausted += s.WindowExhausted
 		}
-		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d flushes=%d writeErrs=%d drops=%d\n",
-			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.Flushes, a.WriteErrors, a.Drops())
+		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d flushes=%d writeErrs=%d drops=%d creditsGranted=%d creditsConsumed=%d windowExhausted=%d\n",
+			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.Flushes, a.WriteErrors, a.Drops(),
+			a.CreditsGranted, a.CreditsConsumed, a.WindowExhausted)
 	}
 	for _, sn := range servers {
 		printStats(sn.ID(), sn.LinkStats())

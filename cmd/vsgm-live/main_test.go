@@ -77,6 +77,34 @@ func TestRunLiveKillAndRestartServer(t *testing.T) {
 	}
 }
 
+func TestRunLiveSlowClientEviction(t *testing.T) {
+	var out bytes.Buffer
+	// Each sender must outrun the credit window (4) for the laggard's
+	// exhaustion to cross the grace and trigger the slow-consumer report.
+	err := run([]string{
+		"-servers", "2", "-clients", "4", "-msgs", "8",
+		"-slow-client", "3", "-window", "4", "-slow-delay", "400ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"throttling c003",
+		"credit window 4",
+		"evicted for overload",
+		"survivors installed",
+		"sends blocked en route",
+		"creditsGranted=",
+		"windowExhausted=",
+		"done",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunLiveValidatesFlags(t *testing.T) {
 	if err := run([]string{"-clients", "0"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("zero clients accepted")
@@ -95,5 +123,11 @@ func TestRunLiveValidatesFlags(t *testing.T) {
 	}
 	if err := run([]string{"-servers", "2", "-kill-server", "0", "-leave"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("-kill-server combined with -leave accepted")
+	}
+	if err := run([]string{"-servers", "2", "-clients", "3", "-slow-client", "7"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("out-of-range -slow-client accepted")
+	}
+	if err := run([]string{"-servers", "2", "-clients", "4", "-slow-client", "0", "-partition"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-slow-client combined with -partition accepted")
 	}
 }

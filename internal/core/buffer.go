@@ -11,6 +11,7 @@ import "vsgm/internal/types"
 type msgBuf struct {
 	base  int             // indices 1..base are stable and collected
 	items []*types.AppMsg // items[i-1-base] holds index i
+	bytes int64           // payload bytes held live, maintained by set/collect
 }
 
 // set stores m at 1-based index i, growing the buffer as needed. Re-storing
@@ -38,6 +39,7 @@ func (b *msgBuf) set(i int, m types.AppMsg) {
 	if b.items[i-1-b.base] == nil {
 		cp := m
 		b.items[i-1-b.base] = &cp
+		b.bytes += int64(len(m.Payload))
 	}
 }
 
@@ -102,6 +104,11 @@ func (b *msgBuf) collect(stable int) {
 	drop := stable - b.base
 	if drop > len(b.items) {
 		drop = len(b.items)
+	}
+	for _, m := range b.items[:drop] {
+		if m != nil {
+			b.bytes -= int64(len(m.Payload))
+		}
 	}
 	b.items = append(b.items[:0:0], b.items[drop:]...)
 	b.base += drop

@@ -81,3 +81,38 @@ func TestBufferMapDropExcept(t *testing.T) {
 		t.Fatal("current-view buffer was dropped")
 	}
 }
+
+// TestMsgBufBytesAccounting pins the live-byte counter the memory budget
+// reads: set adds each stored payload once (idempotent re-stores and
+// below-base stores add nothing), and collect subtracts exactly the dropped
+// prefix — so bytes always equals the payload total of live entries.
+func TestMsgBufBytesAccounting(t *testing.T) {
+	b := &msgBuf{}
+	pay := func(n int) types.AppMsg { return types.AppMsg{ID: int64(n), Payload: make([]byte, n)} }
+	b.set(1, pay(10))
+	b.set(2, pay(20))
+	b.set(4, pay(40)) // hole at 3
+	if b.bytes != 70 {
+		t.Fatalf("bytes = %d, want 70", b.bytes)
+	}
+	b.set(2, pay(999)) // idempotent re-store keeps the original
+	if b.bytes != 70 {
+		t.Fatalf("bytes after re-store = %d, want 70", b.bytes)
+	}
+	b.collect(2)
+	if b.bytes != 40 {
+		t.Fatalf("bytes after collect(2) = %d, want 40", b.bytes)
+	}
+	b.set(1, pay(10)) // at or below base: dropped, not counted
+	if b.bytes != 40 {
+		t.Fatalf("bytes after below-base store = %d, want 40", b.bytes)
+	}
+	b.set(3, pay(30)) // forwarded copy fills the hole
+	if b.bytes != 70 {
+		t.Fatalf("bytes after filling hole = %d, want 70", b.bytes)
+	}
+	b.collect(4)
+	if b.bytes != 0 {
+		t.Fatalf("bytes after full collect = %d, want 0", b.bytes)
+	}
+}

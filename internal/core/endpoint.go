@@ -140,6 +140,14 @@ type Config struct {
 	// (sender, view, index)).
 	MsgIDBase int64
 
+	// OnSend observes each accepted Send synchronously, after the message
+	// is assigned its identifier and appended to the sender's stream but
+	// before any resulting transmission. Cross-process trace collectors
+	// need this pre-wire ordering: an observer notified after Send returns
+	// can lose the race against a fast peer's delivery report. Runs on the
+	// Send caller's goroutine; must not call back into the Endpoint.
+	OnSend func(types.AppMsg)
+
 	// AckInterval enables within-view garbage collection: after every
 	// AckInterval deliveries the end-point multicasts a stability
 	// acknowledgment (its per-sender delivered counts), and message slots
@@ -168,6 +176,7 @@ type Endpoint struct {
 	retainOld      bool
 	ackInterval    int
 	hierarchyGroup int
+	onSend         func(types.AppMsg)
 
 	// WV_RFIFO state (Figure 9).
 	msgs      bufferMap
@@ -268,6 +277,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		retainOld:      cfg.RetainOldBuffers,
 		ackInterval:    cfg.AckInterval,
 		hierarchyGroup: cfg.HierarchyGroupSize,
+		onSend:         cfg.OnSend,
 		nextMsgID:      cfg.MsgIDBase,
 	}
 	e.reset()
@@ -350,6 +360,25 @@ func (e *Endpoint) BufferedMessages() int {
 	return n
 }
 
+// BufferedBytes returns the payload bytes resident across every message
+// buffer (all senders, all views awaiting garbage collection) — the
+// automaton's share of a node's memory budget.
+func (e *Endpoint) BufferedBytes() int64 {
+	var n int64
+	for _, row := range e.msgs {
+		for _, b := range row {
+			n += b.bytes
+		}
+	}
+	return n
+}
+
+// CurrentOthers returns the current view's members excluding this process,
+// sorted. The slice is shared with the endpoint and replaced (never
+// mutated) on view installation: callers may hold a snapshot but must not
+// modify it.
+func (e *Endpoint) CurrentOthers() []types.ProcID { return e.curOthers }
+
 // TakeEvents drains and returns the queued application events in order.
 func (e *Endpoint) TakeEvents() []Event {
 	evs := e.pending
@@ -372,6 +401,9 @@ func (e *Endpoint) Send(payload []byte) (types.AppMsg, error) {
 	m := types.AppMsg{ID: e.nextMsgID, Payload: append([]byte(nil), payload...)}
 	buf := e.curBuf(e.id)
 	buf.set(buf.lastIndex()+1, m)
+	if e.onSend != nil {
+		e.onSend(m)
+	}
 	e.step()
 	return m, nil
 }

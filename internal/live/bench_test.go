@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,7 +58,7 @@ func sendEncodePerLink(f *fabric, dests []types.ProcID, m types.WireMsg) {
 		if err != nil {
 			return
 		}
-		if !f.outbox(q).put(fb) {
+		if !f.outbox(q).mb.put(fb) {
 			fb.Release()
 		}
 	}
@@ -159,5 +161,93 @@ func BenchmarkFabricBroadcast(b *testing.B) {
 		b.Run(fmt.Sprintf("fanout-%d/encode-per-link", n), func(b *testing.B) {
 			benchBroadcast(b, n, true)
 		})
+	}
+}
+
+// BenchmarkSendUnderBackpressure drives the full credit cycle: a sender
+// with a small window blocks in admitData whenever the window shuts, the
+// receiver marks every arriving data frame consumed, and the resulting
+// credit frames reopen the window and wake the parked sender. This is the
+// steady state of a loaded deployment — send, park, credit, wake — so the
+// per-op allocation count is enforced with a hard ceiling: an allocation
+// regression on this path multiplies across every message a busy cluster
+// carries.
+func BenchmarkSendUnderBackpressure(b *testing.B) {
+	// Whole-process allocs per op (sender + receiver + credit return).
+	// The path currently costs ~8; the ceiling leaves headroom for noise
+	// but fails the build on anything resembling a per-frame copy creep.
+	const allocCeiling = 40
+
+	cfg := TransportConfig{
+		DialTimeout: 2 * time.Second, WriteTimeout: 5 * time.Second,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+		Window: 8,
+	}
+	var got atomic.Int64
+	var fb *fabric
+	recv := func(from types.ProcID, fr frame) {
+		if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+			got.Add(1)
+			fb.consumedData(from)
+		}
+	}
+	fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err = newFabric("b", "127.0.0.1:0", cfg, recv, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fb.Close()
+	fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+	fb.SetPeers(map[types.ProcID]string{"a": fa.Addr()})
+
+	dests := []types.ProcID{"b"}
+	msg := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{Payload: make([]byte, 64)}}
+
+	// Prime the links (dial, handshake) outside the timed region.
+	if err := fa.admitData(dests, true); err != nil {
+		b.Fatal(err)
+	}
+	fa.Send(dests, msg)
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < 1 {
+		if time.Now().After(deadline) {
+			b.Fatal("links never came up")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.App.ID = int64(i + 1)
+		if err := fa.admitData(dests, true); err != nil {
+			b.Fatal(err)
+		}
+		fa.Send(dests, msg)
+	}
+	// Drain inside the timed region: the credit returns are part of the op.
+	target := int64(b.N + 1)
+	deadline = time.Now().Add(60 * time.Second)
+	for got.Load() < target {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d frames consumed", got.Load(), target)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.SetBytes(int64(len(msg.App.Payload)))
+
+	if s := fa.Stats()["b"]; s.QueueDrops > 0 || s.ChaosDrops > 0 {
+		b.Fatalf("backpressured sender shed frames: %+v", s)
+	}
+	if perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N); perOp > allocCeiling {
+		b.Fatalf("allocation ceiling breached: %.1f allocs/op > %d", perOp, allocCeiling)
 	}
 }

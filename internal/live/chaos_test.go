@@ -408,18 +408,24 @@ func TestLiveDeadPeerNeverWedgesSend(t *testing.T) {
 
 	start := time.Now()
 	for i := 0; i < 500; i++ {
+		fa.Send([]types.ProcID{"ghost"}, types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: int64(i)}})
 		fa.Send([]types.ProcID{"ghost"}, types.WireMsg{Kind: types.KindHeartbeat})
 	}
 	if d := time.Since(start); d > time.Second {
-		t.Fatalf("500 sends to a dead peer took %v — Send must never block on the network", d)
+		t.Fatalf("1000 sends to a dead peer took %v — Send must never block on the network", d)
 	}
 
 	waitUntil(t, "supervised dial failures", 5*time.Second, func() bool {
 		s := fa.Stats()["ghost"]
 		return s.DialFailures >= 2 && s.Retries >= 2
 	})
+	// The bounded queue degrades by class: data frames are shed once the
+	// cap is hit, while heartbeats coalesce in place (a newer one replaces
+	// the queued older one) so they never contribute to queue growth.
 	if s := fa.Stats()["ghost"]; s.QueueDrops == 0 {
-		t.Errorf("expected the bounded queue to shed load (500 sends, cap 64): %+v", s)
+		t.Errorf("expected the bounded queue to shed data load (500 sends, cap 64): %+v", s)
+	} else if s.HeartbeatsCoalesced == 0 {
+		t.Errorf("expected queued heartbeats to coalesce: %+v", s)
 	}
 
 	done := make(chan struct{})

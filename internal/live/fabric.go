@@ -44,6 +44,12 @@ type TransportConfig struct {
 	// batch of large frames cannot defer the write (and the armed write
 	// deadline) arbitrarily. Default 128 KiB.
 	MaxBatchBytes int
+	// Window is the per-link credit window: how many application data
+	// frames may be outstanding (sent but not yet consumed by the peer's
+	// application) before Node.Send stalls. Control-plane frames are never
+	// gated. Default 1024; negative starts links with zero credit, so
+	// every data send waits for an explicit grant (used by tests).
+	Window int
 }
 
 func (c TransportConfig) withDefaults() TransportConfig {
@@ -67,6 +73,9 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	}
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 128 << 10
+	}
+	if c.Window == 0 {
+		c.Window = 1024
 	}
 	return c
 }
@@ -96,6 +105,23 @@ type LinkStats struct {
 	// chaos controller (including one-way partition drops).
 	ChaosDrops int64
 	ChaosDups  int64
+	// CreditsConsumed counts outbound window credit consumed: data frames
+	// charged against the peer's cumulative grant (net of refunds for
+	// frames that never reached the socket).
+	CreditsConsumed int64
+	// CreditsGranted counts inbound credit granted to the peer beyond its
+	// initial window, i.e. how far the local application's consumption has
+	// advanced the peer's permission to send.
+	CreditsGranted int64
+	// CreditFrames counts standalone credit frames sent to the peer
+	// (including idempotent keepalive re-grants).
+	CreditFrames int64
+	// WindowExhausted counts exhaustion episodes: transitions of the
+	// outbound window from open to shut with a sender waiting.
+	WindowExhausted int64
+	// HeartbeatsCoalesced counts queued heartbeats superseded by a newer
+	// one before reaching the wire (not drops: the newest always flows).
+	HeartbeatsCoalesced int64
 }
 
 // Drops is the total of all dropped frames on the link.
@@ -105,20 +131,30 @@ func (s LinkStats) Drops() int64 { return s.QueueDrops + s.ChaosDrops }
 // here so the automaton's step loop never blocks on a slow consumer, and a
 // single goroutine drains in order (one entry at a time with take, or in
 // coalesced batches with takeBatch). With a positive cap the queue is
-// bounded: a full queue evicts its oldest entry (counted) instead of
-// blocking the producer. onDrop, when set, observes every entry the mailbox
-// discards — evictions and anything still queued at close — so pooled
-// entries can be released; such a mailbox drops its backlog at close instead
-// of handing it out.
+// bounded: a full queue evicts an entry (counted) instead of blocking the
+// producer. onDrop, when set, observes every entry the mailbox discards —
+// evictions and anything still queued at close — so pooled entries can be
+// released; such a mailbox drops its backlog at close instead of handing it
+// out.
+//
+// classOf, when set, makes eviction class-aware: only ClassData entries may
+// ever be evicted (oldest first), control entries are reliable and let the
+// queue grow past cap rather than drop, and a newly queued heartbeat
+// supersedes an already queued one (coalesced, not counted as a drop).
+// sizeOf, when set, keeps a running byte total for the memory budget.
 type mailbox[T any] struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []T // live entries are queue[head:]; the prefix is zeroed slack
-	head    int
-	cap     int
-	onDrop  func(T)
-	evicted int64
-	closed  bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []T // live entries are queue[head:]; the prefix is zeroed slack
+	head      int
+	cap       int
+	onDrop    func(T)
+	classOf   func(T) wire.FrameClass
+	sizeOf    func(T) int
+	bytes     int64
+	evicted   int64
+	coalesced int64
+	closed    bool
 }
 
 // compact reclaims the consumed prefix so the backing array is reused
@@ -155,28 +191,71 @@ func newBoundedMailbox[T any](cap int, onDrop func(T)) *mailbox[T] {
 }
 
 // put enqueues v; it reports false if the mailbox is closed (the caller
-// keeps ownership of v). A bounded mailbox at capacity evicts its oldest
-// entry to make room.
+// keeps ownership of v). A bounded mailbox at capacity evicts to make room:
+// the oldest entry without a classifier, the oldest data entry with one —
+// and with a classifier a control entry is never evicted, the queue grows
+// past cap instead (control is low-rate and reliable by contract).
 func (m *mailbox[T]) put(v T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return false
 	}
+	if m.classOf != nil && m.classOf(v) == wire.ClassHeartbeat {
+		if i := m.findClass(wire.ClassHeartbeat); i >= 0 {
+			m.coalesced++
+			m.removeAt(i)
+		}
+	}
 	if m.cap > 0 && len(m.queue)-m.head >= m.cap {
-		old := m.queue[m.head]
-		var zero T
-		m.queue[m.head] = zero
-		m.head++
-		m.evicted++
-		if m.onDrop != nil {
-			m.onDrop(old)
+		i := m.head
+		if m.classOf != nil {
+			i = m.findClass(wire.ClassData)
+		}
+		if i >= 0 {
+			m.evicted++
+			m.removeAt(i)
 		}
 	}
 	m.compact()
 	m.queue = append(m.queue, v)
+	if m.sizeOf != nil {
+		m.bytes += int64(m.sizeOf(v))
+	}
 	m.cond.Signal()
 	return true
+}
+
+// findClass returns the index of the oldest queued entry of class c, or -1.
+func (m *mailbox[T]) findClass(c wire.FrameClass) int {
+	for i := m.head; i < len(m.queue); i++ {
+		if m.classOf(m.queue[i]) == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt discards queue[i] (head <= i < len): byte accounting shrinks,
+// onDrop observes the entry, and later entries shift down so FIFO order is
+// preserved.
+func (m *mailbox[T]) removeAt(i int) {
+	v := m.queue[i]
+	if m.sizeOf != nil {
+		m.bytes -= int64(m.sizeOf(v))
+	}
+	var zero T
+	if i == m.head {
+		m.queue[m.head] = zero
+		m.head++
+	} else {
+		copy(m.queue[i:], m.queue[i+1:])
+		m.queue[len(m.queue)-1] = zero
+		m.queue = m.queue[:len(m.queue)-1]
+	}
+	if m.onDrop != nil {
+		m.onDrop(v)
+	}
 }
 
 // take blocks until a value is available or the mailbox closes.
@@ -194,6 +273,9 @@ func (m *mailbox[T]) take() (T, bool) {
 	var zero T
 	m.queue[m.head] = zero
 	m.head++
+	if m.sizeOf != nil {
+		m.bytes -= int64(m.sizeOf(v))
+	}
 	m.compact()
 	return v, true
 }
@@ -217,6 +299,9 @@ func (m *mailbox[T]) takeBatch(dst []T, max int) ([]T, bool) {
 	dst = append(dst, m.queue[m.head:m.head+n]...)
 	var zero T
 	for i := 0; i < n; i++ {
+		if m.sizeOf != nil {
+			m.bytes -= int64(m.sizeOf(m.queue[m.head+i]))
+		}
 		m.queue[m.head+i] = zero
 	}
 	m.head += n
@@ -236,6 +321,7 @@ func (m *mailbox[T]) close() {
 		}
 		m.queue = nil
 		m.head = 0
+		m.bytes = 0
 	}
 	m.cond.Broadcast()
 }
@@ -246,9 +332,23 @@ func (m *mailbox[T]) evictions() int64 {
 	return m.evicted
 }
 
+func (m *mailbox[T]) coalescedCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coalesced
+}
+
+// queuedBytes is the running total of sizeOf over queued entries.
+func (m *mailbox[T]) queuedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
 // link is the supervised state for one destination: its bounded outbound
-// queue of pre-encoded frames plus counters. The writer goroutine starts on
-// first use and owns the dial/backoff/reconnect cycle.
+// queue of pre-encoded frames, counters, and both directions of credit
+// bookkeeping. The writer goroutine starts on first use and owns the
+// dial/backoff/reconnect cycle.
 type link struct {
 	peer    types.ProcID
 	mb      *mailbox[*wire.FrameBuf]
@@ -257,6 +357,23 @@ type link struct {
 	mu        sync.Mutex
 	stats     LinkStats
 	connected bool // ever connected (distinguishes connects from reconnects)
+
+	// Outbound credit (sender role): used counts data frames charged
+	// toward the peer, refunded when one is discarded before the socket;
+	// granted is the peer's cumulative permission. used >= granted means
+	// the window is shut and data sends must wait.
+	used    int64
+	granted int64
+	// Inbound credit (receiver role): consumed counts the peer's data
+	// frames fully consumed by the local application; grantedOut is the
+	// cumulative grant advertised back, advanced in half-window refreshes.
+	consumed   int64
+	grantedOut int64
+	// exhaustedSince stamps the start of the current exhaustion episode
+	// (zero while the window is open); reported latches the one
+	// slow-consumer complaint filed per episode.
+	exhaustedSince time.Time
+	reported       bool
 }
 
 func (l *link) bump(f func(*LinkStats)) {
@@ -265,12 +382,39 @@ func (l *link) bump(f func(*LinkStats)) {
 	l.mu.Unlock()
 }
 
-func (l *link) snapshot() LinkStats {
+func (l *link) snapshot(window int64) LinkStats {
 	l.mu.Lock()
 	s := l.stats
+	s.CreditsConsumed = l.used
+	s.CreditsGranted = l.grantedOut - window
 	l.mu.Unlock()
 	s.QueueDrops += l.mb.evictions()
+	s.HeartbeatsCoalesced += l.mb.coalescedCount()
 	return s
+}
+
+// windowOpen reports whether one more data frame fits the peer's window,
+// stamping the start of an exhaustion episode (for the slow-consumer grace
+// clock) when it does not.
+func (l *link) windowOpen(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used < l.granted {
+		return true
+	}
+	if l.exhaustedSince.IsZero() {
+		l.exhaustedSince = now
+		l.reported = false
+		l.stats.WindowExhausted++
+	}
+	return false
+}
+
+// chargeData consumes one unit of outbound credit.
+func (l *link) chargeData() {
+	l.mu.Lock()
+	l.used++
+	l.mu.Unlock()
 }
 
 // fabric owns a process's listener, its supervised outbound links (one per
@@ -290,6 +434,14 @@ type fabric struct {
 	peers  map[types.ProcID]string
 	links  map[types.ProcID]*link
 	closed bool
+
+	// flowMu/flowCond park data senders waiting out a shut credit window
+	// or a tripped memory budget; flowGen rises on every event that could
+	// reopen one (credit arrival, queue drain, refund, tick), so a waiter
+	// that sampled the generation before checking cannot miss its wakeup.
+	flowMu   sync.Mutex
+	flowCond *sync.Cond
+	flowGen  uint64
 
 	wg      sync.WaitGroup
 	closing chan struct{}
@@ -317,6 +469,7 @@ func newFabric(id types.ProcID, addr string, cfg TransportConfig,
 		links:   make(map[types.ProcID]*link),
 		closing: make(chan struct{}),
 	}
+	f.flowCond = sync.NewCond(&f.flowMu)
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f, nil
@@ -353,10 +506,207 @@ func (f *fabric) Stats() map[types.ProcID]LinkStats {
 	}
 	f.mu.Unlock()
 	out := make(map[types.ProcID]LinkStats, len(links))
+	w := f.windowSize()
 	for _, l := range links {
-		out[l.peer] = l.snapshot()
+		out[l.peer] = l.snapshot(w)
 	}
 	return out
+}
+
+// windowSize is the effective initial credit window (negative config means
+// zero: grant-only links).
+func (f *fabric) windowSize() int64 {
+	if f.cfg.Window < 0 {
+		return 0
+	}
+	return int64(f.cfg.Window)
+}
+
+// flowBroadcast advances the flow generation and wakes every parked sender.
+func (f *fabric) flowBroadcast() {
+	f.flowMu.Lock()
+	f.flowGen++
+	f.flowCond.Broadcast()
+	f.flowMu.Unlock()
+}
+
+func (f *fabric) flowGeneration() uint64 {
+	f.flowMu.Lock()
+	defer f.flowMu.Unlock()
+	return f.flowGen
+}
+
+// waitFlowChange parks until the flow generation moves past gen (credit
+// arrived, a queue drained, a tick fired) or the fabric closes; it reports
+// false when closing.
+func (f *fabric) waitFlowChange(gen uint64) bool {
+	f.flowMu.Lock()
+	defer f.flowMu.Unlock()
+	for f.flowGen == gen && !f.isClosing() {
+		f.flowCond.Wait()
+	}
+	return !f.isClosing()
+}
+
+// admitData gates one application data frame toward dests: nil once every
+// destination's credit window has room, ErrOverloaded immediately when
+// block is false and a window is shut (or, blocking, when the fabric closes
+// under the waiter). Admission does not reserve the slot — accounting
+// happens at enqueue — so concurrent senders can overshoot a window by at
+// most the number of in-flight Send calls.
+func (f *fabric) admitData(dests []types.ProcID, block bool) error {
+	for {
+		gen := f.flowGeneration()
+		now := time.Now()
+		open := true
+		for _, q := range dests {
+			if q == f.id {
+				continue
+			}
+			if !f.linkFor(q).windowOpen(now) {
+				open = false
+				break
+			}
+		}
+		if open {
+			return nil
+		}
+		if !block {
+			return ErrOverloaded
+		}
+		if !f.waitFlowChange(gen) {
+			return ErrOverloaded
+		}
+	}
+}
+
+// handleCredit applies a peer's cumulative grant to the outbound window.
+// Grants are monotone, so duplicated, reordered, or keepalive re-grants are
+// no-ops.
+func (f *fabric) handleCredit(from types.ProcID, grant int64) {
+	l := f.linkFor(from)
+	l.mu.Lock()
+	if grant > l.granted {
+		l.granted = grant
+		if l.used < l.granted {
+			l.exhaustedSince = time.Time{}
+			l.reported = false
+		}
+	}
+	l.mu.Unlock()
+	f.flowBroadcast()
+}
+
+// consumedData records that the local application fully consumed one data
+// frame from peer. When the peer's remaining credit falls below half the
+// window, the grant front advances to consumed+window and is shipped as a
+// standalone (idempotent) credit frame — so a steady consumer costs one
+// credit frame per window/2 data frames.
+func (f *fabric) consumedData(peer types.ProcID) {
+	l := f.linkFor(peer)
+	w := f.windowSize()
+	var grant int64
+	l.mu.Lock()
+	l.consumed++
+	if w > 0 && l.grantedOut-l.consumed < (w+1)/2 {
+		if g := l.consumed + w; g > l.grantedOut {
+			l.grantedOut = g
+			grant = g
+		}
+	}
+	l.mu.Unlock()
+	if grant > 0 {
+		f.sendCredit(peer, grant)
+	}
+	f.flowBroadcast()
+}
+
+// sendCredit ships a cumulative grant to peer. Credit frames are
+// control-plane: never shed, never gated, coalesced onto whatever flush the
+// link writer has pending.
+func (f *fabric) sendCredit(peer types.ProcID, grant int64) {
+	fb, err := wire.EncodeFrame(frame{From: f.id, Credit: &wire.Credit{Grant: uint64(grant)}})
+	if err != nil {
+		return
+	}
+	f.linkFor(peer).bump(func(s *LinkStats) { s.CreditFrames++ })
+	f.fanOut(fb, []types.ProcID{peer})
+}
+
+// refundData returns one unit of outbound credit for a data frame that
+// will never reach the peer's socket (chaos drop, queue eviction, closed
+// mailbox), so injected loss and shed backlog cannot leak the window shut
+// forever.
+func (f *fabric) refundData(l *link) {
+	l.mu.Lock()
+	l.used--
+	if l.used < l.granted {
+		l.exhaustedSince = time.Time{}
+	}
+	l.mu.Unlock()
+	f.flowBroadcast()
+}
+
+// regrant re-advertises the current cumulative grant on every link that has
+// carried inbound data. Grants are idempotent, so this periodic keepalive
+// cheaply repairs credit frames lost to reconnects or injected faults.
+func (f *fabric) regrant() {
+	f.mu.Lock()
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	for _, l := range links {
+		var grant int64
+		l.mu.Lock()
+		if l.consumed > 0 {
+			grant = l.grantedOut
+		}
+		l.mu.Unlock()
+		if grant > 0 {
+			f.sendCredit(l.peer, grant)
+		}
+	}
+}
+
+// slowPeers returns peers whose credit window has been exhausted for at
+// least grace with a sender still waiting, marking each so one exhaustion
+// episode yields exactly one complaint.
+func (f *fabric) slowPeers(grace time.Duration, now time.Time) []types.ProcID {
+	f.mu.Lock()
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	var out []types.ProcID
+	for _, l := range links {
+		l.mu.Lock()
+		if !l.reported && !l.exhaustedSince.IsZero() && l.used >= l.granted &&
+			now.Sub(l.exhaustedSince) >= grace {
+			l.reported = true
+			out = append(out, l.peer)
+		}
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// QueuedBytes sums the encoded bytes resident in every outbound queue —
+// the transport's share of the node's memory budget.
+func (f *fabric) QueuedBytes() int64 {
+	f.mu.Lock()
+	links := make([]*link, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	var n int64
+	for _, l := range links {
+		n += l.mb.queuedBytes()
+	}
+	return n
 }
 
 // Send enqueues m toward each destination. The frame is marshaled exactly
@@ -399,11 +749,20 @@ func (f *fabric) SendAttach(dest types.ProcID, a wire.Attach) {
 // fanOut shares one encoded frame across every destination's queue. The
 // extra references are taken before the first put so a fast writer draining
 // one queue cannot recycle the buffer while it is still being enqueued
-// elsewhere.
+// elsewhere. Data frames are charged against each destination's credit
+// window here (and refunded wherever a copy dies before the socket).
 func (f *fabric) fanOut(fb *wire.FrameBuf, dests []types.ProcID) {
 	fb.Retain(int32(len(dests) - 1))
+	data := fb.Class() == wire.ClassData
 	for _, q := range dests {
-		if !f.outbox(q).put(fb) {
+		l := f.outbox(q)
+		if data {
+			l.chargeData()
+		}
+		if !l.mb.put(fb) {
+			if data {
+				f.refundData(l)
+			}
 			fb.Release() // mailbox closed; this destination's reference
 		}
 	}
@@ -422,7 +781,16 @@ func (f *fabric) linkLocked(q types.ProcID) *link {
 		return l
 	}
 	l := &link{peer: q}
-	l.mb = newBoundedMailbox(f.cfg.QueueCap, (*wire.FrameBuf).Release)
+	w := f.windowSize()
+	l.granted, l.grantedOut = w, w
+	l.mb = newBoundedMailbox(f.cfg.QueueCap, func(fb *wire.FrameBuf) {
+		if fb.Class() == wire.ClassData {
+			f.refundData(l)
+		}
+		fb.Release()
+	})
+	l.mb.classOf = (*wire.FrameBuf).Class
+	l.mb.sizeOf = func(fb *wire.FrameBuf) int { return len(fb.Bytes()) }
 	if f.closed {
 		l.mb.close()
 	}
@@ -430,7 +798,8 @@ func (f *fabric) linkLocked(q types.ProcID) *link {
 	return l
 }
 
-func (f *fabric) outbox(q types.ProcID) *mailbox[*wire.FrameBuf] {
+// outbox returns q's link with its writer goroutine running.
+func (f *fabric) outbox(q types.ProcID) *link {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l := f.linkLocked(q)
@@ -439,7 +808,7 @@ func (f *fabric) outbox(q types.ProcID) *mailbox[*wire.FrameBuf] {
 		f.wg.Add(1)
 		go f.writeLoop(l)
 	}
-	return l.mb
+	return l
 }
 
 // sleep pauses for d, returning false if the fabric closed meanwhile.
@@ -588,6 +957,9 @@ func (f *fabric) writeLoop(l *link) {
 				}
 				if verdict.drop {
 					l.bump(func(s *LinkStats) { s.ChaosDrops++ })
+					if fb.Class() == wire.ClassData {
+						f.refundData(l) // injected loss must not leak the window
+					}
 					fb.Release()
 					continue
 				}
@@ -623,6 +995,9 @@ func (f *fabric) writeLoop(l *link) {
 			fb.Release()
 		}
 		pending = append(pending[:0], pending[sent:]...)
+		if sent > 0 {
+			f.flowBroadcast() // queue drained: budget waiters may proceed
+		}
 		if err != nil {
 			l.bump(func(s *LinkStats) { s.WriteErrors++ })
 			dropConn()
@@ -678,6 +1053,16 @@ func (f *fabric) readLoop(conn net.Conn) {
 		}
 		if f.chaos.inboundBlocked(from) {
 			f.linkFor(from).bump(func(s *LinkStats) { s.ChaosDrops++ })
+			// Chaos discards the frame above the flow-control layer, so a
+			// blocked data frame still counts as consumed: simulated loss
+			// must not starve the sender's window forever.
+			if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+				f.consumedData(from)
+			}
+			continue
+		}
+		if fr.Credit != nil {
+			f.handleCredit(from, int64(fr.Credit.Grant))
 			continue
 		}
 		f.receive(from, fr)
@@ -696,6 +1081,7 @@ func (f *fabric) Close() {
 			l.mb.close()
 		}
 		f.mu.Unlock()
+		f.flowBroadcast() // release senders parked on credit or budget
 	})
 	f.wg.Wait()
 }

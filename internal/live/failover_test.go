@@ -28,6 +28,22 @@ type attachOptions struct {
 	// watchdog overrides the servers' stall-detection interval
 	// (default 25ms — fast enough that lossy-trunk tests converge quickly).
 	watchdog time.Duration
+	// transport, when non-nil, replaces testTransport() for every node —
+	// flow-control tests shrink the credit window this way.
+	transport *TransportConfig
+	// tuneServer / tuneNode, when set, adjust each node's config just
+	// before construction (slow-consumer grace, memory budgets, throttled
+	// event callbacks, bans).
+	tuneServer func(sid types.ProcID, cfg *ServerConfig)
+	tuneNode   func(i int, cfg *NodeConfig)
+}
+
+// transportOrDefault picks the per-test transport override.
+func (o attachOptions) transportOrDefault() TransportConfig {
+	if o.transport != nil {
+		return *o.transport
+	}
+	return testTransport()
 }
 
 // newAttachWorld is newLiveWorld's in-band sibling: no AddClient calls —
@@ -57,14 +73,18 @@ func newAttachWorld(t *testing.T, nServers, nClients int, opt attachOptions) *li
 
 	dir := make(map[types.ProcID]string)
 	for _, sid := range serverIDs {
-		sn, err := NewServerNode(ServerConfig{
+		cfg := ServerConfig{
 			ID:        sid,
 			Addr:      "127.0.0.1:0",
 			Servers:   serverSet,
 			Store:     opt.stores[sid],
 			Watchdog:  opt.watchdog,
-			Transport: testTransport(),
-		})
+			Transport: opt.transportOrDefault(),
+		}
+		if opt.tuneServer != nil {
+			opt.tuneServer(sid, &cfg)
+		}
+		sn, err := NewServerNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +100,7 @@ func newAttachWorld(t *testing.T, nServers, nClients int, opt attachOptions) *li
 		for j := range homeList {
 			homeList[j] = serverIDs[(i+j)%nServers]
 		}
-		node, err := NewNode(NodeConfig{
+		cfg := NodeConfig{
 			ID:             cid,
 			Addr:           "127.0.0.1:0",
 			AutoBlock:      true,
@@ -88,11 +108,15 @@ func newAttachWorld(t *testing.T, nServers, nClients int, opt attachOptions) *li
 			HomeServers:    homeList,
 			AttachInterval: 40 * time.Millisecond,
 			AttachTimeout:  250 * time.Millisecond,
-			Transport:      testTransport(),
-			OnEvent:        func(ev core.Event) { w.onEvent(cid, ev) },
+			Transport:      opt.transportOrDefault(),
+			Observe:        func(ev core.Event) { w.onEvent(cid, ev) },
 			OnSend:         func(m types.AppMsg) { w.recordSend(cid, m.ID) },
-			OnNotify:       func(n membership.Notification) { w.onNotify(cid, n) },
-		})
+			ObserveNotify:  func(n membership.Notification) { w.onNotify(cid, n) },
+		}
+		if opt.tuneNode != nil {
+			opt.tuneNode(i, &cfg)
+		}
+		node, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,10 +18,12 @@ import (
 
 // liveWorld spins up membership servers and client nodes on real TCP
 // loopback sockets and collects every application event, tagged per client,
-// into a spec suite (serialized by a collector mutex: cross-process event
-// interleaving is arbitrary in a live system, but the per-process orders
-// the checkers rely on are preserved because each node dispatches its own
-// events in order).
+// into a spec suite (serialized by a collector mutex). Collection uses the
+// synchronous Observe/ObserveNotify/OnSend hooks rather than the pump-based
+// OnEvent: the online checkers need an arrival order consistent with
+// causality — in particular a send recorded before any peer's delivery of
+// it — and the pump can report an event after a fast peer has already
+// reacted to its consequences.
 type liveWorld struct {
 	t       *testing.T
 	servers []*ServerNode
@@ -82,9 +84,9 @@ func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
 			AutoBlock: true,
 			MsgIDBase: int64(i+1) * 1_000_000,
 			Transport: testTransport(),
-			OnEvent:   func(ev core.Event) { w.onEvent(cid, ev) },
-			OnSend:    func(m types.AppMsg) { w.recordSend(cid, m.ID) },
-			OnNotify:  func(n membership.Notification) { w.onNotify(cid, n) },
+			Observe:       func(ev core.Event) { w.onEvent(cid, ev) },
+			OnSend:        func(m types.AppMsg) { w.recordSend(cid, m.ID) },
+			ObserveNotify: func(n membership.Notification) { w.onNotify(cid, n) },
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,7 +1,9 @@
 package live
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vsgm/internal/core"
@@ -9,6 +11,12 @@ import (
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
 )
+
+// ErrOverloaded is TrySend's fast-fail: a destination's credit window is
+// exhausted or the memory budget is above its high watermark, so admitting
+// the send would have to stall. Blocking Send returns it only when the node
+// closes underneath a parked sender.
+var ErrOverloaded = errors.New("live: overloaded (credit window or memory budget exhausted)")
 
 // NodeConfig parameterizes a live GCS end-point.
 type NodeConfig struct {
@@ -30,9 +38,13 @@ type NodeConfig struct {
 	// OnEvent receives the end-point's application events, serialized (one
 	// at a time, in order).
 	OnEvent func(core.Event)
-	// OnSend observes successful sends, serialized on the same ordered
-	// stream as OnEvent — a send is reported before any event it caused
-	// (trace collectors rely on this ordering).
+	// OnSend observes successful sends synchronously at the send point,
+	// before the message reaches the wire — so a send is reported before
+	// any event it causes on ANY node, not just this one (cross-node trace
+	// collectors rely on that ordering). Unlike OnEvent it runs on the
+	// sending goroutine, concurrently with the event stream: observers
+	// shared with OnEvent must do their own locking, and the callback must
+	// not call back into the Node.
 	OnSend func(types.AppMsg)
 	// OnNotify observes membership notifications (start_change and view)
 	// as they arrive from the node's server, serialized on the same ordered
@@ -43,6 +55,19 @@ type NodeConfig struct {
 	// failed dials), serialized on the event stream. The supervised
 	// transport keeps retrying regardless; this is observability only.
 	OnLinkDown func(peer types.ProcID, err error)
+	// Observe, when set, receives every endpoint event synchronously under
+	// the node's state lock, in exact automaton order, at the moment it is
+	// produced. Together with OnSend's pre-wire report this gives trace
+	// collectors an interleaving consistent with causality across nodes —
+	// OnEvent's pump can report an event after a peer has already reacted
+	// to its consequences. Observe does not participate in flow control
+	// (credit is returned when the pump drains past OnEvent, not here).
+	// The callback must be fast and must not call back into the Node.
+	Observe func(core.Event)
+	// ObserveNotify mirrors Observe for membership notifications: it runs
+	// synchronously under the node's state lock, before the notification is
+	// handed to the endpoint, so the record precedes any event it causes.
+	ObserveNotify func(membership.Notification)
 	// HomeServers, when non-empty, enables in-band attachment: the node
 	// registers with HomeServers[0] through the attach protocol and fails
 	// over down the list (wrapping around) when its home goes silent or its
@@ -62,6 +87,18 @@ type NodeConfig struct {
 	// Transport tunes the supervised transport (timeouts, backoff, queue
 	// bounds); the zero value selects production defaults.
 	Transport TransportConfig
+	// SlowConsumerGrace is how long a peer may hold an outbound credit
+	// window exhausted (with a sender waiting) before the node reports it
+	// to its membership servers for eviction — overload degrades to a
+	// smaller live view instead of a stalled group. Defaults to 10s;
+	// negative disables reporting.
+	SlowConsumerGrace time.Duration
+	// MemHighWater, when positive, is the node's memory budget in bytes
+	// over resident transport queues plus endpoint message buffers: above
+	// it Send stalls (TrySend fails) until usage falls to MemLowWater
+	// (default MemHighWater/2). Zero disables the budget.
+	MemHighWater int64
+	MemLowWater  int64
 }
 
 // Node is a GCS end-point deployed as a concurrent process: inbound TCP
@@ -72,8 +109,18 @@ type Node struct {
 	id     types.ProcID
 	fabric *fabric
 
-	mu sync.Mutex
-	ep *core.Endpoint
+	mu        sync.Mutex
+	ep        *core.Endpoint
+	unblocked *sync.Cond // signaled whenever endpoint state advances
+	closed    bool
+
+	// Flow-control policy and counters.
+	slowGrace       time.Duration
+	memHigh, memLow int64
+	overloaded      atomic.Bool // budget hysteresis latch
+	sendsBlocked    atomic.Int64
+	sendsOverloaded atomic.Int64
+	slowReports     atomic.Int64
 
 	// ready gates inbound frames until the endpoint exists: the listener is
 	// live before NewNode finishes wiring.
@@ -82,8 +129,9 @@ type Node struct {
 	pump   sync.WaitGroup
 
 	onEvent    func(core.Event)
-	onSend     func(types.AppMsg)
 	onNotify   func(membership.Notification)
+	observe    func(core.Event)
+	observeNtf func(membership.Notification)
 	onLinkDown func(types.ProcID, error)
 
 	// Attach/failover state, guarded by amu (a leaf lock: it may be taken
@@ -131,19 +179,30 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ready:          make(chan struct{}),
 		events:         newMailbox[func()](),
 		onEvent:        cfg.OnEvent,
-		onSend:         cfg.OnSend,
 		onNotify:       cfg.OnNotify,
+		observe:        cfg.Observe,
+		observeNtf:     cfg.ObserveNotify,
 		onLinkDown:     cfg.OnLinkDown,
 		homeList:       append([]types.ProcID(nil), cfg.HomeServers...),
 		attachInterval: cfg.AttachInterval,
 		attachTimeout:  cfg.AttachTimeout,
 		mgrStop:        make(chan struct{}),
+		slowGrace:      cfg.SlowConsumerGrace,
+		memHigh:        cfg.MemHighWater,
+		memLow:         cfg.MemLowWater,
 	}
+	n.unblocked = sync.NewCond(&n.mu)
 	if n.attachInterval <= 0 {
 		n.attachInterval = time.Second
 	}
 	if n.attachTimeout <= 0 {
 		n.attachTimeout = 4 * n.attachInterval
+	}
+	if n.slowGrace == 0 {
+		n.slowGrace = 10 * time.Second
+	}
+	if n.memHigh > 0 && n.memLow <= 0 {
+		n.memLow = n.memHigh / 2
 	}
 	if len(n.homeList) > 0 {
 		n.epoch = 1
@@ -172,6 +231,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		AutoBlock:  cfg.AutoBlock,
 		SmallSync:  cfg.SmallSync,
 		MsgIDBase:  cfg.MsgIDBase,
+		OnSend:     cfg.OnSend,
 	})
 	if err != nil {
 		close(n.ready) // unblock any early readers; they drop their frames
@@ -213,6 +273,7 @@ func (n *Node) startManager() {
 			case <-timer.C:
 				n.attachTick(time.Now())
 				stuckCID, stuckTicks = n.probeTick(stuckCID, stuckTicks)
+				n.overloadTick(time.Now())
 				timer.Reset(jitter(n.attachInterval))
 			case <-n.mgrStop:
 				return
@@ -317,17 +378,154 @@ func (n *Node) linkDown(peer types.ProcID, err error) {
 	n.events.put(func() { n.onLinkDown(peer, err) })
 }
 
-// Send multicasts payload to the current view.
+// Send multicasts payload to the current view, stalling at the source
+// instead of shedding downstream: it waits out an exhausted destination
+// credit window, a memory budget above its high watermark, and the
+// end-point's blocked phase during reconfiguration (retrying under the new
+// view, so Self Delivery is preserved — an admitted send is enqueued in the
+// automaton before Send returns). It returns ErrOverloaded only when the
+// node closes underneath a parked sender.
 func (n *Node) Send(payload []byte) (types.AppMsg, error) {
-	n.mu.Lock()
-	m, err := n.ep.Send(payload)
-	if err == nil && n.onSend != nil {
-		msg := m
-		n.events.put(func() { n.onSend(msg) })
+	return n.send(payload, true)
+}
+
+// TrySend is the non-blocking Send: it fails fast with ErrOverloaded when
+// flow control or the memory budget would stall, and with core.ErrBlocked
+// while the end-point is reconfiguring.
+func (n *Node) TrySend(payload []byte) (types.AppMsg, error) {
+	return n.send(payload, false)
+}
+
+func (n *Node) send(payload []byte, block bool) (types.AppMsg, error) {
+	waited := false
+	stall := func() {
+		if !waited {
+			waited = true
+			n.sendsBlocked.Add(1)
+		}
 	}
-	n.dispatch(n.ep.TakeEvents())
+	for {
+		// Gate 1: the memory budget. Watermark hysteresis: once usage
+		// crosses high, senders stall until it falls back to low.
+		for {
+			gen := n.fabric.flowGeneration()
+			if n.budgetOpen() {
+				break
+			}
+			if !block {
+				n.sendsOverloaded.Add(1)
+				return types.AppMsg{}, ErrOverloaded
+			}
+			stall()
+			if !n.fabric.waitFlowChange(gen) {
+				return types.AppMsg{}, ErrOverloaded
+			}
+		}
+		// Gate 2: per-destination credit windows for the current view.
+		// Checked before taking n.mu — credit arrives through fabric
+		// goroutines that never need the endpoint lock, so a parked sender
+		// cannot deadlock the node. On a shut window the blocking mode
+		// waits one flow change and restarts the loop rather than parking
+		// inside admitData: the wait may coincide with a view change (a
+		// slow consumer getting evicted is the expected one), and the
+		// retry re-resolves the destinations under the new view.
+		gen := n.fabric.flowGeneration()
+		n.mu.Lock()
+		var dests []types.ProcID
+		if n.ep != nil {
+			dests = n.ep.CurrentOthers()
+		}
+		n.mu.Unlock()
+		if err := n.fabric.admitData(dests, false); err != nil {
+			if !block {
+				n.sendsOverloaded.Add(1)
+				return types.AppMsg{}, err
+			}
+			stall()
+			if !n.fabric.waitFlowChange(gen) {
+				return types.AppMsg{}, ErrOverloaded
+			}
+			continue
+		}
+		// Gate 3: the automaton. ErrBlocked during a view change parks the
+		// sender until endpoint state advances, then every gate re-runs
+		// against the (possibly new) view.
+		n.mu.Lock()
+		m, err := n.ep.Send(payload)
+		if err == core.ErrBlocked && block && !n.closed {
+			stall()
+			n.unblocked.Wait()
+			n.mu.Unlock()
+			continue
+		}
+		n.dispatch(n.ep.TakeEvents())
+		n.mu.Unlock()
+		return m, err
+	}
+}
+
+// budgetOpen evaluates the watermark hysteresis: above MemHighWater the
+// budget latches shut and reopens only at or below MemLowWater.
+func (n *Node) budgetOpen() bool {
+	if n.memHigh <= 0 {
+		return true
+	}
+	usage := n.MemUsage()
+	if n.overloaded.Load() {
+		if usage > n.memLow {
+			return false
+		}
+		n.overloaded.Store(false)
+		return true
+	}
+	if usage < n.memHigh {
+		return true
+	}
+	n.overloaded.Store(true)
+	return false
+}
+
+// MemUsage returns the bytes governed by the memory budget: encoded frames
+// resident in outbound transport queues plus application payload bytes held
+// in the endpoint's message buffers.
+func (n *Node) MemUsage() int64 {
+	n.mu.Lock()
+	var buffered int64
+	if n.ep != nil {
+		buffered = n.ep.BufferedBytes()
+	}
 	n.mu.Unlock()
-	return m, err
+	return buffered + n.fabric.QueuedBytes()
+}
+
+// overloadTick is the manager's flow-control round: re-advertise credit
+// grants (healing credit frames lost to reconnects or injected faults),
+// wake parked senders (the liveness backstop for the flow condvar), and
+// file one complaint per peer that has held a window exhausted past the
+// grace period. Complaints go to every configured membership server: a
+// client laggard is evicted and banned by its home, a server laggard feeds
+// the failure detector.
+func (n *Node) overloadTick(now time.Time) {
+	n.fabric.regrant()
+	n.fabric.flowBroadcast()
+	if n.slowGrace <= 0 {
+		return
+	}
+	var targets []types.ProcID
+	for _, p := range n.fabric.slowPeers(n.slowGrace, now) {
+		n.slowReports.Add(1)
+		if targets == nil {
+			n.amu.Lock()
+			targets = append([]types.ProcID(nil), n.homeList...)
+			n.amu.Unlock()
+		}
+		for _, s := range targets {
+			if s == p {
+				continue
+			}
+			n.fabric.SendAttach(s, wire.Attach{Kind: wire.AttachSuspect, Client: p})
+		}
+	}
 }
 
 // BlockOK acknowledges an outstanding block request.
@@ -335,6 +533,7 @@ func (n *Node) BlockOK() {
 	n.mu.Lock()
 	n.ep.BlockOK()
 	n.dispatch(n.ep.TakeEvents())
+	n.unblocked.Broadcast()
 	n.mu.Unlock()
 }
 
@@ -364,8 +563,12 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 		n.mu.Unlock()
 		return
 	}
+	var consumedFrom types.ProcID
 	switch {
 	case fr.Notify != nil:
+		if n.observeNtf != nil {
+			n.observeNtf(*fr.Notify)
+		}
 		if n.onNotify != nil {
 			cp := *fr.Notify
 			n.events.put(func() { n.onNotify(cp) })
@@ -378,8 +581,19 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 		}
 	case fr.Msg != nil:
 		n.ep.HandleMessage(from, *fr.Msg)
+		if fr.Msg.Kind == types.KindApp {
+			consumedFrom = from
+		}
 	}
 	n.dispatch(n.ep.TakeEvents())
+	if consumedFrom != "" {
+		// The consumed marker rides the serialized event mailbox behind
+		// the events this frame caused, so credit returns to the sender
+		// only after the local application has actually processed them —
+		// that ordering is what makes the backpressure end to end.
+		n.events.put(func() { n.fabric.consumedData(consumedFrom) })
+	}
+	n.unblocked.Broadcast()
 	n.mu.Unlock()
 }
 
@@ -439,15 +653,18 @@ func (n *Node) Home() types.ProcID {
 	return n.home
 }
 
-// dispatch hands events to the pump goroutine. It must be called while
-// holding n.mu so that the global event order matches the automaton's.
+// dispatch hands events to the pump goroutine (and to the synchronous
+// observer first). It must be called while holding n.mu so that the global
+// event order matches the automaton's.
 func (n *Node) dispatch(evs []core.Event) {
-	if n.onEvent == nil {
-		return
-	}
 	for _, ev := range evs {
-		ev := ev
-		n.events.put(func() { n.onEvent(ev) })
+		if n.observe != nil {
+			n.observe(ev)
+		}
+		if n.onEvent != nil {
+			ev := ev
+			n.events.put(func() { n.onEvent(ev) })
+		}
 	}
 }
 
@@ -464,6 +681,16 @@ type NodeStats struct {
 	StaleNotifies int64                      `json:"stale_notifies"`
 	SyncProbes    int64                      `json:"sync_probes"`
 	Links         map[types.ProcID]LinkStats `json:"links"`
+
+	// Flow-control counters: sends that stalled on any gate, non-blocking
+	// sends refused, slow-consumer complaints filed, current budgeted
+	// bytes (transport queues + message buffers), and whether the memory
+	// budget is latched shut.
+	SendsBlocked    int64 `json:"sends_blocked"`
+	SendsOverloaded int64 `json:"sends_overloaded"`
+	SlowReports     int64 `json:"slow_reports"`
+	MemBytes        int64 `json:"mem_bytes"`
+	Overloaded      bool  `json:"overloaded"`
 }
 
 // Stats snapshots the node's attach, failover, probe, and per-link
@@ -484,13 +711,24 @@ func (n *Node) Stats() NodeStats {
 	}
 	n.amu.Unlock()
 	s.Links = n.fabric.Stats()
+	s.SendsBlocked = n.sendsBlocked.Load()
+	s.SendsOverloaded = n.sendsOverloaded.Load()
+	s.SlowReports = n.slowReports.Load()
+	s.MemBytes = n.MemUsage()
+	s.Overloaded = n.overloaded.Load()
 	return s
 }
 
-// Close shuts the node down and joins its goroutines.
+// Close shuts the node down and joins its goroutines. Senders parked on
+// any flow-control gate are released (with ErrOverloaded or ErrBlocked)
+// before the transport and event pump join.
 func (n *Node) Close() {
 	n.closeOnce.Do(func() { close(n.mgrStop) })
 	n.mgrWG.Wait()
+	n.mu.Lock()
+	n.closed = true
+	n.unblocked.Broadcast()
+	n.mu.Unlock()
 	n.fabric.Close()
 	n.events.close()
 	n.pump.Wait()

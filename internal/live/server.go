@@ -33,11 +33,17 @@ type ServerConfig struct {
 	// Transport tunes the supervised transport (timeouts, backoff, queue
 	// bounds); the zero value selects production defaults.
 	Transport TransportConfig
+	// SlowBan is how long a client evicted for slow consumption is barred
+	// from re-attaching, so a laggard cannot flap the view by immediately
+	// re-registering. 0 selects the default (30s); negative disables the
+	// ban (suspects are still evicted).
+	SlowBan time.Duration
 }
 
 const (
 	defaultSnapshotEvery = 64
 	defaultWatchdog      = 500 * time.Millisecond
+	defaultSlowBan       = 30 * time.Second
 )
 
 // ServerNode is one dedicated membership server deployed as a concurrent
@@ -62,6 +68,14 @@ type ServerNode struct {
 
 	attachesServed int64
 	detaches       int64
+
+	// Slow-consumer policy: the static server set (to route a suspected
+	// server into the detector), ban expiries for evicted laggards, and
+	// the eviction counter. Guarded by mu.
+	servers           types.ProcSet
+	slowBan           time.Duration
+	banned            map[types.ProcID]time.Time
+	overloadEvictions int64
 
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
@@ -88,9 +102,15 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 		ready:         make(chan struct{}),
 		store:         cfg.Store,
 		snapshotEvery: cfg.SnapshotEvery,
+		servers:       cfg.Servers,
+		slowBan:       cfg.SlowBan,
+		banned:        make(map[types.ProcID]time.Time),
 	}
 	if n.snapshotEvery == 0 {
 		n.snapshotEvery = defaultSnapshotEvery
+	}
+	if n.slowBan == 0 {
+		n.slowBan = defaultSlowBan
 	}
 	var restored map[types.ProcID]membership.ClientRecord
 	if n.store != nil {
@@ -306,6 +326,12 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 	}
 	switch a.Kind {
 	case wire.AttachRequest:
+		if until, ok := n.banned[from]; ok {
+			if time.Now().Before(until) {
+				return // banned laggard: no ack, so it keeps failing over
+			}
+			delete(n.banned, from)
+		}
 		rec, added := n.srv.AttachClient(from, a.Epoch)
 		n.attachesServed++
 		// The ack must precede any notification from the registration's
@@ -330,22 +356,61 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 			n.detaches++
 			n.srv.Reconfigure()
 		}
+	case wire.AttachSuspect:
+		n.handleSuspectLocked(a.Client)
+	}
+}
+
+// handleSuspectLocked applies a slow-consumer complaint: a client holding a
+// reporter's credit window exhausted past the grace period is evicted from
+// the live view and banned from re-attaching for the cooldown (overload
+// degrades membership, it must not flap it); a suspected peer server feeds
+// the failure detector instead, the same path a broken trunk link takes.
+// Complaints are broadcast to every server, so the laggard's actual home
+// acts no matter which link the reporter had; non-homes holding no
+// registration just refresh the ban. Callers hold mu.
+func (n *ServerNode) handleSuspectLocked(laggard types.ProcID) {
+	if laggard == n.id || laggard == "" {
+		return
+	}
+	now := time.Now()
+	if n.servers.Contains(laggard) {
+		if n.detector != nil {
+			n.detector.Suspect(laggard, now)
+			if reachable, changed := n.detector.Tick(now); changed {
+				n.srv.SetReachable(reachable)
+			}
+		}
+		return
+	}
+	if n.slowBan > 0 {
+		n.banned[laggard] = now.Add(n.slowBan)
+	}
+	if n.srv.HasClient(laggard) {
+		n.srv.RemoveClient(laggard)
+		n.overloadEvictions++
+		// A best-effort detach tells the laggard its registration is gone,
+		// so it starts courting (and being refused by) the next server
+		// instead of trusting a home that no longer serves it.
+		n.fabric.SendAttach(laggard, wire.Attach{Kind: wire.AttachDetach, Client: laggard})
+		n.srv.Reconfigure()
 	}
 }
 
 // ServerStats is a JSON-able snapshot of a server node's counters.
 type ServerStats struct {
-	ID             types.ProcID               `json:"id"`
-	Clients        []types.ProcID             `json:"clients"`
-	AttachesServed int64                      `json:"attaches_served"`
-	Detaches       int64                      `json:"detaches"`
-	Evictions      int64                      `json:"evictions"`
-	Reproposals    int64                      `json:"reproposals"`
-	AttemptsRun    int64                      `json:"attempts_run"`
-	ViewsDelivered int64                      `json:"views_delivered"`
-	WALAppends     int64                      `json:"wal_appends"`
-	WALSnapshots   int64                      `json:"wal_snapshots"`
-	Links          map[types.ProcID]LinkStats `json:"links"`
+	ID                types.ProcID               `json:"id"`
+	Clients           []types.ProcID             `json:"clients"`
+	AttachesServed    int64                      `json:"attaches_served"`
+	Detaches          int64                      `json:"detaches"`
+	Evictions         int64                      `json:"evictions"`
+	OverloadEvictions int64                      `json:"overload_evictions"`
+	Reproposals       int64                      `json:"reproposals"`
+	AttemptsRun       int64                      `json:"attempts_run"`
+	ViewsDelivered    int64                      `json:"views_delivered"`
+	WALAppends        int64                      `json:"wal_appends"`
+	WALSnapshots      int64                      `json:"wal_snapshots"`
+	Links             map[types.ProcID]LinkStats `json:"links"`
 }
 
 // Stats snapshots the server node's attach, membership, durability, and
@@ -353,16 +418,17 @@ type ServerStats struct {
 func (n *ServerNode) Stats() ServerStats {
 	n.mu.Lock()
 	s := ServerStats{
-		ID:             n.id,
-		Clients:        n.srv.LocalClients().Sorted(),
-		AttachesServed: n.attachesServed,
-		Detaches:       n.detaches,
-		Evictions:      n.srv.Evictions(),
-		Reproposals:    n.srv.Reproposals(),
-		AttemptsRun:    n.srv.AttemptsRun(),
-		ViewsDelivered: n.srv.ViewsDelivered(),
-		WALAppends:     n.walAppends,
-		WALSnapshots:   n.walSnapshots,
+		ID:                n.id,
+		Clients:           n.srv.LocalClients().Sorted(),
+		AttachesServed:    n.attachesServed,
+		Detaches:          n.detaches,
+		Evictions:         n.srv.Evictions(),
+		OverloadEvictions: n.overloadEvictions,
+		Reproposals:       n.srv.Reproposals(),
+		AttemptsRun:       n.srv.AttemptsRun(),
+		ViewsDelivered:    n.srv.ViewsDelivered(),
+		WALAppends:        n.walAppends,
+		WALSnapshots:      n.walSnapshots,
 	}
 	n.mu.Unlock()
 	s.Links = n.fabric.Stats()

@@ -16,13 +16,25 @@ import (
 )
 
 // Frame is the live transport's unit: a sender identifier plus either a
-// wire message, a membership notification, or an attach-protocol frame (a
-// bare frame with none of them is the connection handshake).
+// wire message, a membership notification, an attach-protocol frame, or a
+// flow-control credit grant (a bare frame with none of them is the
+// connection handshake).
 type Frame struct {
 	From   types.ProcID
 	Msg    *types.WireMsg
 	Notify *membership.Notification
 	Attach *Attach
+	Credit *Credit
+}
+
+// Credit is one end-to-end flow-control grant: the sender of the frame
+// permits its peer to have transmitted up to Grant application data frames
+// toward it, cumulatively since the pair first spoke. Grants are monotone
+// (receivers take the max), so duplicated, reordered, or re-sent credit
+// frames are harmless — exactly the robustness a frame that rides a
+// reconnecting transport needs.
+type Credit struct {
+	Grant uint64
 }
 
 // AttachKind discriminates the in-band client attach protocol frames.
@@ -40,6 +52,12 @@ const (
 	// leaving). The server ignores it if its registration epoch is newer
 	// than the frame's, so late detaches cannot evict a fresh attach.
 	AttachDetach AttachKind = 3
+	// AttachSuspect is an overload complaint: the sender reports that
+	// Client has held the sender's credit window exhausted past the grace
+	// period. The receiving server evicts (and temporarily bans) a client
+	// laggard, or feeds a server laggard to its failure detector, so
+	// overload degrades to a smaller live view instead of a stalled group.
+	AttachSuspect AttachKind = 4
 )
 
 // Attach is one frame of the in-band attach protocol between a client node
@@ -58,6 +76,7 @@ const (
 	frameMsg       uint8 = 1
 	frameNotify    uint8 = 2
 	frameAttach    uint8 = 3
+	frameCredit    uint8 = 4
 
 	notifyStartChange uint8 = 1
 	notifyView        uint8 = 2
@@ -109,7 +128,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	case f.Attach != nil:
 		w.u8(frameAttach)
 		switch f.Attach.Kind {
-		case AttachRequest, AttachAck, AttachDetach:
+		case AttachRequest, AttachAck, AttachDetach, AttachSuspect:
 		default:
 			return nil, fmt.Errorf("wire: unknown attach kind %d", int(f.Attach.Kind))
 		}
@@ -120,6 +139,9 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		w.u64(uint64(f.Attach.Epoch))
 		w.u64(uint64(f.Attach.CID))
 		w.u64(uint64(f.Attach.Vid))
+	case f.Credit != nil:
+		w.u8(frameCredit)
+		w.u64(f.Credit.Grant)
 	default:
 		w.u8(frameHandshake)
 	}
@@ -184,7 +206,7 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 			return Frame{}, err
 		}
 		switch AttachKind(kind) {
-		case AttachRequest, AttachAck, AttachDetach:
+		case AttachRequest, AttachAck, AttachDetach, AttachSuspect:
 		default:
 			return Frame{}, fmt.Errorf("wire: unknown attach tag %d", kind)
 		}
@@ -212,6 +234,13 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 			Vid:    types.ViewID(vid),
 		}
 		return f, nil
+	case frameCredit:
+		grant, err := r.u64()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Credit = &Credit{Grant: grant}
+		return f, nil
 	default:
 		return Frame{}, fmt.Errorf("wire: unknown frame tag %d", tag)
 	}
@@ -225,8 +254,43 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 // be read. This is what lets a multicast marshal once and share the encoded
 // bytes across every destination queue without copies.
 type FrameBuf struct {
-	b    []byte
-	refs atomic.Int32
+	b     []byte
+	class FrameClass
+	refs  atomic.Int32
+}
+
+// FrameClass partitions encoded frames for the transport's queueing policy.
+// Only application data is credit-gated and sheddable; every control-plane
+// frame (views, sync, proposals, acks, notifications, attach, credit) is
+// reliable — a bounded queue must never drop one. Heartbeats are control
+// too, but a newer heartbeat supersedes a queued older one, so writers may
+// coalesce them instead of letting them accumulate toward a dead peer.
+type FrameClass uint8
+
+const (
+	// ClassControl frames are reliable: never shed, never credit-gated.
+	ClassControl FrameClass = iota
+	// ClassData frames (application multicasts) consume credit and are the
+	// only frames a full queue may evict.
+	ClassData
+	// ClassHeartbeat frames are reliable but superseding: at most the
+	// newest needs to be queued per link.
+	ClassHeartbeat
+)
+
+// classify buckets a frame by its queueing policy.
+func classify(f Frame) FrameClass {
+	if f.Msg == nil {
+		return ClassControl
+	}
+	switch f.Msg.Kind {
+	case types.KindApp:
+		return ClassData
+	case types.KindHeartbeat:
+		return ClassHeartbeat
+	default:
+		return ClassControl
+	}
 }
 
 // maxPooledFrame caps the capacity retained by the pool; occasional giant
@@ -249,12 +313,16 @@ func EncodeFrame(f Frame) (*FrameBuf, error) {
 		return nil, err
 	}
 	fb.b = b
+	fb.class = classify(f)
 	fb.refs.Store(1)
 	return fb, nil
 }
 
 // Bytes returns the encoded frame. Valid until the final Release.
 func (fb *FrameBuf) Bytes() []byte { return fb.b }
+
+// Class reports the frame's queueing class. Valid until the final Release.
+func (fb *FrameBuf) Class() FrameClass { return fb.class }
 
 // Retain adds n references.
 func (fb *FrameBuf) Retain(n int32) { fb.refs.Add(n) }

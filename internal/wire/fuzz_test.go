@@ -39,6 +39,8 @@ func frameCorpus(t testing.TB) [][]byte {
 		{From: "c", Attach: &Attach{Kind: AttachRequest, Client: "c", Epoch: 2}},
 		{From: "srv", Attach: &Attach{Kind: AttachAck, Client: "c", Epoch: 2, CID: 1 << 33, Vid: 7}},
 		{From: "c", Attach: &Attach{Kind: AttachDetach, Client: "c", Epoch: 1}},
+		{From: "c", Attach: &Attach{Kind: AttachSuspect, Client: "d"}},
+		{From: "c", Credit: &Credit{Grant: 1 << 40}},
 	}
 	var out [][]byte
 	for _, fr := range frames {
@@ -73,6 +75,47 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if _, err := MarshalFrame(fr); err != nil {
 				t.Fatalf("decoded frame does not re-marshal: %v (%+v)", err, fr)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCreditFrame narrows the fuzzer onto the credit frame codec:
+// seeds are credit encodings (plus truncations and tag corruptions), and any
+// input that decodes into a credit frame must round-trip its grant exactly —
+// flow-control correctness rests on grants surviving the wire unchanged.
+func FuzzDecodeCreditFrame(f *testing.F) {
+	for _, grant := range []uint64{0, 1, 1 << 16, 1<<64 - 1} {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(Frame{From: "p", Credit: &Credit{Grant: grant}}); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		seed := buf.Bytes()
+		f.Add(seed)
+		f.Add(seed[:len(seed)-1])
+		if len(seed) > 5 {
+			corrupt := append([]byte(nil), seed...)
+			corrupt[5] ^= 0xff // somewhere inside the body: From length or tag
+			f.Add(corrupt)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			var fr Frame
+			if err := dec.Decode(&fr); err != nil {
+				return
+			}
+			if fr.Credit == nil {
+				continue
+			}
+			enc, err := MarshalFrame(fr)
+			if err != nil {
+				t.Fatalf("decoded credit frame does not re-marshal: %v (%+v)", err, fr)
+			}
+			back, err := UnmarshalFrame(enc)
+			if err != nil || back.Credit == nil || back.Credit.Grant != fr.Credit.Grant {
+				t.Fatalf("credit grant did not round-trip: got %+v want %+v (err %v)", back.Credit, fr.Credit, err)
 			}
 		}
 	})

@@ -237,6 +237,9 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 		{From: "a", Attach: &Attach{Kind: AttachRequest, Client: "a", Epoch: 3}},
 		{From: "srv", Attach: &Attach{Kind: AttachAck, Client: "a", Epoch: 3, CID: 3 << 32, Vid: 9}},
 		{From: "a", Attach: &Attach{Kind: AttachDetach, Client: "a", Epoch: 2}},
+		{From: "a", Attach: &Attach{Kind: AttachSuspect, Client: "b"}},
+		{From: "a", Credit: &Credit{Grant: 0}},
+		{From: "a", Credit: &Credit{Grant: 1<<64 - 1}},
 	}
 
 	var buf bytes.Buffer
@@ -256,12 +259,49 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 			t.Fatalf("frame %d from = %s", i, got.From)
 		}
 		if (got.Msg == nil) != (want.Msg == nil) || (got.Notify == nil) != (want.Notify == nil) ||
-			(got.Attach == nil) != (want.Attach == nil) {
+			(got.Attach == nil) != (want.Attach == nil) || (got.Credit == nil) != (want.Credit == nil) {
 			t.Fatalf("frame %d shape mismatch: %+v", i, got)
 		}
 		if want.Attach != nil && *got.Attach != *want.Attach {
 			t.Fatalf("frame %d attach mismatch: got %+v want %+v", i, *got.Attach, *want.Attach)
 		}
+		if want.Credit != nil && *got.Credit != *want.Credit {
+			t.Fatalf("frame %d credit mismatch: got %+v want %+v", i, *got.Credit, *want.Credit)
+		}
+	}
+}
+
+// TestFrameClassification pins the flow-control plane split: only
+// application data frames are credit-gated and sheddable, heartbeats are
+// coalescible, and everything else — sync, acks, proposals, notifications,
+// attach traffic, credits themselves — is control-plane and must never be
+// dropped by a full queue.
+func TestFrameClassification(t *testing.T) {
+	v := types.NewView(2, types.NewProcSet("a"), map[types.ProcID]types.StartChangeID{"a": 1})
+	cases := []struct {
+		name string
+		f    Frame
+		want FrameClass
+	}{
+		{"handshake", Frame{From: "a"}, ClassControl},
+		{"app", Frame{From: "a", Msg: &types.WireMsg{Kind: types.KindApp}}, ClassData},
+		{"fwd", Frame{From: "a", Msg: &types.WireMsg{Kind: types.KindFwd}}, ClassControl},
+		{"sync", Frame{From: "a", Msg: &types.WireMsg{Kind: types.KindSync, View: v}}, ClassControl},
+		{"ack", Frame{From: "a", Msg: &types.WireMsg{Kind: types.KindAck}}, ClassControl},
+		{"heartbeat", Frame{From: "a", Msg: &types.WireMsg{Kind: types.KindHeartbeat}}, ClassHeartbeat},
+		{"notify", Frame{From: "a", Notify: &membership.Notification{Kind: membership.NotifyView, View: v}}, ClassControl},
+		{"attach", Frame{From: "a", Attach: &Attach{Kind: AttachRequest, Client: "a"}}, ClassControl},
+		{"credit", Frame{From: "a", Credit: &Credit{Grant: 5}}, ClassControl},
+	}
+	for _, tc := range cases {
+		fb, err := EncodeFrame(tc.f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		if got := fb.Class(); got != tc.want {
+			t.Errorf("%s: class = %d, want %d", tc.name, got, tc.want)
+		}
+		fb.Release()
 	}
 }
 
