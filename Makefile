@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat docs-check check
 
 all: check
 
@@ -58,8 +58,15 @@ benchstat:
 		echo "baseline seeded: BENCH_baseline.txt"; \
 	fi
 
+# Documentation gate: every intra-repo markdown link must resolve and every
+# public vsgm-live flag must appear in docs/OPERATIONS.md.
+docs-check:
+	$(GO) run ./cmd/vsgm-docscheck
+
 # The pre-merge gate: vet, the full suite, the race detector on the
-# concurrency-heavy packages, and a fuzz smoke pass over the decoders.
+# concurrency-heavy packages, a fuzz smoke pass over the decoders, and the
+# documentation gate.
 check: vet test
 	$(GO) test -race ./internal/live/ ./internal/membership/ ./cmd/vsgm-live/
 	$(MAKE) fuzz-smoke
+	$(MAKE) docs-check

@@ -1,4 +1,4 @@
-// Command vsgm-bench runs the reproduction experiments E1-E10 (see DESIGN.md
+// Command vsgm-bench runs the reproduction experiments E1-E12 (see DESIGN.md
 // Section 4) and prints their result tables. It regenerates the measured
 // numbers recorded in EXPERIMENTS.md.
 //
@@ -16,9 +16,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"vsgm/internal/experiments"
+	"vsgm/internal/obs"
 )
 
 func main() {
@@ -31,18 +33,47 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vsgm-bench", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list the experiments and exit")
-		expList  = fs.String("exp", "", "comma-separated experiment ids (default: all)")
-		markdown = fs.Bool("markdown", false, "emit markdown tables")
-		seed     = fs.Int64("seed", 42, "simulation seed")
-		reps     = fs.Int("reps", 5, "repetitions per data point")
-		latency  = fs.Duration("latency", 10*time.Millisecond, "base link latency")
-		jitter   = fs.Duration("jitter", 5*time.Millisecond, "link latency jitter (±)")
-		mRound   = fs.Duration("membership-round", 10*time.Millisecond, "membership agreement round duration")
+		list      = fs.Bool("list", false, "list the experiments and exit")
+		expList   = fs.String("exp", "", "comma-separated experiment ids (default: all)")
+		markdown  = fs.Bool("markdown", false, "emit markdown tables")
+		seed      = fs.Int64("seed", 42, "simulation seed")
+		reps      = fs.Int("reps", 5, "repetitions per data point")
+		latency   = fs.Duration("latency", 10*time.Millisecond, "base link latency")
+		jitter    = fs.Duration("jitter", 5*time.Millisecond, "link latency jitter (±)")
+		mRound    = fs.Duration("membership-round", 10*time.Millisecond, "membership agreement round duration")
+		debugAddr = fs.String("debug-addr", "", "serve run progress on /metrics and /statusz plus pprof on this address while the experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// The debug listener is chiefly a pprof surface for profiling the
+	// simulator under experiment load; the registry adds coarse progress so
+	// a long sweep can be watched from outside.
+	var (
+		progMu   sync.Mutex
+		progress = map[string]string{}
+		reg      *obs.Registry // stays nil without -debug-addr; nil handles still work
+	)
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		reg.RegisterStatus("bench", func() any {
+			progMu.Lock()
+			defer progMu.Unlock()
+			cp := make(map[string]string, len(progress))
+			for k, v := range progress {
+				cp[k] = v
+			}
+			return cp
+		})
+		dbg, err := obs.ServeDebug(*debugAddr, reg, nil)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(out, "debug listener on %s (/metrics /statusz /debug/pprof)\n", dbg.Addr())
+	}
+	expsDone := reg.Counter("vsgm_bench_experiments_completed_total", "Experiments finished by this vsgm-bench run.")
 
 	if *list {
 		for _, s := range experiments.All() {
@@ -74,10 +105,17 @@ func run(args []string, out io.Writer) error {
 
 	for i, s := range specs {
 		start := time.Now()
+		progMu.Lock()
+		progress[s.ID] = "running"
+		progMu.Unlock()
 		table, err := s.Run(p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.ID, err)
 		}
+		expsDone.Inc()
+		progMu.Lock()
+		progress[s.ID] = "done in " + time.Since(start).Round(time.Millisecond).String()
+		progMu.Unlock()
 		if *markdown {
 			fmt.Fprint(out, table.Markdown())
 		} else {

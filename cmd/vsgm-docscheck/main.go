@@ -1,0 +1,141 @@
+// Command vsgm-docscheck is the documentation gate run by `make docs-check`:
+//
+//   - every intra-repo link in the markdown files must resolve to a file
+//     that exists (http/https/mailto links and pure #anchors are skipped);
+//   - every public flag of cmd/vsgm-live must be documented in
+//     docs/OPERATIONS.md (as `-flagname`), so the operator's handbook cannot
+//     silently fall behind the binary.
+//
+// It prints one line per violation and exits non-zero if any were found.
+//
+// Usage:
+//
+//	vsgm-docscheck            # check the repo rooted at the working directory
+//	vsgm-docscheck -root dir  # check another checkout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vsgm-docscheck:", err)
+		os.Exit(1)
+	}
+}
+
+// mdLink matches [text](target) while ignoring images by stripping the
+// leading ! separately; targets with spaces are not used in this repo.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// flagDef matches the fs.Type("name", ...) flag definitions in a main.go.
+var flagDef = regexp.MustCompile(`fs\.(?:Bool|Int|Int64|String|Duration|Float64)\(\s*"([^"]+)"`)
+
+func run(args []string, out io.Writer) error {
+	fsFlags := flag.NewFlagSet("vsgm-docscheck", flag.ContinueOnError)
+	root := fsFlags.String("root", ".", "repository root to check")
+	if err := fsFlags.Parse(args); err != nil {
+		return err
+	}
+
+	mds, err := markdownFiles(*root)
+	if err != nil {
+		return err
+	}
+	var violations []string
+
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(*root, md)
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			// Strip an anchor suffix; the file part must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				violations = append(violations, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+			}
+		}
+	}
+
+	// The operator's handbook must cover every vsgm-live flag.
+	liveMain, err := os.ReadFile(filepath.Join(*root, "cmd", "vsgm-live", "main.go"))
+	if err != nil {
+		return err
+	}
+	opsPath := filepath.Join(*root, "docs", "OPERATIONS.md")
+	ops, err := os.ReadFile(opsPath)
+	if err != nil {
+		return fmt.Errorf("operator's handbook: %w", err)
+	}
+	for _, m := range flagDef.FindAllStringSubmatch(string(liveMain), -1) {
+		name := m[1]
+		if !strings.Contains(string(ops), "`-"+name+"`") {
+			violations = append(violations,
+				fmt.Sprintf("docs/OPERATIONS.md: vsgm-live flag -%s is undocumented", name))
+		}
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(out, v)
+		}
+		return fmt.Errorf("%d documentation violation(s)", len(violations))
+	}
+	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live flags documented\n", len(mds))
+	return nil
+}
+
+// markdownFiles lists every tracked-looking .md file under root, skipping
+// vendor-ish and hidden directories.
+func markdownFiles(root string) ([]string, error) {
+	var mds []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	sort.Strings(mds)
+	return mds, err
+}
+
+// skipLink reports whether a link target is outside this checker's remit:
+// external URLs, mail links, and in-page anchors.
+func skipLink(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

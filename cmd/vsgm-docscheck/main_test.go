@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a miniature repo for the checker.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const fakeLiveMain = `package main
+func run() {
+	a := fs.Int("servers", 2, "")
+	b := fs.String("debug-addr", "", "")
+}
+`
+
+func TestDocsCheckPasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":             "see [design](DESIGN.md) and [ops](docs/OPERATIONS.md#runbooks)",
+		"DESIGN.md":             "back to [readme](README.md), external [paper](https://example.org/x), [anchor](#s1)",
+		"docs/OPERATIONS.md":    "flags: `-servers` and `-debug-addr`",
+		"cmd/vsgm-live/main.go": fakeLiveMain,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-root", root}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all links resolve") {
+		t.Errorf("missing success line:\n%s", out.String())
+	}
+}
+
+func TestDocsCheckFlagsBrokenLink(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":             "see [missing](NOPE.md)",
+		"docs/OPERATIONS.md":    "flags: `-servers` and `-debug-addr`",
+		"cmd/vsgm-live/main.go": fakeLiveMain,
+	})
+	var out bytes.Buffer
+	err := run([]string{"-root", root}, &out)
+	if err == nil {
+		t.Fatalf("broken link accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `broken link "NOPE.md"`) {
+		t.Errorf("missing violation line:\n%s", out.String())
+	}
+}
+
+func TestDocsCheckFlagsUndocumentedFlag(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"docs/OPERATIONS.md":    "flags: `-servers` only",
+		"cmd/vsgm-live/main.go": fakeLiveMain,
+	})
+	var out bytes.Buffer
+	err := run([]string{"-root", root}, &out)
+	if err == nil {
+		t.Fatalf("undocumented flag accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "-debug-addr is undocumented") {
+		t.Errorf("missing violation line:\n%s", out.String())
+	}
+}
+
+// TestDocsCheckRealRepo runs the checker against this checkout, so a broken
+// cross-reference fails the test suite even without the make target.
+func TestDocsCheckRealRepo(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "docs", "OPERATIONS.md")); err != nil {
+		t.Skipf("no operator's handbook at %s", root)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-root", root}, &out); err != nil {
+		t.Errorf("repo docs check failed: %v\n%s", err, out.String())
+	}
+}

@@ -33,6 +33,14 @@
 // survivors reconfigure to a smaller live view and traffic completes. The
 // report includes the flow-control counters (credits granted/consumed,
 // sends blocked, overload evictions).
+//
+// Every run shares one observability registry and reconfiguration tracer
+// (internal/obs): the final report is scraped from the registry (so a killed
+// server's frozen stats print without racing its shutdown) and ends with the
+// per-endpoint reconfiguration timelines. With -debug-addr the same registry
+// is served live over HTTP — Prometheus text on /metrics, JSON on /statusz,
+// timelines on /tracez, and the standard pprof handlers — for the run's
+// duration. See docs/OPERATIONS.md for the full metric catalogue.
 package main
 
 import (
@@ -43,11 +51,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"vsgm/internal/core"
 	"vsgm/internal/live"
+	"vsgm/internal/obs"
 	"vsgm/internal/sim"
 	"vsgm/internal/types"
 )
@@ -74,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		slowDelay  = fs.Duration("slow-delay", 500*time.Millisecond, "with -slow-client: extra processing time per delivered event")
 		window     = fs.Int("window", 4, "with -slow-client: per-sender credit window in frames")
 		timeout    = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
+		debugAddr  = fs.String("debug-addr", "", "serve Prometheus /metrics, JSON /statusz, /tracez and pprof on this address for the run's duration (e.g. 127.0.0.1:8080; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +136,20 @@ func run(args []string, out io.Writer) error {
 		stateRoot = tmp
 	}
 
+	// Every node shares one registry and one reconfiguration tracer; the
+	// final report reads these (not the live structs), so printing stats for
+	// a killed server never races its shutdown.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(out, "debug listener on %s (/metrics /statusz /tracez /debug/pprof)\n", dbg.Addr())
+	}
+
 	var (
 		mu        sync.Mutex
 		delivered = make(map[types.ProcID]int)
@@ -136,7 +161,7 @@ func run(args []string, out io.Writer) error {
 
 	var servers []*live.ServerNode
 	for _, sid := range serverIDs {
-		cfg := live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet}
+		cfg := live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet, Obs: reg}
 		if attachMode {
 			// Crash-recovery mode: durable identifier state plus a fast
 			// watchdog, so a restarted server resumes above everything it
@@ -173,6 +198,8 @@ func run(args []string, out io.Writer) error {
 			Addr:      "127.0.0.1:0",
 			AutoBlock: true,
 			MsgIDBase: int64(i+1) * 1_000_000,
+			Obs:       reg,
+			Tracer:    tracer,
 			OnEvent: func(ev core.Event) {
 				if _, ok := ev.(core.DeliverEvent); ok {
 					mu.Lock()
@@ -408,6 +435,7 @@ func run(args []string, out io.Writer) error {
 				Servers:  serverSet,
 				Store:    store,
 				Watchdog: 25 * time.Millisecond,
+				Obs:      reg,
 			})
 			if err != nil {
 				return fmt.Errorf("restart %s: %w", killedID, err)
@@ -536,47 +564,60 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %s delivered %d messages\n", cid, delivered[cid])
 	}
 
-	fmt.Fprintln(out, "transport counters:")
-	printStats := func(id types.ProcID, stats map[types.ProcID]live.LinkStats) {
-		var a live.LinkStats
-		for _, s := range stats {
-			a.Dials += s.Dials
-			a.DialFailures += s.DialFailures
-			a.Retries += s.Retries
-			a.Reconnects += s.Reconnects
-			a.FramesSent += s.FramesSent
-			a.Flushes += s.Flushes
-			a.WriteErrors += s.WriteErrors
-			a.QueueDrops += s.QueueDrops
-			a.ChaosDrops += s.ChaosDrops
-			a.CreditsConsumed += s.CreditsConsumed
-			a.CreditsGranted += s.CreditsGranted
-			a.CreditFrames += s.CreditFrames
-			a.WindowExhausted += s.WindowExhausted
+	// The report below is scraped from the observability registry rather than
+	// from the node structs: a killed server's collector and status section
+	// were frozen at Close, so these reads never race a shutdown.
+	snap := reg.Snapshot()
+	linkTotals := make(map[string]map[string]int64) // node id -> metric name -> value
+	for _, s := range snap.Samples {
+		if !strings.HasPrefix(s.Name, "vsgm_link_") || len(s.Labels) == 0 {
+			continue
 		}
-		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d flushes=%d writeErrs=%d drops=%d creditsGranted=%d creditsConsumed=%d windowExhausted=%d\n",
-			id, a.Dials, a.DialFailures, a.Retries, a.Reconnects, a.FramesSent, a.Flushes, a.WriteErrors, a.Drops(),
-			a.CreditsGranted, a.CreditsConsumed, a.WindowExhausted)
+		m := linkTotals[s.Labels[0].Value]
+		if m == nil {
+			m = make(map[string]int64)
+			linkTotals[s.Labels[0].Value] = m
+		}
+		m[s.Name] += int64(s.Value)
 	}
-	for _, sn := range servers {
-		printStats(sn.ID(), sn.LinkStats())
+	fmt.Fprintln(out, "transport counters:")
+	printStats := func(id types.ProcID) {
+		m := linkTotals[string(id)]
+		g := func(name string) int64 { return m["vsgm_link_"+name+"_total"] }
+		fmt.Fprintf(out, "  %s: dials=%d failures=%d retries=%d reconnects=%d frames=%d flushes=%d writeErrs=%d drops=%d creditsGranted=%d creditsConsumed=%d windowExhausted=%d\n",
+			id, g("dials"), g("dial_failures"), g("retries"), g("reconnects"), g("frames_sent"), g("flushes"),
+			g("write_errors"), g("queue_drops")+g("chaos_drops"),
+			g("credits_granted"), g("credits_consumed"), g("window_exhausted"))
+	}
+	for _, sid := range serverIDs {
+		printStats(sid)
 	}
 	for _, cid := range ids {
-		printStats(cid, clients[cid].LinkStats())
+		printStats(cid)
 	}
 
 	// Full per-node snapshots, one JSON object per line, for scraping.
+	status, _ := reg.StatusSnapshot()
 	fmt.Fprintln(out, "node stats:")
-	for _, sn := range servers {
-		if b, err := json.Marshal(sn.Stats()); err == nil {
-			fmt.Fprintf(out, "  %s\n", b)
+	for _, sid := range serverIDs {
+		if st, ok := status["server/"+string(sid)]; ok {
+			if b, err := json.Marshal(st); err == nil {
+				fmt.Fprintf(out, "  %s\n", b)
+			}
 		}
 	}
 	for _, cid := range ids {
-		if b, err := json.Marshal(clients[cid].Stats()); err == nil {
-			fmt.Fprintf(out, "  %s\n", b)
+		if st, ok := status["node/"+string(cid)]; ok {
+			if b, err := json.Marshal(st); err == nil {
+				fmt.Fprintf(out, "  %s\n", b)
+			}
 		}
 	}
+
+	// Per-endpoint reconfiguration timelines, stamped with the trace ids the
+	// servers gossiped through their proposals.
+	fmt.Fprintln(out, "reconfiguration trace:")
+	tracer.RenderTimeline(out)
 	fmt.Fprintln(out, "done")
 	return nil
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	vsgm-sim -n 5 -msgs 50 -partition -crash -seed 7
+//	vsgm-sim -n 5 -reconfig-trace            # per-endpoint reconfiguration timelines
+//	vsgm-sim -n 5 -debug-addr 127.0.0.1:8080 # live /metrics, /statusz, /tracez, pprof
+//
+// With -reconfig-trace every reconfiguration is stamped with a trace id and
+// the run ends with per-endpoint timelines (start_change → sync → view) in
+// virtual time; for a fixed seed the timelines are deterministic.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"vsgm/internal/core"
+	"vsgm/internal/obs"
 	"vsgm/internal/sim"
 	"vsgm/internal/spec"
 	"vsgm/internal/types"
@@ -45,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		ack       = fs.Int("ack", 0, "stability-ack interval (0 disables within-view GC)")
 		hierarchy = fs.Int("hierarchy", 0, "two-tier sync hierarchy group size (0 = flat)")
 		smallSync = fs.Bool("small-sync", false, "enable the §5.2.4 sync-message optimizations")
+		reconfTr  = fs.Bool("reconfig-trace", false, "trace every reconfiguration and print per-endpoint timelines (virtual time)")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /statusz, /tracez and pprof on this address while the simulation runs (implies -reconfig-trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +84,32 @@ func run(args []string, out io.Writer) error {
 		HierarchyGroupSize: *hierarchy,
 		SmallSync:          *smallSync,
 	}
+
+	// Reconfiguration tracing reads the cluster's virtual clock, so timelines
+	// and the view-change latency histogram are in simulated time and stay
+	// deterministic for a fixed seed. The cluster is created below; the
+	// tracer only consults the clock once events start flowing.
+	var tracer *obs.Tracer
+	var simNow func() time.Duration
+	if *reconfTr || *debugAddr != "" {
+		reg := obs.NewRegistry()
+		tracer = obs.NewTracer(reg, obs.WithNow(func() time.Time {
+			base := time.Unix(0, 0).UTC()
+			if simNow == nil {
+				return base
+			}
+			return base.Add(simNow())
+		}))
+		cfg.TraceFor = func(p types.ProcID) core.ProtocolTrace { return tracer.ForEndpoint(p) }
+		if *debugAddr != "" {
+			dbg, err := obs.ServeDebug(*debugAddr, reg, tracer)
+			if err != nil {
+				return fmt.Errorf("debug listener: %w", err)
+			}
+			defer dbg.Close()
+			fmt.Fprintf(out, "debug listener on %s (/metrics /statusz /tracez /debug/pprof)\n", dbg.Addr())
+		}
+	}
 	if *verbose {
 		cfg.OnAppEvent = func(p types.ProcID, ev core.Event) {
 			fmt.Fprintf(out, "  %s: %s\n", p, ev)
@@ -84,6 +119,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	simNow = c.Now
 	procs := c.Procs()
 	members := types.NewProcSet(procs[:*n]...)
 
@@ -182,6 +218,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("SPECIFICATION VIOLATIONS:\n%w", err)
 	}
 	fmt.Fprintln(out, "  all specification checkers passed")
+
+	if tracer != nil {
+		fmt.Fprintln(out, "\nreconfiguration trace (virtual time):")
+		tracer.RenderTimeline(out)
+	}
 
 	if *trace {
 		fmt.Fprintf(out, "\nexecution trace (%d external events):\n%s",

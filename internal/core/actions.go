@@ -87,11 +87,13 @@ func (e *Endpoint) trySendSync() bool {
 		cut[q] = e.curBuf(q).longestPrefix()
 	}
 	cid := e.startChange.ID
+	trace := e.startChange.Trace
 	full := types.WireMsg{
-		Kind: types.KindSync,
-		CID:  cid,
-		View: e.currentView.Clone(),
-		Cut:  cut.Clone(),
+		Kind:  types.KindSync,
+		CID:   cid,
+		View:  e.currentView.Clone(),
+		Cut:   cut.Clone(),
+		Trace: trace,
 	}
 
 	others := e.startChange.Set.Minus(types.NewProcSet(e.id))
@@ -120,7 +122,7 @@ func (e *Endpoint) trySendSync() bool {
 			e.transport.Send(fullDests, elided)
 		}
 		if len(smallDests) > 0 {
-			e.transport.Send(smallDests, types.WireMsg{Kind: types.KindSync, CID: cid, Small: true})
+			e.transport.Send(smallDests, types.WireMsg{Kind: types.KindSync, CID: cid, Small: true, Trace: trace})
 		}
 	} else if others.Len() > 0 {
 		e.transport.Send(others.Sorted(), full)
@@ -136,8 +138,12 @@ func (e *Endpoint) trySendSync() bool {
 	e.ownSync.cid = cid
 	e.ownSync.view = e.currentView.Clone()
 	e.ownSync.cut = cut.Clone()
+	e.ownSync.trace = trace
 	e.limitsValid = false
 	e.fwdDirty = true
+	if e.trace != nil {
+		e.trace.SyncSent(cid, trace, false)
+	}
 	return true
 }
 
@@ -164,7 +170,11 @@ func (e *Endpoint) ResendSync() bool {
 		View:  e.ownSync.view.Clone(),
 		Cut:   e.ownSync.cut.Clone(),
 		Probe: true,
+		Trace: e.ownSync.trace,
 	})
+	if e.trace != nil {
+		e.trace.SyncSent(e.ownSync.cid, e.ownSync.trace, true)
+	}
 	return true
 }
 
@@ -178,11 +188,15 @@ func (e *Endpoint) answerSyncProbe(from types.ProcID) {
 		return
 	}
 	e.transport.Send([]types.ProcID{from}, types.WireMsg{
-		Kind: types.KindSync,
-		CID:  e.ownSync.cid,
-		View: e.ownSync.view.Clone(),
-		Cut:  e.ownSync.cut.Clone(),
+		Kind:  types.KindSync,
+		CID:   e.ownSync.cid,
+		View:  e.ownSync.view.Clone(),
+		Cut:   e.ownSync.cut.Clone(),
+		Trace: e.ownSync.trace,
 	})
+	if e.trace != nil {
+		e.trace.SyncSent(e.ownSync.cid, e.ownSync.trace, true)
+	}
 }
 
 // trySendViewMsg is co_rfifo.send_p(set, view_msg, v) (Figure 9): before
@@ -349,6 +363,9 @@ func (e *Endpoint) tryDeliverView() bool {
 		transCopy = trans.Clone()
 	}
 	e.emit(ViewEvent{View: v.Clone(), TransitionalSet: transCopy})
+	if e.trace != nil {
+		e.trace.ViewInstalled(v.Clone())
+	}
 	e.setCurrentView(v.Clone())
 	e.lastSent = 0
 	e.lastDlvrd = make(map[types.ProcID]int)

@@ -161,6 +161,12 @@ type Config struct {
 	// bundles. Values ≤ 1 disable the hierarchy (flat all-to-all syncs).
 	// When enabled it takes precedence over SmallSync for sync routing.
 	HierarchyGroupSize int
+
+	// Trace observes the end-point's reconfiguration milestones
+	// (start_change, sync send/receive, view installation). Optional;
+	// callbacks run synchronously inside the automaton and must not call
+	// back into the Endpoint.
+	Trace ProtocolTrace
 }
 
 // Endpoint is the GCS end-point automaton state (Figures 9-11). It is not
@@ -177,6 +183,7 @@ type Endpoint struct {
 	ackInterval    int
 	hierarchyGroup int
 	onSend         func(types.AppMsg)
+	trace          ProtocolTrace
 
 	// WV_RFIFO state (Figure 9).
 	msgs      bufferMap
@@ -219,6 +226,7 @@ type Endpoint struct {
 		cid   types.StartChangeID
 		view  types.View
 		cut   types.Cut
+		trace uint64
 	}
 
 	// GCS state extension (Figure 11).
@@ -278,6 +286,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		ackInterval:    cfg.AckInterval,
 		hierarchyGroup: cfg.HierarchyGroupSize,
 		onSend:         cfg.OnSend,
+		trace:          cfg.Trace,
 		nextMsgID:      cfg.MsgIDBase,
 	}
 	e.reset()
@@ -427,6 +436,9 @@ func (e *Endpoint) HandleStartChange(sc types.StartChange) {
 	e.startChange = &cp
 	e.limitsValid = false
 	e.fwdDirty = true
+	if e.trace != nil {
+		e.trace.StartChange(cp)
+	}
 	e.hRequeue()
 	e.step()
 }
@@ -481,6 +493,9 @@ func (e *Endpoint) HandleMessage(from types.ProcID, m types.WireMsg) {
 			view = vm
 		}
 		e.storeSyncEntry(from, m.CID, view, m.Cut, m.Small)
+		if e.trace != nil {
+			e.trace.SyncReceived(from, m.CID, m.Trace)
+		}
 		if e.hierarchyGroup > 1 {
 			// A local member routed its sync to us as its leader; queue it
 			// for aggregation and redistribution.
@@ -500,6 +515,11 @@ func (e *Endpoint) HandleMessage(from types.ProcID, m types.WireMsg) {
 				continue
 			}
 			e.storeSyncEntry(entry.From, entry.CID, entry.View, entry.Cut, entry.Small)
+			if e.trace != nil {
+				// Bundle entries carry no trace tag; the span still counts
+				// the receipt.
+				e.trace.SyncReceived(entry.From, entry.CID, 0)
+			}
 			if e.hierarchyGroup > 1 {
 				e.hQueue(entry, true)
 			}

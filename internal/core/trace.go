@@ -1,0 +1,28 @@
+package core
+
+import "vsgm/internal/types"
+
+// ProtocolTrace receives the reconfiguration milestones of one end-point:
+// the start_change arriving, the synchronization message being committed and
+// sent (first send vs. watchdog resend / probe answer), peers' sync messages
+// arriving, and the view that resolves the change being installed. The
+// observability tracer (internal/obs) satisfies this interface structurally;
+// core itself depends on nothing.
+//
+// All methods are invoked synchronously from the automaton's guarded
+// actions, in automaton order, under the caller's serialization (the core
+// package itself is single-threaded per end-point). Implementations must not
+// call back into the end-point.
+type ProtocolTrace interface {
+	// StartChange fires when HandleStartChange accepts a fresh change.
+	StartChange(sc types.StartChange)
+	// SyncSent fires when a synchronization message for cid is committed
+	// and sent; resend marks watchdog resends and probe answers.
+	SyncSent(cid types.StartChangeID, trace uint64, resend bool)
+	// SyncReceived fires when a peer's synchronization message for cid is
+	// stored (including entries unpacked from leader bundles).
+	SyncReceived(from types.ProcID, cid types.StartChangeID, trace uint64)
+	// ViewInstalled fires when tryDeliverView emits a view to the
+	// application.
+	ViewInstalled(v types.View)
+}

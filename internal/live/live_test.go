@@ -79,11 +79,11 @@ func newLiveWorld(t *testing.T, nServers, nClients int) *liveWorld {
 	for i := 0; i < nClients; i++ {
 		cid := types.ProcID(fmt.Sprintf("cli%d", i))
 		node, err := NewNode(NodeConfig{
-			ID:        cid,
-			Addr:      "127.0.0.1:0",
-			AutoBlock: true,
-			MsgIDBase: int64(i+1) * 1_000_000,
-			Transport: testTransport(),
+			ID:            cid,
+			Addr:          "127.0.0.1:0",
+			AutoBlock:     true,
+			MsgIDBase:     int64(i+1) * 1_000_000,
+			Transport:     testTransport(),
 			Observe:       func(ev core.Event) { w.onEvent(cid, ev) },
 			OnSend:        func(m types.AppMsg) { w.recordSend(cid, m.ID) },
 			ObserveNotify: func(n membership.Notification) { w.onNotify(cid, n) },

@@ -8,6 +8,7 @@ import (
 
 	"vsgm/internal/core"
 	"vsgm/internal/membership"
+	"vsgm/internal/obs"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
 )
@@ -99,6 +100,16 @@ type NodeConfig struct {
 	// (default MemHighWater/2). Zero disables the budget.
 	MemHighWater int64
 	MemLowWater  int64
+	// Obs, when set, is the metrics registry the node publishes into: its
+	// counters become registered series labeled with the node id, and a
+	// scrape-time collector contributes endpoint gauges and aggregated link
+	// counters. On Close the node's sections are frozen in the registry
+	// (Detach), so a scrape after shutdown still sees the final values. Nil
+	// keeps the counters node-local (Stats still works).
+	Obs *obs.Registry
+	// Tracer, when set, records this end-point's reconfiguration timeline
+	// (start_change → sync → view) via a core.ProtocolTrace hook.
+	Tracer *obs.Tracer
 }
 
 // Node is a GCS end-point deployed as a concurrent process: inbound TCP
@@ -118,9 +129,13 @@ type Node struct {
 	slowGrace       time.Duration
 	memHigh, memLow int64
 	overloaded      atomic.Bool // budget hysteresis latch
-	sendsBlocked    atomic.Int64
-	sendsOverloaded atomic.Int64
-	slowReports     atomic.Int64
+	sendsBlocked    *obs.Counter
+	sendsOverloaded *obs.Counter
+	slowReports     *obs.Counter
+
+	// obs is the registry the node's sections are registered in (nil when
+	// unconfigured; the counters above still work as unregistered handles).
+	obs *obs.Registry
 
 	// ready gates inbound frames until the endpoint exists: the listener is
 	// live before NewNode finishes wiring.
@@ -144,11 +159,11 @@ type Node struct {
 	lastAck       time.Time
 	lastCID       types.StartChangeID
 	lastVid       types.ViewID
-	attaches      int64
-	failovers     int64
-	attachRetries int64
-	staleNotifies int64
-	syncProbes    int64
+	attaches      *obs.Counter
+	failovers     *obs.Counter
+	attachRetries *obs.Counter
+	staleNotifies *obs.Counter
+	syncProbes    *obs.Counter
 
 	attachInterval time.Duration
 	attachTimeout  time.Duration
@@ -174,6 +189,7 @@ func (t liveTransport) SetReliable(types.ProcSet) {
 
 // NewNode starts a live end-point listening on cfg.Addr.
 func NewNode(cfg NodeConfig) (*Node, error) {
+	nodeLabel := obs.L("node", string(cfg.ID))
 	n := &Node{
 		id:             cfg.ID,
 		ready:          make(chan struct{}),
@@ -190,6 +206,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		slowGrace:      cfg.SlowConsumerGrace,
 		memHigh:        cfg.MemHighWater,
 		memLow:         cfg.MemLowWater,
+		obs:            cfg.Obs,
+
+		attaches: cfg.Obs.Counter("vsgm_node_attaches_total",
+			"Completed attachments to a home server (first and after failover).", nodeLabel),
+		failovers: cfg.Obs.Counter("vsgm_node_failovers_total",
+			"Home-server failovers (silent-home timeouts, broken links, evictions).", nodeLabel),
+		attachRetries: cfg.Obs.Counter("vsgm_node_attach_retries_total",
+			"Attach requests re-sent while courting an unresponsive server.", nodeLabel),
+		staleNotifies: cfg.Obs.Counter("vsgm_node_stale_notifies_total",
+			"Membership notifications dropped because they came from a server other than the current home.", nodeLabel),
+		syncProbes: cfg.Obs.Counter("vsgm_node_sync_probes_total",
+			"Watchdog sync resends fired for a wedged view change.", nodeLabel),
+		sendsBlocked: cfg.Obs.Counter("vsgm_node_sends_blocked_total",
+			"Sends that stalled on a flow-control gate (credit window, memory budget, or reconfiguration block).", nodeLabel),
+		sendsOverloaded: cfg.Obs.Counter("vsgm_node_sends_overloaded_total",
+			"Non-blocking sends refused with ErrOverloaded.", nodeLabel),
+		slowReports: cfg.Obs.Counter("vsgm_node_slow_reports_total",
+			"Slow-consumer complaints filed with the membership servers.", nodeLabel),
 	}
 	n.unblocked = sync.NewCond(&n.mu)
 	if n.attachInterval <= 0 {
@@ -223,7 +257,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			fn()
 		}
 	}()
-	ep, err := core.NewEndpoint(core.Config{
+	coreCfg := core.Config{
 		ID:         cfg.ID,
 		Transport:  liveTransport{f: f},
 		Level:      cfg.Level,
@@ -232,7 +266,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		SmallSync:  cfg.SmallSync,
 		MsgIDBase:  cfg.MsgIDBase,
 		OnSend:     cfg.OnSend,
-	})
+	}
+	if cfg.Tracer != nil {
+		coreCfg.Trace = cfg.Tracer.ForEndpoint(cfg.ID)
+	}
+	ep, err := core.NewEndpoint(coreCfg)
 	if err != nil {
 		close(n.ready) // unblock any early readers; they drop their frames
 		f.Close()
@@ -244,8 +282,99 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.ep = ep
 	n.mu.Unlock()
 	close(n.ready)
+	n.registerObs()
 	n.startManager()
 	return n, nil
+}
+
+// registerObs publishes the node's scrape-time sections into the registry:
+// endpoint gauges and aggregated link counters as a collector, the full
+// NodeStats snapshot as a status section. Both run only at scrape time; on
+// Close the registry freezes their final evaluation (Detach), which is what
+// lets a late stats print read a killed node safely.
+func (n *Node) registerObs() {
+	if n.obs == nil {
+		return
+	}
+	nodeLabel := obs.L("node", string(n.id))
+	n.obs.RegisterCollector("node/"+string(n.id), func() []obs.Sample {
+		n.mu.Lock()
+		var views, delivered, forwards int64
+		var bufMsgs int
+		var bufBytes int64
+		if n.ep != nil {
+			views = n.ep.ViewsInstalled()
+			delivered = n.ep.MessagesDelivered()
+			forwards = n.ep.ForwardsSent()
+			bufMsgs = n.ep.BufferedMessages()
+			bufBytes = n.ep.BufferedBytes()
+		}
+		n.mu.Unlock()
+		overloaded := float64(0)
+		if n.overloaded.Load() {
+			overloaded = 1
+		}
+		samples := []obs.Sample{
+			{Name: "vsgm_endpoint_views_installed_total", Kind: obs.KindCounter, Labels: []obs.Label{nodeLabel}, Value: float64(views)},
+			{Name: "vsgm_endpoint_msgs_delivered_total", Kind: obs.KindCounter, Labels: []obs.Label{nodeLabel}, Value: float64(delivered)},
+			{Name: "vsgm_endpoint_forwards_total", Kind: obs.KindCounter, Labels: []obs.Label{nodeLabel}, Value: float64(forwards)},
+			{Name: "vsgm_endpoint_buffered_messages", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: float64(bufMsgs)},
+			{Name: "vsgm_endpoint_buffered_bytes", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: float64(bufBytes)},
+			{Name: "vsgm_node_mem_bytes", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: float64(bufBytes + n.fabric.QueuedBytes())},
+			{Name: "vsgm_node_overloaded", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: overloaded},
+		}
+		return append(samples, linkSamples(nodeLabel, n.fabric.Stats())...)
+	})
+	n.obs.RegisterStatus("node/"+string(n.id), func() any { return n.Stats() })
+	n.obs.SetHelp("vsgm_endpoint_views_installed_total", "Views delivered to the application.")
+	n.obs.SetHelp("vsgm_endpoint_msgs_delivered_total", "Application messages delivered.")
+	n.obs.SetHelp("vsgm_endpoint_forwards_total", "Forwarded message copies sent during reconfigurations.")
+	n.obs.SetHelp("vsgm_endpoint_buffered_messages", "Application messages resident in the endpoint's buffers.")
+	n.obs.SetHelp("vsgm_endpoint_buffered_bytes", "Payload bytes resident across the endpoint's message buffers.")
+	n.obs.SetHelp("vsgm_node_mem_bytes", "Bytes governed by the memory budget: transport queues plus message buffers.")
+	n.obs.SetHelp("vsgm_node_overloaded", "1 while the memory-budget hysteresis latch is shut.")
+}
+
+// linkSamples aggregates per-peer LinkStats into process-level counters.
+func linkSamples(owner obs.Label, links map[types.ProcID]LinkStats) []obs.Sample {
+	var agg LinkStats
+	for _, ls := range links {
+		agg.Dials += ls.Dials
+		agg.DialFailures += ls.DialFailures
+		agg.Reconnects += ls.Reconnects
+		agg.Retries += ls.Retries
+		agg.FramesSent += ls.FramesSent
+		agg.Flushes += ls.Flushes
+		agg.WriteErrors += ls.WriteErrors
+		agg.QueueDrops += ls.QueueDrops
+		agg.ChaosDrops += ls.ChaosDrops
+		agg.ChaosDups += ls.ChaosDups
+		agg.CreditsConsumed += ls.CreditsConsumed
+		agg.CreditsGranted += ls.CreditsGranted
+		agg.CreditFrames += ls.CreditFrames
+		agg.WindowExhausted += ls.WindowExhausted
+		agg.HeartbeatsCoalesced += ls.HeartbeatsCoalesced
+	}
+	c := func(name string, v int64) obs.Sample {
+		return obs.Sample{Name: name, Kind: obs.KindCounter, Labels: []obs.Label{owner}, Value: float64(v)}
+	}
+	return []obs.Sample{
+		c("vsgm_link_dials_total", agg.Dials),
+		c("vsgm_link_dial_failures_total", agg.DialFailures),
+		c("vsgm_link_reconnects_total", agg.Reconnects),
+		c("vsgm_link_retries_total", agg.Retries),
+		c("vsgm_link_frames_sent_total", agg.FramesSent),
+		c("vsgm_link_flushes_total", agg.Flushes),
+		c("vsgm_link_write_errors_total", agg.WriteErrors),
+		c("vsgm_link_queue_drops_total", agg.QueueDrops),
+		c("vsgm_link_chaos_drops_total", agg.ChaosDrops),
+		c("vsgm_link_chaos_dups_total", agg.ChaosDups),
+		c("vsgm_link_credits_consumed_total", agg.CreditsConsumed),
+		c("vsgm_link_credits_granted_total", agg.CreditsGranted),
+		c("vsgm_link_credit_frames_total", agg.CreditFrames),
+		c("vsgm_link_window_exhausted_total", agg.WindowExhausted),
+		c("vsgm_link_heartbeats_coalesced_total", agg.HeartbeatsCoalesced),
+	}
 }
 
 // startManager runs the node's periodic maintenance loop: attach requests
@@ -295,8 +424,8 @@ func (n *Node) attachTick(now time.Time) {
 	if now.Sub(n.lastAck) > n.attachTimeout {
 		n.failoverLocked(now)
 	}
-	if n.home == "" && n.attaches > 0 {
-		n.attachRetries++
+	if n.home == "" && n.attaches.Value() > 0 {
+		n.attachRetries.Inc()
 	}
 	target := n.homeList[n.homeIdx%len(n.homeList)]
 	epoch := n.epoch
@@ -315,7 +444,7 @@ func (n *Node) failoverLocked(now time.Time) {
 	n.epoch++
 	n.home = ""
 	n.lastAck = now
-	n.failovers++
+	n.failovers.Inc()
 	n.fabric.SendAttach(old, wire.Attach{Kind: wire.AttachDetach, Client: n.id, Epoch: oldEpoch})
 }
 
@@ -337,9 +466,7 @@ func (n *Node) probeTick(prevCID types.StartChangeID, prevTicks int) (types.Star
 		return prevCID, prevTicks + 1
 	}
 	if n.ep.ResendSync() {
-		n.amu.Lock()
-		n.syncProbes++
-		n.amu.Unlock()
+		n.syncProbes.Inc()
 	}
 	n.dispatch(n.ep.TakeEvents())
 	return prevCID, 0
@@ -401,7 +528,7 @@ func (n *Node) send(payload []byte, block bool) (types.AppMsg, error) {
 	stall := func() {
 		if !waited {
 			waited = true
-			n.sendsBlocked.Add(1)
+			n.sendsBlocked.Inc()
 		}
 	}
 	for {
@@ -413,7 +540,7 @@ func (n *Node) send(payload []byte, block bool) (types.AppMsg, error) {
 				break
 			}
 			if !block {
-				n.sendsOverloaded.Add(1)
+				n.sendsOverloaded.Inc()
 				return types.AppMsg{}, ErrOverloaded
 			}
 			stall()
@@ -438,7 +565,7 @@ func (n *Node) send(payload []byte, block bool) (types.AppMsg, error) {
 		n.mu.Unlock()
 		if err := n.fabric.admitData(dests, false); err != nil {
 			if !block {
-				n.sendsOverloaded.Add(1)
+				n.sendsOverloaded.Inc()
 				return types.AppMsg{}, err
 			}
 			stall()
@@ -513,7 +640,7 @@ func (n *Node) overloadTick(now time.Time) {
 	}
 	var targets []types.ProcID
 	for _, p := range n.fabric.slowPeers(n.slowGrace, now) {
-		n.slowReports.Add(1)
+		n.slowReports.Inc()
 		if targets == nil {
 			n.amu.Lock()
 			targets = append([]types.ProcID(nil), n.homeList...)
@@ -608,7 +735,7 @@ func (n *Node) acceptNotify(from types.ProcID) bool {
 	if from == n.home {
 		return true
 	}
-	n.staleNotifies++
+	n.staleNotifies.Inc()
 	return false
 }
 
@@ -634,7 +761,7 @@ func (n *Node) handleAttach(from types.ProcID, a wire.Attach) {
 		n.epoch = a.Epoch
 		if n.home != from {
 			n.home = from
-			n.attaches++
+			n.attaches.Inc()
 		}
 		n.lastAck = time.Now()
 		n.lastCID, n.lastVid = a.CID, a.Vid
@@ -703,17 +830,17 @@ func (n *Node) Stats() NodeStats {
 		Epoch:         n.epoch,
 		LastCID:       n.lastCID,
 		LastVid:       n.lastVid,
-		Attaches:      n.attaches,
-		Failovers:     n.failovers,
-		AttachRetries: n.attachRetries,
-		StaleNotifies: n.staleNotifies,
-		SyncProbes:    n.syncProbes,
+		Attaches:      n.attaches.Value(),
+		Failovers:     n.failovers.Value(),
+		AttachRetries: n.attachRetries.Value(),
+		StaleNotifies: n.staleNotifies.Value(),
+		SyncProbes:    n.syncProbes.Value(),
 	}
 	n.amu.Unlock()
 	s.Links = n.fabric.Stats()
-	s.SendsBlocked = n.sendsBlocked.Load()
-	s.SendsOverloaded = n.sendsOverloaded.Load()
-	s.SlowReports = n.slowReports.Load()
+	s.SendsBlocked = n.sendsBlocked.Value()
+	s.SendsOverloaded = n.sendsOverloaded.Value()
+	s.SlowReports = n.slowReports.Value()
 	s.MemBytes = n.MemUsage()
 	s.Overloaded = n.overloaded.Load()
 	return s
@@ -721,15 +848,20 @@ func (n *Node) Stats() NodeStats {
 
 // Close shuts the node down and joins its goroutines. Senders parked on
 // any flow-control gate are released (with ErrOverloaded or ErrBlocked)
-// before the transport and event pump join.
+// before the transport and event pump join. The node's registry sections are
+// frozen last, so post-close scrapes (and the deployment's final stats
+// print) read the shutdown-complete values without touching the node again.
 func (n *Node) Close() {
-	n.closeOnce.Do(func() { close(n.mgrStop) })
-	n.mgrWG.Wait()
-	n.mu.Lock()
-	n.closed = true
-	n.unblocked.Broadcast()
-	n.mu.Unlock()
-	n.fabric.Close()
-	n.events.close()
-	n.pump.Wait()
+	n.closeOnce.Do(func() {
+		close(n.mgrStop)
+		n.mgrWG.Wait()
+		n.mu.Lock()
+		n.closed = true
+		n.unblocked.Broadcast()
+		n.mu.Unlock()
+		n.fabric.Close()
+		n.events.close()
+		n.pump.Wait()
+		n.obs.Detach("node/" + string(n.id))
+	})
 }

@@ -1,0 +1,179 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vsgm/internal/obs"
+	"vsgm/internal/types"
+)
+
+// TestLiveTracedReconfigurationSingleSyncRound runs a real TCP deployment
+// with a shared registry and tracer, triggers a failure-free departure
+// reconfiguration, and asserts the one-round property the tracer exists to
+// prove: every surviving member's completed span for the new view records
+// exactly one sync round. It then closes the deployment and checks the
+// frozen sections keep the final numbers scrapeable.
+func TestLiveTracedReconfigurationSingleSyncRound(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg)
+
+	serverIDs := []types.ProcID{"srv0", "srv1"}
+	serverSet := types.NewProcSet(serverIDs...)
+	dir := make(map[types.ProcID]string)
+
+	var servers []*ServerNode
+	for _, sid := range serverIDs {
+		sn, err := NewServerNode(ServerConfig{
+			ID: sid, Addr: "127.0.0.1:0", Servers: serverSet,
+			Transport: testTransport(), Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sn.Close()
+		servers = append(servers, sn)
+		dir[sid] = sn.Addr()
+	}
+
+	clientIDs := []types.ProcID{"cli0", "cli1", "cli2"}
+	clients := make(map[types.ProcID]*Node)
+	for i, cid := range clientIDs {
+		node, err := NewNode(NodeConfig{
+			ID: cid, Addr: "127.0.0.1:0", AutoBlock: true,
+			MsgIDBase: int64(i+1) * 1_000_000,
+			Transport: testTransport(), Obs: reg, Tracer: tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		clients[cid] = node
+		dir[cid] = node.Addr()
+	}
+	for _, sn := range servers {
+		sn.SetPeers(dir)
+	}
+	for _, node := range clients {
+		node.SetPeers(dir)
+	}
+	for i, cid := range clientIDs {
+		servers[i%len(servers)].AddClient(cid)
+	}
+	for _, sn := range servers {
+		sn.SetReachable(serverSet)
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	all := types.NewProcSet(clientIDs...)
+	waitFor("group formation", func() bool {
+		for _, node := range clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Failure-free departure: both servers drop the leaver, one
+	// reconfiguration removes it from the view.
+	leaver := clientIDs[len(clientIDs)-1]
+	survivors := all.Minus(types.NewProcSet(leaver))
+	for _, sn := range servers {
+		sn.RemoveClient(leaver)
+	}
+	servers[0].Reconfigure()
+	waitFor("survivor view", func() bool {
+		for _, cid := range clientIDs[:len(clientIDs)-1] {
+			if !clients[cid].CurrentView().Members.Equal(survivors) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The departure view's span must be complete with exactly one sync round
+	// on every survivor.
+	finalVid := clients[clientIDs[0]].CurrentView().ID
+	spans := make(map[types.ProcID]obs.ReconfigReport)
+	for _, sp := range tracer.Completed() {
+		if sp.View == finalVid {
+			spans[sp.Endpoint] = sp
+		}
+	}
+	for _, cid := range clientIDs[:len(clientIDs)-1] {
+		sp, ok := spans[cid]
+		if !ok {
+			t.Fatalf("no completed span for %s installing view %d; completed: %+v", cid, finalVid, tracer.Completed())
+		}
+		if sp.SyncRounds != 1 {
+			t.Errorf("%s installed view %d in %d sync rounds, want exactly 1: %+v", cid, finalVid, sp.SyncRounds, sp)
+		}
+		if sp.Trace == 0 {
+			t.Errorf("%s span carries no trace id: %+v", cid, sp)
+		}
+		if sp.Latency <= 0 {
+			t.Errorf("%s span has non-positive latency %v", cid, sp.Latency)
+		}
+	}
+
+	// Survivors that installed the same view share the trace id the servers
+	// gossiped for that attempt.
+	traces := make(map[uint64]bool)
+	for _, sp := range spans {
+		traces[sp.Trace] = true
+	}
+	if len(traces) != 1 {
+		t.Errorf("survivors report %d distinct trace ids for one view change: %+v", len(traces), spans)
+	}
+
+	// Close everything; the frozen sections must keep the final numbers
+	// without touching the closed nodes.
+	for _, node := range clients {
+		node.Close()
+	}
+	for _, sn := range servers {
+		sn.Close()
+	}
+	status, _ := reg.StatusSnapshot()
+	for _, cid := range clientIDs {
+		if _, ok := status["node/"+string(cid)]; !ok {
+			t.Errorf("no frozen status section for closed node %s", cid)
+		}
+	}
+	var views float64
+	for _, s := range reg.Snapshot().Samples {
+		if s.Name == "vsgm_endpoint_views_installed_total" {
+			views += s.Value
+		}
+	}
+	if views == 0 {
+		t.Error("frozen collectors report zero installed views after close")
+	}
+
+	// The timeline renders each survivor's one-round proof.
+	var b strings.Builder
+	tracer.RenderTimeline(&b)
+	for _, cid := range clientIDs[:len(clientIDs)-1] {
+		want := fmt.Sprintf("%s cid=", cid)
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("timeline missing %q:\n%s", want, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "(sync_rounds=1)") {
+		t.Errorf("timeline missing a one-round span:\n%s", b.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vsgm/internal/membership"
+	"vsgm/internal/obs"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
 )
@@ -38,6 +39,11 @@ type ServerConfig struct {
 	// re-registering. 0 selects the default (30s); negative disables the
 	// ban (suspects are still evicted).
 	SlowBan time.Duration
+	// Obs, when set, is the metrics registry the server publishes into
+	// (counters labeled with the server id, a scrape-time collector for the
+	// membership core's counters and aggregated link stats, and the full
+	// ServerStats snapshot as a status section, frozen on Close).
+	Obs *obs.Registry
 }
 
 const (
@@ -63,11 +69,11 @@ type ServerNode struct {
 	store         Store
 	snapshotEvery int
 	sinceSnapshot int
-	walAppends    int64
-	walSnapshots  int64
+	walAppends    *obs.Counter
+	walSnapshots  *obs.Counter
 
-	attachesServed int64
-	detaches       int64
+	attachesServed *obs.Counter
+	detaches       *obs.Counter
 
 	// Slow-consumer policy: the static server set (to route a suspected
 	// server into the detector), ban expiries for evicted laggards, and
@@ -75,13 +81,19 @@ type ServerNode struct {
 	servers           types.ProcSet
 	slowBan           time.Duration
 	banned            map[types.ProcID]time.Time
-	overloadEvictions int64
+	overloadEvictions *obs.Counter
+
+	// obs is the registry the server's sections live in (nil when
+	// unconfigured; the counters still work as unregistered handles).
+	obs *obs.Registry
 
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
 
 	wdStop chan struct{}
 	wdWG   sync.WaitGroup
+
+	closeOnce sync.Once
 }
 
 // serverTransport adapts the fabric to membership.ServerTransport.
@@ -97,6 +109,7 @@ func (t serverTransport) Send(dests []types.ProcID, m types.WireMsg) {
 // a Store configured, the previously persisted identifier state is replayed
 // before the listener serves its first frame.
 func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
+	serverLabel := obs.L("server", string(cfg.ID))
 	n := &ServerNode{
 		id:            cfg.ID,
 		ready:         make(chan struct{}),
@@ -105,6 +118,18 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 		servers:       cfg.Servers,
 		slowBan:       cfg.SlowBan,
 		banned:        make(map[types.ProcID]time.Time),
+		obs:           cfg.Obs,
+
+		walAppends: cfg.Obs.Counter("vsgm_server_wal_appends_total",
+			"Identifier mutations appended to the write-ahead log.", serverLabel),
+		walSnapshots: cfg.Obs.Counter("vsgm_server_wal_snapshots_total",
+			"WAL compactions into a snapshot.", serverLabel),
+		attachesServed: cfg.Obs.Counter("vsgm_server_attaches_served_total",
+			"Attach requests acknowledged (registrations and keepalives).", serverLabel),
+		detaches: cfg.Obs.Counter("vsgm_server_detaches_total",
+			"Client-initiated detaches applied.", serverLabel),
+		overloadEvictions: cfg.Obs.Counter("vsgm_server_overload_evictions_total",
+			"Clients evicted (and banned) on slow-consumer complaints.", serverLabel),
 	}
 	if n.snapshotEvery == 0 {
 		n.snapshotEvery = defaultSnapshotEvery
@@ -140,6 +165,7 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 	n.srv = srv
 	n.mu.Unlock()
 	close(n.ready)
+	n.registerObs()
 
 	wd := cfg.Watchdog
 	if wd == 0 {
@@ -159,14 +185,51 @@ func (n *ServerNode) onRecord(p types.ProcID, rec membership.ClientRecord) {
 	if n.store.Append(wire.WALRecord{Client: p, CID: rec.CID, Vid: rec.Vid, Epoch: rec.Epoch}) != nil {
 		return
 	}
-	n.walAppends++
+	n.walAppends.Inc()
 	n.sinceSnapshot++
 	if n.snapshotEvery > 0 && n.sinceSnapshot >= n.snapshotEvery {
 		if n.store.WriteSnapshot(n.srv.ClientRecords()) == nil {
-			n.walSnapshots++
+			n.walSnapshots.Inc()
 			n.sinceSnapshot = 0
 		}
 	}
+}
+
+// registerObs publishes the server's scrape-time sections into the registry:
+// the membership core's counters and aggregated link stats as a collector,
+// the full ServerStats snapshot as a status section. Frozen on Close.
+func (n *ServerNode) registerObs() {
+	if n.obs == nil {
+		return
+	}
+	serverLabel := obs.L("server", string(n.id))
+	n.obs.RegisterCollector("server/"+string(n.id), func() []obs.Sample {
+		n.mu.Lock()
+		var evictions, reproposals, attempts, views int64
+		var clients int
+		if n.srv != nil {
+			evictions = n.srv.Evictions()
+			reproposals = n.srv.Reproposals()
+			attempts = n.srv.AttemptsRun()
+			views = n.srv.ViewsDelivered()
+			clients = n.srv.LocalClients().Len()
+		}
+		n.mu.Unlock()
+		samples := []obs.Sample{
+			{Name: "vsgm_server_clients", Kind: obs.KindGauge, Labels: []obs.Label{serverLabel}, Value: float64(clients)},
+			{Name: "vsgm_server_evictions_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(evictions)},
+			{Name: "vsgm_server_reproposals_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(reproposals)},
+			{Name: "vsgm_server_attempts_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(attempts)},
+			{Name: "vsgm_server_views_delivered_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(views)},
+		}
+		return append(samples, linkSamples(serverLabel, n.fabric.Stats())...)
+	})
+	n.obs.RegisterStatus("server/"+string(n.id), func() any { return n.Stats() })
+	n.obs.SetHelp("vsgm_server_clients", "Local clients currently registered.")
+	n.obs.SetHelp("vsgm_server_evictions_total", "Registrations dropped because a peer claimed the client under a higher epoch.")
+	n.obs.SetHelp("vsgm_server_reproposals_total", "Watchdog-triggered proposal re-sends.")
+	n.obs.SetHelp("vsgm_server_attempts_total", "Membership attempts run.")
+	n.obs.SetHelp("vsgm_server_views_delivered_total", "Views assembled and delivered to local clients.")
 }
 
 // startWatchdog re-proposes the current attempt whenever it stays stalled
@@ -333,7 +396,7 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 			delete(n.banned, from)
 		}
 		rec, added := n.srv.AttachClient(from, a.Epoch)
-		n.attachesServed++
+		n.attachesServed.Inc()
 		// The ack must precede any notification from the registration's
 		// first attempt on the client's FIFO link, so enqueue it before
 		// reconfiguring.
@@ -353,7 +416,7 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 		}
 		if n.srv.HasClient(from) {
 			n.srv.RemoveClient(from)
-			n.detaches++
+			n.detaches.Inc()
 			n.srv.Reconfigure()
 		}
 	case wire.AttachSuspect:
@@ -388,7 +451,7 @@ func (n *ServerNode) handleSuspectLocked(laggard types.ProcID) {
 	}
 	if n.srv.HasClient(laggard) {
 		n.srv.RemoveClient(laggard)
-		n.overloadEvictions++
+		n.overloadEvictions.Inc()
 		// A best-effort detach tells the laggard its registration is gone,
 		// so it starts courting (and being refused by) the next server
 		// instead of trusting a home that no longer serves it.
@@ -420,15 +483,15 @@ func (n *ServerNode) Stats() ServerStats {
 	s := ServerStats{
 		ID:                n.id,
 		Clients:           n.srv.LocalClients().Sorted(),
-		AttachesServed:    n.attachesServed,
-		Detaches:          n.detaches,
+		AttachesServed:    n.attachesServed.Value(),
+		Detaches:          n.detaches.Value(),
 		Evictions:         n.srv.Evictions(),
-		OverloadEvictions: n.overloadEvictions,
+		OverloadEvictions: n.overloadEvictions.Value(),
 		Reproposals:       n.srv.Reproposals(),
 		AttemptsRun:       n.srv.AttemptsRun(),
 		ViewsDelivered:    n.srv.ViewsDelivered(),
-		WALAppends:        n.walAppends,
-		WALSnapshots:      n.walSnapshots,
+		WALAppends:        n.walAppends.Value(),
+		WALSnapshots:      n.walSnapshots.Value(),
 	}
 	n.mu.Unlock()
 	s.Links = n.fabric.Stats()
@@ -436,23 +499,30 @@ func (n *ServerNode) Stats() ServerStats {
 }
 
 // Close shuts the server down, joins its goroutines, and closes its store.
+// Idempotent: a kill-path Close followed by a deferred Close must not close
+// the fabric or store twice. The registry sections are frozen last, so a
+// stats print after the kill reads the final values without touching the
+// closed node.
 func (n *ServerNode) Close() {
-	n.mu.Lock()
-	if n.hbStop != nil {
-		close(n.hbStop)
-		n.hbStop = nil
-	}
-	if n.wdStop != nil {
-		close(n.wdStop)
-		n.wdStop = nil
-	}
-	n.mu.Unlock()
-	n.hbWG.Wait()
-	n.wdWG.Wait()
-	n.fabric.Close()
-	if n.store != nil {
-		n.store.Close()
-	}
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		if n.hbStop != nil {
+			close(n.hbStop)
+			n.hbStop = nil
+		}
+		if n.wdStop != nil {
+			close(n.wdStop)
+			n.wdStop = nil
+		}
+		n.mu.Unlock()
+		n.hbWG.Wait()
+		n.wdWG.Wait()
+		n.fabric.Close()
+		if n.store != nil {
+			n.store.Close()
+		}
+		n.obs.Detach("server/" + string(n.id))
+	})
 }
 
 // StartHeartbeats runs a heartbeat failure detector for this server: it

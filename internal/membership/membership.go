@@ -40,6 +40,13 @@ type Notification struct {
 	Kind        NotificationKind
 	StartChange types.StartChange // valid when Kind == NotifyStartChange
 	View        types.View        // valid when Kind == NotifyView
+
+	// Trace is the reconfiguration trace identifier stamped by the
+	// membership servers (zero from sources that do not stamp, such as the
+	// controllable test oracle). Both notification kinds of one
+	// reconfiguration carry the same trace, so observers can correlate the
+	// start_change with the view that resolves it.
+	Trace uint64
 }
 
 // String renders the notification for traces.

@@ -67,6 +67,15 @@ type Server struct {
 	lastProp      *types.MembProposal
 	lastCompleted int64
 
+	// trace is the reconfiguration trace identifier for traceAttempt: a
+	// deterministic function of the initiating server and attempt number,
+	// gossiped in proposals so every server stamps the same identifier on
+	// one reconfiguration's notifications. Servers adopting a peer's higher
+	// attempt adopt its trace; concurrent initiators of the same attempt
+	// converge on the numerically largest.
+	trace        uint64
+	traceAttempt int64
+
 	attemptsRun    int64
 	viewsDelivered int64
 	reproposals    int64
@@ -345,6 +354,7 @@ func (s *Server) HandleMessage(from types.ProcID, m types.WireMsg) {
 		return
 	}
 	prop := m.MembProp.Clone()
+	s.adoptTrace(prop.Attempt, prop.Trace)
 	s.cache[from] = prop.Clients
 	s.evictClaimed(prop)
 	row := s.proposals[prop.Attempt]
@@ -383,6 +393,48 @@ func (s *Server) evictClaimed(prop *types.MembProposal) {
 	}
 }
 
+// attemptTrace mints the reconfiguration trace identifier an initiating
+// server stamps on attempt a: FNV-1a over the server identifier, the attempt
+// folded in, and a final avalanche so consecutive attempts share no prefix.
+// Deterministic (no randomness) so simulator runs stay reproducible; never
+// zero, because zero means "untraced".
+func attemptTrace(id types.ProcID, a int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= uint64(a)
+	h *= prime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// adoptTrace folds a peer proposal's trace into this server's: a newer
+// attempt replaces ours outright; the same attempt max-merges so concurrent
+// initiators converge on one identifier.
+func (s *Server) adoptTrace(attempt int64, trace uint64) {
+	if trace == 0 {
+		return
+	}
+	switch {
+	case attempt > s.traceAttempt:
+		s.trace = trace
+		s.traceAttempt = attempt
+	case attempt == s.traceAttempt && trace > s.trace:
+		s.trace = trace
+	}
+}
+
 // estimate returns the membership estimate: this server's clients plus the
 // cached clients of every reachable server.
 func (s *Server) estimate() types.ProcSet {
@@ -402,6 +454,11 @@ func (s *Server) estimate() types.ProcSet {
 func (s *Server) startAttempt(a int64) {
 	s.attempt = a
 	s.attemptsRun++
+	if s.traceAttempt != a {
+		// No adopted trace for this attempt: we are initiating it.
+		s.trace = attemptTrace(s.id, a)
+		s.traceAttempt = a
+	}
 	est := s.estimate()
 
 	clients := make(map[types.ProcID]types.StartChangeID, len(s.clients))
@@ -427,7 +484,8 @@ func (s *Server) startAttempt(a int64) {
 		if !c.crashed {
 			s.out(p, Notification{
 				Kind:        NotifyStartChange,
-				StartChange: types.StartChange{ID: c.cid, Set: est.Clone()},
+				StartChange: types.StartChange{ID: c.cid, Set: est.Clone(), Trace: s.trace},
+				Trace:       s.trace,
 			})
 		}
 	}
@@ -444,6 +502,7 @@ func (s *Server) startAttempt(a int64) {
 		MinVid:  minVid,
 		Clients: clients,
 		Epochs:  epochs,
+		Trace:   s.trace,
 	}
 	s.lastProp = prop
 	row := s.proposals[a]
@@ -527,7 +586,7 @@ func (s *Server) tryComplete() {
 		c.mode = modeNormal
 		s.record(p, c)
 		if !c.crashed {
-			s.out(p, Notification{Kind: NotifyView, View: v.Clone()})
+			s.out(p, Notification{Kind: NotifyView, View: v.Clone(), Trace: s.trace})
 		}
 	}
 }

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"vsgm/internal/types"
+)
+
+// The Tracer records one span per (end-point, start_change): the paper's
+// reconfiguration unit. A span opens when the membership's start_change
+// notification reaches the end-point, accumulates the end-point's sync sends
+// and receives, and completes when the end-point installs the view whose
+// startId echoes the span's cid. The headline claim of the client-server
+// design is that the failure-free path closes each span after exactly ONE
+// sync send — the synchronization round runs in parallel with the servers'
+// membership round — so every span counts its sync rounds and the tracer
+// flags spans that needed more (a watchdog resend or probe means frames were
+// lost and the round was repaired, not free).
+//
+// Spans are stamped with the cluster-wide trace identifier the membership
+// servers gossip in their proposals and notifications (zero when the
+// membership source does not stamp, e.g. the controllable oracle), so one
+// reconfiguration's timelines can be correlated across every end-point and
+// server that took part.
+
+// Trace event kinds, in the order the failure-free protocol emits them.
+const (
+	EvStartChange = "start_change"
+	EvSyncSend    = "sync_send"
+	EvSyncResend  = "sync_resend"
+	EvSyncRecv    = "sync_recv"
+	EvViewInstall = "view_install"
+)
+
+// TraceEvent is one timestamped step of a reconfiguration span.
+type TraceEvent struct {
+	Kind   string        `json:"kind"`
+	Offset time.Duration `json:"offset"` // since the span's start_change
+	Peer   types.ProcID  `json:"peer,omitempty"`
+}
+
+// ReconfigReport is one completed (or abandoned) reconfiguration span.
+type ReconfigReport struct {
+	Endpoint   types.ProcID        `json:"endpoint"`
+	CID        types.StartChangeID `json:"cid"`
+	Trace      uint64              `json:"trace"`
+	View       types.ViewID        `json:"view,omitempty"`
+	Start      time.Time           `json:"start"`
+	Latency    time.Duration       `json:"latency"` // start_change -> view_install
+	SyncRounds int                 `json:"sync_rounds"`
+	SyncRecvs  int                 `json:"sync_recvs"`
+	Completed  bool                `json:"completed"`
+	Superseded bool                `json:"superseded"`
+	Events     []TraceEvent        `json:"events"`
+}
+
+// Tracer collects reconfiguration spans and feeds the view-change latency
+// histogram and reconfiguration counters of its registry. All methods are
+// safe for concurrent use; the per-endpoint hook methods run under the
+// owning node's state lock, so within one end-point the event order is the
+// exact automaton order.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	keep   int
+	active map[types.ProcID]*ReconfigReport
+	done   []*ReconfigReport // ring, most recent kept
+
+	latency     *Histogram
+	completed   *Counter
+	superseded  *Counter
+	singleRound *Counter
+	multiRound  *Counter
+	syncSends   *Counter
+	syncResends *Counter
+	syncRecvs   *Counter
+}
+
+// TracerOption tweaks a Tracer.
+type TracerOption func(*Tracer)
+
+// WithNow overrides the tracer's clock (the simulator passes its virtual
+// clock so latencies are simulated time, not wall time).
+func WithNow(now func() time.Time) TracerOption {
+	return func(t *Tracer) { t.now = now }
+}
+
+// WithKeep bounds how many finished spans are retained (default 256).
+func WithKeep(n int) TracerOption {
+	return func(t *Tracer) { t.keep = n }
+}
+
+// NewTracer returns a tracer publishing its histogram and counters into reg
+// (nil registers nothing; the tracer still records timelines).
+func NewTracer(reg *Registry, opts ...TracerOption) *Tracer {
+	t := &Tracer{
+		now:    time.Now,
+		keep:   256,
+		active: make(map[types.ProcID]*ReconfigReport),
+
+		latency: reg.Histogram("vsgm_view_change_latency_seconds",
+			"Per end-point latency from start_change receipt to view installation.", nil),
+		completed: reg.Counter("vsgm_reconfigurations_total",
+			"Reconfiguration spans that completed with a view installation.", L("outcome", "completed")),
+		superseded: reg.Counter("vsgm_reconfigurations_total",
+			"Reconfiguration spans abandoned because a newer start_change superseded them.", L("outcome", "superseded")),
+		singleRound: reg.Counter("vsgm_reconfig_single_round_total",
+			"Completed reconfigurations that needed exactly one sync send (the paper's one-round property)."),
+		multiRound: reg.Counter("vsgm_reconfig_multi_round_total",
+			"Completed reconfigurations that needed more than one sync send (lost frames repaired by the watchdog)."),
+		syncSends: reg.Counter("vsgm_sync_sends_total",
+			"Synchronization messages committed and sent.", L("kind", "first")),
+		syncResends: reg.Counter("vsgm_sync_sends_total",
+			"Synchronization messages re-sent (watchdog probes and probe answers).", L("kind", "resend")),
+		syncRecvs: reg.Counter("vsgm_sync_recvs_total",
+			"Synchronization messages received while a change was pending."),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// EndpointTrace is the tracer bound to one end-point. Its method set
+// satisfies core.ProtocolTrace; the core package stays free of any obs
+// dependency, the binding is purely structural.
+type EndpointTrace struct {
+	t  *Tracer
+	ep types.ProcID
+}
+
+// ForEndpoint returns the per-endpoint hook to wire into core.Config.Trace.
+func (t *Tracer) ForEndpoint(ep types.ProcID) *EndpointTrace {
+	return &EndpointTrace{t: t, ep: ep}
+}
+
+// StartChange opens a span (superseding any span still pending for this
+// end-point: the membership moved on, so the old change can never complete).
+func (e *EndpointTrace) StartChange(sc types.StartChange) {
+	t := e.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old := t.active[e.ep]; old != nil {
+		old.Superseded = true
+		t.retireLocked(old)
+		t.superseded.Inc()
+	}
+	t.active[e.ep] = &ReconfigReport{
+		Endpoint: e.ep,
+		CID:      sc.ID,
+		Trace:    sc.Trace,
+		Start:    t.now(),
+		Events:   []TraceEvent{{Kind: EvStartChange}},
+	}
+}
+
+// SyncSent records a committed sync send. resend marks watchdog resends and
+// probe answers — repair traffic, which still counts as an extra round for
+// the one-round accounting.
+func (e *EndpointTrace) SyncSent(cid types.StartChangeID, trace uint64, resend bool) {
+	t := e.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if resend {
+		t.syncResends.Inc()
+	} else {
+		t.syncSends.Inc()
+	}
+	sp := t.active[e.ep]
+	if sp == nil || sp.CID != cid {
+		return
+	}
+	kind := EvSyncSend
+	if resend {
+		kind = EvSyncResend
+	}
+	sp.SyncRounds++
+	if trace != 0 && sp.Trace == 0 {
+		sp.Trace = trace
+	}
+	sp.Events = append(sp.Events, TraceEvent{Kind: kind, Offset: t.now().Sub(sp.Start)})
+}
+
+// SyncReceived records a peer's sync arriving while this end-point has a
+// change pending.
+func (e *EndpointTrace) SyncReceived(from types.ProcID, cid types.StartChangeID, trace uint64) {
+	t := e.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.syncRecvs.Inc()
+	sp := t.active[e.ep]
+	if sp == nil {
+		return
+	}
+	sp.SyncRecvs++
+	if trace != 0 && sp.Trace == 0 {
+		sp.Trace = trace
+	}
+	sp.Events = append(sp.Events, TraceEvent{Kind: EvSyncRecv, Offset: t.now().Sub(sp.Start), Peer: from})
+}
+
+// ViewInstalled completes the span whose cid the view echoes in its startId
+// map, observing the view-change latency and the one-round verdict.
+func (e *EndpointTrace) ViewInstalled(v types.View) {
+	t := e.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.active[e.ep]
+	if sp == nil || v.StartID[e.ep] != sp.CID {
+		return
+	}
+	delete(t.active, e.ep)
+	sp.Completed = true
+	sp.View = v.ID
+	sp.Latency = t.now().Sub(sp.Start)
+	sp.Events = append(sp.Events, TraceEvent{Kind: EvViewInstall, Offset: sp.Latency})
+	t.latency.Observe(sp.Latency.Seconds())
+	t.completed.Inc()
+	if sp.SyncRounds <= 1 {
+		t.singleRound.Inc()
+	} else {
+		t.multiRound.Inc()
+	}
+	t.retireLocked(sp)
+}
+
+// retireLocked appends a finished span to the bounded ring.
+func (t *Tracer) retireLocked(sp *ReconfigReport) {
+	t.done = append(t.done, sp)
+	if over := len(t.done) - t.keep; over > 0 {
+		t.done = append(t.done[:0], t.done[over:]...)
+	}
+}
+
+// Completed returns the retained finished spans (completed and superseded),
+// oldest first.
+func (t *Tracer) Completed() []ReconfigReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ReconfigReport, len(t.done))
+	for i, sp := range t.done {
+		cp := *sp
+		cp.Events = append([]TraceEvent(nil), sp.Events...)
+		out[i] = cp
+	}
+	return out
+}
+
+// Pending returns the spans still waiting for their view, one per end-point.
+func (t *Tracer) Pending() []ReconfigReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ReconfigReport, 0, len(t.active))
+	for _, sp := range t.active {
+		cp := *sp
+		cp.Events = append([]TraceEvent(nil), sp.Events...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// RenderTimeline writes the retained spans as one line per span:
+//
+//	trace=000000000000002a c001 cid=3 -> view 2 in 1.8ms: start_change +0s | sync_send +210µs | sync_recv<-c002 +900µs | view_install +1.8ms (sync_rounds=1)
+//
+// Completed spans come first (oldest first), then superseded ones, then any
+// spans still pending.
+func (t *Tracer) RenderTimeline(w io.Writer) {
+	done := t.Completed()
+	pending := t.Pending()
+	line := func(sp ReconfigReport) {
+		fmt.Fprintf(w, "trace=%016x %s cid=%d", sp.Trace, sp.Endpoint, sp.CID)
+		switch {
+		case sp.Completed:
+			fmt.Fprintf(w, " -> view %d in %v:", sp.View, sp.Latency)
+		case sp.Superseded:
+			fmt.Fprintf(w, " superseded:")
+		default:
+			fmt.Fprintf(w, " pending:")
+		}
+		for i, ev := range sp.Events {
+			if i > 0 {
+				fmt.Fprint(w, " |")
+			}
+			if ev.Peer != "" {
+				fmt.Fprintf(w, " %s<-%s +%v", ev.Kind, ev.Peer, ev.Offset)
+			} else {
+				fmt.Fprintf(w, " %s +%v", ev.Kind, ev.Offset)
+			}
+		}
+		fmt.Fprintf(w, " (sync_rounds=%d)\n", sp.SyncRounds)
+	}
+	for _, sp := range done {
+		if sp.Completed {
+			line(sp)
+		}
+	}
+	for _, sp := range done {
+		if !sp.Completed {
+			line(sp)
+		}
+	}
+	for _, sp := range pending {
+		line(sp)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vsgm/internal/types"
+)
+
+// fakeClock gives the tracer a deterministic, hand-advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func view(id types.ViewID, startIDs map[types.ProcID]types.StartChangeID) types.View {
+	return types.View{ID: id, StartID: startIDs}
+}
+
+func TestTracerSingleRoundSpan(t *testing.T) {
+	reg := NewRegistry()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := NewTracer(reg, WithNow(clk.now))
+	et := tr.ForEndpoint("c001")
+
+	et.StartChange(types.StartChange{ID: 3, Trace: 0x2a})
+	clk.advance(200 * time.Microsecond)
+	et.SyncSent(3, 0x2a, false)
+	clk.advance(700 * time.Microsecond)
+	et.SyncReceived("c002", 3, 0x2a)
+	clk.advance(900 * time.Microsecond)
+	et.ViewInstalled(view(2, map[types.ProcID]types.StartChangeID{"c001": 3}))
+
+	done := tr.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed spans = %d, want 1", len(done))
+	}
+	sp := done[0]
+	if !sp.Completed || sp.Superseded {
+		t.Fatalf("span flags = completed:%v superseded:%v", sp.Completed, sp.Superseded)
+	}
+	if sp.Trace != 0x2a || sp.CID != 3 || sp.View != 2 {
+		t.Fatalf("span identity = trace:%x cid:%d view:%d", sp.Trace, sp.CID, sp.View)
+	}
+	if sp.SyncRounds != 1 || sp.SyncRecvs != 1 {
+		t.Fatalf("rounds = %d recvs = %d, want 1/1", sp.SyncRounds, sp.SyncRecvs)
+	}
+	if want := 1800 * time.Microsecond; sp.Latency != want {
+		t.Fatalf("latency = %v, want %v", sp.Latency, want)
+	}
+	kinds := make([]string, len(sp.Events))
+	for i, ev := range sp.Events {
+		kinds[i] = ev.Kind
+	}
+	if got := strings.Join(kinds, ","); got != "start_change,sync_send,sync_recv,view_install" {
+		t.Fatalf("event order = %s", got)
+	}
+	if v := reg.Counter("vsgm_reconfig_single_round_total", "").Value(); v != 1 {
+		t.Fatalf("single-round counter = %d, want 1", v)
+	}
+	if h := reg.Histogram("vsgm_view_change_latency_seconds", "", nil).Snapshot(); h.Count != 1 {
+		t.Fatalf("latency histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestTracerMultiRoundAndSupersede(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	et := tr.ForEndpoint("s00")
+
+	// Span 1: superseded by a newer start_change before its view lands.
+	et.StartChange(types.StartChange{ID: 1, Trace: 7})
+	et.SyncSent(1, 7, false)
+	et.StartChange(types.StartChange{ID: 2, Trace: 8})
+	// Span 2: a watchdog resend makes it multi-round.
+	et.SyncSent(2, 8, false)
+	et.SyncSent(2, 8, true)
+	et.ViewInstalled(view(5, map[types.ProcID]types.StartChangeID{"s00": 2}))
+
+	done := tr.Completed()
+	if len(done) != 2 {
+		t.Fatalf("retired spans = %d, want 2", len(done))
+	}
+	if !done[0].Superseded || done[0].CID != 1 {
+		t.Fatalf("first retired span: superseded:%v cid:%d", done[0].Superseded, done[0].CID)
+	}
+	if !done[1].Completed || done[1].SyncRounds != 2 {
+		t.Fatalf("second span: completed:%v rounds:%d", done[1].Completed, done[1].SyncRounds)
+	}
+	if v := reg.Counter("vsgm_reconfig_multi_round_total", "").Value(); v != 1 {
+		t.Fatalf("multi-round counter = %d, want 1", v)
+	}
+	if v := reg.Counter("vsgm_reconfigurations_total", "", L("outcome", "superseded")).Value(); v != 1 {
+		t.Fatalf("superseded counter = %d, want 1", v)
+	}
+	if v := reg.Counter("vsgm_sync_sends_total", "", L("kind", "resend")).Value(); v != 1 {
+		t.Fatalf("resend counter = %d, want 1", v)
+	}
+}
+
+func TestTracerIgnoresMismatchedView(t *testing.T) {
+	tr := NewTracer(nil)
+	et := tr.ForEndpoint("c001")
+	et.StartChange(types.StartChange{ID: 4})
+	// A view echoing a different cid must not close the span.
+	et.ViewInstalled(view(9, map[types.ProcID]types.StartChangeID{"c001": 3}))
+	if p := tr.Pending(); len(p) != 1 || p[0].CID != 4 {
+		t.Fatalf("pending = %+v, want the cid=4 span still open", p)
+	}
+	// Sync traffic for a stale cid is counted globally but not on the span.
+	et.SyncSent(3, 0, false)
+	if p := tr.Pending(); p[0].SyncRounds != 0 {
+		t.Fatalf("stale sync send attributed to span: rounds=%d", p[0].SyncRounds)
+	}
+}
+
+func TestTracerAdoptsTraceFromSync(t *testing.T) {
+	tr := NewTracer(nil)
+	et := tr.ForEndpoint("c001")
+	// Oracle-driven membership stamps no trace on the start_change...
+	et.StartChange(types.StartChange{ID: 2})
+	// ...but a peer's sync can carry one learned from a server proposal.
+	et.SyncReceived("c002", 2, 0x99)
+	if p := tr.Pending(); p[0].Trace != 0x99 {
+		t.Fatalf("trace not adopted from sync: %x", p[0].Trace)
+	}
+}
+
+func TestTracerKeepBound(t *testing.T) {
+	tr := NewTracer(nil, WithKeep(3))
+	et := tr.ForEndpoint("c001")
+	for i := 1; i <= 10; i++ {
+		cid := types.StartChangeID(i)
+		et.StartChange(types.StartChange{ID: cid})
+		et.SyncSent(cid, 0, false)
+		et.ViewInstalled(view(types.ViewID(i), map[types.ProcID]types.StartChangeID{"c001": cid}))
+	}
+	done := tr.Completed()
+	if len(done) != 3 {
+		t.Fatalf("retained = %d, want 3", len(done))
+	}
+	if done[0].CID != 8 || done[2].CID != 10 {
+		t.Fatalf("ring kept wrong spans: %d..%d", done[0].CID, done[2].CID)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr := NewTracer(nil, WithNow(clk.now))
+	et := tr.ForEndpoint("c001")
+	et.StartChange(types.StartChange{ID: 3, Trace: 0x2a})
+	clk.advance(time.Millisecond)
+	et.SyncSent(3, 0x2a, false)
+	clk.advance(time.Millisecond)
+	et.SyncReceived("c002", 3, 0x2a)
+	clk.advance(time.Millisecond)
+	et.ViewInstalled(view(2, map[types.ProcID]types.StartChangeID{"c001": 3}))
+	// Leave a second span pending.
+	tr.ForEndpoint("c002").StartChange(types.StartChange{ID: 3, Trace: 0x2a})
+
+	var sb strings.Builder
+	tr.RenderTimeline(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"trace=000000000000002a c001 cid=3 -> view 2 in 3ms:",
+		"start_change +0s",
+		"sync_send +1ms",
+		"sync_recv<-c002 +2ms",
+		"view_install +3ms",
+		"(sync_rounds=1)",
+		"c002 cid=3 pending:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerConcurrency drives every tracer entry point from many goroutines
+// under -race: spans opening/closing, global counters, and renders.
+func TestTracerConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, WithKeep(64))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := types.ProcID("c00" + string(rune('0'+g)))
+			et := tr.ForEndpoint(ep)
+			for i := 1; i <= 200; i++ {
+				cid := types.StartChangeID(i)
+				et.StartChange(types.StartChange{ID: cid, Trace: uint64(i)})
+				et.SyncSent(cid, uint64(i), false)
+				et.SyncReceived("peer", cid, uint64(i))
+				et.ViewInstalled(view(types.ViewID(i), map[types.ProcID]types.StartChangeID{ep: cid}))
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tr.Completed()
+				_ = tr.Pending()
+				var sb strings.Builder
+				tr.RenderTimeline(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := reg.Counter("vsgm_reconfigurations_total", "", L("outcome", "completed")).Value(); v != 8*200 {
+		t.Fatalf("completed = %d, want %d", v, 8*200)
+	}
+}

@@ -92,6 +92,12 @@ type Config struct {
 
 	// OnAppEvent observes application-facing events per end-point; optional.
 	OnAppEvent func(p types.ProcID, ev core.Event)
+
+	// TraceFor, when set, supplies each end-point's reconfiguration trace
+	// hook (e.g. obs.Tracer.ForEndpoint). Only used by the default node
+	// factory; a custom NewNode wires tracing itself. May return nil for
+	// untraced end-points.
+	TraceFor func(p types.ProcID) core.ProtocolTrace
 }
 
 // Metrics aggregates execution measurements.
@@ -171,7 +177,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	newNode := cfg.NewNode
 	if newNode == nil {
 		newNode = func(p types.ProcID, idx int, tr *corfifo.Handle) (Node, error) {
-			return core.NewEndpoint(core.Config{
+			epCfg := core.Config{
 				ID:                 p,
 				Transport:          tr,
 				Level:              cfg.Level,
@@ -182,7 +188,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				AckInterval:        cfg.AckInterval,
 				HierarchyGroupSize: cfg.HierarchyGroupSize,
 				MsgIDBase:          int64(idx+1) * 1_000_000_000,
-			})
+			}
+			if cfg.TraceFor != nil {
+				epCfg.Trace = cfg.TraceFor(p)
+			}
+			return core.NewEndpoint(epCfg)
 		}
 	}
 	for i, p := range cfg.Procs {

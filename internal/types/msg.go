@@ -74,6 +74,11 @@ type MembProposal struct {
 	// are omitted). Peers use it to arbitrate ownership after a failover:
 	// a strictly higher epoch claim evicts a stale registration.
 	Epochs map[ProcID]int64
+
+	// Trace is the reconfiguration trace identifier for the attempt this
+	// proposal belongs to. The initiating server mints it; peers adopting
+	// the attempt adopt the trace with it. Observability metadata only.
+	Trace uint64
 }
 
 // Clone returns a deep copy of the proposal.
@@ -95,6 +100,7 @@ func (p *MembProposal) Clone() *MembProposal {
 		MinVid:  p.MinVid,
 		Clients: clients,
 		Epochs:  epochs,
+		Trace:   p.Trace,
 	}
 }
 
@@ -168,6 +174,12 @@ type WireMsg struct {
 	Small     bool
 	ElideView bool
 	Probe     bool
+
+	// Trace tags a sync message with the reconfiguration trace identifier
+	// of the start_change that triggered it (KindSync only; zero when the
+	// membership source stamps no trace). Observability metadata only —
+	// excluded from Size(), whose byte model feeds the E9 experiment.
+	Trace uint64
 
 	// History tags (KindApp only; Section 6.1.1). Populated by the sending
 	// end-point for verification purposes.

@@ -128,11 +128,18 @@ func (v View) String() string {
 type StartChange struct {
 	ID  StartChangeID
 	Set ProcSet
+
+	// Trace is the cluster-wide reconfiguration trace identifier stamped by
+	// the membership servers so one reconfiguration's events can be
+	// correlated across every end-point. Zero when the membership source
+	// does not stamp (e.g. the controllable test oracle). It is
+	// observability metadata: the algorithm never branches on it.
+	Trace uint64
 }
 
 // Clone returns a deep copy of c.
 func (c StartChange) Clone() StartChange {
-	return StartChange{ID: c.ID, Set: c.Set.Clone()}
+	return StartChange{ID: c.ID, Set: c.Set.Clone(), Trace: c.Trace}
 }
 
 // Cut maps each process to the index of the last message from that process

@@ -117,11 +117,13 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 			if err := w.procSet(f.Notify.StartChange.Set); err != nil {
 				return nil, err
 			}
+			w.u64(f.Notify.Trace)
 		case membership.NotifyView:
 			w.u8(notifyView)
 			if err := w.view(f.Notify.View); err != nil {
 				return nil, err
 			}
+			w.u64(f.Notify.Trace)
 		default:
 			return nil, fmt.Errorf("wire: unknown notification kind %d", int(f.Notify.Kind))
 		}
@@ -185,9 +187,14 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 			if err != nil {
 				return Frame{}, err
 			}
+			trace, err := r.u64()
+			if err != nil {
+				return Frame{}, err
+			}
 			f.Notify = &membership.Notification{
 				Kind:        membership.NotifyStartChange,
-				StartChange: types.StartChange{ID: types.StartChangeID(cid), Set: set},
+				StartChange: types.StartChange{ID: types.StartChangeID(cid), Set: set, Trace: trace},
+				Trace:       trace,
 			}
 			return f, nil
 		case notifyView:
@@ -195,7 +202,11 @@ func UnmarshalFrame(b []byte) (Frame, error) {
 			if err != nil {
 				return Frame{}, err
 			}
-			f.Notify = &membership.Notification{Kind: membership.NotifyView, View: v}
+			trace, err := r.u64()
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Notify = &membership.Notification{Kind: membership.NotifyView, View: v, Trace: trace}
 			return f, nil
 		default:
 			return Frame{}, fmt.Errorf("wire: unknown notification tag %d", kind)

@@ -345,6 +345,7 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 		return nil
 	case types.KindSync:
 		w.u64(uint64(m.CID))
+		w.u64(m.Trace)
 		w.bool(m.Small)
 		w.bool(m.ElideView)
 		w.bool(m.Probe)
@@ -364,6 +365,7 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 		}
 		w.u64(uint64(m.MembProp.Attempt))
 		w.u64(uint64(m.MembProp.MinVid))
+		w.u64(m.MembProp.Trace)
 		if err := w.procSet(m.MembProp.Servers); err != nil {
 			return err
 		}
@@ -454,6 +456,9 @@ func readMsg(r *reader) (types.WireMsg, error) {
 			return m, err
 		}
 		m.CID = types.StartChangeID(cid)
+		if m.Trace, err = r.u64(); err != nil {
+			return m, err
+		}
 		if m.Small, err = r.bool(); err != nil {
 			return m, err
 		}
@@ -488,6 +493,9 @@ func readMsg(r *reader) (types.WireMsg, error) {
 			return m, err
 		}
 		prop.MinVid = types.ViewID(minVid)
+		if prop.Trace, err = r.u64(); err != nil {
+			return m, err
+		}
 		if prop.Servers, err = r.procSet(); err != nil {
 			return m, err
 		}
