@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat docs-check check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat docs-check soak soak-smoke check
 
 all: check
 
@@ -63,10 +63,30 @@ benchstat:
 docs-check:
 	$(GO) run ./cmd/vsgm-docscheck
 
+# Long-soak chaos harness (cmd/vsgm-soak): every mode — the small simulated
+# cluster, the 10k-client sampled-checking world, and the live TCP cluster —
+# under randomized adversarial phases with the spec suite attached. Each run
+# logs its replay seed (override with SOAK_SEED or VSGM_SEED); on a
+# violation the report artifact path is printed. See docs/TESTING.md
+# ("Regime 7: long soak") and docs/OPERATIONS.md for the knobs.
+SOAK_DURATION ?= 60s
+SOAK_SEED ?= 0
+
+soak:
+	$(GO) run ./cmd/vsgm-soak -mode all -duration $(SOAK_DURATION) -seed $(SOAK_SEED)
+
+# A ~30s taste of the same harness for the pre-merge gate: a few seconds of
+# virtual time in each simulated mode plus a short live soak.
+soak-smoke:
+	$(GO) run ./cmd/vsgm-soak -mode sim -duration 2s -seed $(SOAK_SEED) -q
+	$(GO) run ./cmd/vsgm-soak -mode world -duration 5s -seed $(SOAK_SEED) -q
+	$(GO) run ./cmd/vsgm-soak -mode live -duration 15s -seed $(SOAK_SEED) -q
+
 # The pre-merge gate: vet, the full suite, the race detector on the
-# concurrency-heavy packages, a fuzz smoke pass over the decoders, and the
-# documentation gate.
+# concurrency-heavy packages, a fuzz smoke pass over the decoders, the
+# documentation gate, and a short soak.
 check: vet test
 	$(GO) test -race ./internal/live/ ./internal/membership/ ./cmd/vsgm-live/
 	$(MAKE) fuzz-smoke
 	$(MAKE) docs-check
+	$(MAKE) soak-smoke

@@ -2,9 +2,9 @@
 //
 //   - every intra-repo link in the markdown files must resolve to a file
 //     that exists (http/https/mailto links and pure #anchors are skipped);
-//   - every public flag of cmd/vsgm-live must be documented in
-//     docs/OPERATIONS.md (as `-flagname`), so the operator's handbook cannot
-//     silently fall behind the binary.
+//   - every public flag of cmd/vsgm-live and cmd/vsgm-soak must be
+//     documented in docs/OPERATIONS.md (as `-flagname`), so the operator's
+//     handbook cannot silently fall behind the binaries.
 //
 // It prints one line per violation and exits non-zero if any were found.
 //
@@ -78,21 +78,24 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	// The operator's handbook must cover every vsgm-live flag.
-	liveMain, err := os.ReadFile(filepath.Join(*root, "cmd", "vsgm-live", "main.go"))
-	if err != nil {
-		return err
-	}
+	// The operator's handbook must cover every public flag of the operator-
+	// facing binaries (the deployment driver and the soak harness).
 	opsPath := filepath.Join(*root, "docs", "OPERATIONS.md")
 	ops, err := os.ReadFile(opsPath)
 	if err != nil {
 		return fmt.Errorf("operator's handbook: %w", err)
 	}
-	for _, m := range flagDef.FindAllStringSubmatch(string(liveMain), -1) {
-		name := m[1]
-		if !strings.Contains(string(ops), "`-"+name+"`") {
-			violations = append(violations,
-				fmt.Sprintf("docs/OPERATIONS.md: vsgm-live flag -%s is undocumented", name))
+	for _, bin := range []string{"vsgm-live", "vsgm-soak"} {
+		binMain, err := os.ReadFile(filepath.Join(*root, "cmd", bin, "main.go"))
+		if err != nil {
+			return err
+		}
+		for _, m := range flagDef.FindAllStringSubmatch(string(binMain), -1) {
+			name := m[1]
+			if !strings.Contains(string(ops), "`-"+name+"`") {
+				violations = append(violations,
+					fmt.Sprintf("docs/OPERATIONS.md: %s flag -%s is undocumented", bin, name))
+			}
 		}
 	}
 
@@ -103,7 +106,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return fmt.Errorf("%d documentation violation(s)", len(violations))
 	}
-	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live flags documented\n", len(mds))
+	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live and vsgm-soak flags documented\n", len(mds))
 	return nil
 }
 

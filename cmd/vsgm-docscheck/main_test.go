@@ -31,12 +31,20 @@ func run() {
 }
 `
 
+const fakeSoakMain = `package main
+func run() {
+	a := fs.String("mode", "all", "")
+	b := fs.Int64("seed", 0, "")
+}
+`
+
 func TestDocsCheckPasses(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"README.md":             "see [design](DESIGN.md) and [ops](docs/OPERATIONS.md#runbooks)",
 		"DESIGN.md":             "back to [readme](README.md), external [paper](https://example.org/x), [anchor](#s1)",
-		"docs/OPERATIONS.md":    "flags: `-servers` and `-debug-addr`",
+		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, and `-seed`",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
+		"cmd/vsgm-soak/main.go": fakeSoakMain,
 	})
 	var out bytes.Buffer
 	if err := run([]string{"-root", root}, &out); err != nil {
@@ -50,8 +58,9 @@ func TestDocsCheckPasses(t *testing.T) {
 func TestDocsCheckFlagsBrokenLink(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"README.md":             "see [missing](NOPE.md)",
-		"docs/OPERATIONS.md":    "flags: `-servers` and `-debug-addr`",
+		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, and `-seed`",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
+		"cmd/vsgm-soak/main.go": fakeSoakMain,
 	})
 	var out bytes.Buffer
 	err := run([]string{"-root", root}, &out)
@@ -65,16 +74,20 @@ func TestDocsCheckFlagsBrokenLink(t *testing.T) {
 
 func TestDocsCheckFlagsUndocumentedFlag(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"docs/OPERATIONS.md":    "flags: `-servers` only",
+		"docs/OPERATIONS.md":    "flags: `-servers` and `-mode` only",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
+		"cmd/vsgm-soak/main.go": fakeSoakMain,
 	})
 	var out bytes.Buffer
 	err := run([]string{"-root", root}, &out)
 	if err == nil {
 		t.Fatalf("undocumented flag accepted:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "-debug-addr is undocumented") {
-		t.Errorf("missing violation line:\n%s", out.String())
+	if !strings.Contains(out.String(), "vsgm-live flag -debug-addr is undocumented") {
+		t.Errorf("missing vsgm-live violation line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "vsgm-soak flag -seed is undocumented") {
+		t.Errorf("missing vsgm-soak violation line:\n%s", out.String())
 	}
 }
 

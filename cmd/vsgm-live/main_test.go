@@ -124,6 +124,9 @@ func TestRunLiveKillAndRestartServer(t *testing.T) {
 }
 
 func TestRunLiveSlowClientEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow-consumer eviction crosses real grace-period waits; skipped in -short")
+	}
 	var out bytes.Buffer
 	// Each sender must outrun the credit window (4) for the laggard's
 	// exhaustion to cross the grace and trigger the slow-consumer report.

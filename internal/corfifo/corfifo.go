@@ -17,6 +17,7 @@ package corfifo
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"vsgm/internal/types"
@@ -155,6 +156,38 @@ func (n *Network) Pending(from, to types.ProcID) int {
 	return len(n.channels[from][to])
 }
 
+// PendingLink identifies one ordered channel with queued traffic.
+type PendingLink struct {
+	From, To types.ProcID
+	Count    int
+}
+
+// PendingLinks returns every ordered pair whose channel is non-empty,
+// sorted by (From, To) for deterministic iteration. Drivers use it to flush
+// backlogged links after a connectivity change without scanning all O(n²)
+// process pairs — the channel map is sparse (drained channels are removed),
+// so the cost is proportional to the number of links actually carrying
+// traffic.
+func (n *Network) PendingLinks() []PendingLink {
+	n.mu.Lock()
+	links := make([]PendingLink, 0, len(n.channels))
+	for p, row := range n.channels {
+		for q, queue := range row {
+			if len(queue) > 0 {
+				links = append(links, PendingLink{From: p, To: q, Count: len(queue)})
+			}
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	return links
+}
+
 // TotalPending returns the number of messages queued across all channels.
 func (n *Network) TotalPending() int {
 	n.mu.Lock()
@@ -180,7 +213,11 @@ func (n *Network) DeliverNext(from, to types.ProcID) (types.WireMsg, bool) {
 		return types.WireMsg{}, false
 	}
 	m := q[0]
-	n.channels[from][to] = q[1:]
+	if len(q) == 1 {
+		delete(n.channels[from], to)
+	} else {
+		n.channels[from][to] = q[1:]
+	}
 	h := n.handlers[to]
 	n.stats.recordDelivered(m)
 	n.mu.Unlock()
@@ -205,7 +242,11 @@ func (n *Network) LoseTail(from, to types.ProcID) error {
 	if len(q) == 0 {
 		return nil
 	}
-	n.channels[from][to] = q[:len(q)-1]
+	if len(q) == 1 {
+		delete(n.channels[from], to)
+	} else {
+		n.channels[from][to] = q[:len(q)-1]
+	}
 	n.stats.recordLost(q[len(q)-1])
 	return nil
 }

@@ -156,9 +156,17 @@ type Node struct {
 	homeIdx       int
 	home          types.ProcID
 	epoch         int64
-	lastAck       time.Time
-	lastCID       types.StartChangeID
-	lastVid       types.ViewID
+	lastAck time.Time
+	// lastCID/lastVid are the node's identifier high-water marks: the
+	// largest start-change id and view id it has accepted (from
+	// notifications or attach acks). They ride every attach request as the
+	// claim the server merges, and they floor the stale-notification
+	// filter. lastSC is the id of the last start_change notification
+	// actually accepted — the value the MBRSHP spec requires the next
+	// view's startId entry to equal.
+	lastCID types.StartChangeID
+	lastVid types.ViewID
+	lastSC  types.StartChangeID
 	attaches      *obs.Counter
 	failovers     *obs.Counter
 	attachRetries *obs.Counter
@@ -429,8 +437,13 @@ func (n *Node) attachTick(now time.Time) {
 	}
 	target := n.homeList[n.homeIdx%len(n.homeList)]
 	epoch := n.epoch
+	cid, vid := n.lastCID, n.lastVid
 	n.amu.Unlock()
-	n.fabric.SendAttach(target, wire.Attach{Kind: wire.AttachRequest, Client: n.id, Epoch: epoch})
+	// The request carries the node's identifier high-water mark: the server
+	// merges it into the registration, so even a home with cold state (a
+	// resurrected store, an empty gossip cache) mints identifiers strictly
+	// above everything this node has seen.
+	n.fabric.SendAttach(target, wire.Attach{Kind: wire.AttachRequest, Client: n.id, Epoch: epoch, CID: cid, Vid: vid})
 }
 
 // failoverLocked abandons the current target: a best-effort detach is sent
@@ -678,7 +691,7 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 		n.handleAttach(from, *fr.Attach)
 		return
 	}
-	if fr.Notify != nil && !n.acceptNotify(from) {
+	if fr.Notify != nil && !n.acceptNotify(from, fr.Notify) {
 		// In-band attach mode: only the current home server's notifications
 		// feed the endpoint. A stale previous home (partitioned, not yet
 		// evicted) may still think it serves us; its notifications would
@@ -725,18 +738,41 @@ func (n *Node) receive(from types.ProcID, fr frame) {
 }
 
 // acceptNotify decides whether a notification from the given server may
-// feed the endpoint. Legacy mode (no home list) accepts everything.
-func (n *Node) acceptNotify(from types.ProcID) bool {
+// feed the endpoint, enforcing the client side of the MBRSHP discipline:
+// only the current home is heard, start-change identifiers must strictly
+// increase, and a view must carry an increasing id whose startId entry for
+// this node equals the last accepted start_change. Anything else is the
+// residue of a stale attempt — a previous home not yet evicted, or the
+// current home's in-flight attempt from before this attachment — and is
+// dropped, because the endpoint (and the spec) require a locally monotone
+// stream. Accepted notifications advance the watermarks that ride the next
+// attach request. Legacy mode (no home list) accepts everything.
+func (n *Node) acceptNotify(from types.ProcID, ntf *membership.Notification) bool {
 	n.amu.Lock()
 	defer n.amu.Unlock()
 	if len(n.homeList) == 0 {
 		return true
 	}
-	if from == n.home {
-		return true
+	if from != n.home {
+		n.staleNotifies.Inc()
+		return false
 	}
-	n.staleNotifies.Inc()
-	return false
+	switch ntf.Kind {
+	case membership.NotifyStartChange:
+		if ntf.StartChange.ID <= n.lastCID {
+			n.staleNotifies.Inc()
+			return false
+		}
+		n.lastCID = ntf.StartChange.ID
+		n.lastSC = ntf.StartChange.ID
+	case membership.NotifyView:
+		if ntf.View.ID <= n.lastVid || ntf.View.StartID[n.id] != n.lastSC {
+			n.staleNotifies.Inc()
+			return false
+		}
+		n.lastVid = ntf.View.ID
+	}
+	return true
 }
 
 // handleAttach processes an attach-protocol frame from a server. An ack
@@ -764,7 +800,14 @@ func (n *Node) handleAttach(from types.ProcID, a wire.Attach) {
 			n.attaches.Inc()
 		}
 		n.lastAck = time.Now()
-		n.lastCID, n.lastVid = a.CID, a.Vid
+		// Max-merge, never overwrite: an ack from a home with stale state
+		// must not lower the watermarks the notification filter enforces.
+		if a.CID > n.lastCID {
+			n.lastCID = a.CID
+		}
+		if a.Vid > n.lastVid {
+			n.lastVid = a.Vid
+		}
 	case wire.AttachDetach:
 		if from == n.home && n.home != "" {
 			n.failoverLocked(time.Now())

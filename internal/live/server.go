@@ -39,6 +39,16 @@ type ServerConfig struct {
 	// re-registering. 0 selects the default (30s); negative disables the
 	// ban (suspects are still evicted).
 	SlowBan time.Duration
+	// AttachLease is the server-side failure detector for clients: an
+	// in-band registration whose keepalives stop for a full lease is
+	// presumed dead and deregistered (a dead member would otherwise stall
+	// every future view's sync round forever). A live client that was
+	// merely cut off re-attaches on its next keepalive and resumes its
+	// identifiers from the retained record. Leases are swept on the
+	// watchdog tick, so a disabled watchdog disables them too. Clients
+	// registered out of band (AddClient) hold no lease and are never
+	// swept. 0 selects the default (10s); negative disables leases.
+	AttachLease time.Duration
 	// Obs, when set, is the metrics registry the server publishes into
 	// (counters labeled with the server id, a scrape-time collector for the
 	// membership core's counters and aggregated link stats, and the full
@@ -50,6 +60,7 @@ const (
 	defaultSnapshotEvery = 64
 	defaultWatchdog      = 500 * time.Millisecond
 	defaultSlowBan       = 30 * time.Second
+	defaultAttachLease   = 10 * time.Second
 )
 
 // ServerNode is one dedicated membership server deployed as a concurrent
@@ -82,6 +93,13 @@ type ServerNode struct {
 	slowBan           time.Duration
 	banned            map[types.ProcID]time.Time
 	overloadEvictions *obs.Counter
+
+	// Attach leases: the last keepalive seen from each in-band client, and
+	// the counter for registrations dropped when a lease ran out. Guarded
+	// by mu; swept on the watchdog tick.
+	attachLease    time.Duration
+	leases         map[types.ProcID]time.Time
+	leaseEvictions *obs.Counter
 
 	// obs is the registry the server's sections live in (nil when
 	// unconfigured; the counters still work as unregistered handles).
@@ -118,6 +136,8 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 		servers:       cfg.Servers,
 		slowBan:       cfg.SlowBan,
 		banned:        make(map[types.ProcID]time.Time),
+		attachLease:   cfg.AttachLease,
+		leases:        make(map[types.ProcID]time.Time),
 		obs:           cfg.Obs,
 
 		walAppends: cfg.Obs.Counter("vsgm_server_wal_appends_total",
@@ -130,12 +150,17 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 			"Client-initiated detaches applied.", serverLabel),
 		overloadEvictions: cfg.Obs.Counter("vsgm_server_overload_evictions_total",
 			"Clients evicted (and banned) on slow-consumer complaints.", serverLabel),
+		leaseEvictions: cfg.Obs.Counter("vsgm_server_lease_evictions_total",
+			"Registrations dropped because the client's keepalives stopped for a full attach lease.", serverLabel),
 	}
 	if n.snapshotEvery == 0 {
 		n.snapshotEvery = defaultSnapshotEvery
 	}
 	if n.slowBan == 0 {
 		n.slowBan = defaultSlowBan
+	}
+	if n.attachLease == 0 {
+		n.attachLease = defaultAttachLease
 	}
 	var restored map[types.ProcID]membership.ClientRecord
 	if n.store != nil {
@@ -260,6 +285,7 @@ func (n *ServerNode) startWatchdog(interval time.Duration) {
 					lastAttempt = -1
 				}
 				n.mu.Unlock()
+				n.sweepLeases(time.Now())
 				timer.Reset(jitter(interval))
 			case <-stop:
 				return
@@ -336,6 +362,14 @@ func (n *ServerNode) SetReachable(set types.ProcSet) {
 	n.srv.SetReachable(set)
 }
 
+// Reachable reports the servers this node's failure detector currently
+// believes reachable.
+func (n *ServerNode) Reachable() types.ProcSet {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv.Reachable()
+}
+
 // Reconfigure starts a fresh membership attempt.
 func (n *ServerNode) Reconfigure() {
 	n.mu.Lock()
@@ -375,6 +409,37 @@ func (n *ServerNode) receive(from types.ProcID, fr frame) {
 	}
 }
 
+// sweepLeases deregisters every in-band client whose keepalives stopped a
+// full attach lease ago — the server-side failure detector for clients. A
+// client can die the instant after its attach request is sent (a flash
+// crowd straggler, a crashed process): no peer will ever claim it under a
+// higher epoch, so without a lease its registration would keep a dead
+// member in every future view, wedging the sync rounds forever. A falsely
+// suspected client re-attaches on its next keepalive and resumes its
+// identifiers from the retained record.
+func (n *ServerNode) sweepLeases(now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.attachLease <= 0 || n.srv == nil {
+		return
+	}
+	changed := false
+	for p, seen := range n.leases {
+		if now.Sub(seen) <= n.attachLease {
+			continue
+		}
+		delete(n.leases, p)
+		if n.srv.HasClient(p) {
+			n.srv.RemoveClient(p)
+			n.leaseEvictions.Inc()
+			changed = true
+		}
+	}
+	if changed {
+		n.srv.Reconfigure()
+	}
+}
+
 // handleAttach serves the in-band attach protocol. A request registers (or
 // keeps alive) the sender under its attach epoch and is always acknowledged
 // with the server's recorded identifier state; only a registration this
@@ -395,8 +460,10 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 			}
 			delete(n.banned, from)
 		}
-		rec, added := n.srv.AttachClient(from, a.Epoch)
+		rec, added := n.srv.AttachClientClaim(from, a.Epoch,
+			membership.ClientRecord{CID: a.CID, Vid: a.Vid})
 		n.attachesServed.Inc()
+		n.leases[from] = time.Now()
 		// The ack must precede any notification from the registration's
 		// first attempt on the client's FIFO link, so enqueue it before
 		// reconfiguring.
@@ -416,6 +483,7 @@ func (n *ServerNode) handleAttach(from types.ProcID, a wire.Attach) {
 		}
 		if n.srv.HasClient(from) {
 			n.srv.RemoveClient(from)
+			delete(n.leases, from)
 			n.detaches.Inc()
 			n.srv.Reconfigure()
 		}
@@ -451,6 +519,7 @@ func (n *ServerNode) handleSuspectLocked(laggard types.ProcID) {
 	}
 	if n.srv.HasClient(laggard) {
 		n.srv.RemoveClient(laggard)
+		delete(n.leases, laggard)
 		n.overloadEvictions.Inc()
 		// A best-effort detach tells the laggard its registration is gone,
 		// so it starts courting (and being refused by) the next server
@@ -468,6 +537,7 @@ type ServerStats struct {
 	Detaches          int64                      `json:"detaches"`
 	Evictions         int64                      `json:"evictions"`
 	OverloadEvictions int64                      `json:"overload_evictions"`
+	LeaseEvictions    int64                      `json:"lease_evictions"`
 	Reproposals       int64                      `json:"reproposals"`
 	AttemptsRun       int64                      `json:"attempts_run"`
 	ViewsDelivered    int64                      `json:"views_delivered"`
@@ -487,6 +557,7 @@ func (n *ServerNode) Stats() ServerStats {
 		Detaches:          n.detaches.Value(),
 		Evictions:         n.srv.Evictions(),
 		OverloadEvictions: n.overloadEvictions.Value(),
+		LeaseEvictions:    n.leaseEvictions.Value(),
 		Reproposals:       n.srv.Reproposals(),
 		AttemptsRun:       n.srv.AttemptsRun(),
 		ViewsDelivered:    n.srv.ViewsDelivered(),

@@ -128,6 +128,35 @@ const (
 	snapFileName = "snapshot.bin"
 )
 
+// CloneStateDir copies a file store's on-disk state (WAL and snapshot)
+// from src into dst, creating dst if needed and replacing its previous
+// contents — a point-in-time backup/restore primitive for stale-WAL
+// resurrection tests and the soak harness. Clone from a closed or
+// quiescent store, and restore only while no store handle is open on dst.
+func CloneStateDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return fmt.Errorf("live: clone state dir: %w", err)
+	}
+	for _, name := range []string{walFileName, snapFileName} {
+		b, err := os.ReadFile(filepath.Join(src, name))
+		if os.IsNotExist(err) {
+			// Absent in the source generation: remove any newer leftover so
+			// the destination matches the source exactly.
+			if err := os.Remove(filepath.Join(dst, name)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("live: clone state dir: %w", err)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("live: clone state dir: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), b, 0o644); err != nil {
+			return fmt.Errorf("live: clone state dir: %w", err)
+		}
+	}
+	return nil
+}
+
 // NewFileStore opens (creating if needed) a file-backed store rooted at dir.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -198,11 +198,32 @@ func (s *Server) AddClient(p types.ProcID) {
 // The returned record merges every identifier source this server knows:
 // its retained records, the live registration, and peer gossip.
 func (s *Server) AttachClient(p types.ProcID, epoch int64) (ClientRecord, bool) {
+	return s.AttachClientClaim(p, epoch, ClientRecord{})
+}
+
+// AttachClientClaim is AttachClient for a client that reports its own
+// identifier high-water mark — the largest cid and view id it has already
+// seen. The claim is merged into the registration so every identifier this
+// server mints next is strictly above anything the client has observed.
+// This is the only defense that works when this server's other sources are
+// all cold: peers never gossip a client only this server holds, so a server
+// resurrected from a stale or corrupted store would otherwise keep issuing
+// identifiers the client must reject as regressions, wedging the attachment.
+func (s *Server) AttachClientClaim(p types.ProcID, epoch int64, claim ClientRecord) (ClientRecord, bool) {
 	c, added := s.register(p, epoch)
 	if epoch > c.epoch {
 		c.epoch = epoch
 	}
-	if added || epoch > 0 {
+	if claim.CID > c.cid {
+		c.cid = claim.CID
+	}
+	if claim.Vid > c.vid {
+		c.vid = claim.Vid
+	}
+	if claim.Epoch > c.epoch {
+		c.epoch = claim.Epoch
+	}
+	if added || epoch > 0 || claim != (ClientRecord{}) {
 		s.record(p, c)
 	}
 	return ClientRecord{CID: c.cid, Vid: c.vid, Epoch: c.epoch}, added
@@ -342,6 +363,14 @@ func (s *Server) SetReachable(set types.ProcSet) {
 	s.startAttempt(s.attempt + 1)
 }
 
+// Reachable returns the servers this one currently believes reachable —
+// the failure detector's last report. Observability surface: harnesses use
+// it to tell an integrated peer (whose death owes the survivors a
+// reconfiguration) from one still being re-admitted after a restart.
+func (s *Server) Reachable() types.ProcSet {
+	return s.reachable.Clone()
+}
+
 // Reconfigure starts a new attempt without a failure-detector change (used
 // after client joins/leaves).
 func (s *Server) Reconfigure() {
@@ -459,6 +488,13 @@ func (s *Server) startAttempt(a int64) {
 		s.trace = attemptTrace(s.id, a)
 		s.traceAttempt = a
 	}
+	// One estimate snapshot is shared across every per-client announcement
+	// and notification of this attempt. estimate() builds a fresh set, the
+	// server never mutates it afterwards, and notification receivers treat
+	// sets as immutable (the end-point and the spec checkers clone on
+	// receipt; the live fabric encodes the frame immediately). Per-client
+	// clones would cost O(clients²) per attempt, which is what caps
+	// large-population simulations.
 	est := s.estimate()
 
 	clients := make(map[types.ProcID]types.StartChangeID, len(s.clients))
@@ -471,7 +507,7 @@ func (s *Server) startAttempt(a int64) {
 			c.cid = cid
 		}
 		c.cid = nextCID(c.epoch, c.cid)
-		c.announced = est.Clone()
+		c.announced = est
 		c.mode = modeChangeStarted
 		clients[p] = c.cid
 		if c.epoch > 0 {
@@ -484,7 +520,7 @@ func (s *Server) startAttempt(a int64) {
 		if !c.crashed {
 			s.out(p, Notification{
 				Kind:        NotifyStartChange,
-				StartChange: types.StartChange{ID: c.cid, Set: est.Clone(), Trace: s.trace},
+				StartChange: types.StartChange{ID: c.cid, Set: est, Trace: s.trace},
 				Trace:       s.trace,
 			})
 		}
@@ -561,11 +597,25 @@ func (s *Server) tryComplete() {
 	// The MBRSHP spec requires v.set ⊆ start_change[p].set. If the
 	// assembled membership exceeds what a local client was last told, run
 	// another attempt: the caches are now warm, so it will complete.
+	//
+	// Every client in change_started mode was (re)announced by the latest
+	// startAttempt — registrations created since then are in normal mode,
+	// and RecoverClient resets mode to normal — so all announced sets are
+	// one shared estimate snapshot and the subset check runs once, not per
+	// client.
+	subsetChecked, subsetOK := false, true
 	for p, c := range s.clients {
 		if !members.Contains(p) {
 			continue
 		}
-		if c.mode != modeChangeStarted || !members.SubsetOf(c.announced) {
+		if c.mode != modeChangeStarted {
+			s.startAttempt(s.attempt + 1)
+			return
+		}
+		if !subsetChecked {
+			subsetChecked, subsetOK = true, members.SubsetOf(c.announced)
+		}
+		if !subsetOK {
 			s.startAttempt(s.attempt + 1)
 			return
 		}
@@ -586,7 +636,10 @@ func (s *Server) tryComplete() {
 		c.mode = modeNormal
 		s.record(p, c)
 		if !c.crashed {
-			s.out(p, Notification{Kind: NotifyView, View: v.Clone(), Trace: s.trace})
+			// v is shared across the fan-out (receivers clone on receipt, as
+			// with the start_change estimate above): cloning a view per
+			// client is O(clients²) per delivered view.
+			s.out(p, Notification{Kind: NotifyView, View: v, Trace: s.trace})
 		}
 	}
 }

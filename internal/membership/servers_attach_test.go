@@ -55,6 +55,50 @@ func TestAttachClientIssuesEpochRangedCids(t *testing.T) {
 	}
 }
 
+func TestAttachClientClaimFloorsColdServer(t *testing.T) {
+	rig := newServerRig(t, 1)
+	srv := rig.servers["A"]
+	rig.boot(t)
+
+	// A server resurrected from a stale store has no retained record and no
+	// peer gossip for this client (peers never gossip a client only this
+	// server holds) — the claim carried by the attach request is the only
+	// source that can floor the identifiers it mints next.
+	claim := ClientRecord{CID: 3<<cidEpochShift + 7, Vid: 41, Epoch: 3}
+	rec, added := srv.AttachClientClaim("c", 3, claim)
+	if !added {
+		t.Fatal("attach did not register the client")
+	}
+	if rec.CID < claim.CID || rec.Vid < claim.Vid || rec.Epoch < claim.Epoch {
+		t.Fatalf("returned record %+v below the claim %+v", rec, claim)
+	}
+
+	srv.Reconfigure()
+	rig.pump(t)
+	got, ok := srv.RecordOf("c")
+	if !ok {
+		t.Fatal("no record after the attempt")
+	}
+	if got.CID <= claim.CID {
+		t.Fatalf("minted cid %d does not dominate the claimed %d", got.CID, claim.CID)
+	}
+	if got.Vid <= claim.Vid {
+		t.Fatalf("minted view id %d does not dominate the claimed %d", got.Vid, claim.Vid)
+	}
+	if v := lastView(t, rig.out, "c"); v.ID <= claim.Vid {
+		t.Fatalf("delivered view %d does not dominate the claimed %d", v.ID, claim.Vid)
+	}
+
+	// A keepalive with a zero claim is idempotent and regresses nothing.
+	rec2, added := srv.AttachClientClaim("c", 3, ClientRecord{})
+	if added {
+		t.Fatal("keepalive reported a fresh registration")
+	}
+	if rec2.CID < got.CID || rec2.Vid < got.Vid {
+		t.Fatalf("zero claim regressed the record: %+v -> %+v", got, rec2)
+	}
+}
+
 func TestRemoveClientRetainsRecord(t *testing.T) {
 	rig := newServerRig(t, 1)
 	srv := rig.servers["A"]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -262,6 +263,14 @@ func (t *Tracer) Pending() []ReconfigReport {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
 	return out
+}
+
+// TimelineString renders the retained spans to a string — the form
+// violation reports embed (see internal/soak).
+func (t *Tracer) TimelineString() string {
+	var b strings.Builder
+	t.RenderTimeline(&b)
+	return b.String()
 }
 
 // RenderTimeline writes the retained spans as one line per span:

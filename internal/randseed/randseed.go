@@ -1,0 +1,39 @@
+// Package randseed resolves the PRNG seed for randomized tests and soak
+// runs. Every randomized execution in this repository logs the seed it
+// ran under and honors the VSGM_SEED environment variable as an override,
+// so any failure replays deterministically:
+//
+//	VSGM_SEED=<seed from the failure log> go test -run <TestName> ./...
+//
+// See docs/TESTING.md ("Replaying a randomized failure") for the workflow.
+package randseed
+
+import (
+	"os"
+	"strconv"
+)
+
+// EnvVar is the environment variable that overrides randomized seeds.
+const EnvVar = "VSGM_SEED"
+
+// FromEnv returns the seed override from VSGM_SEED, if set and numeric.
+func FromEnv() (int64, bool) {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return 0, false
+	}
+	seed, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seed, true
+}
+
+// Pick returns the VSGM_SEED override when present, else def, along with
+// whether the environment supplied it.
+func Pick(def int64) (seed int64, overridden bool) {
+	if s, ok := FromEnv(); ok {
+		return s, true
+	}
+	return def, false
+}

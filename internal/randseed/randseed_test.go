@@ -1,0 +1,24 @@
+package randseed
+
+import "testing"
+
+func TestPickHonorsEnvOverride(t *testing.T) {
+	t.Setenv(EnvVar, "12345")
+	if seed, ok := Pick(7); !ok || seed != 12345 {
+		t.Fatalf("Pick(7) with %s=12345 = (%d, %v), want (12345, true)", EnvVar, seed, ok)
+	}
+	if seed, ok := FromEnv(); !ok || seed != 12345 {
+		t.Fatalf("FromEnv = (%d, %v), want (12345, true)", seed, ok)
+	}
+}
+
+func TestPickDefaultsWithoutOverride(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if seed, ok := Pick(7); ok || seed != 7 {
+		t.Fatalf("Pick(7) = (%d, %v), want (7, false)", seed, ok)
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	if _, ok := FromEnv(); ok {
+		t.Fatalf("FromEnv must reject a non-numeric %s", EnvVar)
+	}
+}

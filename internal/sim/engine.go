@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"vsgm/internal/corfifo"
@@ -45,6 +44,19 @@ func newEngine(procs []types.ProcID, latency LatencyModel, seed int64) *engine {
 	}
 	e.net.SetSendObserver(e.onSend)
 	return e
+}
+
+// addProcs admits processes to the world at runtime (flash-crowd joins).
+// They enter component 0 — the fully-healed component — so callers should
+// admit while connectivity is whole, or call SetConnectivity afterwards.
+func (e *engine) addProcs(ids ...types.ProcID) {
+	for _, p := range ids {
+		if _, ok := e.comp[p]; ok {
+			continue
+		}
+		e.procs = append(e.procs, p)
+		e.comp[p] = 0
+	}
 }
 
 // At schedules fn to run after the given delay of virtual time.
@@ -147,20 +159,18 @@ func (e *engine) UnblockLink(from, to types.ProcID) {
 }
 
 // flushConnected schedules delivery events for messages that were queued
-// while their link was severed and is now connected again.
+// while their link was severed and is now connected again. It walks only the
+// links with queued traffic (sorted, so replays stay deterministic) rather
+// than all O(procs²) pairs — the difference between a 10k-endpoint world
+// healing a partition in milliseconds and in minutes.
 func (e *engine) flushConnected() {
-	procs := append([]types.ProcID(nil), e.procs...)
-	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
-	for _, from := range procs {
-		for _, to := range procs {
-			if from == to || !e.connected(from, to) {
-				continue
-			}
-			pr := pair{from, to}
-			backlog := e.net.Pending(from, to) - e.scheduled[pr]
-			for i := 0; i < backlog; i++ {
-				e.scheduleDelivery(from, to)
-			}
+	for _, l := range e.net.PendingLinks() {
+		if !e.connected(l.From, l.To) {
+			continue
+		}
+		backlog := l.Count - e.scheduled[pair{l.From, l.To}]
+		for i := 0; i < backlog; i++ {
+			e.scheduleDelivery(l.From, l.To)
 		}
 	}
 }

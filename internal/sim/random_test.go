@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vsgm/internal/core"
+	"vsgm/internal/randseed"
 	"vsgm/internal/spec"
 	"vsgm/internal/types"
 )
@@ -18,6 +19,11 @@ import (
 // against the full specification suite, then verifies convergence and
 // conditional liveness on the stabilized final view.
 func TestRandomScenarios(t *testing.T) {
+	if seed, ok := randseed.FromEnv(); ok {
+		// Replay mode: run exactly the seed from a previous failure log.
+		runRandomScenario(t, seed, core.LevelGCS)
+		return
+	}
 	seeds := 30
 	if testing.Short() {
 		seeds = 8
@@ -34,6 +40,10 @@ func TestRandomScenarios(t *testing.T) {
 // TestRandomScenariosVSLevel repeats a smaller sweep at the VS_RFIFO+TS
 // level (no Self Delivery, no client blocking).
 func TestRandomScenariosVSLevel(t *testing.T) {
+	if seed, ok := randseed.FromEnv(); ok {
+		runRandomScenario(t, seed, core.LevelVS)
+		return
+	}
 	for seed := 100; seed < 110; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -45,6 +55,8 @@ func TestRandomScenariosVSLevel(t *testing.T) {
 
 func runRandomScenario(t *testing.T, seed int64, level core.Level) {
 	t.Helper()
+	t.Logf("PRNG seed %d (replay: %s=%d go test -run '%s' ./internal/sim)",
+		seed, randseed.EnvVar, seed, t.Name())
 	rng := rand.New(rand.NewSource(seed))
 	n := 3 + rng.Intn(3)
 

@@ -49,6 +49,10 @@ type ServerWorld struct {
 	lastNotif map[types.ProcID]time.Duration
 	detectors map[types.ProcID]*membership.Detector
 
+	// epSeq numbers every end-point ever created, so message-id bases stay
+	// unique across attach/detach churn.
+	epSeq int
+
 	// Notifications counts server-to-client membership notifications.
 	Notifications int64
 }
@@ -124,12 +128,13 @@ func NewServerWorld(cfg ServerWorldConfig) (*ServerWorld, error) {
 		w.home[cid] = sid
 		w.servers[sid].AddClient(cid)
 		if cfg.WithEndpoints {
+			w.epSeq++
 			ep, err := core.NewEndpoint(core.Config{
 				ID:        cid,
 				Transport: w.net.Handle(cid),
 				Level:     core.LevelGCS,
 				AutoBlock: true,
-				MsgIDBase: int64(i+1) * 1_000_000_000,
+				MsgIDBase: int64(w.epSeq) * 1_000_000_000,
 			})
 			if err != nil {
 				return nil, err
@@ -162,6 +167,77 @@ func (w *ServerWorld) Server(id types.ProcID) *membership.Server { return w.serv
 // Endpoint returns the GCS end-point attached to client id (nil without
 // WithEndpoints).
 func (w *ServerWorld) Endpoint(id types.ProcID) *core.Endpoint { return w.eps[id] }
+
+// AttachClients registers a batch of new clients at the given home server
+// in one virtual instant — a flash crowd. The caller triggers a
+// reconfiguration (TriggerChange) to admit the batch into a view; a single
+// change suffices however large the batch is. Identifiers must be fresh.
+// With WithEndpoints set, each new client gets a GCS end-point wired to
+// the network like the boot-time ones.
+func (w *ServerWorld) AttachClients(sid types.ProcID, ids []types.ProcID) error {
+	srv, ok := w.servers[sid]
+	if !ok {
+		return fmt.Errorf("sim: no server %s", sid)
+	}
+	for _, cid := range ids {
+		if _, dup := w.home[cid]; dup {
+			return fmt.Errorf("sim: client %s already attached", cid)
+		}
+	}
+	w.addProcs(ids...)
+	for _, cid := range ids {
+		w.home[cid] = sid
+		w.clients = append(w.clients, cid)
+		srv.AddClient(cid)
+		if w.cfg.WithEndpoints {
+			w.epSeq++
+			ep, err := core.NewEndpoint(core.Config{
+				ID:        cid,
+				Transport: w.net.Handle(cid),
+				Level:     core.LevelGCS,
+				AutoBlock: true,
+				MsgIDBase: int64(w.epSeq) * 1_000_000_000,
+			})
+			if err != nil {
+				return err
+			}
+			w.eps[cid] = ep
+			e := ep
+			id := cid
+			w.net.Register(cid, corfifo.HandlerFunc(func(from types.ProcID, m types.WireMsg) {
+				e.HandleMessage(from, m)
+				w.drain(id)
+			}))
+		}
+	}
+	return nil
+}
+
+// DetachClients deregisters clients from their home servers (a leave or
+// churn storm). The caller triggers a reconfiguration to exclude them;
+// retained server-side records keep their identifiers monotone should they
+// ever return.
+func (w *ServerWorld) DetachClients(ids ...types.ProcID) error {
+	for _, cid := range ids {
+		sid, ok := w.home[cid]
+		if !ok {
+			return fmt.Errorf("sim: client %s is not attached", cid)
+		}
+		w.servers[sid].RemoveClient(cid)
+		delete(w.home, cid)
+		delete(w.eps, cid)
+		for i, c := range w.clients {
+			if c == cid {
+				w.clients = append(w.clients[:i], w.clients[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// HomeOf returns the home server of a client (empty if not attached).
+func (w *ServerWorld) HomeOf(cid types.ProcID) types.ProcID { return w.home[cid] }
 
 // Boot connects all servers' failure detectors to the full server set,
 // which starts the first membership attempt, and runs to quiescence.

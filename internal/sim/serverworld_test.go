@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"vsgm/internal/randseed"
 	"vsgm/internal/spec"
 	"vsgm/internal/types"
 )
@@ -55,6 +57,90 @@ func TestServerWorldBootConvergesClients(t *testing.T) {
 	}
 	if err := spec.CheckLiveness(suite.Trace(), shared); err != nil {
 		t.Errorf("liveness: %v", err)
+	}
+}
+
+// TestServerWorldFlashCrowdAttach joins a 1k-client flash crowd in one
+// virtual instant and asserts the membership absorbs it in one
+// reconfiguration: a single common view containing every joiner, Self
+// Inclusion and Local Monotonicity intact (spec suite), and a bounded
+// number of attempts (no livelock from the burst).
+func TestServerWorldFlashCrowdAttach(t *testing.T) {
+	seed, _ := randseed.Pick(29)
+	t.Logf("PRNG seed %d (replay: %s=%d go test -run '%s' ./internal/sim)",
+		seed, randseed.EnvVar, seed, t.Name())
+	suite := spec.NewSuite([]spec.Checker{spec.NewMembership()}, spec.WithTrace())
+	w, err := NewServerWorld(ServerWorldConfig{
+		Servers:          3,
+		ClientsPerServer: 2,
+		Latency:          FixedLatency(10 * time.Millisecond),
+		NotifyLatency:    FixedLatency(2 * time.Millisecond),
+		Seed:             seed,
+		Suite:            suite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := make(map[types.ProcID]int64)
+	for _, sid := range w.Servers() {
+		before[sid] = w.Server(sid).AttemptsRun()
+	}
+
+	const crowd = 1000
+	joiners := make([]types.ProcID, crowd)
+	for i := range joiners {
+		joiners[i] = types.ProcID(fmt.Sprintf("f%04d", i))
+	}
+	for i, sid := range w.Servers() {
+		lo, hi := i*crowd/len(w.Servers()), (i+1)*crowd/len(w.Servers())
+		if err := w.AttachClients(sid, joiners[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.TriggerChange(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounded attempts: the burst warms the caches in one extra round, so
+	// the whole crowd is admitted within two attempts per server.
+	for _, sid := range w.Servers() {
+		if got := w.Server(sid).AttemptsRun() - before[sid]; got > 2 {
+			t.Errorf("server %s ran %d attempts absorbing the flash crowd, want <= 2", sid, got)
+		}
+	}
+
+	// Every client's last membership view is one shared view holding the
+	// full population.
+	want := types.NewProcSet(w.Clients()...)
+	last := make(map[types.ProcID]types.View)
+	for _, ev := range suite.Trace() {
+		if e, ok := ev.(spec.EMView); ok {
+			last[e.P] = e.View
+		}
+	}
+	var shared types.View
+	for i, cid := range w.Clients() {
+		got, ok := last[cid]
+		if !ok {
+			t.Fatalf("client %s never received a membership view", cid)
+		}
+		if !got.Members.Equal(want) {
+			t.Fatalf("%s stabilized in view %d with %d members, want %d",
+				cid, got.ID, got.Members.Len(), want.Len())
+		}
+		if i == 0 {
+			shared = got
+		} else if !got.Equal(shared) {
+			t.Fatalf("%s installed view %d, want the shared view %d", cid, got.ID, shared.ID)
+		}
+	}
+
+	if err := suite.Err(); err != nil {
+		t.Fatalf("spec violations:\n%v", err)
 	}
 }
 

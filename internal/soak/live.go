@@ -1,0 +1,870 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"vsgm/internal/core"
+	"vsgm/internal/live"
+	"vsgm/internal/membership"
+	"vsgm/internal/obs"
+	"vsgm/internal/spec"
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+)
+
+// LiveConfig parameterizes the live-cluster soak: membership servers and
+// client nodes on real TCP loopback sockets, file-backed server state, and
+// scripted kill/restart/partition orchestration under the full spec suite.
+type LiveConfig struct {
+	// Duration is the wall-clock budget for the phase loop; default 20s.
+	Duration time.Duration
+	// Seed drives the entire schedule.
+	Seed int64
+	// Servers is the number of membership servers; default 3 (min 2).
+	Servers int
+	// Clients is the number of client nodes; default 6.
+	Clients int
+	// StateRoot is where per-server file stores live; default a temp dir
+	// (removed on success, kept on violation for post-mortems).
+	StateRoot string
+	// ConvergeTimeout bounds every stabilization wait; default 15s. A wait
+	// that times out is reported as a (liveness) violation.
+	ConvergeTimeout time.Duration
+	// Scenario is the phase mix; default LiveScenario().
+	Scenario *Scenario
+	// ForceViolation injects a fabricated violation at the end of the run.
+	ForceViolation bool
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+var liveSupported = map[PhaseKind]bool{
+	PhaseTraffic:        true,
+	PhasePartitionHeal:  true,
+	PhaseOscillate:      true,
+	PhaseCrashRestart:   true,
+	PhaseFlashCrowd:     true,
+	PhaseStaleResurrect: true,
+	PhaseCorruptCounter: true,
+}
+
+// violationError marks a phase failure that is a property of the system
+// under test (a stabilization that never converged, a send that never
+// unblocked) rather than of the harness.
+type violationError struct{ msg string }
+
+func (e violationError) Error() string { return e.msg }
+
+func violationf(format string, args ...any) error {
+	return violationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// soakTransport mirrors the live package's test transport: timeouts shrunk
+// so fault injection reconnects in soak time, not production time.
+func soakTransport() live.TransportConfig {
+	return live.TransportConfig{
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   250 * time.Millisecond,
+	}
+}
+
+const (
+	liveWatchdog       = 25 * time.Millisecond
+	liveAttachInterval = 40 * time.Millisecond
+	liveAttachTimeout  = 250 * time.Millisecond
+	// liveAttachLease is 25 keepalive intervals: far past any chaos-induced
+	// keepalive gap, yet well inside the converge timeout, so a crowd
+	// straggler whose attach landed after its node closed is evicted before
+	// the next phase's full-view wait gives up.
+	liveAttachLease = time.Second
+	liveHBInterval     = 20 * time.Millisecond
+	liveHBTimeout      = 150 * time.Millisecond
+)
+
+type liveRun struct {
+	cfg       LiveConfig
+	rng       *rand.Rand
+	sched     *Schedule
+	start     time.Time
+	serverIDs []types.ProcID
+	serverSet types.ProcSet
+	servers   map[types.ProcID]*live.ServerNode
+	clients   map[types.ProcID]*live.Node
+	stateDirs map[types.ProcID]string
+	tracer    *obs.Tracer
+	crowdSeq  int
+	clientSeq int // distinct MsgIDBase per node ever created, survivors and crowds alike
+
+	// Collector state: the synchronous Observe/ObserveNotify/OnSend hooks of
+	// every node funnel here, serialized by mu (as in the live test world).
+	mu    sync.Mutex
+	suite *spec.Suite
+	dlvrs map[types.ProcID]int
+}
+
+// RunLive executes the live-cluster soak and returns its report.
+func RunLive(cfg LiveConfig) (*Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 20 * time.Second
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 3
+	}
+	if cfg.Servers < 2 {
+		return nil, fmt.Errorf("soak: live needs at least 2 servers, got %d", cfg.Servers)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 6
+	}
+	if cfg.ConvergeTimeout <= 0 {
+		cfg.ConvergeTimeout = 15 * time.Second
+	}
+	if cfg.Scenario == nil {
+		cfg.Scenario = LiveScenario()
+	}
+	if err := cfg.Scenario.validate(liveSupported); err != nil {
+		return nil, err
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	removeState := false
+	if cfg.StateRoot == "" {
+		dir, err := os.MkdirTemp("", "vsgm-soak-live-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg.StateRoot = dir
+		removeState = true
+	}
+
+	r := &liveRun{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		sched:     &Schedule{Scenario: cfg.Scenario.Name, Seed: cfg.Seed},
+		servers:   make(map[types.ProcID]*live.ServerNode),
+		clients:   make(map[types.ProcID]*live.Node),
+		stateDirs: make(map[types.ProcID]string),
+		tracer:    obs.NewTracer(obs.NewRegistry()),
+		suite:     spec.FullSuite(spec.WithTrace()),
+		dlvrs:     make(map[types.ProcID]int),
+	}
+	report := &Report{Mode: "live", Seed: cfg.Seed, Schedule: r.sched, SampleEvery: 1}
+	defer r.closeAll()
+
+	if err := r.boot(); err != nil {
+		return nil, err
+	}
+	r.start = time.Now()
+	if err := r.waitFullView("initial full view", 0); err != nil {
+		return nil, fmt.Errorf("soak: live cluster never booted: %w", err)
+	}
+
+	var phaseErr error
+	for time.Since(r.start) < cfg.Duration {
+		kind := cfg.Scenario.pick(r.rng)
+		if phaseErr = r.phase(kind); phaseErr != nil {
+			break
+		}
+		if verr := r.specErr(); verr != nil {
+			phaseErr = violationf("spec violation after %s phase: %v", kind, verr)
+			break
+		}
+		cfg.Log("live soak: step %d (%s) done, %v elapsed",
+			len(r.sched.Steps), kind, time.Since(r.start).Round(time.Millisecond))
+	}
+	var verr violationError
+	if phaseErr != nil && !errors.As(phaseErr, &verr) {
+		return nil, phaseErr
+	}
+	if phaseErr == nil {
+		// Final stabilization: heal everything and run one more round.
+		r.healAll()
+		if err := r.waitFullView("final full view", 0); err != nil {
+			phaseErr = err
+		} else if err := r.trafficRound("final"); err != nil {
+			phaseErr = err
+		}
+	}
+
+	if cfg.ForceViolation {
+		victim := r.clientIDs()[0]
+		r.sched.Note(time.Since(r.start), PhaseKind("forced-violation"), "injected regressing membership view at %s", victim)
+		r.mu.Lock()
+		injectForcedViolation(r.suite, victim)
+		r.mu.Unlock()
+	}
+
+	if phaseErr != nil {
+		report.violate(phaseErr)
+	}
+	report.violate(r.specErr())
+	report.Population = len(r.clients)
+	r.mu.Lock()
+	report.EventsSeen, report.EventsChecked = r.suite.SampleStats()
+	r.mu.Unlock()
+	report.Elapsed = time.Since(r.start)
+	if !report.OK() {
+		report.Timeline = r.tracer.TimelineString()
+	} else if removeState {
+		defer os.RemoveAll(cfg.StateRoot)
+	}
+	return report, nil
+}
+
+// boot builds the deployment: file-backed servers, attach-protocol clients
+// with rotated home lists, spec collection on every node, heartbeats on.
+func (r *liveRun) boot() error {
+	r.serverIDs = make([]types.ProcID, r.cfg.Servers)
+	for i := range r.serverIDs {
+		r.serverIDs[i] = types.ProcID(fmt.Sprintf("srv%d", i))
+	}
+	r.serverSet = types.NewProcSet(r.serverIDs...)
+
+	for _, sid := range r.serverIDs {
+		dir := filepath.Join(r.cfg.StateRoot, string(sid))
+		r.stateDirs[sid] = dir
+		sn, err := r.newServer(sid, "127.0.0.1:0", dir)
+		if err != nil {
+			return err
+		}
+		r.servers[sid] = sn
+	}
+	for i := 0; i < r.cfg.Clients; i++ {
+		cid := types.ProcID(fmt.Sprintf("cli%d", i))
+		node, err := r.newClient(cid, i)
+		if err != nil {
+			return err
+		}
+		r.clients[cid] = node
+	}
+	r.setPeersEverywhere()
+	for _, sn := range r.servers {
+		sn.SetReachable(r.serverSet)
+		sn.StartHeartbeats(r.serverSet, liveHBInterval, liveHBTimeout)
+	}
+	return nil
+}
+
+func (r *liveRun) newServer(sid types.ProcID, addr, stateDir string) (*live.ServerNode, error) {
+	store, err := live.NewFileStore(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := live.NewServerNode(live.ServerConfig{
+		ID:          sid,
+		Addr:        addr,
+		Servers:     r.serverSet,
+		Store:       store,
+		Watchdog:    liveWatchdog,
+		AttachLease: liveAttachLease,
+		Transport:   soakTransport(),
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return sn, nil
+}
+
+func (r *liveRun) newClient(cid types.ProcID, rotate int) (*live.Node, error) {
+	homeList := make([]types.ProcID, len(r.serverIDs))
+	for j := range homeList {
+		homeList[j] = r.serverIDs[(rotate+j)%len(r.serverIDs)]
+	}
+	r.clientSeq++
+	return live.NewNode(live.NodeConfig{
+		ID:             cid,
+		Addr:           "127.0.0.1:0",
+		AutoBlock:      true,
+		MsgIDBase:      int64(r.clientSeq) * 1_000_000,
+		HomeServers:    homeList,
+		AttachInterval: liveAttachInterval,
+		AttachTimeout:  liveAttachTimeout,
+		Transport:      soakTransport(),
+		Tracer:         r.tracer,
+		Observe:        func(ev core.Event) { r.onEvent(cid, ev) },
+		OnSend:         func(m types.AppMsg) { r.onSend(cid, m.ID) },
+		ObserveNotify:  func(n membership.Notification) { r.onNotify(cid, n) },
+	})
+}
+
+func (r *liveRun) onEvent(p types.ProcID, ev core.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e := ev.(type) {
+	case core.DeliverEvent:
+		r.dlvrs[p]++
+		r.suite.OnEvent(spec.EDeliver{P: p, From: e.Sender, MsgID: e.Msg.ID})
+	case core.ViewEvent:
+		r.suite.OnEvent(spec.EView{P: p, View: e.View, Trans: e.TransitionalSet, HasTrans: true})
+	case core.BlockEvent:
+		r.suite.OnEvent(spec.EBlock{P: p})
+		r.suite.OnEvent(spec.EBlockOK{P: p})
+	}
+}
+
+func (r *liveRun) onNotify(p types.ProcID, n membership.Notification) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch n.Kind {
+	case membership.NotifyStartChange:
+		r.suite.OnEvent(spec.EMStartChange{P: p, SC: n.StartChange})
+	case membership.NotifyView:
+		r.suite.OnEvent(spec.EMView{P: p, View: n.View})
+	}
+}
+
+func (r *liveRun) onSend(p types.ProcID, id int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.suite.OnEvent(spec.ESend{P: p, MsgID: id})
+}
+
+func (r *liveRun) specErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.suite.Err()
+}
+
+func (r *liveRun) deliveredSnapshot() map[types.ProcID]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[types.ProcID]int, len(r.dlvrs))
+	for k, v := range r.dlvrs {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *liveRun) clientIDs() []types.ProcID {
+	out := make([]types.ProcID, 0, len(r.clients))
+	for cid := range r.clients {
+		out = append(out, cid)
+	}
+	set := types.NewProcSet(out...)
+	return set.Sorted()
+}
+
+func (r *liveRun) clientSet() types.ProcSet {
+	s := types.NewProcSet()
+	for cid := range r.clients {
+		s.Add(cid)
+	}
+	return s
+}
+
+func (r *liveRun) setPeersEverywhere() {
+	dir := make(map[types.ProcID]string)
+	for sid, sn := range r.servers {
+		dir[sid] = sn.Addr()
+	}
+	for cid, node := range r.clients {
+		dir[cid] = node.Addr()
+	}
+	for _, sn := range r.servers {
+		sn.SetPeers(dir)
+	}
+	for _, node := range r.clients {
+		node.SetPeers(dir)
+	}
+}
+
+func (r *liveRun) maxViewID() types.ViewID {
+	var max types.ViewID
+	for _, node := range r.clients {
+		if v := node.CurrentView().ID; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// waitFor polls cond until it holds or the converge timeout passes; a
+// timeout is a liveness violation of the deployment.
+func (r *liveRun) waitFor(what string, cond func() bool) error {
+	deadline := time.Now().Add(r.cfg.ConvergeTimeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return violationf("timed out after %v waiting for %s", r.cfg.ConvergeTimeout, what)
+}
+
+// waitFullView waits until every client is attached and has installed a
+// view over the full client population with an id above floor. On timeout
+// the violation carries each client's home and view so the report shows
+// who was stuck, not just that someone was.
+func (r *liveRun) waitFullView(what string, floor types.ViewID) error {
+	all := r.clientSet()
+	err := r.waitFor(what, func() bool {
+		for _, node := range r.clients {
+			if node.Home() == "" {
+				return false
+			}
+			v := node.CurrentView()
+			if v.ID <= floor || !v.Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		var b strings.Builder
+		for _, cid := range r.clientIDs() {
+			node := r.clients[cid]
+			v := node.CurrentView()
+			fmt.Fprintf(&b, " %s[home=%s vid=%d members=%d]", cid, node.Home(), v.ID, v.Members.Len())
+		}
+		for _, sid := range r.serverIDs {
+			sn := r.servers[sid]
+			st := sn.Stats()
+			fmt.Fprintf(&b, " %s[reach=%s clients=%d attempts=%d views=%d repro=%d evict=%d]",
+				sid, sn.Reachable(), len(st.Clients), st.AttemptsRun, st.ViewsDelivered, st.Reproposals, st.Evictions)
+		}
+		return violationf("%v (floor %d, want %d members);%s", err, floor, all.Len(), b.String())
+	}
+	return nil
+}
+
+// sendRetry multicasts from cid, retrying through transient block windows.
+func (r *liveRun) sendRetry(cid types.ProcID, payload string) error {
+	node := r.clients[cid]
+	deadline := time.Now().Add(r.cfg.ConvergeTimeout)
+	for time.Now().Before(deadline) {
+		_, err := node.Send([]byte(payload))
+		if err == nil {
+			return nil
+		}
+		if err != core.ErrBlocked {
+			return violationf("send from %s failed: %v", cid, err)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	return violationf("send from %s still blocked after %v", cid, r.cfg.ConvergeTimeout)
+}
+
+// commonView waits until every client has installed the same view over the
+// full population — the precondition for a within-view traffic round.
+func (r *liveRun) commonView(deadline time.Time) error {
+	all := r.clientSet()
+	for time.Now().Before(deadline) {
+		key := ""
+		agree := len(r.clients) > 0
+		for _, node := range r.clients {
+			v := node.CurrentView()
+			if !v.Members.Equal(all) {
+				agree = false
+				break
+			}
+			if key == "" {
+				key = v.Key()
+			} else if v.Key() != key {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return violationf("clients never agreed on one full view")
+}
+
+// trafficRound has every client multicast once and waits until everyone has
+// delivered the whole round. Messages are delivered within the view they
+// were sent in, so a reconfiguration still draining from the previous chaos
+// phase can legally erase a round for a client that did not move directly
+// between views — that is correct virtual synchrony, not a violation. Each
+// attempt therefore first waits for all clients to agree on one full view,
+// sends, and gives the deliveries a bounded window; the round is retried
+// until the converge timeout expires.
+func (r *liveRun) trafficRound(tag string) error {
+	deadline := time.Now().Add(r.cfg.ConvergeTimeout)
+	for {
+		if err := r.commonView(deadline); err != nil {
+			return violationf("%s traffic round: %v", tag, err)
+		}
+		base := r.deliveredSnapshot()
+		ids := r.clientIDs()
+		for _, cid := range ids {
+			if err := r.sendRetry(cid, tag+"-"+string(cid)); err != nil {
+				return err
+			}
+		}
+		n := len(ids)
+		window := time.Now().Add(2 * time.Second)
+		if window.After(deadline) {
+			window = deadline
+		}
+		for time.Now().Before(window) {
+			snap := r.deliveredSnapshot()
+			done := true
+			for _, cid := range ids {
+				if snap[cid]-base[cid] < n {
+					done = false
+					break
+				}
+			}
+			if done {
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !time.Now().Before(deadline) {
+			return violationf("%s traffic not delivered everywhere within %v", tag, r.cfg.ConvergeTimeout)
+		}
+	}
+}
+
+// chaosOf returns every node's chaos controller.
+func (r *liveRun) chaosOf() map[types.ProcID]*live.Chaos {
+	out := make(map[types.ProcID]*live.Chaos)
+	for sid, sn := range r.servers {
+		out[sid] = sn.Chaos()
+	}
+	for cid, node := range r.clients {
+		out[cid] = node.Chaos()
+	}
+	return out
+}
+
+// partitionComponents blocks outbound traffic between components, where
+// each component is a server group plus the clients currently homed at it
+// (unattached clients ride with the first group).
+func (r *liveRun) partitionComponents(groups ...types.ProcSet) []types.ProcSet {
+	comps := make([]types.ProcSet, len(groups))
+	for i, g := range groups {
+		comps[i] = g.Clone()
+	}
+	for cid, node := range r.clients {
+		placed := false
+		for i, g := range groups {
+			if g.Contains(node.Home()) {
+				comps[i].Add(cid)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			comps[0].Add(cid)
+		}
+	}
+	all := types.NewProcSet()
+	for _, comp := range comps {
+		for p := range comp {
+			all.Add(p)
+		}
+	}
+	chaos := r.chaosOf()
+	for _, comp := range comps {
+		outside := all.Minus(comp).Sorted()
+		for p := range comp {
+			if c := chaos[p]; c != nil {
+				c.BlockOutbound(outside...)
+			}
+		}
+	}
+	return comps
+}
+
+// healAll lifts every chaos block on every node.
+func (r *liveRun) healAll() {
+	for _, c := range r.chaosOf() {
+		c.Heal()
+	}
+}
+
+// serverSplit draws a random 2-way split of the server set.
+func (r *liveRun) serverSplit() (types.ProcSet, types.ProcSet) {
+	ids := append([]types.ProcID(nil), r.serverIDs...)
+	r.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	mid := 1 + r.rng.Intn(len(ids)-1)
+	return types.NewProcSet(ids[:mid]...), types.NewProcSet(ids[mid:]...)
+}
+
+// waitServersIntegrated waits until every server's failure detector has
+// re-admitted every other server. Kill phases must start from this state:
+// killing a server the survivors never re-admitted (because the previous
+// phase restarted it milliseconds ago) causes no reachability transition,
+// so no new view is owed and a floor-based expectation would wedge.
+func (r *liveRun) waitServersIntegrated() error {
+	return r.waitFor("all servers mutually re-admitted", func() bool {
+		for _, sn := range r.servers {
+			if !sn.Reachable().Equal(r.serverSet) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// restartServer rebuilds a killed server on its old address from whatever
+// its state directory now holds, rejoining heartbeats and the peer
+// directory.
+func (r *liveRun) restartServer(sid types.ProcID, addr string) error {
+	sn, err := r.newServer(sid, addr, r.stateDirs[sid])
+	if err != nil {
+		return err
+	}
+	r.servers[sid] = sn
+	r.setPeersEverywhere()
+	sn.SetReachable(r.serverSet)
+	sn.StartHeartbeats(r.serverSet, liveHBInterval, liveHBTimeout)
+	return nil
+}
+
+func (r *liveRun) closeAll() {
+	for _, node := range r.clients {
+		node.Close()
+	}
+	for _, sn := range r.servers {
+		sn.Close()
+	}
+}
+
+func (r *liveRun) phase(kind PhaseKind) error {
+	at := time.Since(r.start)
+	switch kind {
+	case PhaseTraffic:
+		r.sched.Note(at, kind, "full multicast round from all %d clients", len(r.clients))
+		return r.trafficRound(fmt.Sprintf("t%d", len(r.sched.Steps)))
+
+	case PhasePartitionHeal:
+		left, right := r.serverSplit()
+		r.sched.Note(at, kind, "split %s | %s, stabilize both sides, heal", left, right)
+		comps := r.partitionComponents(left, right)
+		// Each side settles on a view over exactly its own clients.
+		if err := r.waitFor("both sides of the partition stabilize", func() bool {
+			for i := range comps {
+				side := types.NewProcSet()
+				for p := range comps[i] {
+					if _, isClient := r.clients[p]; isClient {
+						side.Add(p)
+					}
+				}
+				for p := range side {
+					if !r.clients[p].CurrentView().Members.Equal(side) {
+						return false
+					}
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		r.healAll()
+		// Floor 0, not the pre-partition view id: if every client happened to
+		// be homed on one side, the split was vacuous — no view ever shrank,
+		// detectors may not even fire before the heal — and no new view is
+		// owed. A full-membership view at every client IS the merge.
+		return r.waitFullView("merged view after heal", 0)
+
+	case PhaseOscillate:
+		left, right := r.serverSplit()
+		flips := 2 + r.rng.Intn(3)
+		r.sched.Note(at, kind, "%d rapid flips of %s | %s", flips, left, right)
+		for i := 0; i < flips; i++ {
+			r.partitionComponents(left, right)
+			time.Sleep(time.Duration(50+r.rng.Intn(150)) * time.Millisecond)
+			r.healAll()
+			time.Sleep(time.Duration(50+r.rng.Intn(100)) * time.Millisecond)
+		}
+		return r.waitFullView("full view after oscillation", 0)
+
+	case PhaseCrashRestart:
+		sid := r.serverIDs[r.rng.Intn(len(r.serverIDs))]
+		sn := r.servers[sid]
+		addr := sn.Addr()
+		// The kill only owes the survivors a new view if the victim was
+		// integrated when it died.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		floor := r.maxViewID()
+		r.sched.Note(at, kind, "kill %s, converge on survivors, restart it from its store", sid)
+		sn.Close()
+		if err := r.waitFor("orphans of "+string(sid)+" re-home at survivors", func() bool {
+			for _, node := range r.clients {
+				if h := node.Home(); h == "" || h == sid {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if err := r.waitFullView("survivors reinstall the full view", floor); err != nil {
+			return err
+		}
+		if err := r.restartServer(sid, addr); err != nil {
+			return err
+		}
+		return r.waitFullView("cluster stable after restart", 0)
+
+	case PhaseFlashCrowd:
+		n := 3 + r.rng.Intn(3)
+		fresh := make([]types.ProcID, n)
+		for i := range fresh {
+			fresh[i] = types.ProcID(fmt.Sprintf("flash%d", r.crowdSeq))
+			r.crowdSeq++
+		}
+		r.sched.Note(at, kind, "%d clients join in one burst, one round of traffic, then leave", n)
+		// The whole phase leans on floor-based waits, and its reconfigurations
+		// (burst admission, departure shrink) may be triggered at any one
+		// server: they reach clients homed elsewhere only if the servers are
+		// mutually re-admitted after whatever restarts preceded this phase.
+		// Nothing below kills a server, so integration holds throughout.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		floor := r.maxViewID()
+		for i, cid := range fresh {
+			node, err := r.newClient(cid, r.rng.Intn(len(r.serverIDs))+i)
+			if err != nil {
+				return err
+			}
+			r.clients[cid] = node
+		}
+		r.setPeersEverywhere()
+		if err := r.waitFullView("burst admitted into one view", floor); err != nil {
+			return err
+		}
+		if err := r.trafficRound("flash"); err != nil {
+			return err
+		}
+		// Departure: close each crowd node and deregister it at whichever
+		// server still holds it (closing sends no detach of its own). The
+		// removal must be retried until it sticks: an attach request that
+		// timed out during the burst can land at a server after a one-shot
+		// scan, resurrecting the registration of a closed client — whose
+		// membership views would then never complete their sync round.
+		floor = r.maxViewID()
+		for _, cid := range fresh {
+			r.clients[cid].Close()
+			delete(r.clients, cid)
+		}
+		if err := r.waitFor("crowd deregistered at every server", func() bool {
+			clean := true
+			for _, sn := range r.servers {
+				for _, cid := range fresh {
+					if sn.Clients().Contains(cid) {
+						sn.RemoveClient(cid)
+						sn.Reconfigure()
+						clean = false
+					}
+				}
+			}
+			return clean
+		}); err != nil {
+			return err
+		}
+		return r.waitFullView("view shrinks after the crowd departs", floor)
+
+	case PhaseStaleResurrect:
+		sid := r.serverIDs[r.rng.Intn(len(r.serverIDs))]
+		sn := r.servers[sid]
+		addr := sn.Addr()
+		backup := filepath.Join(r.cfg.StateRoot, string(sid)+".stale")
+		r.sched.Note(at, kind, "snapshot %s's store, advance identifiers, resurrect it from the stale generation", sid)
+		// Point-in-time backup of the current (soon to be stale) generation.
+		if err := live.CloneStateDir(r.stateDirs[sid], backup); err != nil {
+			return err
+		}
+		// Advance identifier state past the backup. The reconfiguring server
+		// must be integrated first: an attempt run by a server its peers have
+		// not re-admitted cannot install views at clients homed elsewhere.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		floor := r.maxViewID()
+		sn.Reconfigure()
+		if err := r.waitFullView("identifiers advanced past the backup", floor); err != nil {
+			return err
+		}
+		// Kill, roll the store back to the stale generation, restart.
+		sn.Close()
+		if err := live.CloneStateDir(backup, r.stateDirs[sid]); err != nil {
+			return err
+		}
+		if err := r.restartServer(sid, addr); err != nil {
+			return err
+		}
+		// Epoch gossip and client-side stale-notification filtering must
+		// absorb the resurrected identifiers without regressing anyone.
+		if err := r.waitFor("all clients re-homed after resurrection", func() bool {
+			for _, node := range r.clients {
+				if node.Home() == "" {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		return r.waitFullView("cluster converged past the stale generation", 0)
+
+	case PhaseCorruptCounter:
+		sid := r.serverIDs[r.rng.Intn(len(r.serverIDs))]
+		sn := r.servers[sid]
+		addr := sn.Addr()
+		locals := sn.Clients()
+		victim := r.clientIDs()[r.rng.Intn(len(r.clients))]
+		if locals.Len() > 0 {
+			victim = locals.Sorted()[r.rng.Intn(locals.Len())]
+		}
+		rec := wire.WALRecord{Client: victim, CID: 1 << 40, Vid: 1 << 40, Epoch: 1 << 7}
+		flavour := "huge counters"
+		if r.rng.Intn(2) == 0 {
+			rec = wire.WALRecord{Client: victim, CID: 7, Vid: 3, Epoch: 1 << 33}
+			flavour = "wrapped epoch"
+		}
+		r.sched.Note(at, kind, "kill %s, append %s for %s (cid=%d vid=%d epoch=%d) to its WAL, restart",
+			sid, flavour, victim, rec.CID, rec.Vid, rec.Epoch)
+		sn.Close()
+		store, err := live.NewFileStore(r.stateDirs[sid])
+		if err != nil {
+			return err
+		}
+		if err := store.Append(rec); err != nil {
+			store.Close()
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		if err := r.restartServer(sid, addr); err != nil {
+			return err
+		}
+		// The corrupted record must be absorbed monotonically: if the victim
+		// re-registers here its identifiers jump above the bogus values; if
+		// it settled elsewhere the record stays inert. Either way the view
+		// must reconverge and the suite stay green.
+		if err := r.waitFor("all clients re-homed after corruption", func() bool {
+			for _, node := range r.clients {
+				if node.Home() == "" {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		return r.waitFullView("cluster converged past the corrupted record", 0)
+
+	default:
+		return fmt.Errorf("soak: live runner cannot execute phase %q", kind)
+	}
+}

@@ -1,0 +1,207 @@
+// Package soak is the long-soak chaos harness: it drives the simulated and
+// live clusters for sustained durations under randomized, scheduled
+// adversarial phases — partitions and heals, oscillating partitions,
+// crash/restart, flash-crowd joins, churn storms, stale-WAL resurrection,
+// and wrapped-epoch/corrupted-counter injection — with the executable
+// specification suite (internal/spec) attached throughout.
+//
+// A run is driven by a single seeded PRNG: the weighted scenario picks the
+// phase sequence, and every phase draws its parameters (victims, splits,
+// burst sizes, dwell times) from the same stream, so the whole chaos
+// schedule replays deterministically from the logged seed. On any
+// invariant violation the run's Report carries the replay seed, the chaos
+// schedule up to the failure, and the reconfiguration trace timeline of
+// the implicated attempts (internal/obs).
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// PhaseKind names one adversarial phase of a soak schedule.
+type PhaseKind string
+
+// The scenario phase vocabulary.
+const (
+	// PhaseTraffic runs plain application multicast rounds.
+	PhaseTraffic PhaseKind = "traffic"
+	// PhaseViewRace commits a membership change while traffic and earlier
+	// changes are still in flight (sim only).
+	PhaseViewRace PhaseKind = "view-race"
+	// PhasePartitionHeal splits the deployment in two, lets each side
+	// stabilize, then heals and re-merges.
+	PhasePartitionHeal PhaseKind = "partition-heal"
+	// PhaseOscillate flips a partition open and closed several times
+	// faster than the system stabilizes, then heals.
+	PhaseOscillate PhaseKind = "oscillate"
+	// PhaseCrashRestart crashes a process (sim) or kills and restarts a
+	// server from its durable state (live).
+	PhaseCrashRestart PhaseKind = "crash-restart"
+	// PhaseFlashCrowd joins a large batch of new clients in one instant.
+	PhaseFlashCrowd PhaseKind = "flash-crowd"
+	// PhaseChurn detaches a random batch of clients and joins fresh ones.
+	PhaseChurn PhaseKind = "churn"
+	// PhaseStaleResurrect restarts a server from an old snapshot/WAL
+	// generation, resurrecting stale identifier state.
+	PhaseStaleResurrect PhaseKind = "stale-resurrect"
+	// PhaseCorruptCounter injects a corrupted (huge or epoch-wrapped)
+	// identifier record and lets the protocol absorb it.
+	PhaseCorruptCounter PhaseKind = "corrupt-counter"
+)
+
+// Weight gives one phase kind a relative selection weight.
+type Weight struct {
+	Kind   PhaseKind
+	Weight int
+}
+
+// Scenario is a weighted phase mix — the DSL a soak run is scheduled from.
+type Scenario struct {
+	Name    string
+	Weights []Weight
+}
+
+// pick draws the next phase kind from the weighted mix.
+func (sc *Scenario) pick(rng *rand.Rand) PhaseKind {
+	total := 0
+	for _, w := range sc.Weights {
+		if w.Weight > 0 {
+			total += w.Weight
+		}
+	}
+	if total == 0 {
+		return PhaseTraffic
+	}
+	n := rng.Intn(total)
+	for _, w := range sc.Weights {
+		if w.Weight <= 0 {
+			continue
+		}
+		if n < w.Weight {
+			return w.Kind
+		}
+		n -= w.Weight
+	}
+	return sc.Weights[len(sc.Weights)-1].Kind
+}
+
+// validate checks the mix is usable with the runner's supported kinds.
+func (sc *Scenario) validate(supported map[PhaseKind]bool) error {
+	if len(sc.Weights) == 0 {
+		return fmt.Errorf("soak: scenario %q has no phases", sc.Name)
+	}
+	for _, w := range sc.Weights {
+		if !supported[w.Kind] {
+			return fmt.Errorf("soak: scenario %q: phase %q is not supported by this runner", sc.Name, w.Kind)
+		}
+	}
+	return nil
+}
+
+// SimScenario is the default mix for the GCS-cluster simulation soak:
+// racing view changes, partitions, oscillation, and crash/recovery over
+// continuous traffic.
+func SimScenario() *Scenario {
+	return &Scenario{
+		Name: "sim-default",
+		Weights: []Weight{
+			{PhaseTraffic, 4},
+			{PhaseViewRace, 3},
+			{PhasePartitionHeal, 2},
+			{PhaseOscillate, 1},
+			{PhaseCrashRestart, 2},
+		},
+	}
+}
+
+// WorldScenario is the default mix for the large-population client-server
+// simulation soak: flash crowds, churn storms, server partitions,
+// oscillation, and corrupted-counter resurrection.
+func WorldScenario() *Scenario {
+	return &Scenario{
+		Name: "world-default",
+		Weights: []Weight{
+			{PhaseFlashCrowd, 3},
+			{PhaseChurn, 3},
+			{PhasePartitionHeal, 2},
+			{PhaseOscillate, 1},
+			{PhaseCorruptCounter, 2},
+		},
+	}
+}
+
+// LiveScenario is the default mix for the live TCP deployment soak.
+func LiveScenario() *Scenario {
+	return &Scenario{
+		Name: "live-default",
+		Weights: []Weight{
+			{PhaseTraffic, 4},
+			{PhasePartitionHeal, 3},
+			{PhaseOscillate, 2},
+			{PhaseCrashRestart, 3},
+			{PhaseFlashCrowd, 2},
+			{PhaseStaleResurrect, 2},
+			{PhaseCorruptCounter, 2},
+		},
+	}
+}
+
+// ScenarioByName resolves a named scenario ("sim-default", "world-default",
+// "live-default"), for the -scenario CLI flag.
+func ScenarioByName(name string) (*Scenario, error) {
+	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario()} {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("soak: unknown scenario %q", name)
+}
+
+// Step is one executed phase of a soak run's chaos schedule.
+type Step struct {
+	// Index numbers the step from 1.
+	Index int
+	// At is the run clock when the phase started — virtual time for
+	// simulation soaks, wall time since start for live soaks.
+	At time.Duration
+	// Kind is the phase kind.
+	Kind PhaseKind
+	// Detail records the drawn parameters (victims, splits, burst sizes).
+	Detail string
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("#%02d +%-10v %-15s %s", s.Index, s.At.Round(time.Millisecond), s.Kind, s.Detail)
+}
+
+// Schedule is the executed chaos schedule of one soak run, recorded as the
+// run unfolds so a violation report can show everything the adversary did
+// up to the failure.
+type Schedule struct {
+	Scenario string
+	Seed     int64
+	Steps    []Step
+}
+
+// Note appends one executed step at the given run clock.
+func (s *Schedule) Note(at time.Duration, kind PhaseKind, format string, args ...any) {
+	s.Steps = append(s.Steps, Step{
+		Index:  len(s.Steps) + 1,
+		At:     at,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Render formats the schedule, one step per line.
+func (s *Schedule) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s, seed %d, %d steps\n", s.Scenario, s.Seed, len(s.Steps))
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, "%s\n", st)
+	}
+	return b.String()
+}

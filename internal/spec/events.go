@@ -19,6 +19,15 @@ import (
 
 // Event is one external action of the composed system, tagged with the
 // process it occurs at.
+//
+// Immutability contract: the sets, views, and start-changes carried by an
+// event are snapshots — the emitter must never mutate them after OnEvent
+// (emitting a private copy, or a shared snapshot that is thereafter
+// read-only, both satisfy this; the membership server deliberately shares
+// one estimate/view across a whole notification fan-out). The checkers
+// rely on this and store payloads by reference: defensively deep-cloning a
+// view per event would make checking a deployment of n processes O(n²) per
+// reconfiguration, which is what caps large-population simulations.
 type Event interface {
 	Proc() types.ProcID
 	String() string

@@ -49,7 +49,7 @@ func (c *Membership) OnEvent(ev Event) {
 		if !e.SC.Set.Contains(e.P) {
 			c.failf("%s received start_change with set %s not containing itself", e.P, e.SC.Set)
 		}
-		c.lastSC[e.P] = e.SC.Clone()
+		c.lastSC[e.P] = e.SC
 		c.mode[e.P] = "change_started"
 
 	case EMView:
@@ -77,7 +77,7 @@ func (c *Membership) OnEvent(ev Event) {
 			c.failf("%s received view with startId(%s)=%d, want latest cid %d",
 				e.P, e.P, sid, last.ID)
 		}
-		c.view[e.P] = e.View.Clone()
+		c.view[e.P] = e.View
 		c.mode[e.P] = "normal"
 
 	case ECrash:

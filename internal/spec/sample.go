@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"hash/fnv"
+
+	"vsgm/internal/types"
+)
+
+// WithSample restricts the suite to the trace's projection onto a sampled
+// set of processes: an event is checked only when keep(ev.Proc()) is true,
+// and a delivery additionally requires its sender to be sampled, so the
+// cross-process checkers (WV_RFIFO, VS_RFIFO) always see the send that a
+// checked delivery refers to.
+//
+// Sampling makes checker cost proportional to the sampled population
+// instead of the full one, which is what lets the suite ride along on
+// 10k-100k-endpoint simulations. It is sound for the safety checkers — any
+// violation reported on the projected trace is a violation of the full
+// trace — but it inspects only the sampled processes, and it must not be
+// combined with CheckLiveness (dropped deliveries at unsampled members
+// would read as false liveness violations).
+//
+// Trace retention (WithTrace) is filtered the same way, so retained traces
+// also scale with the sample.
+func WithSample(keep func(types.ProcID) bool) SuiteOption {
+	return func(s *Suite) { s.sample = keep }
+}
+
+// SampleEveryKth returns a deterministic sampling predicate that keeps
+// roughly every k-th process, chosen by identifier hash so the sampled set
+// is stable across runs, process-join order, and population growth
+// (flash-crowd joins land in the sample at the same 1/k rate). k <= 1
+// keeps everything.
+func SampleEveryKth(k int) func(types.ProcID) bool {
+	if k <= 1 {
+		return func(types.ProcID) bool { return true }
+	}
+	uk := uint64(k)
+	return func(p types.ProcID) bool {
+		h := fnv.New64a()
+		h.Write([]byte(p))
+		return h.Sum64()%uk == 0
+	}
+}
+
+// sampled reports whether ev survives the suite's sampling projection.
+func (s *Suite) sampled(ev Event) bool {
+	if s.sample == nil {
+		return true
+	}
+	if !s.sample(ev.Proc()) {
+		return false
+	}
+	if d, ok := ev.(EDeliver); ok && !s.sample(d.From) {
+		return false
+	}
+	return true
+}
+
+// SampleStats returns how many events the suite has been offered and how
+// many survived the sampling projection (equal unless WithSample is set).
+func (s *Suite) SampleStats() (seen, kept int64) { return s.seen, s.kept }

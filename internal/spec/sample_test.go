@@ -1,0 +1,88 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func TestSampleEveryKthDeterministicRate(t *testing.T) {
+	keep := SampleEveryKth(10)
+	kept := 0
+	for i := 0; i < 10000; i++ {
+		p := types.ProcID(fmt.Sprintf("c%05d", i))
+		if keep(p) != keep(p) {
+			t.Fatalf("predicate not deterministic for %s", p)
+		}
+		if keep(p) {
+			kept++
+		}
+	}
+	// Hash-based selection: expect ~1000 of 10000, allow generous slack.
+	if kept < 700 || kept > 1300 {
+		t.Fatalf("SampleEveryKth(10) kept %d of 10000, want ~1000", kept)
+	}
+	all := SampleEveryKth(1)
+	if !all("anything") {
+		t.Fatalf("SampleEveryKth(1) must keep everything")
+	}
+}
+
+func TestSuiteSamplingProjectsTrace(t *testing.T) {
+	only := func(p types.ProcID) func(types.ProcID) bool {
+		return func(q types.ProcID) bool { return q == p }
+	}
+	view := func(id types.ViewID, cid types.StartChangeID, ps ...types.ProcID) types.View {
+		set := types.NewProcSet(ps...)
+		start := make(map[types.ProcID]types.StartChangeID)
+		for _, p := range ps {
+			start[p] = cid
+		}
+		return types.NewView(id, set, start)
+	}
+
+	// A Local Monotonicity violation at an unsampled process is not checked;
+	// the identical violation at a sampled process is.
+	for _, tc := range []struct {
+		victim  types.ProcID
+		wantErr bool
+	}{{"b", false}, {"a", true}} {
+		s := NewSuite([]Checker{NewMembership()}, WithTrace(), WithSample(only(tc.victim)))
+		s.OnEvent(EMStartChange{P: "a", SC: types.StartChange{ID: 5, Set: types.NewProcSet("a", "b")}})
+		s.OnEvent(EMStartChange{P: "b", SC: types.StartChange{ID: 5, Set: types.NewProcSet("a", "b")}})
+		s.OnEvent(EMView{P: "a", View: view(2, 5, "a", "b")})
+		s.OnEvent(EMView{P: "b", View: view(2, 5, "a", "b")})
+		// Regressing view id at "a" only.
+		s.OnEvent(EMStartChange{P: "a", SC: types.StartChange{ID: 6, Set: types.NewProcSet("a", "b")}})
+		s.OnEvent(EMView{P: "a", View: view(1, 6, "a", "b")})
+		err := s.Err()
+		if tc.wantErr && err == nil {
+			t.Fatalf("sampling %q: violation at sampled process must be reported", tc.victim)
+		}
+		if !tc.wantErr && err != nil {
+			t.Fatalf("sampling %q: violation at unsampled process leaked through: %v", tc.victim, err)
+		}
+		seen, kept := s.SampleStats()
+		if seen != 6 {
+			t.Fatalf("seen = %d, want 6", seen)
+		}
+		if kept >= seen {
+			t.Fatalf("kept = %d, want < seen %d", kept, seen)
+		}
+		if int64(len(s.Trace())) != kept {
+			t.Fatalf("retained trace has %d events, want kept count %d", len(s.Trace()), kept)
+		}
+	}
+}
+
+func TestSuiteSamplingDropsDeliveriesFromUnsampledSenders(t *testing.T) {
+	s := NewSuite([]Checker{}, WithTrace(), WithSample(func(p types.ProcID) bool { return p == "a" }))
+	s.OnEvent(ESend{P: "a", MsgID: 1})
+	s.OnEvent(EDeliver{P: "a", From: "a", MsgID: 1})
+	s.OnEvent(EDeliver{P: "a", From: "b", MsgID: 99}) // sender unsampled: projected out
+	s.OnEvent(EDeliver{P: "b", From: "a", MsgID: 1})  // receiver unsampled
+	if _, kept := s.SampleStats(); kept != 2 {
+		t.Fatalf("kept = %d, want 2 (own send + own delivery)", kept)
+	}
+}

@@ -15,6 +15,9 @@ type Suite struct {
 	checkers []Checker
 	trace    []Event
 	keep     bool
+	sample   func(types.ProcID) bool
+	seen     int64
+	kept     int64
 }
 
 // SuiteOption configures a Suite.
@@ -67,8 +70,14 @@ func WVSuite(opts ...SuiteOption) *Suite {
 	}, opts...)
 }
 
-// OnEvent feeds one trace event to every checker.
+// OnEvent feeds one trace event to every checker, subject to the sampling
+// projection (see WithSample).
 func (s *Suite) OnEvent(ev Event) {
+	s.seen++
+	if !s.sampled(ev) {
+		return
+	}
+	s.kept++
 	if s.keep {
 		s.trace = append(s.trace, ev)
 	}

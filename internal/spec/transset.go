@@ -59,7 +59,7 @@ func (c *TransSet) OnEvent(ev Event) {
 			// WV_RFIFO-level runs deliver no transitional sets.
 			if !c.crashed[e.P] {
 				from := c.viewOf(e.P)
-				c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+				c.views[e.P] = procView{view: e.View, epoch: from.epoch}
 			}
 			return
 		}
@@ -67,10 +67,10 @@ func (c *TransSet) OnEvent(ev Event) {
 		rec := transRecord{
 			p:       e.P,
 			fromKey: from.key(),
-			fromSet: from.view.Members.Clone(),
+			fromSet: from.view.Members,
 			toKey:   e.View.Key(),
-			toSet:   e.View.Members.Clone(),
-			trans:   e.Trans.Clone(),
+			toSet:   e.View.Members,
+			trans:   e.Trans,
 		}
 		c.records = append(c.records, rec)
 		row := c.moved[e.P]
@@ -79,7 +79,7 @@ func (c *TransSet) OnEvent(ev Event) {
 			c.moved[e.P] = row
 		}
 		row[rec.toKey] = rec.fromKey
-		c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+		c.views[e.P] = procView{view: e.View, epoch: from.epoch}
 
 	case ECrash:
 		c.crashed[e.P] = true

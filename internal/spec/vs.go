@@ -77,7 +77,7 @@ func (c *VSRFIFO) OnEvent(ev Event) {
 			c.cuts[key] = cut.Clone()
 			c.cutsBy[key] = e.P
 		}
-		c.views[e.P] = procView{view: e.View.Clone(), epoch: from.epoch}
+		c.views[e.P] = procView{view: e.View, epoch: from.epoch}
 		c.counts[e.P] = make(types.Cut)
 
 	case ECrash:

@@ -142,7 +142,7 @@ func (c *WVRFIFO) OnEvent(ev Event) {
 			c.maxViewID[e.P] = e.View.ID
 		}
 		epoch := c.viewOf(e.P).epoch
-		c.views[e.P] = procView{view: e.View.Clone(), epoch: epoch}
+		c.views[e.P] = procView{view: e.View, epoch: epoch}
 		c.lastDlvrd[e.P] = make(map[types.ProcID]int)
 		c.seq[e.P] = 0
 
