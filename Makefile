@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench benchstat docs-check soak soak-smoke check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check soak soak-smoke check
 
 all: check
 
@@ -45,7 +45,7 @@ bench:
 # cmd/vsgm-benchstat (benchstat-style old/new/delta tables, JSON copy in
 # BENCH_transport.json). The first run seeds the baseline; refresh it by
 # deleting BENCH_baseline.txt.
-BENCH_PATTERN = BenchmarkFabricBroadcast|BenchmarkSendUnderBackpressure|BenchmarkWireMarshal|BenchmarkMsgBufGrowth
+BENCH_PATTERN = BenchmarkFabricBroadcast|BenchmarkSendUnderBackpressure|BenchmarkWireMarshal|BenchmarkMsgBufGrowth|BenchmarkLinkScale
 BENCH_PKGS = ./internal/wire/ ./internal/live/ ./internal/core/
 
 benchstat:
@@ -57,6 +57,14 @@ benchstat:
 		cp BENCH_new.txt BENCH_baseline.txt; \
 		echo "baseline seeded: BENCH_baseline.txt"; \
 	fi
+
+# Zero-copy regression guard for the pre-merge gate: one steady-state run of
+# the link-scale receive benchmark per engine. benchLinkScale fails the run
+# if the receive path exceeds its allocs/op ceiling — a payload copy (or a
+# dropped buffer release) sneaking back into the hot path fails `make check`
+# here rather than surfacing as a benchstat regression later.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLinkScale/links=1000' -benchtime 100000x ./internal/live/
 
 # Documentation gate: every intra-repo markdown link must resolve and every
 # public vsgm-live flag must appear in docs/OPERATIONS.md.
@@ -88,5 +96,6 @@ soak-smoke:
 check: vet test
 	$(GO) test -race ./internal/live/ ./internal/membership/ ./cmd/vsgm-live/
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-smoke
 	$(MAKE) docs-check
 	$(MAKE) soak-smoke

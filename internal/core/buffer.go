@@ -19,6 +19,11 @@ type msgBuf struct {
 // original), so the existing value is kept; indices at or below base are
 // stable everywhere and dropped.
 //
+// The payload is copied on store: callers may hand in borrowed memory (the
+// zero-copy receive path delivers payloads aliasing pooled network buffers
+// that are recycled once the handler returns), and this is the single point
+// where bytes cross into state the protocol retains.
+//
 // Growth is one step, not an element-at-a-time nil append: a reslice when
 // the capacity already covers index i (the backing array beyond len is
 // all-nil — it is freshly allocated here or by collect, and nothing else
@@ -38,6 +43,9 @@ func (b *msgBuf) set(i int, m types.AppMsg) {
 	}
 	if b.items[i-1-b.base] == nil {
 		cp := m
+		if len(m.Payload) > 0 {
+			cp.Payload = append([]byte(nil), m.Payload...)
+		}
 		b.items[i-1-b.base] = &cp
 		b.bytes += int64(len(m.Payload))
 	}

@@ -407,9 +407,14 @@ func (e *Endpoint) Send(payload []byte) (types.AppMsg, error) {
 		return types.AppMsg{}, ErrBlocked
 	}
 	e.nextMsgID++
-	m := types.AppMsg{ID: e.nextMsgID, Payload: append([]byte(nil), payload...)}
+	// set copies the payload on store; return (and report) the stored copy
+	// so the caller may immediately reuse its buffer.
+	m := types.AppMsg{ID: e.nextMsgID, Payload: payload}
 	buf := e.curBuf(e.id)
 	buf.set(buf.lastIndex()+1, m)
+	if stored, ok := buf.get(buf.lastIndex()); ok {
+		m = stored
+	}
 	if e.onSend != nil {
 		e.onSend(m)
 	}

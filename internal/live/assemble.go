@@ -1,0 +1,230 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"vsgm/internal/wire"
+	"vsgm/internal/wire/pool"
+)
+
+// stagingSlabSize is the reactor's per-connection staging window: one
+// readiness wakeup reads up to this many bytes in one syscall, and every
+// frame that fits decodes in place inside the slab.
+const stagingSlabSize = 64 << 10
+
+// frameAssembler turns a raw byte stream into decoded frames without
+// copying payloads: bytes land in pooled staging slabs, complete frames are
+// decoded in place (payloads alias the slab, which is reference-counted per
+// emitted frame), and frames too large for the staging window are filled
+// directly into a dedicated pooled buffer — or, beyond the largest slab
+// class, into a plain buffer grown only as bytes actually arrive, so a
+// hostile length prefix cannot force a 16 MiB allocation up front.
+//
+// The protocol is: writable() hands out the next window to read into,
+// advance(n) commits n bytes read, and next() drains decoded frames until it
+// reports done. It is not safe for concurrent use; one assembler belongs to
+// one connection on one event loop.
+type frameAssembler struct {
+	pool *pool.Pool
+	st   *wire.DecodeState
+
+	slab       *pool.Buf // staging; assembler holds one reference
+	start, end int       // unparsed window within the slab
+
+	bodyLen int // current frame's body length; -1 while reading the header
+
+	fill  *pool.Buf // direct-fill target for bodies > staging but <= MaxSlab
+	big   []byte    // grow-as-bytes-arrive fill for bodies > MaxSlab
+	fillN int       // bytes of body landed in fill/big so far
+
+	// frameStart stamps the first byte of the frame in progress, driving the
+	// reactor's mid-frame progress deadline (a trickled body must finish
+	// within the per-leg budget, it cannot re-arm per byte). Zero when no
+	// frame is in progress.
+	frameStart time.Time
+
+	frames int64 // total frames emitted (reactor metrics)
+}
+
+func newFrameAssembler(p *pool.Pool) *frameAssembler {
+	return &frameAssembler{pool: p, st: wire.NewDecodeState(), bodyLen: -1}
+}
+
+// close releases the assembler's buffer references. Frames already emitted
+// keep their own references and stay valid.
+func (a *frameAssembler) close() {
+	if a.slab != nil {
+		a.slab.Release()
+		a.slab = nil
+	}
+	if a.fill != nil {
+		a.fill.Release()
+		a.fill = nil
+	}
+	a.big = nil
+}
+
+// midFrame reports whether a frame is partially assembled, and when its
+// first byte arrived.
+func (a *frameAssembler) midFrame() (time.Time, bool) {
+	return a.frameStart, !a.frameStart.IsZero()
+}
+
+// roll moves the unparsed residual into a fresh staging slab. Emitted frames
+// keep the old slab alive through their own references; the assembler drops
+// its one.
+func (a *frameAssembler) roll() {
+	old := a.slab
+	residual := a.end - a.start
+	a.slab = a.pool.Get(stagingSlabSize)
+	if residual > 0 {
+		copy(a.slab.B(), old.B()[a.start:a.end])
+	}
+	a.start, a.end = 0, residual
+	old.Release()
+}
+
+// writable returns the window the caller should read stream bytes into.
+// It never returns an empty slice.
+func (a *frameAssembler) writable() []byte {
+	if a.big != nil {
+		if a.fillN == len(a.big) {
+			// Grow only as bytes arrive: double up to the claimed size.
+			grown := make([]byte, min(2*len(a.big), a.bodyLen))
+			copy(grown, a.big[:a.fillN])
+			a.big = grown
+		}
+		return a.big[a.fillN:]
+	}
+	if a.fill != nil {
+		return a.fill.B()[a.fillN:]
+	}
+	if a.slab == nil {
+		a.slab = a.pool.Get(stagingSlabSize)
+		a.start, a.end = 0, 0
+	} else if a.end == stagingSlabSize {
+		a.roll()
+	}
+	return a.slab.B()[a.end:]
+}
+
+// advance commits n bytes just read into the window writable returned.
+func (a *frameAssembler) advance(n int) {
+	if n <= 0 {
+		return
+	}
+	if a.big != nil || a.fill != nil {
+		a.fillN += n
+		return
+	}
+	a.end += n
+	if a.frameStart.IsZero() {
+		a.frameStart = time.Now()
+	}
+}
+
+// next decodes the next complete frame into fr. done=true means the stream
+// is exhausted for now (read more bytes); otherwise fr is valid and body,
+// when non-nil, is a buffer reference the consumer must Release once the
+// frame's payload is no longer in use (body==nil frames either borrow only
+// the assembler's scratch or own plain memory — nothing to release). fr is
+// invalidated by the following next() call on this assembler.
+func (a *frameAssembler) next(fr *frame) (body *pool.Buf, done bool, err error) {
+	for {
+		// Direct-fill modes: the body is accumulating outside the slab.
+		if a.fill != nil {
+			if a.fillN < a.bodyLen {
+				return nil, true, nil
+			}
+			f := a.fill
+			a.fill, a.fillN, a.bodyLen = nil, 0, -1
+			a.frameStart = time.Time{}
+			if err := wire.UnmarshalFrameBorrow(f.B(), fr, a.st); err != nil {
+				f.Release()
+				return nil, false, err
+			}
+			a.frames++
+			return f, false, nil
+		}
+		if a.big != nil {
+			if a.fillN < a.bodyLen {
+				return nil, true, nil
+			}
+			b := a.big[:a.bodyLen]
+			a.big, a.fillN, a.bodyLen = nil, 0, -1
+			a.frameStart = time.Time{}
+			// Oversized bodies are one-shot plain allocations: the frame owns
+			// the memory outright (the GC keeps it alive through the payload),
+			// so there is no reference to hand the consumer.
+			if err := wire.UnmarshalFrameBorrow(b, fr, a.st); err != nil {
+				return nil, false, err
+			}
+			a.frames++
+			return nil, false, nil
+		}
+
+		residual := a.end - a.start
+		if a.bodyLen < 0 {
+			if residual == 0 {
+				a.frameStart = time.Time{}
+				return nil, true, nil
+			}
+			if residual < 4 {
+				return nil, true, nil
+			}
+			h := a.slab.B()[a.start:]
+			n := int(h[0])<<24 | int(h[1])<<16 | int(h[2])<<8 | int(h[3])
+			if n > wire.MaxFrameSize {
+				return nil, false, wire.ErrFrameTooLarge
+			}
+			a.start += 4
+			a.bodyLen = n
+			residual -= 4
+			if a.bodyLen > stagingSlabSize {
+				// Too big to ever sit contiguously in staging: switch to a
+				// direct fill, seeded with whatever body bytes already landed.
+				take := min(residual, a.bodyLen)
+				seed := a.slab.B()[a.start : a.start+take]
+				if a.bodyLen <= pool.MaxSlab {
+					a.fill = a.pool.Get(a.bodyLen)
+					copy(a.fill.B(), seed)
+				} else {
+					a.big = make([]byte, max(len(seed), initialBigFill))
+					copy(a.big, seed)
+				}
+				a.fillN = take
+				a.start += take
+				continue
+			}
+		}
+		if residual < a.bodyLen {
+			return nil, true, nil // in-slab frame still incomplete
+		}
+		// A whole frame is contiguous in the slab: decode in place and hand
+		// the consumer a reference to the slab backing it.
+		win := a.slab.B()[a.start : a.start+a.bodyLen]
+		a.start += a.bodyLen
+		a.bodyLen = -1
+		if a.start == a.end {
+			a.frameStart = time.Time{}
+		} else {
+			a.frameStart = time.Now() // next frame's bytes already arrived
+		}
+		if err := wire.UnmarshalFrameBorrow(win, fr, a.st); err != nil {
+			return nil, false, err
+		}
+		a.slab.Retain(1)
+		a.frames++
+		return a.slab, false, nil
+	}
+}
+
+// initialBigFill seeds the grow-as-bytes-arrive buffer for frames beyond the
+// largest slab class.
+const initialBigFill = 64 << 10
+
+// assemblerInvariant is a debug helper used by tests.
+func (a *frameAssembler) String() string {
+	return fmt.Sprintf("assembler{start=%d end=%d bodyLen=%d fillN=%d}", a.start, a.end, a.bodyLen, a.fillN)
+}

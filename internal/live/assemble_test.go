@@ -1,0 +1,297 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+	"vsgm/internal/wire/pool"
+)
+
+// encodedAppFrame returns the length-prefixed wire bytes of one KindApp
+// frame with the given payload.
+func encodedAppFrame(t *testing.T, id int64, payload []byte) []byte {
+	t.Helper()
+	m := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: id, Payload: payload}}
+	fb, err := wire.EncodeFrame(frame{From: "src", Msg: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Release()
+	b := fb.Bytes()
+	out := []byte{byte(len(b) >> 24), byte(len(b) >> 16), byte(len(b) >> 8), byte(len(b))}
+	return append(out, b...)
+}
+
+// feed pushes stream bytes into the assembler in chunks of at most max,
+// collecting every decoded frame through visit.
+func feed(t *testing.T, a *frameAssembler, stream []byte, max int, visit func(fr *frame, body *pool.Buf)) {
+	t.Helper()
+	var fr frame
+	for len(stream) > 0 {
+		w := a.writable()
+		n := min(len(stream), min(len(w), max))
+		copy(w, stream[:n])
+		a.advance(n)
+		stream = stream[n:]
+		for {
+			body, done, err := a.next(&fr)
+			if err != nil {
+				t.Fatalf("assembler error: %v", err)
+			}
+			if done {
+				break
+			}
+			visit(&fr, body)
+		}
+	}
+}
+
+func TestAssemblerReassemblesArbitrarySegmentation(t *testing.T) {
+	p := pool.New()
+	rng := rand.New(rand.NewSource(7))
+	var stream []byte
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, rng.Intn(600)+1)
+		stream = append(stream, encodedAppFrame(t, int64(i), payload)...)
+	}
+	for _, chunk := range []int{1, 3, 7, 64, 1 << 20} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			a := newFrameAssembler(p)
+			got := 0
+			feed(t, a, stream, chunk, func(fr *frame, body *pool.Buf) {
+				if fr.Msg == nil || fr.Msg.Kind != types.KindApp {
+					t.Fatalf("frame %d: unexpected shape %+v", got, fr)
+				}
+				if id := fr.Msg.App.ID; id != int64(got) {
+					t.Fatalf("frame %d decoded with ID %d", got, id)
+				}
+				want := byte(got)
+				for _, b := range fr.Msg.App.Payload {
+					if b != want {
+						t.Fatalf("frame %d payload corrupted", got)
+					}
+				}
+				got++
+				if body != nil {
+					body.Release()
+				}
+			})
+			if got != frames {
+				t.Fatalf("decoded %d frames, want %d", got, frames)
+			}
+			a.close()
+			if n := p.Stats().Outstanding; n != 0 {
+				t.Fatalf("%d buffers outstanding after close", n)
+			}
+		})
+	}
+}
+
+func TestAssemblerLargeFrameTakesFillPath(t *testing.T) {
+	p := pool.New()
+	a := newFrameAssembler(p)
+	// Larger than the staging slab, still within the largest pool class:
+	// the body must land in a dedicated pooled fill buffer.
+	payload := bytes.Repeat([]byte("F"), stagingSlabSize+1024)
+	stream := encodedAppFrame(t, 42, payload)
+	var bodies []*pool.Buf
+	got := 0
+	feed(t, a, stream, 8<<10, func(fr *frame, body *pool.Buf) {
+		got++
+		if body == nil {
+			t.Fatal("fill-path frame should carry a pooled body reference")
+		}
+		if !bytes.Equal(fr.Msg.App.Payload, payload) {
+			t.Fatal("fill-path payload corrupted")
+		}
+		bodies = append(bodies, body)
+	})
+	if got != 1 {
+		t.Fatalf("decoded %d frames, want 1", got)
+	}
+	for _, b := range bodies {
+		b.Release()
+	}
+	a.close()
+	if n := p.Stats().Outstanding; n != 0 {
+		t.Fatalf("%d buffers outstanding after close", n)
+	}
+}
+
+func TestAssemblerOversizedFrameIsPlainMemory(t *testing.T) {
+	p := pool.New()
+	a := newFrameAssembler(p)
+	// Beyond the largest pool class: grown as bytes arrive, owned by the GC.
+	payload := bytes.Repeat([]byte("G"), pool.MaxSlab+512)
+	stream := encodedAppFrame(t, 7, payload)
+	got := 0
+	feed(t, a, stream, 32<<10, func(fr *frame, body *pool.Buf) {
+		got++
+		if body != nil {
+			t.Fatal("oversized frame must not reference the pool")
+		}
+		if !bytes.Equal(fr.Msg.App.Payload, payload) {
+			t.Fatal("oversized payload corrupted")
+		}
+	})
+	if got != 1 {
+		t.Fatalf("decoded %d frames, want 1", got)
+	}
+	a.close()
+	if n := p.Stats().Outstanding; n != 0 {
+		t.Fatalf("%d buffers outstanding after close", n)
+	}
+}
+
+func TestAssemblerRejectsHostileLengthPrefix(t *testing.T) {
+	a := newFrameAssembler(pool.New())
+	defer a.close()
+	huge := wire.MaxFrameSize + 1
+	hdr := []byte{byte(huge >> 24), byte(huge >> 16), byte(huge >> 8), byte(huge)}
+	copy(a.writable(), hdr)
+	a.advance(4)
+	var fr frame
+	if _, _, err := a.next(&fr); err != wire.ErrFrameTooLarge {
+		t.Fatalf("hostile length prefix: got err %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestAssemblerMidFrameStamp(t *testing.T) {
+	a := newFrameAssembler(pool.New())
+	defer a.close()
+	if _, mid := a.midFrame(); mid {
+		t.Fatal("fresh assembler claims a frame in progress")
+	}
+	stream := encodedAppFrame(t, 1, []byte("hello"))
+	copy(a.writable(), stream[:3]) // partial header
+	a.advance(3)
+	var fr frame
+	if _, done, _ := a.next(&fr); !done {
+		t.Fatal("3 bytes should not decode a frame")
+	}
+	if _, mid := a.midFrame(); !mid {
+		t.Fatal("partial frame not stamped as in progress")
+	}
+	copy(a.writable(), stream[3:])
+	a.advance(len(stream) - 3)
+	body, done, err := a.next(&fr)
+	if err != nil || done {
+		t.Fatalf("complete frame failed to decode: done=%v err=%v", done, err)
+	}
+	if body != nil {
+		body.Release()
+	}
+	if _, mid := a.midFrame(); mid {
+		t.Fatal("stamp not cleared after the stream drained")
+	}
+}
+
+// TestPooledBodyCrossesGoroutines is the -race witness for the refcount
+// contract: frame bodies decoded on one goroutine are handed to concurrent
+// consumers that read the payload and release their reference, while the
+// producer keeps decoding into fresh slabs. Run with -race.
+func TestPooledBodyCrossesGoroutines(t *testing.T) {
+	p := pool.New()
+	a := newFrameAssembler(p)
+	type delivery struct {
+		payload []byte
+		body    *pool.Buf
+	}
+	ch := make(chan delivery, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range ch {
+				sum := byte(0)
+				for _, b := range d.payload {
+					sum ^= b
+				}
+				_ = sum
+				if d.body != nil {
+					d.body.Release()
+				}
+			}
+		}()
+	}
+	const frames = 500
+	var stream []byte
+	for i := 0; i < frames; i++ {
+		stream = append(stream, encodedAppFrame(t, int64(i), bytes.Repeat([]byte{byte(i)}, 200))...)
+	}
+	got := 0
+	feed(t, a, stream, 4<<10, func(fr *frame, body *pool.Buf) {
+		got++
+		ch <- delivery{payload: fr.Msg.App.Payload, body: body}
+	})
+	close(ch)
+	wg.Wait()
+	if got != frames {
+		t.Fatalf("decoded %d frames, want %d", got, frames)
+	}
+	a.close()
+	if n := p.Stats().Outstanding; n != 0 {
+		t.Fatalf("%d buffers outstanding after all consumers released", n)
+	}
+}
+
+// TestReactorModeMatrix runs one round trip under each explicitly forced
+// engine, so a single test binary exercises both paths regardless of the
+// ambient VSGM_REACTOR regime.
+func TestReactorModeMatrix(t *testing.T) {
+	modes := []struct {
+		name string
+		mode ReactorMode
+		on   bool
+	}{
+		{"goroutine", ReactorOff, false},
+		{"reactor", ReactorOn, reactorSupported},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			got := make(chan int64, 16)
+			cfg := TransportConfig{Reactor: m.mode}
+			fa, err := newFabric("a", "127.0.0.1:0", cfg, func(types.ProcID, frame) {}, func(types.ProcID, error) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fa.Close()
+			fb, err := newFabric("b", "127.0.0.1:0", cfg,
+				func(_ types.ProcID, fr frame) {
+					if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+						got <- fr.Msg.App.ID
+					}
+				},
+				func(types.ProcID, error) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fb.Close()
+			if fa.ReactorOn() != m.on || fb.ReactorOn() != m.on {
+				t.Fatalf("engine mismatch: ReactorOn=%v/%v, want %v", fa.ReactorOn(), fb.ReactorOn(), m.on)
+			}
+			fa.SetPeers(map[types.ProcID]string{"b": fb.Addr()})
+			for i := int64(0); i < 5; i++ {
+				fa.Send([]types.ProcID{"b"}, types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: i, Payload: []byte("ping")}})
+			}
+			for i := int64(0); i < 5; i++ {
+				select {
+				case id := <-got:
+					if id != i {
+						t.Fatalf("frame %d arrived with ID %d", i, id)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatalf("frame %d never arrived under %s engine", i, m.name)
+				}
+			}
+		})
+	}
+}

@@ -35,6 +35,7 @@ type Chaos struct {
 	dropFor       map[types.ProcID]float64
 	dupProb       float64
 	partialWrites bool
+	trickleGap    time.Duration
 	blockOut      map[types.ProcID]bool
 	blockIn       map[types.ProcID]bool
 }
@@ -96,6 +97,19 @@ func (c *Chaos) SetPartialWrites(on bool) {
 	c.partialWrites = on
 }
 
+// SetTrickle turns this node into a slow sender: every socket write is
+// stretched to one byte per gap, the classic slow-loris shape. Receivers
+// with a read-progress budget (ReadIdleTimeout) must sever such a peer
+// rather than hold a parser open forever; receivers without one will see
+// frames arrive, just very slowly. Zero turns the fault off. Trickling is
+// honored by the goroutine-per-link engine's socket writes (the reactor's
+// raw-fd flush path is not wrapped).
+func (c *Chaos) SetTrickle(gap time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trickleGap = gap
+}
+
 // BlockOutbound silently discards frames addressed to the given peers —
 // this node's half of a partition. Blocking only one direction yields a
 // one-way partition.
@@ -135,6 +149,7 @@ func (c *Chaos) Heal() {
 	c.dropProb, c.dupProb = 0, 0
 	c.dropFor = make(map[types.ProcID]float64)
 	c.partialWrites = false
+	c.trickleGap = 0
 	c.blockOut = make(map[types.ProcID]bool)
 	c.blockIn = make(map[types.ProcID]bool)
 }
@@ -184,6 +199,12 @@ func (c *Chaos) partialWritesOn() bool {
 	return c.partialWrites
 }
 
+func (c *Chaos) trickle() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trickleGap
+}
+
 // wrap interposes the chaos controller between an encoder and its socket.
 func (c *Chaos) wrap(conn net.Conn) net.Conn {
 	return &chaosConn{Conn: conn, chaos: c}
@@ -200,6 +221,21 @@ type chaosConn struct {
 const partialWriteChunk = 7
 
 func (cc *chaosConn) Write(p []byte) (int, error) {
+	if gap := cc.chaos.trickle(); gap > 0 {
+		total := 0
+		for len(p) > 0 {
+			n, err := cc.Conn.Write(p[:1])
+			total += n
+			if err != nil {
+				return total, err
+			}
+			p = p[1:]
+			if len(p) > 0 {
+				time.Sleep(gap)
+			}
+		}
+		return total, nil
+	}
 	if !cc.chaos.partialWritesOn() {
 		return cc.Conn.Write(p)
 	}

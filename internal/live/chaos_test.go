@@ -19,6 +19,7 @@ import (
 
 	"vsgm/internal/core"
 	"vsgm/internal/types"
+	"vsgm/internal/wire"
 )
 
 // waitUntil polls cond until it holds or the timeout passes.
@@ -969,4 +970,118 @@ func TestLiveBatchCoalescingBacklogFlushesOnce(t *testing.T) {
 	if s.Flushes == 0 || s.Flushes > n/5 {
 		t.Errorf("Flushes = %d for %d frames — coalescing should need far fewer flushes than frames", s.Flushes, n)
 	}
+}
+
+// TestSlowLorisSevered drives the classic slow-loris attack against a
+// receiving fabric: the attacker completes the handshake promptly, then
+// starts a frame and trickles its bytes one at a time, each inside the idle
+// window. Per-byte deadline re-arming would keep such a parser open forever;
+// the read-progress budget (a frame must complete within two
+// ReadIdleTimeouts of its first byte) must sever the connection instead.
+func TestSlowLorisSevered(t *testing.T) {
+	idle := 300 * time.Millisecond
+	var downs atomic.Int64
+	var received atomic.Int64
+	fb, err := newFabric("victim", "127.0.0.1:0", TransportConfig{ReadIdleTimeout: idle},
+		func(types.ProcID, frame) { received.Add(1) },
+		func(types.ProcID, error) { downs.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+
+	conn, err := net.Dial("tcp", fb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := wire.NewEncoder(conn)
+	if err := enc.Encode(frame{From: "loris"}); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: 1, Payload: bytes.Repeat([]byte("x"), 256)}}
+	body, err := wire.EncodeFrame(frame{From: "loris", Msg: &payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Release()
+	b := body.Bytes()
+	full := append([]byte{byte(len(b) >> 24), byte(len(b) >> 16), byte(len(b) >> 8), byte(len(b))}, b...)
+
+	// Trickle well inside the idle window per byte: only the whole-frame
+	// budget can catch this. The victim must cut us off long before the
+	// frame completes (256+ bytes at 60ms each would take ~15s).
+	start := time.Now()
+	severed := false
+	for i := 0; i < len(full) && time.Since(start) < 10*time.Second; i++ {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, err := conn.Write(full[i : i+1]); err != nil {
+			severed = true
+			break
+		}
+		time.Sleep(60 * time.Millisecond)
+		// A severed TCP connection can absorb a few more writes into the
+		// kernel buffer before the reset surfaces; probe with a read too.
+		conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+		if _, err := conn.Read(make([]byte, 1)); err != nil && !isTimeout(err) {
+			severed = true
+			break
+		}
+	}
+	if !severed {
+		t.Fatal("slow-loris connection was never severed by the read-progress budget")
+	}
+	waitUntil(t, "the victim to report the severed link", 5*time.Second, func() bool {
+		return downs.Load() >= 1
+	})
+	if got := received.Load(); got != 0 {
+		t.Errorf("victim delivered %d frames from a trickled stream that never completed one", got)
+	}
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// TestTrickledSenderWithinBudgetSurvives is the other half of the slow-loris
+// contract: a slow but live peer whose every frame still completes within
+// the read-progress budget must NOT be severed — the per-leg deadline re-arm
+// (rather than one deadline across the whole stream) is what makes both
+// properties hold at once.
+func TestTrickledSenderWithinBudgetSurvives(t *testing.T) {
+	idle := 2 * time.Second
+	var received atomic.Int64
+	fb, err := newFabric("victim", "127.0.0.1:0", TransportConfig{ReadIdleTimeout: idle},
+		func(_ types.ProcID, fr frame) {
+			if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
+				received.Add(1)
+			}
+		},
+		func(types.ProcID, error) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+
+	// The sender runs the goroutine engine (its chaos trickle wraps the
+	// socket) regardless of the ambient reactor mode; the victim above runs
+	// whichever engine the regime selects.
+	sender, err := newFabric("loris", "127.0.0.1:0", TransportConfig{Reactor: ReactorOff, WriteTimeout: -1},
+		func(types.ProcID, frame) {},
+		func(types.ProcID, error) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sender.SetPeers(map[types.ProcID]string{"victim": fb.Addr()})
+	sender.Chaos().SetTrickle(2 * time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		sender.Send([]types.ProcID{"victim"}, types.WireMsg{Kind: types.KindApp, App: types.AppMsg{ID: int64(i), Payload: []byte("slow and steady")}})
+	}
+	waitUntil(t, "all trickled frames to arrive intact", 15*time.Second, func() bool {
+		return received.Load() == 3
+	})
 }

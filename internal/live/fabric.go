@@ -5,12 +5,32 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vsgm/internal/membership"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
+	"vsgm/internal/wire/pool"
+)
+
+// ReactorMode selects the engine that drives a fabric's established
+// connections.
+type ReactorMode int
+
+const (
+	// ReactorAuto uses the shared epoll reactor where the platform supports
+	// it (linux) and the goroutine-per-link engine elsewhere. The
+	// VSGM_REACTOR environment variable ("1"/"on" or "0"/"off") overrides
+	// the automatic choice, which is how the test matrix forces each engine.
+	ReactorAuto ReactorMode = iota
+	// ReactorOn forces the reactor (still subject to platform support).
+	ReactorOn
+	// ReactorOff forces the portable goroutine-per-link engine.
+	ReactorOff
 )
 
 // TransportConfig tunes the supervised transport underneath a live node.
@@ -50,6 +70,12 @@ type TransportConfig struct {
 	// gated. Default 1024; negative starts links with zero credit, so
 	// every data send waits for an explicit grant (used by tests).
 	Window int
+	// Reactor selects the connection-driving engine; see ReactorMode.
+	Reactor ReactorMode
+	// ReactorLoops is the number of shared event-loop goroutines the
+	// reactor runs (each drives a share of all established links). Default
+	// min(4, GOMAXPROCS).
+	ReactorLoops int
 }
 
 func (c TransportConfig) withDefaults() TransportConfig {
@@ -77,7 +103,37 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	if c.Window == 0 {
 		c.Window = 1024
 	}
+	if c.ReactorLoops <= 0 {
+		c.ReactorLoops = min(4, runtime.GOMAXPROCS(0))
+	}
 	return c
+}
+
+// reactorEnabled resolves the configured mode against platform support and
+// the VSGM_REACTOR environment override (which applies only to Auto, so a
+// test that pins a mode explicitly keeps it).
+func (c TransportConfig) reactorEnabled() bool {
+	mode := c.Reactor
+	if mode == ReactorAuto {
+		switch os.Getenv("VSGM_REACTOR") {
+		case "0", "off":
+			mode = ReactorOff
+		case "1", "on":
+			mode = ReactorOn
+		}
+	}
+	return mode != ReactorOff && reactorSupported
+}
+
+// reactorStats are the reactor's engine-level counters (all zero when the
+// fabric runs the goroutine-per-link engine).
+type reactorStats struct {
+	// wakeups counts epoll_wait returns with at least one event; events the
+	// readiness events handled; framesIn the frames decoded by the batch
+	// receive path; bytesIn the raw bytes read; writes the flush syscall
+	// rounds on the writer side. framesIn/wakeups is the batch-amortization
+	// factor the reactor exists to maximize.
+	wakeups, events, framesIn, bytesIn, writes atomic.Int64
 }
 
 // LinkStats are the per-peer transport counters a fabric accumulates; they
@@ -149,6 +205,7 @@ type mailbox[T any] struct {
 	head      int
 	cap       int
 	onDrop    func(T)
+	onReady   func() // fires (outside the lock) on empty->nonempty transitions
 	classOf   func(T) wire.FrameClass
 	sizeOf    func(T) int
 	bytes     int64
@@ -197,8 +254,8 @@ func newBoundedMailbox[T any](cap int, onDrop func(T)) *mailbox[T] {
 // past cap instead (control is low-rate and reliable by contract).
 func (m *mailbox[T]) put(v T) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return false
 	}
 	if m.classOf != nil && m.classOf(v) == wire.ClassHeartbeat {
@@ -217,13 +274,54 @@ func (m *mailbox[T]) put(v T) bool {
 			m.removeAt(i)
 		}
 	}
+	wasEmpty := m.head == len(m.queue)
 	m.compact()
 	m.queue = append(m.queue, v)
 	if m.sizeOf != nil {
 		m.bytes += int64(m.sizeOf(v))
 	}
 	m.cond.Signal()
+	notify := wasEmpty && m.onReady != nil
+	ready := m.onReady
+	m.mu.Unlock()
+	if notify {
+		ready()
+	}
 	return true
+}
+
+// setOnReady installs the empty->nonempty notification hook (the reactor's
+// wakeup). Must be installed before the first put that should observe it.
+func (m *mailbox[T]) setOnReady(fn func()) {
+	m.mu.Lock()
+	m.onReady = fn
+	m.mu.Unlock()
+}
+
+// tryTakeBatch drains up to max entries without blocking; ok=false means the
+// queue was empty (or closed). This is the reactor's drain: the event loop
+// must never park on a mailbox condvar.
+func (m *mailbox[T]) tryTakeBatch(dst []T, max int) ([]T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.queue) - m.head
+	if n == 0 {
+		return dst, false
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	dst = append(dst, m.queue[m.head:m.head+n]...)
+	var zero T
+	for i := 0; i < n; i++ {
+		if m.sizeOf != nil {
+			m.bytes -= int64(m.sizeOf(m.queue[m.head+i]))
+		}
+		m.queue[m.head+i] = zero
+	}
+	m.head += n
+	m.compact()
+	return dst, true
 }
 
 // findClass returns the index of the oldest queued entry of class c, or -1.
@@ -427,8 +525,21 @@ type fabric struct {
 	cfg     TransportConfig
 	ln      net.Listener
 	receive func(from types.ProcID, f frame)
-	onDown  func(peer types.ProcID, err error)
-	chaos   *Chaos
+	// receiveRef is the zero-copy delivery callback (set via newFabricRef):
+	// the frame's payload aliases body (nil when the frame owns its memory)
+	// and the callee must Release body when the payload is out of use. When
+	// only the legacy receive is set, the fabric deep-copies frames before
+	// delivery so existing consumers keep fully-owned semantics.
+	receiveRef func(from types.ProcID, f frame, body *pool.Buf)
+	onDown     func(peer types.ProcID, err error)
+	chaos      *Chaos
+	// pool feeds the receive path's slab buffers on both engines; its
+	// outstanding count is the transport's buffer-leak detector.
+	pool *pool.Pool
+	// reactor drives established connections from shared epoll loops; nil
+	// means the portable goroutine-per-link engine is in charge.
+	reactor *reactor
+	rstats  reactorStats
 
 	mu     sync.Mutex
 	peers  map[types.ProcID]string
@@ -454,6 +565,31 @@ type fabric struct {
 // a dial fails; it must not block.
 func newFabric(id types.ProcID, addr string, cfg TransportConfig,
 	receive func(types.ProcID, frame), onDown func(types.ProcID, error)) (*fabric, error) {
+	f, err := buildFabric(id, addr, cfg, onDown)
+	if err != nil {
+		return nil, err
+	}
+	f.receive = receive
+	f.start()
+	return f, nil
+}
+
+// newFabricRef is the zero-copy constructor: receive gets frames whose
+// payloads alias the pooled body buffer and owns the obligation to Release
+// it (body may be nil; see fabric.receiveRef).
+func newFabricRef(id types.ProcID, addr string, cfg TransportConfig,
+	receive func(types.ProcID, frame, *pool.Buf), onDown func(types.ProcID, error)) (*fabric, error) {
+	f, err := buildFabric(id, addr, cfg, onDown)
+	if err != nil {
+		return nil, err
+	}
+	f.receiveRef = receive
+	f.start()
+	return f, nil
+}
+
+func buildFabric(id types.ProcID, addr string, cfg TransportConfig,
+	onDown func(types.ProcID, error)) (*fabric, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
@@ -462,17 +598,77 @@ func newFabric(id types.ProcID, addr string, cfg TransportConfig,
 		id:      id,
 		cfg:     cfg.withDefaults(),
 		ln:      ln,
-		receive: receive,
 		onDown:  onDown,
 		chaos:   newChaos(),
+		pool:    pool.New(),
 		peers:   make(map[types.ProcID]string),
 		links:   make(map[types.ProcID]*link),
 		closing: make(chan struct{}),
 	}
 	f.flowCond = sync.NewCond(&f.flowMu)
+	if f.cfg.reactorEnabled() {
+		// A reactor that cannot come up (fd limits, exotic kernels) is not
+		// fatal: the goroutine-per-link engine carries the fabric instead.
+		if r, rerr := newReactor(f, f.cfg.ReactorLoops); rerr == nil {
+			f.reactor = r
+		}
+	}
+	return f, nil
+}
+
+func (f *fabric) start() {
 	f.wg.Add(1)
 	go f.acceptLoop()
-	return f, nil
+	if f.reactor != nil {
+		f.reactor.startLoops()
+	}
+}
+
+// ReactorOn reports which engine drives this fabric's connections.
+func (f *fabric) ReactorOn() bool { return f.reactor != nil }
+
+// PoolStats snapshots the receive-slab pool counters.
+func (f *fabric) PoolStats() pool.Stats { return f.pool.Stats() }
+
+// deliver routes one inbound frame to the fabric's consumer. The zero-copy
+// callback takes the frame as-is plus the body reference; the legacy
+// callback gets a deep copy (and the body is released here), preserving the
+// fully-owned frame semantics older consumers were built on.
+func (f *fabric) deliver(from types.ProcID, fr frame, body *pool.Buf) {
+	if f.receiveRef != nil {
+		f.receiveRef(from, fr, body)
+		return
+	}
+	fr = ownedFrame(fr)
+	if body != nil {
+		body.Release()
+	}
+	f.receive(from, fr)
+}
+
+// ownedFrame rebuilds a borrowed frame (scratch pointers, slab-aliased
+// payload) into one safe to hold indefinitely.
+func ownedFrame(fr frame) frame {
+	if fr.Msg != nil {
+		m := *fr.Msg
+		if len(m.App.Payload) > 0 {
+			m.App.Payload = append([]byte(nil), m.App.Payload...)
+		}
+		fr.Msg = &m
+	}
+	if fr.Notify != nil {
+		n := *fr.Notify
+		fr.Notify = &n
+	}
+	if fr.Attach != nil {
+		a := *fr.Attach
+		fr.Attach = &a
+	}
+	if fr.Credit != nil {
+		c := *fr.Credit
+		fr.Credit = &c
+	}
+	return fr
 }
 
 // Addr returns the fabric's listen address.
@@ -798,15 +994,21 @@ func (f *fabric) linkLocked(q types.ProcID) *link {
 	return l
 }
 
-// outbox returns q's link with its writer goroutine running.
+// outbox returns q's link with its writer engine running: a dedicated
+// writeLoop goroutine on the portable engine, or a reactor-owned rlink whose
+// mailbox wakes the owning event loop.
 func (f *fabric) outbox(q types.ProcID) *link {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	l := f.linkLocked(q)
 	if !l.started && !f.closed {
 		l.started = true
-		f.wg.Add(1)
-		go f.writeLoop(l)
+		if f.reactor != nil {
+			f.reactor.startLink(l)
+		} else {
+			f.wg.Add(1)
+			go f.writeLoop(l)
+		}
 	}
 	return l
 }
@@ -1023,7 +1225,14 @@ func (f *fabric) acceptLoop() {
 			}
 		}
 		f.wg.Add(1)
-		go f.readLoop(conn)
+		if f.reactor != nil {
+			// The reactor takes inbound connections after a short transient
+			// goroutine has read the handshake; established traffic is then
+			// driven entirely by the shared event loops.
+			go f.reactor.acceptInbound(conn)
+		} else {
+			go f.readLoop(conn)
+		}
 	}
 }
 
@@ -1034,6 +1243,7 @@ func (f *fabric) readLoop(conn net.Conn) {
 	defer close(retired)
 	f.watchConn(conn, retired)
 	dec := wire.NewDecoder(conn)
+	dec.UsePool(f.pool)
 	dec.ArmReadDeadline(conn, f.cfg.ReadIdleTimeout)
 	var hello frame
 	if err := dec.Decode(&hello); err != nil {
@@ -1042,13 +1252,17 @@ func (f *fabric) readLoop(conn net.Conn) {
 	from := hello.From
 	for {
 		var fr frame
-		if err := dec.Decode(&fr); err != nil {
+		body, err := dec.DecodeInto(&fr)
+		if err != nil {
 			// A broken inbound stream is link-failure evidence too: the
 			// peer crashed, closed, or went idle past the read deadline.
 			f.linkDown(from, err)
 			return
 		}
 		if f.isClosing() {
+			if body != nil {
+				body.Release()
+			}
 			return
 		}
 		if f.chaos.inboundBlocked(from) {
@@ -1059,13 +1273,19 @@ func (f *fabric) readLoop(conn net.Conn) {
 			if fr.Msg != nil && fr.Msg.Kind == types.KindApp {
 				f.consumedData(from)
 			}
+			if body != nil {
+				body.Release()
+			}
 			continue
 		}
 		if fr.Credit != nil {
 			f.handleCredit(from, int64(fr.Credit.Grant))
+			if body != nil {
+				body.Release()
+			}
 			continue
 		}
-		f.receive(from, fr)
+		f.deliver(from, fr, body)
 	}
 }
 
@@ -1082,6 +1302,9 @@ func (f *fabric) Close() {
 		}
 		f.mu.Unlock()
 		f.flowBroadcast() // release senders parked on credit or budget
+		if f.reactor != nil {
+			f.reactor.shutdown() // wake every event loop so it can exit
+		}
 	})
 	f.wg.Wait()
 }

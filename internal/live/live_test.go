@@ -249,6 +249,34 @@ func (w *liveWorld) close() {
 	for _, sn := range w.servers {
 		sn.Close()
 	}
+	w.checkPoolLeaks()
+}
+
+// checkPoolLeaks asserts that every process returned all pooled receive
+// buffers after Close: a nonzero outstanding count means a frame body (or a
+// staging slab) was delivered without a matching Release.
+func (w *liveWorld) checkPoolLeaks() {
+	w.t.Helper()
+	check := func(kind string, id types.ProcID, f *fabric) {
+		// Close has joined every loop, so the count is already final; the
+		// brief poll only absorbs pump goroutines that Close let finish.
+		var n int64
+		for deadline := time.Now().Add(time.Second); ; {
+			if n = f.PoolStats().Outstanding; n == 0 || !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if n != 0 {
+			w.t.Errorf("%s %s: %d pooled buffers still outstanding after Close (leaked reference)", kind, id, n)
+		}
+	}
+	for cid, node := range w.clients {
+		check("client", cid, node.fabric)
+	}
+	for _, sn := range w.servers {
+		check("server", sn.id, sn.fabric)
+	}
 }
 
 func TestLiveTCPEndToEnd(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"vsgm/internal/obs"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
+	"vsgm/internal/wire/pool"
 )
 
 // ErrOverloaded is TrySend's fast-fail: a destination's credit window is
@@ -249,7 +250,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if len(n.homeList) > 0 {
 		n.epoch = 1
 	}
-	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
+	f, err := newFabricRef(cfg.ID, cfg.Addr, cfg.Transport, n.receiveRef, n.linkDown)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +332,8 @@ func (n *Node) registerObs() {
 			{Name: "vsgm_node_mem_bytes", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: float64(bufBytes + n.fabric.QueuedBytes())},
 			{Name: "vsgm_node_overloaded", Kind: obs.KindGauge, Labels: []obs.Label{nodeLabel}, Value: overloaded},
 		}
-		return append(samples, linkSamples(nodeLabel, n.fabric.Stats())...)
+		samples = append(samples, linkSamples(nodeLabel, n.fabric.Stats())...)
+		return append(samples, reactorSamples(nodeLabel, n.fabric)...)
 	})
 	n.obs.RegisterStatus("node/"+string(n.id), func() any { return n.Stats() })
 	n.obs.SetHelp("vsgm_endpoint_views_installed_total", "Views delivered to the application.")
@@ -341,6 +343,16 @@ func (n *Node) registerObs() {
 	n.obs.SetHelp("vsgm_endpoint_buffered_bytes", "Payload bytes resident across the endpoint's message buffers.")
 	n.obs.SetHelp("vsgm_node_mem_bytes", "Bytes governed by the memory budget: transport queues plus message buffers.")
 	n.obs.SetHelp("vsgm_node_overloaded", "1 while the memory-budget hysteresis latch is shut.")
+	n.obs.SetHelp("vsgm_reactor_enabled", "1 when the epoll reactor drives this process's transport, 0 on the goroutine-per-link engine.")
+	n.obs.SetHelp("vsgm_reactor_wakeups_total", "Event-loop wakeups with at least one ready descriptor.")
+	n.obs.SetHelp("vsgm_reactor_events_total", "Readiness events dispatched across all event loops (events/wakeups is the loop batching depth).")
+	n.obs.SetHelp("vsgm_reactor_frames_in_total", "Frames decoded by the reactor receive path (frames/wakeups is frames per wakeup).")
+	n.obs.SetHelp("vsgm_reactor_bytes_in_total", "Stream bytes read by the reactor receive path.")
+	n.obs.SetHelp("vsgm_reactor_writes_total", "Coalesced write syscalls issued by the reactor.")
+	n.obs.SetHelp("vsgm_pool_gets_total", "Buffer requests served by the transport slab pool.")
+	n.obs.SetHelp("vsgm_pool_hits_total", "Pool requests satisfied from a free ring (hits/gets is the recycle ratio).")
+	n.obs.SetHelp("vsgm_pool_misses_total", "Pool requests that had to allocate fresh slabs.")
+	n.obs.SetHelp("vsgm_pool_outstanding", "Pooled buffers currently on loan; must return to zero at rest.")
 }
 
 // linkSamples aggregates per-peer LinkStats into process-level counters.
@@ -382,6 +394,35 @@ func linkSamples(owner obs.Label, links map[types.ProcID]LinkStats) []obs.Sample
 		c("vsgm_link_credit_frames_total", agg.CreditFrames),
 		c("vsgm_link_window_exhausted_total", agg.WindowExhausted),
 		c("vsgm_link_heartbeats_coalesced_total", agg.HeartbeatsCoalesced),
+	}
+}
+
+// reactorSamples exposes the transport engine's receive-path health: which
+// engine is running, how busy the event loops are (frames per wakeup is
+// frames_in/wakeups), and how the slab pool is performing (hit ratio is
+// hits/gets; outstanding counts buffers currently on loan, which must drain
+// to zero at rest — a plateau is a leak).
+func reactorSamples(owner obs.Label, f *fabric) []obs.Sample {
+	c := func(name string, kind obs.MetricKind, v float64) obs.Sample {
+		return obs.Sample{Name: name, Kind: kind, Labels: []obs.Label{owner}, Value: v}
+	}
+	enabled := float64(0)
+	if f.ReactorOn() {
+		enabled = 1
+	}
+	ps := f.PoolStats()
+	rs := &f.rstats
+	return []obs.Sample{
+		c("vsgm_reactor_enabled", obs.KindGauge, enabled),
+		c("vsgm_reactor_wakeups_total", obs.KindCounter, float64(rs.wakeups.Load())),
+		c("vsgm_reactor_events_total", obs.KindCounter, float64(rs.events.Load())),
+		c("vsgm_reactor_frames_in_total", obs.KindCounter, float64(rs.framesIn.Load())),
+		c("vsgm_reactor_bytes_in_total", obs.KindCounter, float64(rs.bytesIn.Load())),
+		c("vsgm_reactor_writes_total", obs.KindCounter, float64(rs.writes.Load())),
+		c("vsgm_pool_gets_total", obs.KindCounter, float64(ps.Gets)),
+		c("vsgm_pool_hits_total", obs.KindCounter, float64(ps.Hits)),
+		c("vsgm_pool_misses_total", obs.KindCounter, float64(ps.Misses)),
+		c("vsgm_pool_outstanding", obs.KindGauge, float64(ps.Outstanding)),
 	}
 }
 
@@ -682,6 +723,17 @@ func (n *Node) CurrentView() types.View {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.ep.CurrentView()
+}
+
+// receiveRef is the zero-copy receive entry point: fr's payloads may alias
+// body, a pooled network buffer this method owns. Processing is synchronous
+// — everything the protocol retains is copied at its single retention point
+// (msgBuf.set) — so the buffer is recycled as soon as receive returns.
+func (n *Node) receiveRef(from types.ProcID, fr frame, body *pool.Buf) {
+	n.receive(from, fr)
+	if body != nil {
+		body.Release()
+	}
 }
 
 // receive handles one inbound frame from the fabric.

@@ -8,6 +8,7 @@ import (
 	"vsgm/internal/obs"
 	"vsgm/internal/types"
 	"vsgm/internal/wire"
+	"vsgm/internal/wire/pool"
 )
 
 // ServerConfig parameterizes a live membership server.
@@ -169,7 +170,7 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 			return nil, err
 		}
 	}
-	f, err := newFabric(cfg.ID, cfg.Addr, cfg.Transport, n.receive, n.linkDown)
+	f, err := newFabricRef(cfg.ID, cfg.Addr, cfg.Transport, n.receiveRef, n.linkDown)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +248,8 @@ func (n *ServerNode) registerObs() {
 			{Name: "vsgm_server_attempts_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(attempts)},
 			{Name: "vsgm_server_views_delivered_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(views)},
 		}
-		return append(samples, linkSamples(serverLabel, n.fabric.Stats())...)
+		samples = append(samples, linkSamples(serverLabel, n.fabric.Stats())...)
+		return append(samples, reactorSamples(serverLabel, n.fabric)...)
 	})
 	n.obs.RegisterStatus("server/"+string(n.id), func() any { return n.Stats() })
 	n.obs.SetHelp("vsgm_server_clients", "Local clients currently registered.")
@@ -383,6 +385,16 @@ func (n *ServerNode) Reconfigure() {
 // the bytes, never blocking on the network.
 func (n *ServerNode) notify(p types.ProcID, notif membership.Notification) {
 	n.fabric.SendNotify(p, notif)
+}
+
+// receiveRef is the zero-copy receive entry point: fr's payloads may alias
+// body, a pooled network buffer released once the synchronous handlers
+// return (the server core copies anything it retains).
+func (n *ServerNode) receiveRef(from types.ProcID, fr frame, body *pool.Buf) {
+	n.receive(from, fr)
+	if body != nil {
+		body.Release()
+	}
 }
 
 // receive handles an inbound frame: attach-protocol frames from clients,

@@ -13,6 +13,7 @@ import (
 
 	"vsgm/internal/membership"
 	"vsgm/internal/types"
+	"vsgm/internal/wire/pool"
 )
 
 // Frame is the live transport's unit: a sender identifier plus either a
@@ -86,6 +87,10 @@ const (
 	maxFrameSize = 16 << 20
 )
 
+// MaxFrameSize is the transport's frame size bound, exported for readers
+// that parse the length-prefixed stream themselves (the live reactor).
+const MaxFrameSize = maxFrameSize
+
 // ErrFrameTooLarge reports a frame exceeding the transport bound.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
 
@@ -150,111 +155,107 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	return w.b, nil
 }
 
-// UnmarshalFrame decodes a frame.
+// UnmarshalFrame decodes a frame into fully owned storage.
 func UnmarshalFrame(b []byte) (Frame, error) {
-	r := &reader{b: b}
-	from, err := r.id()
-	if err != nil {
+	var f Frame
+	if err := unmarshalFrameInto(b, &f, nil, false); err != nil {
 		return Frame{}, err
 	}
-	f := Frame{From: from}
-	tag, err := r.u8()
+	return f, nil
+}
+
+// UnmarshalFrameBorrow decodes a frame body zero-copy: byte-slice fields of
+// f alias b, and with st non-nil the pointer fields are st's reusable
+// scratch. The caller owns b's lifetime and must treat f as invalid after
+// the next decode through the same state. This is the batch-receive entry
+// point for readers (the live reactor) that assemble frames from the stream
+// themselves instead of going through Decoder.
+func UnmarshalFrameBorrow(b []byte, f *Frame, st *DecodeState) error {
+	return unmarshalFrameInto(b, f, st, true)
+}
+
+func errUnknownFrameTag(tag uint8) error {
+	return fmt.Errorf("wire: unknown frame tag %d", tag)
+}
+
+// readNotifyInto decodes one notification frame body into ntf (fully
+// overwritten).
+func readNotifyInto(r *reader, ntf *membership.Notification) error {
+	kind, err := r.u8()
 	if err != nil {
-		return Frame{}, err
+		return err
 	}
-	switch tag {
-	case frameHandshake:
-		return f, nil
-	case frameMsg:
-		m, err := readMsg(r)
-		if err != nil {
-			return Frame{}, err
-		}
-		f.Msg = &m
-		return f, nil
-	case frameNotify:
-		kind, err := r.u8()
-		if err != nil {
-			return Frame{}, err
-		}
-		switch kind {
-		case notifyStartChange:
-			cid, err := r.u64()
-			if err != nil {
-				return Frame{}, err
-			}
-			set, err := r.procSet()
-			if err != nil {
-				return Frame{}, err
-			}
-			trace, err := r.u64()
-			if err != nil {
-				return Frame{}, err
-			}
-			f.Notify = &membership.Notification{
-				Kind:        membership.NotifyStartChange,
-				StartChange: types.StartChange{ID: types.StartChangeID(cid), Set: set, Trace: trace},
-				Trace:       trace,
-			}
-			return f, nil
-		case notifyView:
-			v, err := r.view()
-			if err != nil {
-				return Frame{}, err
-			}
-			trace, err := r.u64()
-			if err != nil {
-				return Frame{}, err
-			}
-			f.Notify = &membership.Notification{Kind: membership.NotifyView, View: v, Trace: trace}
-			return f, nil
-		default:
-			return Frame{}, fmt.Errorf("wire: unknown notification tag %d", kind)
-		}
-	case frameAttach:
-		kind, err := r.u8()
-		if err != nil {
-			return Frame{}, err
-		}
-		switch AttachKind(kind) {
-		case AttachRequest, AttachAck, AttachDetach, AttachSuspect:
-		default:
-			return Frame{}, fmt.Errorf("wire: unknown attach tag %d", kind)
-		}
-		client, err := r.id()
-		if err != nil {
-			return Frame{}, err
-		}
-		epoch, err := r.u64()
-		if err != nil {
-			return Frame{}, err
-		}
+	switch kind {
+	case notifyStartChange:
 		cid, err := r.u64()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
-		vid, err := r.u64()
+		set, err := r.procSet()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
-		f.Attach = &Attach{
-			Kind:   AttachKind(kind),
-			Client: client,
-			Epoch:  int64(epoch),
-			CID:    types.StartChangeID(cid),
-			Vid:    types.ViewID(vid),
-		}
-		return f, nil
-	case frameCredit:
-		grant, err := r.u64()
+		trace, err := r.u64()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
-		f.Credit = &Credit{Grant: grant}
-		return f, nil
+		*ntf = membership.Notification{
+			Kind:        membership.NotifyStartChange,
+			StartChange: types.StartChange{ID: types.StartChangeID(cid), Set: set, Trace: trace},
+			Trace:       trace,
+		}
+		return nil
+	case notifyView:
+		v, err := r.view()
+		if err != nil {
+			return err
+		}
+		trace, err := r.u64()
+		if err != nil {
+			return err
+		}
+		*ntf = membership.Notification{Kind: membership.NotifyView, View: v, Trace: trace}
+		return nil
 	default:
-		return Frame{}, fmt.Errorf("wire: unknown frame tag %d", tag)
+		return fmt.Errorf("wire: unknown notification tag %d", kind)
 	}
+}
+
+// readAttachInto decodes one attach frame body into a (fully overwritten).
+func readAttachInto(r *reader, a *Attach) error {
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch AttachKind(kind) {
+	case AttachRequest, AttachAck, AttachDetach, AttachSuspect:
+	default:
+		return fmt.Errorf("wire: unknown attach tag %d", kind)
+	}
+	client, err := r.id()
+	if err != nil {
+		return err
+	}
+	epoch, err := r.u64()
+	if err != nil {
+		return err
+	}
+	cid, err := r.u64()
+	if err != nil {
+		return err
+	}
+	vid, err := r.u64()
+	if err != nil {
+		return err
+	}
+	*a = Attach{
+		Kind:   AttachKind(kind),
+		Client: client,
+		Epoch:  int64(epoch),
+		CID:    types.StartChangeID(cid),
+		Vid:    types.ViewID(vid),
+	}
+	return nil
 }
 
 // FrameBuf is a pooled, reference-counted encoded frame. EncodeFrame returns
@@ -483,9 +484,13 @@ func (e *Encoder) EncodeBatch(frames [][]byte, maxBytes int) (sent, flushes int,
 type Decoder struct {
 	r   *bufio.Reader
 	buf bytes.Buffer
+	hdr [4]byte // length-prefix scratch; a local would escape through io.ReadFull
 
 	dl        ReadDeadliner
 	dlTimeout time.Duration
+
+	pool *pool.Pool
+	st   *DecodeState
 }
 
 // NewDecoder wraps r.
@@ -495,9 +500,29 @@ func NewDecoder(r io.Reader) *Decoder {
 
 // ArmReadDeadline makes every subsequent Decode arm a read deadline of
 // timeout on c before blocking, turning a silent peer into a timeout error
-// after at most timeout of idleness. A non-positive timeout disarms.
+// after at most timeout of idleness. The deadline is re-armed per read leg
+// (header, then body), so each leg must individually make progress to
+// completion within timeout; a peer trickling a frame body cannot stretch
+// one frame past two timeouts. A non-positive timeout disarms.
 func (d *Decoder) ArmReadDeadline(c ReadDeadliner, timeout time.Duration) {
 	d.dl, d.dlTimeout = c, timeout
+}
+
+// armLeg (re-)arms the read deadline ahead of one read leg.
+func (d *Decoder) armLeg() error {
+	if d.dl != nil && d.dlTimeout > 0 {
+		return d.dl.SetReadDeadline(time.Now().Add(d.dlTimeout))
+	}
+	return nil
+}
+
+// UsePool attaches a slab pool to the decoder and allocates the per-stream
+// DecodeState that makes DecodeInto zero-copy: frame bodies land in pooled
+// slabs, payloads alias them, and repeated identifiers/views decode through
+// intern tables.
+func (d *Decoder) UsePool(p *pool.Pool) {
+	d.pool = p
+	d.st = NewDecodeState()
 }
 
 // initialBodyAlloc caps the up-front buffer reservation per frame; larger
@@ -505,20 +530,34 @@ func (d *Decoder) ArmReadDeadline(c ReadDeadliner, timeout time.Duration) {
 // prefix cannot force a large allocation on its own.
 const initialBodyAlloc = 64 << 10
 
-// Decode reads one frame.
+// Decode reads one frame into fully owned storage.
 func (d *Decoder) Decode(f *Frame) error {
-	if d.dl != nil && d.dlTimeout > 0 {
-		if err := d.dl.SetReadDeadline(time.Now().Add(d.dlTimeout)); err != nil {
-			return err
-		}
-	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+	if err := d.armLeg(); err != nil {
 		return err
 	}
-	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return err
+	}
+	n := int(d.hdr[0])<<24 | int(d.hdr[1])<<16 | int(d.hdr[2])<<8 | int(d.hdr[3])
 	if n > maxFrameSize {
 		return ErrFrameTooLarge
+	}
+	if err := d.readBodyCopy(n); err != nil {
+		return err
+	}
+	got, err := UnmarshalFrame(d.buf.Bytes())
+	if err != nil {
+		return err
+	}
+	*f = got
+	return nil
+}
+
+// readBodyCopy reads an n-byte frame body into the decoder's own buffer,
+// growing it only as bytes actually arrive.
+func (d *Decoder) readBodyCopy(n int) error {
+	if err := d.armLeg(); err != nil {
+		return err
 	}
 	d.buf.Reset()
 	d.buf.Grow(min(n, initialBodyAlloc))
@@ -528,10 +567,52 @@ func (d *Decoder) Decode(f *Frame) error {
 		}
 		return err
 	}
-	got, err := UnmarshalFrame(d.buf.Bytes())
-	if err != nil {
-		return err
-	}
-	*f = got
 	return nil
+}
+
+// DecodeInto reads one frame through the zero-copy path: the body lands in a
+// pooled slab, byte-slice fields of f alias it, and f's pointer fields are
+// the decoder's reusable scratch. The returned buffer backs the frame — the
+// caller must Release it (once per retained reference) when the frame's
+// payload is no longer in use, and must treat the frame as invalid after the
+// next DecodeInto on this decoder.
+//
+// A nil buffer with a nil error means the frame was decoded through the
+// copying path instead (no pool attached, or a body too large to pool) and f
+// is fully owned except for its scratch pointer fields.
+func (d *Decoder) DecodeInto(f *Frame) (*pool.Buf, error) {
+	if err := d.armLeg(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(d.hdr[0])<<24 | int(d.hdr[1])<<16 | int(d.hdr[2])<<8 | int(d.hdr[3])
+	if n > maxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if d.pool == nil || n > pool.MaxSlab {
+		// Copying fallback: oversized bodies grow as bytes arrive so a
+		// hostile length prefix cannot force a 16 MiB allocation up front.
+		if err := d.readBodyCopy(n); err != nil {
+			return nil, err
+		}
+		return nil, unmarshalFrameInto(d.buf.Bytes(), f, d.st, false)
+	}
+	if err := d.armLeg(); err != nil {
+		return nil, err
+	}
+	buf := d.pool.Get(n)
+	if _, err := io.ReadFull(d.r, buf.B()); err != nil {
+		buf.Release()
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if err := unmarshalFrameInto(buf.B(), f, d.st, true); err != nil {
+		buf.Release()
+		return nil, err
+	}
+	return buf, nil
 }

@@ -1,0 +1,201 @@
+// Package pool provides the transport's receive-side memory: a size-classed
+// slab allocator handing out reference-counted byte buffers through small
+// rings of reusable slabs. The reactor (and the fallback per-link reader)
+// read many frames per wakeup into one pooled slab; every decoded frame that
+// aliases the slab holds a reference, and the final release returns the slab
+// to its ring instead of the garbage collector. Misuse is loud: releasing a
+// buffer more often than it was retained panics with a diagnostic, and the
+// pool keeps an outstanding count so tests can assert that every buffer
+// checked out during a run came back.
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from minClass to maxClass. A Get larger
+// than the top class is served by a plain allocation that is never pooled
+// (occasional giant frames must not pin huge arrays in the rings).
+const (
+	minClassBits = 9  // 512 B
+	maxClassBits = 17 // 128 KiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// MaxSlab is the largest pooled buffer size; Gets beyond it are exact,
+// unpooled allocations. Callers that want hostile length prefixes to pay as
+// bytes arrive (rather than up-front) should switch to an incremental path
+// above this bound.
+const MaxSlab = 1 << maxClassBits
+
+// ringCap bounds each class's ring: at most this many free slabs are
+// retained per class; further releases fall through to the GC.
+const ringCap = 64
+
+// Buf is one reference-counted pooled buffer. A Get returns a Buf holding a
+// single reference; every additional consumer Retains before use and every
+// consumer Releases exactly once. The final Release recycles the slab, after
+// which B's contents must no longer be read.
+type Buf struct {
+	b     []byte
+	refs  atomic.Int32
+	pool  *Pool
+	class int8 // -1: oversized, never pooled
+}
+
+// B returns the buffer's bytes (length as set by Get or Resize).
+func (b *Buf) B() []byte { return b.b }
+
+// Cap returns the slab's capacity.
+func (b *Buf) Cap() int { return cap(b.b) }
+
+// Resize sets the buffer's visible length to n, which must fit the slab.
+func (b *Buf) Resize(n int) {
+	if n > cap(b.b) {
+		panic(fmt.Sprintf("pool: Resize(%d) beyond slab capacity %d", n, cap(b.b)))
+	}
+	b.b = b.b[:n]
+}
+
+// Refs returns the current reference count (diagnostic; racy by nature).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+// Retain adds n references on behalf of additional consumers.
+func (b *Buf) Retain(n int32) {
+	if v := b.refs.Add(n); v-n <= 0 {
+		panic(fmt.Sprintf("pool: Retain(%d) on a released Buf (refs now %d)", n, v))
+	}
+}
+
+// Release drops one reference; the final one returns the slab to its ring.
+// Releasing more than was retained panics: a double release means some
+// consumer is still reading memory the pool is about to hand to another
+// connection, and that must fail loudly, not corrupt frames.
+func (b *Buf) Release() {
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+	case n == 0:
+		p := b.pool
+		p.outstanding.Add(-1)
+		if b.class >= 0 {
+			p.rings[b.class].put(b)
+		}
+	default:
+		panic(fmt.Sprintf("pool: Buf over-released (refs %d): double Release, or Release after the final one recycled the slab", n))
+	}
+}
+
+// ring is a bounded LIFO free list of slabs for one size class. LIFO keeps
+// recently used (cache-warm) slabs circulating and lets the cold tail be
+// dropped when the ring overflows.
+type ring struct {
+	mu   sync.Mutex
+	free []*Buf
+}
+
+func (r *ring) get() *Buf {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		b := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (r *ring) put(b *Buf) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.free) < ringCap {
+		r.free = append(r.free, b)
+	}
+	// Overflow: drop to the GC; the slab's backing array is simply garbage.
+}
+
+// Stats is a snapshot of a pool's counters.
+type Stats struct {
+	// Gets counts buffers checked out; Hits the ones served from a ring,
+	// Misses the ones freshly allocated (including oversized one-offs).
+	Gets   int64 `json:"gets"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Outstanding is the number of buffers currently checked out (Gets
+	// minus final Releases) — nonzero after shutdown means a leak.
+	Outstanding int64 `json:"outstanding"`
+}
+
+// Pool is a size-classed slab allocator. The zero value is not usable; use
+// New.
+type Pool struct {
+	rings       [numClasses]*ring
+	gets        atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	outstanding atomic.Int64
+}
+
+// New returns an empty pool; slabs are allocated on demand and recycled
+// through per-class rings.
+func New() *Pool {
+	p := &Pool{}
+	for i := range p.rings {
+		p.rings[i] = &ring{}
+	}
+	return p
+}
+
+// classFor returns the smallest class index whose slab holds n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minClassBits+c) {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer of length n (capacity rounded up to the size class),
+// holding one reference. Buffers beyond the largest class are allocated
+// exactly and never pooled.
+func (p *Pool) Get(n int) *Buf {
+	p.gets.Add(1)
+	p.outstanding.Add(1)
+	class := classFor(n)
+	if class < 0 {
+		p.misses.Add(1)
+		b := &Buf{b: make([]byte, n), pool: p, class: -1}
+		b.refs.Store(1)
+		return b
+	}
+	if b := p.rings[class].get(); b != nil {
+		p.hits.Add(1)
+		b.b = b.b[:n]
+		b.refs.Store(1)
+		return b
+	}
+	p.misses.Add(1)
+	b := &Buf{b: make([]byte, n, 1<<(minClassBits+class)), pool: p, class: int8(class)}
+	b.refs.Store(1)
+	return b
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:        p.gets.Load(),
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+}
+
+// Outstanding is the number of buffers currently checked out. Zero after a
+// clean shutdown; anything else is a leaked reference.
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }

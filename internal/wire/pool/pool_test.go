@@ -1,0 +1,127 @@
+package pool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClassRounding(t *testing.T) {
+	p := New()
+	cases := []struct{ n, wantCap int }{
+		{1, 512}, {512, 512}, {513, 1024}, {4096, 4096},
+		{64 << 10, 64 << 10}, {128 << 10, 128 << 10},
+	}
+	for _, c := range cases {
+		b := p.Get(c.n)
+		if len(b.B()) != c.n || b.Cap() != c.wantCap {
+			t.Errorf("Get(%d): len=%d cap=%d, want len=%d cap=%d", c.n, len(b.B()), b.Cap(), c.n, c.wantCap)
+		}
+		b.Release()
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after releases = %d, want 0", got)
+	}
+}
+
+func TestOversizedNeverPooled(t *testing.T) {
+	p := New()
+	b := p.Get((128 << 10) + 1)
+	if b.class != -1 {
+		t.Fatalf("oversized buf got class %d, want -1", b.class)
+	}
+	b.Release()
+	s := p.Stats()
+	if s.Hits != 0 || s.Misses != 1 || s.Outstanding != 0 {
+		t.Fatalf("stats after oversized cycle: %+v", s)
+	}
+}
+
+func TestRingReuseAndStats(t *testing.T) {
+	p := New()
+	b := p.Get(1000)
+	first := &b.B()[:1][0]
+	b.Release()
+	b2 := p.Get(900) // same class: must come back from the ring
+	if &b2.B()[:1][0] != first {
+		t.Fatal("second Get of the same class did not reuse the released slab")
+	}
+	b2.Release()
+	s := p.Stats()
+	if s.Gets != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want gets=2 hits=1 misses=1", s)
+	}
+}
+
+func TestRetainRelease(t *testing.T) {
+	p := New()
+	b := p.Get(100)
+	b.Retain(2) // three consumers total
+	b.Release()
+	b.Release()
+	if p.Outstanding() != 1 {
+		t.Fatalf("outstanding with one ref left = %d, want 1", p.Outstanding())
+	}
+	b.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding after final release = %d, want 0", p.Outstanding())
+	}
+}
+
+// TestDoubleReleasePanics pins the misuse guard: a release beyond the last
+// reference must panic with a diagnostic naming the pool, not silently
+// corrupt a recycled slab.
+func TestDoubleReleasePanics(t *testing.T) {
+	p := New()
+	b := p.Get((128 << 10) + 1) // oversized: final release does not re-ring it
+	b.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Release did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "over-released") {
+			t.Fatalf("double Release panic = %v, want an over-released diagnostic", r)
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	p := New()
+	b := p.Get((128 << 10) + 1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain on a fully released Buf did not panic")
+		}
+	}()
+	b.Retain(1)
+}
+
+// TestConcurrentChurn hammers Get/Retain/Release from many goroutines; run
+// under -race this is the pool's memory-model check.
+func TestConcurrentChurn(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := p.Get(64 + (seed+i)%4000)
+				b.B()[0] = byte(i)
+				b.Retain(1)
+				b.Release()
+				if b.B()[0] != byte(i) {
+					t.Error("slab mutated while referenced")
+				}
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding after churn = %d, want 0", p.Outstanding())
+	}
+}

@@ -62,9 +62,14 @@ func (w *buffer) bytes(b []byte) error {
 	return nil
 }
 
-// reader is the matching decoder.
+// reader is the matching decoder. A reader with a DecodeState attached
+// interns repeated identifiers and views; with alias set, byte-slice fields
+// are returned as subslices of the input instead of copies (the caller then
+// owns the input's lifetime).
 type reader struct {
-	b []byte
+	b     []byte
+	st    *DecodeState
+	alias bool
 }
 
 func (r *reader) take(n int) ([]byte, error) {
@@ -122,6 +127,9 @@ func (r *reader) id() (types.ProcID, error) {
 	if err != nil {
 		return "", err
 	}
+	if r.st != nil {
+		return r.st.internID(b), nil
+	}
 	return types.ProcID(b), nil
 }
 
@@ -133,6 +141,9 @@ func (r *reader) bytes() ([]byte, error) {
 	b, err := r.take(int(n))
 	if err != nil {
 		return nil, err
+	}
+	if r.alias {
+		return b[:len(b):len(b)], nil
 	}
 	return append([]byte(nil), b...), nil
 }
@@ -418,105 +429,118 @@ func UnmarshalMsg(b []byte) (types.WireMsg, []byte, error) {
 }
 
 func readMsg(r *reader) (types.WireMsg, error) {
+	var m types.WireMsg
+	err := readMsgInto(r, &m)
+	return m, err
+}
+
+// readMsgInto decodes one message into m, which is fully overwritten — the
+// scratch-reuse entry point for the zero-copy receive path. The KindApp
+// history view goes through the reader's view-intern cache (when one is
+// attached): the receive side of the core endpoint never reads HistView (it
+// delivers against its own installed view), so in steady state the one
+// structure that would otherwise dominate per-frame allocation decodes to a
+// cache hit.
+func readMsgInto(r *reader, m *types.WireMsg) error {
 	kind, err := r.u8()
 	if err != nil {
-		return types.WireMsg{}, err
+		return err
 	}
-	m := types.WireMsg{Kind: types.MsgKind(kind)}
+	*m = types.WireMsg{Kind: types.MsgKind(kind)}
 	switch m.Kind {
 	case types.KindView:
 		m.View, err = r.view()
-		return m, err
+		return err
 	case types.KindApp:
 		if m.App, err = r.appMsg(); err != nil {
-			return m, err
+			return err
 		}
-		if m.HistView, err = r.view(); err != nil {
-			return m, err
+		if m.HistView, err = r.viewCached(); err != nil {
+			return err
 		}
 		idx, err := r.u64()
 		m.HistIndex = int(idx)
-		return m, err
+		return err
 	case types.KindFwd:
 		if m.App, err = r.appMsg(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Origin, err = r.id(); err != nil {
-			return m, err
+			return err
 		}
 		if m.View, err = r.view(); err != nil {
-			return m, err
+			return err
 		}
 		idx, err := r.u64()
 		m.Index = int(idx)
-		return m, err
+		return err
 	case types.KindSync:
 		cid, err := r.u64()
 		if err != nil {
-			return m, err
+			return err
 		}
 		m.CID = types.StartChangeID(cid)
 		if m.Trace, err = r.u64(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Small, err = r.bool(); err != nil {
-			return m, err
+			return err
 		}
 		if m.ElideView, err = r.bool(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Probe, err = r.bool(); err != nil {
-			return m, err
+			return err
 		}
 		if m.View, err = r.view(); err != nil {
-			return m, err
+			return err
 		}
 		m.Cut, err = r.cut()
-		return m, err
+		return err
 	case types.KindAck:
 		m.Cut, err = r.cut()
-		return m, err
+		return err
 	case types.KindHeartbeat:
-		return m, nil
+		return nil
 	case types.KindPropose:
 		m.View, err = r.view()
-		return m, err
+		return err
 	case types.KindMembProposal:
 		prop := &types.MembProposal{Clients: make(map[types.ProcID]types.StartChangeID)}
 		attempt, err := r.u64()
 		if err != nil {
-			return m, err
+			return err
 		}
 		prop.Attempt = int64(attempt)
 		minVid, err := r.u64()
 		if err != nil {
-			return m, err
+			return err
 		}
 		prop.MinVid = types.ViewID(minVid)
 		if prop.Trace, err = r.u64(); err != nil {
-			return m, err
+			return err
 		}
 		if prop.Servers, err = r.procSet(); err != nil {
-			return m, err
+			return err
 		}
 		n, err := r.u32()
 		if err != nil {
-			return m, err
+			return err
 		}
 		for i := uint32(0); i < n; i++ {
 			p, err := r.id()
 			if err != nil {
-				return m, err
+				return err
 			}
 			cid, err := r.u64()
 			if err != nil {
-				return m, err
+				return err
 			}
 			prop.Clients[p] = types.StartChangeID(cid)
 		}
 		ne, err := r.u32()
 		if err != nil {
-			return m, err
+			return err
 		}
 		if ne > 0 {
 			prop.Epochs = make(map[types.ProcID]int64, ne)
@@ -524,30 +548,30 @@ func readMsg(r *reader) (types.WireMsg, error) {
 		for i := uint32(0); i < ne; i++ {
 			p, err := r.id()
 			if err != nil {
-				return m, err
+				return err
 			}
 			e, err := r.u64()
 			if err != nil {
-				return m, err
+				return err
 			}
 			prop.Epochs[p] = int64(e)
 		}
 		m.MembProp = prop
-		return m, nil
+		return nil
 	case types.KindSyncBundle:
 		n, err := r.u32()
 		if err != nil {
-			return m, err
+			return err
 		}
 		for i := uint32(0); i < n; i++ {
 			e, err := r.syncEntry()
 			if err != nil {
-				return m, err
+				return err
 			}
 			m.Bundle = append(m.Bundle, e)
 		}
-		return m, nil
+		return nil
 	default:
-		return m, fmt.Errorf("wire: unknown message kind %d", kind)
+		return fmt.Errorf("wire: unknown message kind %d", kind)
 	}
 }

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"vsgm/internal/types"
+	"vsgm/internal/wire/pool"
+)
+
+func testAppFrame(t testing.TB, payload []byte) Frame {
+	t.Helper()
+	members := types.NewProcSet()
+	start := map[types.ProcID]types.StartChangeID{}
+	for i, p := range []types.ProcID{"s1", "s2", "c-alpha"} {
+		members.Add(p)
+		start[p] = types.StartChangeID(i + 1)
+	}
+	v := types.NewView(7, members, start)
+	return Frame{
+		From: "c-alpha",
+		Msg: &types.WireMsg{
+			Kind:      types.KindApp,
+			App:       types.AppMsg{ID: 42, Payload: payload},
+			HistView:  v,
+			HistIndex: 5,
+		},
+	}
+}
+
+// frameStream returns n copies of f's on-the-wire encoding (length prefix +
+// body) concatenated.
+func frameStream(t testing.TB, f Frame, n int) []byte {
+	t.Helper()
+	body, err := MarshalFrame(f)
+	if err != nil {
+		t.Fatalf("MarshalFrame: %v", err)
+	}
+	var s bytes.Buffer
+	for i := 0; i < n; i++ {
+		s.Write([]byte{byte(len(body) >> 24), byte(len(body) >> 16), byte(len(body) >> 8), byte(len(body))})
+		s.Write(body)
+	}
+	return s.Bytes()
+}
+
+// sliceWithin reports whether sub's backing memory lies inside outer's.
+func sliceWithin(sub, outer []byte) bool {
+	if len(sub) == 0 || len(outer) == 0 {
+		return false
+	}
+	for i := range outer {
+		if &outer[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDecodeIntoAliasesPooledSlab pins the zero-copy contract: the decoded
+// application payload must be a window into the returned pooled slab, not a
+// copy, and releasing the slab must return it to the pool.
+func TestDecodeIntoAliasesPooledSlab(t *testing.T) {
+	p := pool.New()
+	payload := bytes.Repeat([]byte("zc"), 600)
+	f := testAppFrame(t, payload)
+	d := NewDecoder(bytes.NewReader(frameStream(t, f, 1)))
+	d.UsePool(p)
+
+	var got Frame
+	buf, err := d.DecodeInto(&got)
+	if err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	if buf == nil {
+		t.Fatal("DecodeInto returned a nil Buf on the pooled path")
+	}
+	if got.Msg == nil || !bytes.Equal(got.Msg.App.Payload, payload) {
+		t.Fatal("decoded payload mismatch")
+	}
+	if !sliceWithin(got.Msg.App.Payload, buf.B()) {
+		t.Fatal("payload does not alias the pooled slab: the receive path copied")
+	}
+	if got.From != f.From || got.Msg.App.ID != 42 || got.Msg.HistView.ID != 7 {
+		t.Fatalf("frame fields mismatch: %+v", got)
+	}
+	buf.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding after release = %d, want 0", p.Outstanding())
+	}
+}
+
+// TestDecodeIntoScratchReuse pins the borrow contract: successive DecodeInto
+// calls reuse the same scratch Msg, so receivers must copy what they keep —
+// and in exchange pay no per-frame allocation for the pointer fields.
+func TestDecodeIntoScratchReuse(t *testing.T) {
+	p := pool.New()
+	f := testAppFrame(t, []byte("hello"))
+	d := NewDecoder(bytes.NewReader(frameStream(t, f, 2)))
+	d.UsePool(p)
+
+	var a, b Frame
+	buf1, err := d.DecodeInto(&a)
+	if err != nil {
+		t.Fatalf("first DecodeInto: %v", err)
+	}
+	msg1 := a.Msg
+	buf1.Release()
+	buf2, err := d.DecodeInto(&b)
+	if err != nil {
+		t.Fatalf("second DecodeInto: %v", err)
+	}
+	defer buf2.Release()
+	if b.Msg != msg1 {
+		t.Fatal("Msg scratch not reused across decodes on one stream")
+	}
+	if !bytes.Equal(b.Msg.App.Payload, []byte("hello")) {
+		t.Fatal("second decode corrupted")
+	}
+}
+
+// TestDecodeIntoInternsViews: the repeated history view on every data frame
+// must decode once and then be served from the intern table, sharing member
+// maps across frames.
+func TestDecodeIntoInternsViews(t *testing.T) {
+	p := pool.New()
+	f := testAppFrame(t, []byte("x"))
+	d := NewDecoder(bytes.NewReader(frameStream(t, f, 2)))
+	d.UsePool(p)
+
+	var a, b Frame
+	buf1, err := d.DecodeInto(&a)
+	if err != nil {
+		t.Fatalf("first DecodeInto: %v", err)
+	}
+	v1 := a.Msg.HistView
+	buf1.Release()
+	buf2, err := d.DecodeInto(&b)
+	if err != nil {
+		t.Fatalf("second DecodeInto: %v", err)
+	}
+	defer buf2.Release()
+	if reflect.ValueOf(v1.StartID).Pointer() != reflect.ValueOf(b.Msg.HistView.StartID).Pointer() {
+		t.Fatal("second frame's history view was re-decoded instead of interned")
+	}
+	if v1.StartID["s1"] != b.Msg.HistView.StartID["s1"] || b.Msg.HistView.ID != 7 {
+		t.Fatal("interned view decoded incorrectly")
+	}
+}
+
+// TestDecodeIntoWithoutPoolCopies: without a pool the zero-copy entry point
+// degrades to the copying path and returns no buffer to manage.
+func TestDecodeIntoWithoutPoolCopies(t *testing.T) {
+	f := testAppFrame(t, []byte("plain"))
+	d := NewDecoder(bytes.NewReader(frameStream(t, f, 1)))
+	var got Frame
+	buf, err := d.DecodeInto(&got)
+	if err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	if buf != nil {
+		t.Fatal("DecodeInto without a pool returned a pooled buffer")
+	}
+	if !bytes.Equal(got.Msg.App.Payload, []byte("plain")) {
+		t.Fatal("payload mismatch on copying path")
+	}
+}
+
+// TestDecodeIntoOversizedBodyFallsBack: bodies beyond the largest slab class
+// take the incremental copying path (hostile length prefixes must pay as
+// bytes arrive), still returning a correct frame and no pooled buffer.
+func TestDecodeIntoOversizedBodyFallsBack(t *testing.T) {
+	p := pool.New()
+	payload := make([]byte, pool.MaxSlab+1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	f := testAppFrame(t, payload)
+	d := NewDecoder(bytes.NewReader(frameStream(t, f, 1)))
+	d.UsePool(p)
+	var got Frame
+	buf, err := d.DecodeInto(&got)
+	if err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	if buf != nil {
+		t.Fatal("oversized body came back on the pooled path")
+	}
+	if !bytes.Equal(got.Msg.App.Payload, payload) {
+		t.Fatal("oversized payload mismatch")
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("oversized fallback leaked pool buffers: %d", p.Outstanding())
+	}
+}
+
+// repeatReader replays one encoded frame forever.
+type repeatReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.off == len(r.frame) {
+		r.off = 0
+	}
+	n := copy(p, r.frame[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestZeroCopyReceiveAllocs enforces the acceptance ceiling: steady-state
+// decode of an application data frame through the pooled path allocates at
+// most once per frame (the target is zero: slab from the ring, payload
+// aliased, identifiers and views interned, scratch reused).
+func TestZeroCopyReceiveAllocs(t *testing.T) {
+	p := pool.New()
+	f := testAppFrame(t, bytes.Repeat([]byte("a"), 512))
+	d := NewDecoder(&repeatReader{frame: frameStream(t, f, 1)})
+	d.UsePool(p)
+
+	var got Frame
+	// Warm the intern tables and the slab ring.
+	for i := 0; i < 4; i++ {
+		buf, err := d.DecodeInto(&got)
+		if err != nil {
+			t.Fatalf("warmup DecodeInto: %v", err)
+		}
+		buf.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, err := d.DecodeInto(&got)
+		if err != nil {
+			t.Fatalf("DecodeInto: %v", err)
+		}
+		buf.Release()
+	})
+	if allocs > 1 {
+		t.Fatalf("zero-copy receive allocates %.1f/op, ceiling is 1", allocs)
+	}
+}
+
+// TestDecodeRearmsDeadlinePerLeg: a header that arrives late must not eat
+// the body's deadline budget — each read leg gets its own arming. Before the
+// fix, the deadline was armed once before the header, so a frame whose
+// header consumed most of the timeout failed in the body even though both
+// legs individually made timely progress.
+func TestDecodeRearmsDeadlinePerLeg(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	f := testAppFrame(t, []byte("late"))
+	stream := frameStream(t, f, 1)
+	const timeout = 250 * time.Millisecond
+
+	go func() {
+		time.Sleep(150 * time.Millisecond) // header lands late in its leg
+		srv.Write(stream[:4])
+		time.Sleep(150 * time.Millisecond) // body lands in the re-armed leg
+		srv.Write(stream[4:])
+	}()
+
+	d := NewDecoder(cli)
+	d.ArmReadDeadline(cli, timeout)
+	var got Frame
+	if err := d.Decode(&got); err != nil {
+		t.Fatalf("Decode with per-leg arming failed: %v (total frame time exceeded one timeout, but each leg was within it)", err)
+	}
+	if !bytes.Equal(got.Msg.App.Payload, []byte("late")) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+// TestDecodeBodyStallStillTimesOut: per-leg re-arming must not make the body
+// leg unbounded — a peer that sends a header and then goes silent is cut off
+// after one more timeout.
+func TestDecodeBodyStallStillTimesOut(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	f := testAppFrame(t, []byte("stall"))
+	stream := frameStream(t, f, 1)
+	go srv.Write(stream[:6]) // header plus two body bytes, then silence
+
+	d := NewDecoder(cli)
+	d.ArmReadDeadline(cli, 100*time.Millisecond)
+	var got Frame
+	start := time.Now()
+	err := d.Decode(&got)
+	if err == nil {
+		t.Fatal("Decode succeeded on a stalled body")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled body error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled body took %v to time out", elapsed)
+	}
+}
+
+// TestDecodeIntoBodyStallTimesOut covers the same stall through the pooled
+// path, and checks the half-filled slab is returned to the pool on error.
+func TestDecodeIntoBodyStallTimesOut(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	p := pool.New()
+	f := testAppFrame(t, []byte("stall"))
+	stream := frameStream(t, f, 1)
+	go srv.Write(stream[:6])
+
+	d := NewDecoder(cli)
+	d.UsePool(p)
+	d.ArmReadDeadline(cli, 100*time.Millisecond)
+	var got Frame
+	buf, err := d.DecodeInto(&got)
+	if err == nil {
+		buf.Release()
+		t.Fatal("DecodeInto succeeded on a stalled body")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled body error = %v, want deadline exceeded", err)
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("stalled decode leaked %d pool buffers", p.Outstanding())
+	}
+}
