@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check soak soak-smoke check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check fsck-smoke soak soak-smoke check
 
 all: check
 
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=5s ./internal/wire/
 	$(GO) test -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeWALRecord -fuzztime=5s ./internal/wire/
+	$(GO) test -fuzz=FuzzScanWAL -fuzztime=5s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeCreditFrame -fuzztime=5s ./internal/wire/
 
 # Every benchmark in the tree, including the transport data-path set
@@ -71,6 +72,11 @@ bench-smoke:
 docs-check:
 	$(GO) run ./cmd/vsgm-docscheck
 
+# WAL fsck/repair smoke: build a state directory, corrupt it, and drive
+# cmd/vsgm-fsck through dry-run, repair, and a clean re-open.
+fsck-smoke:
+	$(GO) test -run TestFsckCLI -count=1 ./cmd/vsgm-fsck/
+
 # Long-soak chaos harness (cmd/vsgm-soak): every mode — the small simulated
 # cluster, the 10k-client sampled-checking world, and the live TCP cluster —
 # under randomized adversarial phases with the spec suite attached. Each run
@@ -98,4 +104,5 @@ check: vet test
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
+	$(MAKE) fsck-smoke
 	$(MAKE) soak-smoke

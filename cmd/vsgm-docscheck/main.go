@@ -2,9 +2,9 @@
 //
 //   - every intra-repo link in the markdown files must resolve to a file
 //     that exists (http/https/mailto links and pure #anchors are skipped);
-//   - every public flag of cmd/vsgm-live and cmd/vsgm-soak must be
-//     documented in docs/OPERATIONS.md (as `-flagname`), so the operator's
-//     handbook cannot silently fall behind the binaries.
+//   - every public flag of cmd/vsgm-live, cmd/vsgm-soak, and cmd/vsgm-fsck
+//     must be documented in docs/OPERATIONS.md (as `-flagname`), so the
+//     operator's handbook cannot silently fall behind the binaries.
 //
 // It prints one line per violation and exits non-zero if any were found.
 //
@@ -85,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("operator's handbook: %w", err)
 	}
-	for _, bin := range []string{"vsgm-live", "vsgm-soak"} {
+	for _, bin := range []string{"vsgm-live", "vsgm-soak", "vsgm-fsck"} {
 		binMain, err := os.ReadFile(filepath.Join(*root, "cmd", bin, "main.go"))
 		if err != nil {
 			return err
@@ -106,7 +106,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return fmt.Errorf("%d documentation violation(s)", len(violations))
 	}
-	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live and vsgm-soak flags documented\n", len(mds))
+	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live, vsgm-soak, and vsgm-fsck flags documented\n", len(mds))
 	return nil
 }
 

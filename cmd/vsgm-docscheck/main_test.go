@@ -38,13 +38,21 @@ func run() {
 }
 `
 
+const fakeFsckMain = `package main
+func run() {
+	a := fs.String("dir", "", "")
+	b := fs.Bool("json", false, "")
+}
+`
+
 func TestDocsCheckPasses(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"README.md":             "see [design](DESIGN.md) and [ops](docs/OPERATIONS.md#runbooks)",
 		"DESIGN.md":             "back to [readme](README.md), external [paper](https://example.org/x), [anchor](#s1)",
-		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, and `-seed`",
+		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, `-seed`, `-dir`, and `-json`",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
 		"cmd/vsgm-soak/main.go": fakeSoakMain,
+		"cmd/vsgm-fsck/main.go": fakeFsckMain,
 	})
 	var out bytes.Buffer
 	if err := run([]string{"-root", root}, &out); err != nil {
@@ -58,9 +66,10 @@ func TestDocsCheckPasses(t *testing.T) {
 func TestDocsCheckFlagsBrokenLink(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"README.md":             "see [missing](NOPE.md)",
-		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, and `-seed`",
+		"docs/OPERATIONS.md":    "flags: `-servers`, `-debug-addr`, `-mode`, `-seed`, `-dir`, and `-json`",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
 		"cmd/vsgm-soak/main.go": fakeSoakMain,
+		"cmd/vsgm-fsck/main.go": fakeFsckMain,
 	})
 	var out bytes.Buffer
 	err := run([]string{"-root", root}, &out)
@@ -74,9 +83,10 @@ func TestDocsCheckFlagsBrokenLink(t *testing.T) {
 
 func TestDocsCheckFlagsUndocumentedFlag(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"docs/OPERATIONS.md":    "flags: `-servers` and `-mode` only",
+		"docs/OPERATIONS.md":    "flags: `-servers`, `-mode`, and `-dir` only",
 		"cmd/vsgm-live/main.go": fakeLiveMain,
 		"cmd/vsgm-soak/main.go": fakeSoakMain,
+		"cmd/vsgm-fsck/main.go": fakeFsckMain,
 	})
 	var out bytes.Buffer
 	err := run([]string{"-root", root}, &out)
@@ -88,6 +98,9 @@ func TestDocsCheckFlagsUndocumentedFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "vsgm-soak flag -seed is undocumented") {
 		t.Errorf("missing vsgm-soak violation line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "vsgm-fsck flag -json is undocumented") {
+		t.Errorf("missing vsgm-fsck violation line:\n%s", out.String())
 	}
 }
 

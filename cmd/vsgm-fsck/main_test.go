@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vsgm/internal/live"
+	"vsgm/internal/types"
+	"vsgm/internal/wire"
+)
+
+// TestFsckCLI is the fsck smoke test `make fsck-smoke` runs: build a state
+// directory, corrupt it, and drive the CLI through dry-run, repair, and a
+// clean re-open — the full operator runbook in one test.
+func TestFsckCLI(t *testing.T) {
+	dir := t.TempDir()
+	store, err := live.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []wire.WALRecord{
+		{Client: "cli0", CID: 1, Vid: 1, Epoch: 0},
+		{Client: "cli1", CID: 4<<32 + 2, Vid: 7, Epoch: 4},
+		{Client: "cli2", CID: 9, Vid: 3, Epoch: 1},
+	}
+	for _, rec := range recs {
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the middle record and strand a snapshot temp file.
+	walPath := filepath.Join(dir, "wal.log")
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xA5
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.bin.tmp-123"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry-run: damage reported, exit code 1, directory untouched.
+	var out strings.Builder
+	code, err := run([]string{"-dir", dir}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("dry-run on damaged dir: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "damage found") {
+		t.Fatalf("dry-run output missing damage notice:\n%s", out.String())
+	}
+	if after, _ := os.ReadFile(walPath); string(after) != string(b) {
+		t.Fatal("dry-run modified the WAL")
+	}
+
+	// Dump: the intact records print, the damage is marked.
+	out.Reset()
+	if code, err := run([]string{"-dir", dir, "-mode", "dump"}, &out); err != nil || code != 0 {
+		t.Fatalf("dump: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "client=cli0") || !strings.Contains(out.String(), "DAMAGED") {
+		t.Fatalf("dump output incomplete:\n%s", out.String())
+	}
+
+	// Repair: exit 0, quarantine written, temp swept.
+	out.Reset()
+	if code, err := run([]string{"-dir", dir, "-mode", "repair"}, &out); err != nil || code != 0 {
+		t.Fatalf("repair: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.quarantine")); err != nil {
+		t.Fatalf("repair left no quarantine file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.bin.tmp-123")); !os.IsNotExist(err) {
+		t.Fatal("repair did not sweep the stale snapshot temp")
+	}
+
+	// A second dry-run is clean (exit 0), and a JSON report parses.
+	out.Reset()
+	if code, err := run([]string{"-dir", dir, "-json"}, &out); err != nil || code != 0 {
+		t.Fatalf("dry-run after repair: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), `"damaged_ranges": 0`) {
+		t.Fatalf("post-repair JSON report still shows damage:\n%s", out.String())
+	}
+
+	// The repaired directory re-opens and serves the surviving records.
+	reopened, err := live.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	state, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []types.ProcID{"cli0", "cli2"} {
+		if _, ok := state[p]; !ok {
+			t.Errorf("record for %s lost outside the damaged span: %v", p, state)
+		}
+	}
+
+	// Usage errors exit 2 via a returned error.
+	if _, err := run([]string{"-mode", "repair"}, &out); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if _, err := run([]string{"-dir", dir, "-mode", "bogus"}, &out); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}

@@ -1,0 +1,267 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vsgm/internal/wire"
+)
+
+// FsckMode selects what the fsck engine is allowed to do to a state dir.
+type FsckMode int
+
+const (
+	// FsckDryRun scans and reports; the directory is not touched.
+	FsckDryRun FsckMode = iota
+	// FsckRepair scans, quarantines damaged byte ranges to wal.quarantine,
+	// and rewrites each damaged (or v1-format) file from its intact records,
+	// re-encoded as checksummed v2.
+	FsckRepair
+)
+
+// quarantineFileName receives the damaged byte ranges a repair carved out of
+// wal.log or snapshot.bin, each behind a one-line header, so corruption is
+// preserved for forensics instead of silently destroyed.
+const quarantineFileName = "wal.quarantine"
+
+// FileReport is the fsck result for one file of a server state directory.
+type FileReport struct {
+	// Name is the file's base name ("wal.log" or "snapshot.bin").
+	Name string `json:"name"`
+	// Bytes is the file's size at scan time.
+	Bytes int `json:"bytes"`
+	// Records counts the records that decoded (both versions).
+	Records int `json:"records"`
+	// V1Records counts the legacy unchecksummed records among them.
+	V1Records int `json:"v1_records"`
+	// DamagedRanges counts the skipped undecodable spans.
+	DamagedRanges int `json:"damaged_ranges"`
+	// DamagedBytes totals the bytes those spans cover.
+	DamagedBytes int `json:"damaged_bytes"`
+	// Rewritten reports whether repair replaced the file (damage found, or
+	// v1 records migrated to v2).
+	Rewritten bool `json:"rewritten"`
+}
+
+// RepairReport is the outcome of one fsck pass over a state directory.
+type RepairReport struct {
+	// Dir is the scanned state directory.
+	Dir string `json:"dir"`
+	// Mode records whether the pass was allowed to repair.
+	Mode FsckMode `json:"mode"`
+	// Files holds one entry per file that existed.
+	Files []FileReport `json:"files"`
+	// TempsSwept counts stale snapshot temp files removed (a crash between
+	// CreateTemp and the rename strands them; only repair mode sweeps).
+	TempsSwept int `json:"temps_swept"`
+}
+
+// Damaged reports whether any scanned file contained undecodable bytes.
+func (r *RepairReport) Damaged() bool {
+	for _, f := range r.Files {
+		if f.DamagedRanges > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordsRecovered totals the decoded records across all files.
+func (r *RepairReport) RecordsRecovered() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.Records
+	}
+	return n
+}
+
+// DamagedBytes totals the quarantined byte count across all files.
+func (r *RepairReport) DamagedBytes() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.DamagedBytes
+	}
+	return n
+}
+
+// DamagedRanges totals the quarantined range count across all files.
+func (r *RepairReport) DamagedRanges() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.DamagedRanges
+	}
+	return n
+}
+
+// V1Records totals the legacy-format records across all files.
+func (r *RepairReport) V1Records() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.V1Records
+	}
+	return n
+}
+
+// String renders the report as one line per file.
+func (r *RepairReport) String() string {
+	var b strings.Builder
+	verb := "scanned"
+	if r.Mode == FsckRepair {
+		verb = "repaired"
+	}
+	fmt.Fprintf(&b, "fsck %s %s:", verb, r.Dir)
+	if len(r.Files) == 0 {
+		fmt.Fprintf(&b, " no state files")
+	}
+	for _, f := range r.Files {
+		fmt.Fprintf(&b, "\n  %-12s %7d bytes, %d records (%d v1), %d damaged ranges (%d bytes)",
+			f.Name, f.Bytes, f.Records, f.V1Records, f.DamagedRanges, f.DamagedBytes)
+		if f.Rewritten {
+			fmt.Fprintf(&b, " [rewritten]")
+		}
+	}
+	if r.TempsSwept > 0 {
+		fmt.Fprintf(&b, "\n  swept %d stale snapshot temp file(s)", r.TempsSwept)
+	}
+	return b.String()
+}
+
+// Fsck scans (and in FsckRepair mode, repairs) the WAL and snapshot of one
+// server state directory. It is the self-stabilizing half of restart
+// recovery: instead of trusting whatever bytes the directory holds — where
+// one flipped byte mid-WAL would silently discard every record after it —
+// it skip-and-resync scans both files, preserves damaged byte ranges in
+// wal.quarantine, rewrites the files from their intact records (migrating
+// legacy v1 records to checksummed v2 in passing), and reports exactly what
+// it found. Run it only while no store handle is open on the directory;
+// NewFileStore runs it automatically before opening the WAL.
+func Fsck(dir string, mode FsckMode) (*RepairReport, error) {
+	report := &RepairReport{Dir: dir, Mode: mode}
+	if mode == FsckRepair {
+		swept, err := sweepSnapshotTemps(dir)
+		if err != nil {
+			return nil, err
+		}
+		report.TempsSwept = swept
+	}
+	for _, name := range []string{snapFileName, walFileName} {
+		path := filepath.Join(dir, name)
+		b, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("live: fsck %s: %w", name, err)
+		}
+		scan := wire.ScanWAL(b)
+		fr := FileReport{
+			Name:          name,
+			Bytes:         len(b),
+			Records:       len(scan.Records),
+			V1Records:     scan.V1Records,
+			DamagedRanges: len(scan.Damaged),
+		}
+		for _, d := range scan.Damaged {
+			fr.DamagedBytes += d.Len
+		}
+		if mode == FsckRepair && !scan.Clean() {
+			if len(scan.Damaged) > 0 {
+				if err := quarantine(dir, name, b, scan.Damaged); err != nil {
+					return nil, err
+				}
+			}
+			if err := rewriteFromRecords(path, scan.Records); err != nil {
+				return nil, err
+			}
+			fr.Rewritten = true
+		}
+		report.Files = append(report.Files, fr)
+	}
+	return report, nil
+}
+
+// sweepSnapshotTemps removes stale temp files: a crash between
+// os.CreateTemp and the rename — in WriteSnapshot or in a previous repair's
+// rewrite — strands them forever, and nothing else ever reads them.
+func sweepSnapshotTemps(dir string) (int, error) {
+	var matches []string
+	for _, pat := range []string{snapFileName + ".tmp-*", snapFileName + ".fsck-*", walFileName + ".fsck-*"} {
+		m, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return 0, err
+		}
+		matches = append(matches, m...)
+	}
+	swept := 0
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+			return swept, fmt.Errorf("live: sweep stale temp: %w", err)
+		}
+		swept++
+	}
+	return swept, nil
+}
+
+// quarantine appends each damaged byte range of file to wal.quarantine,
+// every range behind a one-line header naming its origin and offsets.
+func quarantine(dir, file string, b []byte, damaged []wire.DamagedRange) error {
+	f, err := os.OpenFile(filepath.Join(dir, quarantineFileName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("live: open quarantine: %w", err)
+	}
+	defer f.Close()
+	stamp := time.Now().UTC().Format(time.RFC3339)
+	for _, d := range damaged {
+		if _, err := fmt.Fprintf(f, "-- vsgm quarantine file=%s off=%d len=%d at=%s --\n",
+			file, d.Off, d.Len, stamp); err != nil {
+			return fmt.Errorf("live: write quarantine: %w", err)
+		}
+		if _, err := f.Write(b[d.Off:d.End()]); err != nil {
+			return fmt.Errorf("live: write quarantine: %w", err)
+		}
+		if _, err := f.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("live: write quarantine: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// rewriteFromRecords atomically replaces path with the v2 re-encoding of
+// recs — the repair step that drops damaged spans and migrates v1 records.
+func rewriteFromRecords(path string, recs []wire.WALRecord) error {
+	var b []byte
+	for _, rec := range recs {
+		var err error
+		if b, err = wire.AppendWALRecord(b, rec); err != nil {
+			return fmt.Errorf("live: re-encode record: %w", err)
+		}
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".fsck-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -50,6 +50,13 @@ type ServerConfig struct {
 	// registered out of band (AddClient) hold no lease and are never
 	// swept. 0 selects the default (10s); negative disables leases.
 	AttachLease time.Duration
+	// WALFsync selects when WAL appends are flushed to stable storage, for
+	// stores that support a policy (FileStore). The zero value keeps the
+	// historical OS-buffered behavior; see FsyncPolicy.
+	WALFsync FsyncPolicy
+	// WALFsyncEvery is the N of FsyncEveryN (ignored by other policies);
+	// values < 1 are treated as 1.
+	WALFsyncEvery int
 	// Obs, when set, is the metrics registry the server publishes into
 	// (counters labeled with the server id, a scrape-time collector for the
 	// membership core's counters and aggregated link stats, and the full
@@ -165,6 +172,13 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 	}
 	var restored map[types.ProcID]membership.ClientRecord
 	if n.store != nil {
+		if cfg.WALFsync != FsyncNever {
+			if fs, ok := n.store.(interface {
+				SetFsyncPolicy(FsyncPolicy, int)
+			}); ok {
+				fs.SetFsyncPolicy(cfg.WALFsync, cfg.WALFsyncEvery)
+			}
+		}
 		var err error
 		if restored, err = n.store.Load(); err != nil {
 			return nil, err
@@ -229,16 +243,23 @@ func (n *ServerNode) registerObs() {
 		return
 	}
 	serverLabel := obs.L("server", string(n.id))
+	// The fsck outcome is fixed at store-open time; snapshot it once.
+	var repair *RepairReport
+	if fs, ok := n.store.(*FileStore); ok {
+		repair = fs.RepairReport()
+	}
 	n.obs.RegisterCollector("server/"+string(n.id), func() []obs.Sample {
 		n.mu.Lock()
 		var evictions, reproposals, attempts, views int64
 		var clients int
+		var san membership.SanitizeStats
 		if n.srv != nil {
 			evictions = n.srv.Evictions()
 			reproposals = n.srv.Reproposals()
 			attempts = n.srv.AttemptsRun()
 			views = n.srv.ViewsDelivered()
 			clients = n.srv.LocalClients().Len()
+			san = n.srv.Sanitized()
 		}
 		n.mu.Unlock()
 		samples := []obs.Sample{
@@ -247,6 +268,31 @@ func (n *ServerNode) registerObs() {
 			{Name: "vsgm_server_reproposals_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(reproposals)},
 			{Name: "vsgm_server_attempts_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(attempts)},
 			{Name: "vsgm_server_views_delivered_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(views)},
+		}
+		for _, rs := range []struct {
+			rule string
+			v    int64
+		}{
+			{"negative", san.Negative},
+			{"wrapped_epoch", san.WrappedEpoch},
+			{"cid_ceiling", san.CIDCeiling},
+			{"vid_ceiling", san.VidCeiling},
+			{"vid_orphan", san.VidOrphan},
+			{"epoch_raised", san.EpochRaised},
+		} {
+			samples = append(samples, obs.Sample{
+				Name: "vsgm_sanitize_clamps_total", Kind: obs.KindCounter,
+				Labels: []obs.Label{serverLabel, obs.L("rule", rs.rule)}, Value: float64(rs.v),
+			})
+		}
+		if repair != nil {
+			samples = append(samples,
+				obs.Sample{Name: "vsgm_wal_repair_damaged_ranges_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(repair.DamagedRanges())},
+				obs.Sample{Name: "vsgm_wal_repair_damaged_bytes_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(repair.DamagedBytes())},
+				obs.Sample{Name: "vsgm_wal_repair_records_recovered", Kind: obs.KindGauge, Labels: []obs.Label{serverLabel}, Value: float64(repair.RecordsRecovered())},
+				obs.Sample{Name: "vsgm_wal_repair_v1_migrated_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(repair.V1Records())},
+				obs.Sample{Name: "vsgm_wal_repair_temps_swept_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(repair.TempsSwept)},
+			)
 		}
 		samples = append(samples, linkSamples(serverLabel, n.fabric.Stats())...)
 		return append(samples, reactorSamples(serverLabel, n.fabric)...)
@@ -257,6 +303,12 @@ func (n *ServerNode) registerObs() {
 	n.obs.SetHelp("vsgm_server_reproposals_total", "Watchdog-triggered proposal re-sends.")
 	n.obs.SetHelp("vsgm_server_attempts_total", "Membership attempts run.")
 	n.obs.SetHelp("vsgm_server_views_delivered_total", "Views assembled and delivered to local clients.")
+	n.obs.SetHelp("vsgm_sanitize_clamps_total", "Impossible identifier values clamped out of restored state and attach claims, by rule.")
+	n.obs.SetHelp("vsgm_wal_repair_damaged_ranges_total", "Undecodable byte ranges quarantined by the fsck pass at store open.")
+	n.obs.SetHelp("vsgm_wal_repair_damaged_bytes_total", "Bytes those quarantined ranges covered.")
+	n.obs.SetHelp("vsgm_wal_repair_records_recovered", "Records the fsck pass at store open decoded across WAL and snapshot.")
+	n.obs.SetHelp("vsgm_wal_repair_v1_migrated_total", "Legacy v1 records found (and, when damaged or mixed, migrated to v2) at store open.")
+	n.obs.SetHelp("vsgm_wal_repair_temps_swept_total", "Stale snapshot temp files removed at store open.")
 }
 
 // startWatchdog re-proposes the current attempt whenever it stays stalled
@@ -355,6 +407,21 @@ func (n *ServerNode) Records() map[types.ProcID]membership.ClientRecord {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.srv.ClientRecords()
+}
+
+// InjectRecords merges arbitrary per-client identifier records into the
+// server's retained state and forces a reconfiguration — a chaos hook for
+// arbitrary-state soak testing. The records pass through the same sanitizer
+// as a WAL replay, so this exercises exactly the convergence path a server
+// resurrected from corrupted storage takes, without a restart.
+func (n *ServerNode) InjectRecords(recs map[types.ProcID]membership.ClientRecord) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv == nil {
+		return
+	}
+	n.srv.RestoreRecords(recs)
+	n.srv.Reconfigure()
 }
 
 // SetReachable feeds the failure detector: the servers currently reachable.
@@ -555,6 +622,7 @@ type ServerStats struct {
 	ViewsDelivered    int64                      `json:"views_delivered"`
 	WALAppends        int64                      `json:"wal_appends"`
 	WALSnapshots      int64                      `json:"wal_snapshots"`
+	SanitizeClamps    int64                      `json:"sanitize_clamps"`
 	Links             map[types.ProcID]LinkStats `json:"links"`
 }
 
@@ -575,6 +643,7 @@ func (n *ServerNode) Stats() ServerStats {
 		ViewsDelivered:    n.srv.ViewsDelivered(),
 		WALAppends:        n.walAppends.Value(),
 		WALSnapshots:      n.walSnapshots.Value(),
+		SanitizeClamps:    n.srv.Sanitized().Total(),
 	}
 	n.mu.Unlock()
 	s.Links = n.fabric.Stats()

@@ -43,17 +43,15 @@ func mergeRecord(state map[types.ProcID]membership.ClientRecord, rec wire.WALRec
 	state[rec.Client] = cur
 }
 
-// replay decodes a concatenation of WAL records into state, stopping at the
-// first undecodable record: an append torn by a crash leaves a truncated
-// tail, and everything before it is still good.
+// replay decodes a concatenation of WAL records into state with
+// skip-and-resync: damage (a torn tail from a crash mid-append, a flipped
+// byte mid-log) costs only the bytes it covers, never the records after it.
+// NewFileStore repairs the files before any replay, so in the normal path
+// the scan finds nothing to skip; this is the second line of defense for a
+// Load on an un-repaired directory.
 func replay(b []byte, state map[types.ProcID]membership.ClientRecord) {
-	for len(b) > 0 {
-		rec, rest, err := wire.DecodeWALRecord(b)
-		if err != nil {
-			return
-		}
+	for _, rec := range wire.ScanWAL(b).Records {
 		mergeRecord(state, rec)
-		b = rest
 	}
 }
 
@@ -108,19 +106,43 @@ func (s *MemStore) Load() (map[types.ProcID]membership.ClientRecord, error) {
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
+// FsyncPolicy selects when a FileStore flushes WAL appends to stable
+// storage. The default (FsyncNever) keeps the historical behavior: appends
+// are buffered by the OS, surviving a process crash but not a power cut.
+type FsyncPolicy int
+
+const (
+	// FsyncNever leaves appends OS-buffered (the default).
+	FsyncNever FsyncPolicy = iota
+	// FsyncEveryN syncs after every N appends (N from SetFsyncPolicy), so at
+	// most N-1 acknowledged mutations can be lost to a power cut.
+	FsyncEveryN
+	// FsyncAlways syncs after every append — full durability, one disk
+	// flush per identifier mutation.
+	FsyncAlways
+)
+
 // FileStore is a file-backed Store: an append-only WAL (`wal.log`) plus a
 // compacted snapshot (`snapshot.bin`), both living in one directory per
 // server. Snapshots are written to a temporary file and renamed into place,
 // then the WAL is truncated, so a crash at any point leaves a recoverable
 // pair: at worst the WAL still holds records the snapshot already covers,
-// and Load's max-merge makes that harmless. Appends are buffered by the OS
-// (surviving a process crash, not a power cut); the snapshot path fsyncs.
+// and Load's max-merge makes that harmless. Append durability is governed
+// by the FsyncPolicy (OS-buffered by default); the snapshot path always
+// fsyncs. Opening a store runs the fsck engine in repair mode first, so
+// Load never sees a WAL or snapshot with undecodable bytes in it.
 type FileStore struct {
 	mu   sync.Mutex
 	dir  string
 	wal  *os.File
 	buf  []byte
 	done bool
+
+	fsync      FsyncPolicy
+	fsyncEvery int
+	sinceSync  int
+
+	repair *RepairReport
 }
 
 const (
@@ -157,20 +179,44 @@ func CloneStateDir(src, dst string) error {
 	return nil
 }
 
-// NewFileStore opens (creating if needed) a file-backed store rooted at dir.
+// NewFileStore opens (creating if needed) a file-backed store rooted at
+// dir. Before the WAL is opened for appending, the fsck engine runs in
+// repair mode: stale snapshot temp files are swept, damaged byte ranges in
+// wal.log and snapshot.bin are quarantined to wal.quarantine, and the files
+// are rewritten from their intact records (legacy v1 records migrating to
+// checksummed v2 in passing). The outcome is retained — see RepairReport.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("live: store dir: %w", err)
+	}
+	report, err := Fsck(dir, FsckRepair)
+	if err != nil {
+		return nil, fmt.Errorf("live: fsck on open: %w", err)
 	}
 	wal, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("live: open wal: %w", err)
 	}
-	return &FileStore{dir: dir, wal: wal}, nil
+	return &FileStore{dir: dir, wal: wal, repair: report}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *FileStore) Dir() string { return s.dir }
+
+// RepairReport returns the fsck outcome from when this store was opened.
+func (s *FileStore) RepairReport() *RepairReport { return s.repair }
+
+// SetFsyncPolicy selects the WAL append durability policy. every is the N
+// of FsyncEveryN (values < 1 are treated as 1) and is ignored by the other
+// policies. Safe to call at any time; the next Append applies it.
+func (s *FileStore) SetFsyncPolicy(p FsyncPolicy, every int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if every < 1 {
+		every = 1
+	}
+	s.fsync, s.fsyncEvery, s.sinceSync = p, every, 0
+}
 
 // Append implements Store.
 func (s *FileStore) Append(rec wire.WALRecord) error {
@@ -184,8 +230,20 @@ func (s *FileStore) Append(rec wire.WALRecord) error {
 		return err
 	}
 	s.buf = b
-	_, err = s.wal.Write(b)
-	return err
+	if _, err := s.wal.Write(b); err != nil {
+		return err
+	}
+	switch s.fsync {
+	case FsyncAlways:
+		return s.wal.Sync()
+	case FsyncEveryN:
+		s.sinceSync++
+		if s.sinceSync >= s.fsyncEvery {
+			s.sinceSync = 0
+			return s.wal.Sync()
+		}
+	}
+	return nil
 }
 
 // WriteSnapshot implements Store.

@@ -80,6 +80,11 @@ type Server struct {
 	viewsDelivered int64
 	reproposals    int64
 	evictions      int64
+
+	// sanitize accumulates the clamps applied to impossible identifier
+	// state arriving through RestoreRecords, AdoptClient, or attach claims
+	// — the self-stabilization counters surfaced as vsgm_sanitize_*.
+	sanitize SanitizeStats
 }
 
 type serverClient struct {
@@ -166,12 +171,23 @@ func (s *Server) record(p types.ProcID, c *serverClient) {
 
 // RestoreRecords merges previously persisted identifier state (a WAL
 // replay) into the retained-record map. Field-wise maxima are kept, so
-// replay order and duplicate records do not matter.
+// replay order and duplicate records do not matter. Every record is passed
+// through the sanitizer first: restart recovery must converge from
+// arbitrary state, so impossible values (wrapped epochs, identifiers above
+// the attach-claim ceiling, views with no start-change behind them) are
+// clamped here rather than replayed into proposals.
 func (s *Server) RestoreRecords(recs map[types.ProcID]ClientRecord) {
 	for p, rec := range recs {
-		s.records[p] = s.records[p].merge(rec)
+		clean, st := SanitizeRecord(rec)
+		s.sanitize.add(st)
+		s.records[p] = s.records[p].merge(clean)
 	}
 }
+
+// Sanitized returns the accumulated sanitization statistics: how many
+// impossible identifier values this server clamped out of restored state
+// and attach claims since construction.
+func (s *Server) Sanitized() SanitizeStats { return s.sanitize }
 
 // ID returns the server's identifier.
 func (s *Server) ID() types.ProcID { return s.id }
@@ -209,7 +225,17 @@ func (s *Server) AttachClient(p types.ProcID, epoch int64) (ClientRecord, bool) 
 // all cold: peers never gossip a client only this server holds, so a server
 // resurrected from a stale or corrupted store would otherwise keep issuing
 // identifiers the client must reject as regressions, wedging the attachment.
+// The claim is sanitized before merging: a client restarted from arbitrary
+// state could otherwise claim an impossible identifier and burn the space
+// to the brink of wraparound for everyone serving it afterwards.
 func (s *Server) AttachClientClaim(p types.ProcID, epoch int64, claim ClientRecord) (ClientRecord, bool) {
+	var st SanitizeStats
+	claim, st = SanitizeClaim(claim)
+	s.sanitize.add(st)
+	if epoch < 0 || epoch > MaxAttachEpoch {
+		epoch = 0
+		s.sanitize.WrappedEpoch++
+	}
 	c, added := s.register(p, epoch)
 	if epoch > c.epoch {
 		c.epoch = epoch
@@ -284,8 +310,13 @@ func (s *Server) ExportClient(p types.ProcID) (ClientRecord, bool) {
 
 // AdoptClient registers a local client with explicit identifier state (the
 // counterpart of ExportClient). The caller triggers a reconfiguration to
-// admit it into a view.
+// admit it into a view. The record is sanitized first: a migration source
+// resurrected from arbitrary state must not hand impossible identifiers to
+// a healthy adopter.
 func (s *Server) AdoptClient(p types.ProcID, rec ClientRecord) {
+	clean, st := SanitizeRecord(rec)
+	s.sanitize.add(st)
+	rec = clean
 	s.records[p] = s.records[p].merge(rec)
 	c, _ := s.register(p, rec.Epoch)
 	s.record(p, c)

@@ -53,7 +53,16 @@ var liveSupported = map[PhaseKind]bool{
 	PhaseFlashCrowd:     true,
 	PhaseStaleResurrect: true,
 	PhaseCorruptCounter: true,
+	PhaseWALScramble:    true,
+	PhaseStateScramble:  true,
 }
+
+// liveConvergeBudget bounds how many misaligned membership views one client
+// may install after the final heal before the run is a convergence
+// violation. Live re-homing storms legitimately deliver a handful of
+// partial views while the detectors re-admit everyone; the budget asserts
+// boundedness, not a tight constant.
+const liveConvergeBudget = 32
 
 // violationError marks a phase failure that is a property of the system
 // under test (a stabilization that never converged, a send that never
@@ -86,8 +95,8 @@ const (
 	// straggler whose attach landed after its node closed is evicted before
 	// the next phase's full-view wait gives up.
 	liveAttachLease = time.Second
-	liveHBInterval     = 20 * time.Millisecond
-	liveHBTimeout      = 150 * time.Millisecond
+	liveHBInterval  = 20 * time.Millisecond
+	liveHBTimeout   = 150 * time.Millisecond
 )
 
 type liveRun struct {
@@ -187,12 +196,24 @@ func RunLive(cfg LiveConfig) (*Report, error) {
 		return nil, phaseErr
 	}
 	if phaseErr == nil {
-		// Final stabilization: heal everything and run one more round.
+		// Final stabilization: heal everything and run one more round, then
+		// hold the run to the bounded-convergence property from the heal mark.
 		r.healAll()
+		r.mu.Lock()
+		mark := len(r.suite.Trace())
+		r.mu.Unlock()
 		if err := r.waitFullView("final full view", 0); err != nil {
 			phaseErr = err
 		} else if err := r.trafficRound("final"); err != nil {
 			phaseErr = err
+		} else {
+			all := r.clientSet()
+			r.mu.Lock()
+			cerr := spec.CheckConvergence(r.suite.Trace(), mark, all, all, liveConvergeBudget)
+			r.mu.Unlock()
+			if cerr != nil {
+				phaseErr = violationf("%v", cerr)
+			}
 		}
 	}
 
@@ -864,7 +885,123 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		}
 		return r.waitFullView("cluster converged past the corrupted record", 0)
 
+	case PhaseWALScramble:
+		sid := r.serverIDs[r.rng.Intn(len(r.serverIDs))]
+		sn := r.servers[sid]
+		addr := sn.Addr()
+		// The restart only re-integrates cleanly if the victim was integrated
+		// when it died (same reasoning as the crash-restart phase).
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		sn.Close()
+		detail, err := r.scrambleStateDir(r.stateDirs[sid])
+		if err != nil {
+			return err
+		}
+		r.sched.Note(at, kind, "kill %s, %s, restart through fsck/repair", sid, detail)
+		if err := r.restartServer(sid, addr); err != nil {
+			return err
+		}
+		// The fsck pass quarantined whatever the scramble destroyed; any
+		// identifier state it lost must be re-floated by attach claims, and
+		// the whole cluster must reconverge on one full view.
+		if err := r.waitFor("all clients re-homed after WAL scramble", func() bool {
+			for _, node := range r.clients {
+				if node.Home() == "" {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		return r.waitFullView("cluster converged past the scrambled store", 0)
+
+	case PhaseStateScramble:
+		sid := r.serverIDs[r.rng.Intn(len(r.serverIDs))]
+		sn := r.servers[sid]
+		// The injection forces a reconfiguration at sid; it reaches clients
+		// homed elsewhere only once the servers are mutually re-admitted.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		ids := r.clientIDs()
+		n := 1 + r.rng.Intn(3)
+		recs := make(map[types.ProcID]membership.ClientRecord, n)
+		for i := 0; i < n; i++ {
+			victim := ids[r.rng.Intn(len(ids))]
+			recs[victim] = membership.ClientRecord{
+				CID:   types.StartChangeID(r.rng.Uint64()),
+				Vid:   types.ViewID(r.rng.Uint64()),
+				Epoch: int64(r.rng.Uint64()),
+			}
+		}
+		r.sched.Note(at, kind, "inject %d adversarially random records into %s's retained state", len(recs), sid)
+		sn.InjectRecords(recs)
+		return r.waitFullView("cluster converged past the scrambled records", 0)
+
 	default:
 		return fmt.Errorf("soak: live runner cannot execute phase %q", kind)
+	}
+}
+
+// scrambleStateDir corrupts one of the victim's durable state files with
+// adversarially random bytes drawn from the run's PRNG. Half the damage
+// modes are record-boundary-aware (randomize exactly one scanned record),
+// half are blind (splice, torn tail, garbage prefix) — together they cover
+// both the damage a crash plausibly leaves and damage no crash would. The
+// returned description goes on the chaos schedule.
+func (r *liveRun) scrambleStateDir(dir string) (string, error) {
+	var targets []string
+	for _, name := range []string{"wal.log", "snapshot.bin"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() > 0 {
+			targets = append(targets, name)
+		}
+	}
+	if len(targets) == 0 {
+		return "found no non-empty state files (nothing to scramble)", nil
+	}
+	name := targets[r.rng.Intn(len(targets))]
+	path := filepath.Join(dir, name)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	mode := r.rng.Intn(4)
+	if mode == 0 {
+		if scan := wire.ScanWAL(b); len(scan.Offsets) > 0 {
+			i := r.rng.Intn(len(scan.Offsets))
+			start := scan.Offsets[i]
+			end := len(b)
+			if i+1 < len(scan.Offsets) {
+				end = scan.Offsets[i+1]
+			}
+			for j := start; j < end; j++ {
+				b[j] = byte(r.rng.Intn(256))
+			}
+			return fmt.Sprintf("randomize record %d (bytes [%d,%d)) of %s", i, start, end, name),
+				os.WriteFile(path, b, 0o644)
+		}
+		mode = 1 // nothing decodes: degrade to a blind splice
+	}
+	switch mode {
+	case 1:
+		off := r.rng.Intn(len(b))
+		span := 1 + r.rng.Intn(len(b)-off)
+		for j := off; j < off+span; j++ {
+			b[j] = byte(r.rng.Intn(256))
+		}
+		return fmt.Sprintf("splice %d random bytes at offset %d of %s", span, off, name),
+			os.WriteFile(path, b, 0o644)
+	case 2:
+		cut := r.rng.Intn(len(b))
+		return fmt.Sprintf("tear %s to %d of %d bytes", name, cut, len(b)),
+			os.WriteFile(path, b[:cut], 0o644)
+	default:
+		pre := make([]byte, 1+r.rng.Intn(32))
+		r.rng.Read(pre)
+		return fmt.Sprintf("prepend %d garbage bytes to %s", len(pre), name),
+			os.WriteFile(path, append(pre, b...), 0o644)
 	}
 }

@@ -50,6 +50,14 @@ const (
 	// PhaseCorruptCounter injects a corrupted (huge or epoch-wrapped)
 	// identifier record and lets the protocol absorb it.
 	PhaseCorruptCounter PhaseKind = "corrupt-counter"
+	// PhaseWALScramble kills a server, rewrites its durable state with
+	// adversarially random bytes — record-boundary-aware or blind — and
+	// restarts it through the fsck/repair path (live only).
+	PhaseWALScramble PhaseKind = "wal-scramble"
+	// PhaseStateScramble injects adversarially random identifier records
+	// straight into a running server's retained state, exercising the
+	// sanitizer's arbitrary-state convergence without a restart.
+	PhaseStateScramble PhaseKind = "state-scramble"
 )
 
 // Weight gives one phase kind a relative selection weight.
@@ -129,6 +137,7 @@ func WorldScenario() *Scenario {
 			{PhasePartitionHeal, 2},
 			{PhaseOscillate, 1},
 			{PhaseCorruptCounter, 2},
+			{PhaseStateScramble, 2},
 		},
 	}
 }
@@ -145,14 +154,50 @@ func LiveScenario() *Scenario {
 			{PhaseFlashCrowd, 2},
 			{PhaseStaleResurrect, 2},
 			{PhaseCorruptCounter, 2},
+			{PhaseWALScramble, 2},
+			{PhaseStateScramble, 2},
+		},
+	}
+}
+
+// LiveArbitraryScenario concentrates the live soak on the self-stabilizing
+// recovery paths: every phase leaves a server holding state no correct
+// execution produces — scrambled WAL bytes, scrambled in-memory records,
+// stale generations, corrupted counters — with just enough traffic to prove
+// the data path survives each convergence.
+func LiveArbitraryScenario() *Scenario {
+	return &Scenario{
+		Name: "live-arbitrary",
+		Weights: []Weight{
+			{PhaseTraffic, 2},
+			{PhaseWALScramble, 4},
+			{PhaseStateScramble, 4},
+			{PhaseStaleResurrect, 2},
+			{PhaseCorruptCounter, 2},
+			{PhaseCrashRestart, 1},
+		},
+	}
+}
+
+// WorldArbitraryScenario is the arbitrary-state mix for the large-population
+// simulation: scrambled and corrupted identifier records under churn.
+func WorldArbitraryScenario() *Scenario {
+	return &Scenario{
+		Name: "world-arbitrary",
+		Weights: []Weight{
+			{PhaseFlashCrowd, 1},
+			{PhaseChurn, 2},
+			{PhaseStateScramble, 4},
+			{PhaseCorruptCounter, 3},
 		},
 	}
 }
 
 // ScenarioByName resolves a named scenario ("sim-default", "world-default",
-// "live-default"), for the -scenario CLI flag.
+// "live-default", "live-arbitrary", "world-arbitrary"), for the -scenario
+// CLI flag.
 func ScenarioByName(name string) (*Scenario, error) {
-	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario()} {
+	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario(), LiveArbitraryScenario(), WorldArbitraryScenario()} {
 		if sc.Name == name {
 			return sc, nil
 		}

@@ -173,6 +173,56 @@ func TestWorldSoakForcedViolationReport(t *testing.T) {
 	}
 }
 
+// TestWorldSoakArbitraryState drives the arbitrary-state scenario: most
+// phases scramble retained identifier records with fully random 64-bit
+// patterns or resurrect corrupted counters, and the run must still converge
+// to one agreed full view within the spec checker's round budget.
+func TestWorldSoakArbitraryState(t *testing.T) {
+	seed, _ := randseed.Pick(53)
+	logReplay(t, seed)
+	cfg := WorldConfig{Duration: 4 * time.Second, Seed: seed, Clients: 2000, SampleEvery: 20,
+		Scenario: WorldArbitraryScenario(), Log: t.Logf}
+	if testing.Short() {
+		cfg.Duration = 1200 * time.Millisecond
+		cfg.Clients = 300
+		cfg.SampleEvery = 5
+	}
+	rep, err := RunWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("arbitrary-state world soak violated the spec:\n%s", rep.Render())
+	}
+	if len(rep.Schedule.Steps) == 0 {
+		t.Fatal("soak executed no phases")
+	}
+}
+
+// TestLiveSoakArbitraryState is the live-cluster arbitrary-state soak: WAL
+// scrambles through the fsck/repair path and in-memory record scrambles
+// through the sanitizer, asserting bounded reconvergence throughout. Long
+// by nature; -short skips it.
+func TestLiveSoakArbitraryState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak: skipped under -short (run make soak-smoke or make soak)")
+	}
+	seed, _ := randseed.Pick(59)
+	logReplay(t, seed)
+	rep, err := RunLive(LiveConfig{Duration: 5 * time.Second, Seed: seed, StateRoot: t.TempDir(),
+		Scenario: LiveArbitraryScenario(), Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("arbitrary-state live soak violated the spec:\n%s", rep.Render())
+	}
+	if len(rep.Schedule.Steps) == 0 {
+		t.Fatal("live soak executed no phases")
+	}
+	t.Logf("arbitrary-state live soak: %d phases in %v", len(rep.Schedule.Steps), rep.Elapsed.Round(time.Millisecond))
+}
+
 // TestLiveSoakSmoke runs a short live-cluster soak over real TCP loopback
 // sockets. Long by nature; -short skips it (make check runs it via the
 // soak-smoke target, make soak runs the full-duration version).

@@ -41,7 +41,14 @@ var worldSupported = map[PhaseKind]bool{
 	PhasePartitionHeal:  true,
 	PhaseOscillate:      true,
 	PhaseCorruptCounter: true,
+	PhaseStateScramble:  true,
 }
+
+// worldConvergeBudget bounds how many misaligned membership views one
+// sampled client may install after the final heal: the simulated world
+// stabilizes within a couple of reconfiguration rounds, so a modest budget
+// asserts bounded (not merely eventual) convergence.
+const worldConvergeBudget = 8
 
 type worldRun struct {
 	cfg     WorldConfig
@@ -120,7 +127,9 @@ func RunWorld(cfg WorldConfig) (*Report, error) {
 	}
 
 	// Stabilize: heal everything and drive one final view over the whole
-	// population.
+	// population. The trace index at the heal is the convergence mark —
+	// every injection has ceased, so alignment must follow within budget.
+	mark := len(suite.Trace())
 	if err := w.HealServers(); err != nil {
 		return nil, err
 	}
@@ -136,7 +145,7 @@ func RunWorld(cfg WorldConfig) (*Report, error) {
 
 	report.violate(suite.Err())
 	if report.OK() {
-		report.violate(r.checkConvergence(suite, keep))
+		report.violate(r.checkConvergence(suite, keep, mark))
 	}
 	report.Population = len(w.Clients())
 	report.EventsSeen, report.EventsChecked = suite.SampleStats()
@@ -156,37 +165,23 @@ func (r *worldRun) sampledClient(keep func(types.ProcID) bool) types.ProcID {
 	return clients[0]
 }
 
-// checkConvergence verifies from the sampled trace that every sampled
-// attached client's last membership view is the same view over the full
-// population — the flash crowds, churn storms, and resurrections all
-// merged back into one agreed view.
-func (r *worldRun) checkConvergence(suite *spec.Suite, keep func(types.ProcID) bool) error {
+// checkConvergence hands the sampled trace to the spec-level convergence
+// checker: every sampled attached client must reach the same view over the
+// full population within worldConvergeBudget reconfiguration rounds of the
+// final heal — the flash crowds, churn storms, scrambles, and resurrections
+// all merged back into one agreed view, boundedly.
+func (r *worldRun) checkConvergence(suite *spec.Suite, keep func(types.ProcID) bool, mark int) error {
 	want := types.NewProcSet(r.w.Clients()...)
-	last := make(map[types.ProcID]types.View)
-	for _, ev := range suite.Trace() {
-		if mv, ok := ev.(spec.EMView); ok {
-			last[mv.P] = mv.View
-		}
-	}
-	sampled := 0
+	sampled := types.NewProcSet()
 	for _, c := range r.w.Clients() {
-		if !keep(c) {
-			continue
-		}
-		sampled++
-		v, ok := last[c]
-		if !ok {
-			return fmt.Errorf("soak: sampled client %s never received a membership view", c)
-		}
-		if !v.Members.Equal(want) {
-			return fmt.Errorf("soak: client %s converged to view %d with %d members, want the full population of %d",
-				c, v.ID, v.Members.Len(), want.Len())
+		if keep(c) {
+			sampled.Add(c)
 		}
 	}
-	if sampled == 0 {
+	if sampled.Len() == 0 {
 		return fmt.Errorf("soak: sampling stride %d kept no clients out of %d", r.cfg.SampleEvery, want.Len())
 	}
-	return nil
+	return spec.CheckConvergence(suite.Trace(), mark, sampled, want, worldConvergeBudget)
 }
 
 // freshJoiners mints n never-used client identifiers.
@@ -306,6 +301,27 @@ func (r *worldRun) phase(kind PhaseKind) error {
 		if err := r.w.AttachClients(newHome, []types.ProcID{victim}); err != nil {
 			return err
 		}
+		return r.w.TriggerChange()
+
+	case PhaseStateScramble:
+		clients := r.w.Clients()
+		servers := r.w.Servers()
+		sid := servers[r.rng.Intn(len(servers))]
+		n := 1 + r.rng.Intn(4)
+		recs := make(map[types.ProcID]membership.ClientRecord, n)
+		for i := 0; i < n; i++ {
+			victim := clients[r.rng.Intn(len(clients))]
+			// Fully arbitrary 64-bit patterns: mostly impossible (negative,
+			// above the ceilings — the sanitizer must clamp them), sometimes
+			// huge-but-legal (the protocol must absorb them monotonically).
+			recs[victim] = membership.ClientRecord{
+				CID:   types.StartChangeID(r.rng.Uint64()),
+				Vid:   types.ViewID(r.rng.Uint64()),
+				Epoch: int64(r.rng.Uint64()),
+			}
+		}
+		r.sched.Note(at, kind, "scramble %d retained records at %s with arbitrary identifiers", n, sid)
+		r.w.Server(sid).RestoreRecords(recs)
 		return r.w.TriggerChange()
 
 	default:

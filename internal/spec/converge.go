@@ -1,0 +1,93 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vsgm/internal/types"
+)
+
+// CheckConvergence evaluates the arbitrary-state convergence property on a
+// retained trace: once injection ceases (everything at trace index >= after
+// is post-chaos), every client in clients must install a membership view
+// over exactly want within a bounded number of reconfiguration rounds, and
+// the final views must agree.
+//
+// This is the checkable core of practically-self-stabilizing virtual
+// synchrony: no matter what state the adversary scrambled a server into —
+// corrupted WAL bytes, wrapped epochs, arbitrary in-memory records — the
+// sanitize-and-reattach machinery must reach a legal aligned state again,
+// and must do so within budget misaligned views per client, not merely
+// eventually.
+//
+// Concretely, for each p in clients:
+//
+//   - p's last membership view in the whole trace must have member set
+//     exactly want (it converged, and stayed converged);
+//   - among p's views at index >= after, at most budget may precede its
+//     first aligned view (bounded convergence, not just eventual);
+//   - every client's final view must carry the same view key (agreement).
+//
+// A client with no views at all fails; a client whose last view precedes
+// `after` passes the bound vacuously (it was aligned before the mark and
+// nothing disturbed it).
+func CheckConvergence(trace []Event, after int, clients, want types.ProcSet, budget int) error {
+	if after < 0 {
+		after = 0
+	}
+	if after > len(trace) {
+		after = len(trace)
+	}
+	last := make(map[types.ProcID]types.View)
+	for _, ev := range trace {
+		if mv, ok := ev.(EMView); ok {
+			last[mv.P] = mv.View
+		}
+	}
+	// Misaligned views installed after the mark, per client, up to the first
+	// aligned one.
+	misaligned := make(map[types.ProcID]int)
+	aligned := make(map[types.ProcID]bool)
+	for _, ev := range trace[after:] {
+		mv, ok := ev.(EMView)
+		if !ok || aligned[mv.P] {
+			continue
+		}
+		if mv.View.Members.Equal(want) {
+			aligned[mv.P] = true
+		} else {
+			misaligned[mv.P]++
+		}
+	}
+
+	var msgs []string
+	finalKey := ""
+	for _, p := range clients.Sorted() {
+		v, ok := last[p]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s never installed a membership view", p))
+			continue
+		}
+		if !v.Members.Equal(want) {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s's final view %d has %d members, want the full population of %d",
+				p, v.ID, v.Members.Len(), want.Len()))
+			continue
+		}
+		if n := misaligned[p]; n > budget {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s installed %d misaligned views after injection ceased, budget %d", p, n, budget))
+		}
+		if finalKey == "" {
+			finalKey = v.Key()
+		} else if v.Key() != finalKey {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s's final view %s disagrees with its peers' %s", p, v.Key(), finalKey))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return errors.New("convergence: " + strings.Join(msgs, "\n  "))
+}

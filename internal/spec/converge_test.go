@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func mview(p types.ProcID, vid types.ViewID, members ...types.ProcID) Event {
+	return EMView{P: p, View: types.NewView(vid, types.NewProcSet(members...), nil)}
+}
+
+func TestCheckConvergenceAccepts(t *testing.T) {
+	want := types.NewProcSet("a", "b")
+	trace := []Event{
+		mview("a", 1, "a"),      // pre-injection noise
+		mview("a", 2, "a"),      // one misaligned view after the mark...
+		mview("a", 3, "a", "b"), // ...then aligned
+		mview("b", 3, "a", "b"), // aligned immediately
+	}
+	if err := CheckConvergence(trace, 1, want, want, 1); err != nil {
+		t.Fatalf("legal convergence rejected: %v", err)
+	}
+	// A client aligned before the mark with nothing after passes vacuously.
+	pre := []Event{mview("a", 3, "a", "b"), mview("b", 3, "a", "b")}
+	if err := CheckConvergence(pre, len(pre), want, want, 0); err != nil {
+		t.Fatalf("pre-converged trace rejected: %v", err)
+	}
+}
+
+func TestCheckConvergenceRejects(t *testing.T) {
+	want := types.NewProcSet("a", "b")
+	cases := []struct {
+		name   string
+		trace  []Event
+		after  int
+		budget int
+		frag   string
+	}{
+		{
+			name:  "no view at all",
+			trace: []Event{mview("a", 3, "a", "b")},
+			frag:  "never installed",
+		},
+		{
+			name: "final view misaligned",
+			trace: []Event{
+				mview("a", 3, "a", "b"),
+				mview("b", 4, "b"),
+			},
+			frag: "final view 4",
+		},
+		{
+			name: "budget exhausted",
+			trace: []Event{
+				mview("a", 1, "a"), mview("a", 2, "a"),
+				mview("a", 3, "a", "b"),
+				mview("b", 3, "a", "b"),
+			},
+			budget: 1,
+			frag:   "misaligned views",
+		},
+		{
+			name: "final views disagree",
+			trace: []Event{
+				mview("a", 3, "a", "b"),
+				mview("b", 4, "a", "b"),
+			},
+			frag: "disagrees",
+		},
+	}
+	for _, tc := range cases {
+		err := CheckConvergence(tc.trace, tc.after, want, want, tc.budget)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: err = %v, want fragment %q", tc.name, err, tc.frag)
+		}
+	}
+}
