@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check fsck-smoke soak soak-smoke check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check fsck-smoke detector-smoke soak soak-smoke check
 
 all: check
 
@@ -77,6 +77,15 @@ docs-check:
 fsck-smoke:
 	$(GO) test -run TestFsckCLI -count=1 ./cmd/vsgm-fsck/
 
+# Failure-detector smoke for the pre-merge gate: a seeded flapping-link
+# soak slice that must stay within the bounded-churn budget with flap
+# damping engaged, a seeded gray-failure slice whose one-way link breaks
+# must reconcile symmetrically, and the client-side arbitrary-state
+# scramble slice. Replay any failure with the VSGM_SEED the test logs.
+detector-smoke:
+	$(GO) test -run 'TestDetectorSmoke|TestLiveSoakClientScramble' -count=1 ./internal/soak/
+	$(GO) test -run 'TestLiveGrayFailureAsymmetricPartition' -count=1 ./internal/live/
+
 # Long-soak chaos harness (cmd/vsgm-soak): every mode — the small simulated
 # cluster, the 10k-client sampled-checking world, and the live TCP cluster —
 # under randomized adversarial phases with the spec suite attached. Each run
@@ -105,4 +114,5 @@ check: vet test
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
 	$(MAKE) fsck-smoke
+	$(MAKE) detector-smoke
 	$(MAKE) soak-smoke

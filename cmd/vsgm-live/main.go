@@ -57,6 +57,7 @@ import (
 
 	"vsgm/internal/core"
 	"vsgm/internal/live"
+	"vsgm/internal/membership"
 	"vsgm/internal/obs"
 	"vsgm/internal/sim"
 	"vsgm/internal/types"
@@ -85,9 +86,33 @@ func run(args []string, out io.Writer) error {
 		window     = fs.Int("window", 4, "with -slow-client: per-sender credit window in frames")
 		timeout    = fs.Duration("timeout", 10*time.Second, "per-phase convergence timeout")
 		debugAddr  = fs.String("debug-addr", "", "serve Prometheus /metrics, JSON /statusz, /tracez and pprof on this address for the run's duration (e.g. 127.0.0.1:8080; empty disables)")
+
+		detMode    = fs.String("detector-mode", "adaptive", "server failure detector: adaptive (phi accrual + flap damping + gray reconciliation) or fixed (binary heartbeat timeout)")
+		detWindow  = fs.Int("detector-window", 0, "adaptive detector: inter-arrival sliding window size (0 = default)")
+		phiSuspect = fs.Float64("phi-suspect", 0, "adaptive detector: phi threshold that suspects a peer (0 = default)")
+		phiRestore = fs.Float64("phi-restore", 0, "adaptive detector: phi threshold that restores a suspected peer (0 = default; must be below -phi-suspect)")
+		quarBase   = fs.Duration("quarantine-base", 0, "adaptive detector: first rejoin quarantine a flapping peer earns (0 = default, negative disables damping)")
+		quarCap    = fs.Duration("quarantine-cap", 0, "adaptive detector: upper bound on the exponentially growing rejoin quarantine (0 = default)")
+		flapHalf   = fs.Duration("flap-half-life", 0, "adaptive detector: half-life of the decaying flap score (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	det := membership.DetectorConfig{
+		Window:         *detWindow,
+		SuspectPhi:     *phiSuspect,
+		RestorePhi:     *phiRestore,
+		QuarantineBase: *quarBase,
+		QuarantineCap:  *quarCap,
+		FlapHalfLife:   *flapHalf,
+	}
+	switch *detMode {
+	case "adaptive":
+		det.Mode = membership.DetectorAdaptive
+	case "fixed":
+		det.Mode = membership.DetectorFixed
+	default:
+		return fmt.Errorf("-detector-mode %q (want adaptive or fixed)", *detMode)
 	}
 	if *nServers < 1 || *nClients < 1 {
 		return fmt.Errorf("need at least one server and one client")
@@ -161,7 +186,7 @@ func run(args []string, out io.Writer) error {
 
 	var servers []*live.ServerNode
 	for _, sid := range serverIDs {
-		cfg := live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet, Obs: reg}
+		cfg := live.ServerConfig{ID: sid, Addr: "127.0.0.1:0", Servers: serverSet, Obs: reg, Detector: det}
 		if attachMode {
 			// Crash-recovery mode: durable identifier state plus a fast
 			// watchdog, so a restarted server resumes above everything it
@@ -436,6 +461,7 @@ func run(args []string, out io.Writer) error {
 				Store:    store,
 				Watchdog: 25 * time.Millisecond,
 				Obs:      reg,
+				Detector: det,
 			})
 			if err != nil {
 				return fmt.Errorf("restart %s: %w", killedID, err)

@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		clients  = fs.Int("clients", 0, "world/live: number of clients (0 = default)")
 		sample   = fs.Int("sample", 0, "world: check every k-th endpoint (0 = default, 1 = all)")
 		scenario = fs.String("scenario", "", "named scenario mix (default: the mode's own)")
+		churn    = fs.Int("churn-budget", 0, "live: max membership views per client per chaos transition, checked over the whole run (0 = default, negative disables)")
 		report   = fs.String("report", "", "write the report here (default: only on violation, to a temp path)")
 		force    = fs.Bool("force-violation", false, "inject a fabricated violation to demonstrate the report pipeline")
 		quiet    = fs.Bool("q", false, "suppress per-phase progress lines")
@@ -104,7 +105,7 @@ func run(args []string, out io.Writer) error {
 		case "live":
 			rep, err = soak.RunLive(soak.LiveConfig{
 				Duration: *duration, Seed: runSeed, Servers: *servers,
-				Clients: *clients,
+				Clients: *clients, ChurnBudget: *churn,
 				Scenario: scen, ForceViolation: *force, Log: progress,
 			})
 		default:

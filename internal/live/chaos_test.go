@@ -231,6 +231,93 @@ func TestLiveChaosPartitionAndHeal(t *testing.T) {
 	}
 }
 
+// TestLiveGrayFailureAsymmetricPartition breaks ONE direction of the
+// server-server link: srv1 can no longer hear srv0, while srv0 still hears
+// srv1 perfectly. A binary detector livelocks here — srv1 proposes a view
+// without srv0, srv0 keeps proposing the full view, and the one-round
+// membership protocol never completes. The gray-failure reconciliation must
+// instead read srv1's piggybacked reachability bitmap (which excludes
+// srv0), conclude the link is useless in both directions, and converge both
+// sides on ONE symmetric reconfiguration into disjoint side views — which
+// must then hold without oscillating until the link heals.
+func TestLiveGrayFailureAsymmetricPartition(t *testing.T) {
+	w := newLiveWorld(t, 2, 4)
+	defer w.close()
+	w.startHeartbeats(15*time.Millisecond, 120*time.Millisecond)
+
+	all := w.allClients()
+	w.waitFor("initial full view", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	sideA := w.sideClients(w.servers[0].ID())
+	sideB := w.sideClients(w.servers[1].ID())
+
+	// Break srv0→srv1 only: srv1 stops hearing srv0; the reverse direction
+	// stays perfect.
+	w.servers[1].Chaos().BlockInbound(w.servers[0].ID())
+
+	w.waitFor("both sides to install symmetric disjoint views", func() bool {
+		for cid, node := range w.clients {
+			want := sideA
+			if sideB.Contains(cid) {
+				want = sideB
+			}
+			if !node.CurrentView().Members.Equal(want) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Both detectors must agree the pair is broken — neither side may keep
+	// trusting the half-open link.
+	for _, sn := range w.servers {
+		if r := sn.DetectorStats(); sn == w.servers[0] && r.GrayDowngrades == 0 {
+			t.Errorf("srv0 never gray-downgraded its half-open peer: %+v", r)
+		}
+	}
+
+	// One reconfiguration, then stability: hold the asymmetric fault for
+	// many detection periods and assert nobody's view moves again. A
+	// detector that flip-flops on the half-open link (hearing srv1 restores
+	// it, the bitmap evidence drops it again) would churn views here.
+	type snap struct{ vid types.ViewID }
+	before := make(map[types.ProcID]snap)
+	for cid, node := range w.clients {
+		before[cid] = snap{node.CurrentView().ID}
+	}
+	time.Sleep(700 * time.Millisecond)
+	for cid, node := range w.clients {
+		if got := node.CurrentView().ID; got != before[cid].vid {
+			t.Errorf("view oscillated under a stable asymmetric fault: %s moved %d -> %d",
+				cid, before[cid].vid, got)
+		}
+	}
+
+	// Heal the direction: hearing recovers, the advertised bitmaps
+	// re-include both ends, and the reconciliation unwinds into the merged
+	// view.
+	w.servers[1].Chaos().Unblock(w.servers[0].ID())
+	w.waitFor("merged view after the link heals", func() bool {
+		for _, node := range w.clients {
+			if !node.CurrentView().Members.Equal(all) {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := w.specErr(); err != nil {
+		t.Fatalf("spec violations across the asymmetric partition:\n%v", err)
+	}
+}
+
 // TestLiveLinkFailureFeedsSuspicion pins the transport→detector wiring:
 // with a heartbeat timeout far past the test's lifetime, the only way the
 // surviving server can learn of its peer's death is the transport reporting

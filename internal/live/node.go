@@ -173,6 +173,7 @@ type Node struct {
 	attachRetries *obs.Counter
 	staleNotifies *obs.Counter
 	syncProbes    *obs.Counter
+	selfClamps    *obs.Counter
 
 	attachInterval time.Duration
 	attachTimeout  time.Duration
@@ -227,6 +228,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			"Membership notifications dropped because they came from a server other than the current home.", nodeLabel),
 		syncProbes: cfg.Obs.Counter("vsgm_node_sync_probes_total",
 			"Watchdog sync resends fired for a wedged view change.", nodeLabel),
+		selfClamps: cfg.Obs.Counter("vsgm_node_self_clamps_total",
+			"Attach ticks that clamped impossible local identifier watermarks (client-side self-stabilization).", nodeLabel),
 		sendsBlocked: cfg.Obs.Counter("vsgm_node_sends_blocked_total",
 			"Sends that stalled on a flow-control gate (credit window, memory budget, or reconfiguration block).", nodeLabel),
 		sendsOverloaded: cfg.Obs.Counter("vsgm_node_sends_overloaded_total",
@@ -470,6 +473,7 @@ func (n *Node) attachTick(now time.Time) {
 		n.amu.Unlock()
 		return
 	}
+	n.sanitizeSelfLocked()
 	if now.Sub(n.lastAck) > n.attachTimeout {
 		n.failoverLocked(now)
 	}
@@ -485,6 +489,43 @@ func (n *Node) attachTick(now time.Time) {
 	// resurrected store, an empty gossip cache) mints identifiers strictly
 	// above everything this node has seen.
 	n.fabric.SendAttach(target, wire.Attach{Kind: wire.AttachRequest, Client: n.id, Epoch: epoch, CID: cid, Vid: vid})
+}
+
+// sanitizeSelfLocked is the client half of self-stabilizing recovery: clamp
+// local identifier watermarks no correct execution produces (negative,
+// above the plausibility ceilings) back to values the attach protocol can
+// re-float from. Without it, a node restored from — or scrambled into —
+// arbitrary state would reject every legitimate notification forever: the
+// acceptNotify filter only moves forward, and the server sanitizes an
+// impossible claim down to zero, so the views it mints would sit below the
+// node's poisoned floor. Merely-huge-but-possible watermarks are left
+// alone — the claim carries them and the server mints above them, which is
+// the ordinary re-float path. Callers hold amu.
+func (n *Node) sanitizeSelfLocked() {
+	rec, st := membership.SanitizeClaim(membership.ClientRecord{CID: n.lastCID, Vid: n.lastVid, Epoch: n.epoch})
+	if st.Total() > 0 {
+		n.lastCID, n.lastVid, n.epoch = rec.CID, rec.Vid, rec.Epoch
+		n.selfClamps.Inc()
+	}
+	// lastSC is the id of the last accepted start_change, never above the
+	// cid watermark; an impossible value here self-heals on the next accepted
+	// start_change, but clamping it now spares one rejected view round.
+	if n.lastSC > n.lastCID || n.lastSC < 0 {
+		n.lastSC = n.lastCID
+		n.selfClamps.Inc()
+	}
+}
+
+// ScrambleIdentifiers overwrites the node's in-memory identifier watermarks
+// (start-change cid, view id, last-accepted start-change) with the given —
+// typically adversarially random — values. It is a chaos-testing hook, the
+// client-side analogue of ServerNode.InjectRecords: the soak harness uses
+// it to prove the attach claim, the notification filter, and the sync probe
+// re-converge the node from arbitrary state.
+func (n *Node) ScrambleIdentifiers(cid types.StartChangeID, vid types.ViewID, sc types.StartChangeID) {
+	n.amu.Lock()
+	defer n.amu.Unlock()
+	n.lastCID, n.lastVid, n.lastSC = cid, vid, sc
 }
 
 // failoverLocked abandons the current target: a best-effort detach is sent
@@ -902,6 +943,7 @@ type NodeStats struct {
 	AttachRetries int64                      `json:"attach_retries"`
 	StaleNotifies int64                      `json:"stale_notifies"`
 	SyncProbes    int64                      `json:"sync_probes"`
+	SelfClamps    int64                      `json:"self_clamps"`
 	Links         map[types.ProcID]LinkStats `json:"links"`
 
 	// Flow-control counters: sends that stalled on any gate, non-blocking
@@ -930,6 +972,7 @@ func (n *Node) Stats() NodeStats {
 		AttachRetries: n.attachRetries.Value(),
 		StaleNotifies: n.staleNotifies.Value(),
 		SyncProbes:    n.syncProbes.Value(),
+		SelfClamps:    n.selfClamps.Value(),
 	}
 	n.amu.Unlock()
 	s.Links = n.fabric.Stats()

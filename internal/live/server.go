@@ -57,6 +57,13 @@ type ServerConfig struct {
 	// WALFsyncEvery is the N of FsyncEveryN (ignored by other policies);
 	// values < 1 are treated as 1.
 	WALFsyncEvery int
+	// Detector tunes the heartbeat failure detector StartHeartbeats runs:
+	// the accrual window size, the suspect/restore hysteresis thresholds,
+	// the flap-damping quarantine base/cap, and the gray grace. The zero
+	// value selects the adaptive engine with its defaults; set
+	// Detector.Mode to membership.DetectorFixed for the legacy binary
+	// last-seen timeout.
+	Detector membership.DetectorConfig
 	// Obs, when set, is the metrics registry the server publishes into
 	// (counters labeled with the server id, a scrape-time collector for the
 	// membership core's counters and aggregated link stats, and the full
@@ -80,10 +87,15 @@ type ServerNode struct {
 	id     types.ProcID
 	fabric *fabric
 
-	mu       sync.Mutex
-	srv      *membership.Server
-	detector *membership.Detector
-	ready    chan struct{}
+	mu          sync.Mutex
+	srv         *membership.Server
+	detector    *membership.Detector
+	detectorCfg membership.DetectorConfig
+	ready       chan struct{}
+
+	// phiHist distributes the detector's accrual scores, observed for every
+	// peer on every heartbeat tick.
+	phiHist *obs.Histogram
 
 	store         Store
 	snapshotEvery int
@@ -147,6 +159,11 @@ func NewServerNode(cfg ServerConfig) (*ServerNode, error) {
 		attachLease:   cfg.AttachLease,
 		leases:        make(map[types.ProcID]time.Time),
 		obs:           cfg.Obs,
+		detectorCfg:   cfg.Detector,
+
+		phiHist: cfg.Obs.Histogram("vsgm_detector_phi",
+			"Accrual suspicion scores observed per peer per heartbeat tick.",
+			[]float64{0.25, 0.5, 1, 2, 4, 8, 12, 16, 24, 32}, serverLabel),
 
 		walAppends: cfg.Obs.Counter("vsgm_server_wal_appends_total",
 			"Identifier mutations appended to the write-ahead log.", serverLabel),
@@ -261,6 +278,10 @@ func (n *ServerNode) registerObs() {
 			clients = n.srv.LocalClients().Len()
 			san = n.srv.Sanitized()
 		}
+		var det membership.DetectorStats
+		if n.detector != nil {
+			det = n.detector.Stats()
+		}
 		n.mu.Unlock()
 		samples := []obs.Sample{
 			{Name: "vsgm_server_clients", Kind: obs.KindGauge, Labels: []obs.Label{serverLabel}, Value: float64(clients)},
@@ -268,6 +289,13 @@ func (n *ServerNode) registerObs() {
 			{Name: "vsgm_server_reproposals_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(reproposals)},
 			{Name: "vsgm_server_attempts_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(attempts)},
 			{Name: "vsgm_server_views_delivered_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(views)},
+			{Name: "vsgm_detector_suspects_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(det.Suspects)},
+			{Name: "vsgm_detector_flaps_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(det.Flaps)},
+			{Name: "vsgm_detector_quarantines_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(det.Quarantines)},
+			{Name: "vsgm_detector_quarantined", Kind: obs.KindGauge, Labels: []obs.Label{serverLabel}, Value: float64(det.Quarantined)},
+			{Name: "vsgm_detector_gray_downgrades_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(det.GrayDowngrades)},
+			{Name: "vsgm_detector_gray_excluded", Kind: obs.KindGauge, Labels: []obs.Label{serverLabel}, Value: float64(det.GrayExcluded)},
+			{Name: "vsgm_view_churn_total", Kind: obs.KindCounter, Labels: []obs.Label{serverLabel}, Value: float64(det.VerdictChanges)},
 		}
 		for _, rs := range []struct {
 			rule string
@@ -303,6 +331,13 @@ func (n *ServerNode) registerObs() {
 	n.obs.SetHelp("vsgm_server_reproposals_total", "Watchdog-triggered proposal re-sends.")
 	n.obs.SetHelp("vsgm_server_attempts_total", "Membership attempts run.")
 	n.obs.SetHelp("vsgm_server_views_delivered_total", "Views assembled and delivered to local clients.")
+	n.obs.SetHelp("vsgm_detector_suspects_total", "Failure-detector crossings into suspicion (accrual threshold or external link evidence).")
+	n.obs.SetHelp("vsgm_detector_flaps_total", "Suspect-to-restore crossings — the signal flap damping acts on.")
+	n.obs.SetHelp("vsgm_detector_quarantines_total", "Rejoin quarantines imposed on flapping peers.")
+	n.obs.SetHelp("vsgm_detector_quarantined", "Peer servers currently serving a rejoin quarantine.")
+	n.obs.SetHelp("vsgm_detector_gray_downgrades_total", "Peers downgraded on one-way-link (gray-failure) evidence from heartbeat bitmaps.")
+	n.obs.SetHelp("vsgm_detector_gray_excluded", "Peer servers currently excluded by bitmap reconciliation.")
+	n.obs.SetHelp("vsgm_view_churn_total", "Failure-detector verdict changes — each one triggers a reconfiguration attempt.")
 	n.obs.SetHelp("vsgm_sanitize_clamps_total", "Impossible identifier values clamped out of restored state and attach claims, by rule.")
 	n.obs.SetHelp("vsgm_wal_repair_damaged_ranges_total", "Undecodable byte ranges quarantined by the fsck pass at store open.")
 	n.obs.SetHelp("vsgm_wal_repair_damaged_bytes_total", "Bytes those quarantined ranges covered.")
@@ -439,6 +474,17 @@ func (n *ServerNode) Reachable() types.ProcSet {
 	return n.srv.Reachable()
 }
 
+// DetectorStats snapshots the heartbeat failure detector's counters (all
+// zero before StartHeartbeats).
+func (n *ServerNode) DetectorStats() membership.DetectorStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.detector == nil {
+		return membership.DetectorStats{}
+	}
+	return n.detector.Stats()
+}
+
 // Reconfigure starts a fresh membership attempt.
 func (n *ServerNode) Reconfigure() {
 	n.mu.Lock()
@@ -479,7 +525,7 @@ func (n *ServerNode) receive(from types.ProcID, fr frame) {
 	defer n.mu.Unlock()
 	if fr.Msg.Kind == types.KindHeartbeat {
 		if n.detector != nil {
-			n.detector.OnHeartbeat(from, time.Now())
+			n.detector.OnHeartbeatInfo(from, time.Now(), fr.Msg.Reach)
 		}
 		return
 	}
@@ -686,7 +732,7 @@ func (n *ServerNode) Close() {
 func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time.Duration) {
 	n.mu.Lock()
 	if n.detector == nil {
-		n.detector = membership.NewDetector(n.id, peers, timeout, time.Now())
+		n.detector = membership.NewDetectorWith(n.id, peers, timeout, time.Now(), n.detectorCfg)
 	}
 	if n.hbStop != nil {
 		n.mu.Unlock()
@@ -708,10 +754,21 @@ func (n *ServerNode) StartHeartbeats(peers types.ProcSet, interval, timeout time
 			select {
 			case <-timer.C:
 				if len(others) > 0 {
-					n.fabric.Send(others, types.WireMsg{Kind: types.KindHeartbeat})
+					// Piggyback the hearing set as the reachability bitmap:
+					// peers use it to reconcile one-way links. Heartbeat
+					// frames coalesce newest-wins per link, so a queued stale
+					// bitmap is superseded, never delivered late.
+					n.mu.Lock()
+					reach := n.detector.Bitmap()
+					n.mu.Unlock()
+					n.fabric.Send(others, types.WireMsg{Kind: types.KindHeartbeat, Reach: reach})
 				}
 				n.mu.Lock()
-				reachable, changed := n.detector.Tick(time.Now())
+				now := time.Now()
+				reachable, changed := n.detector.Tick(now)
+				for _, p := range others {
+					n.phiHist.Observe(n.detector.Phi(p, now))
+				}
 				if changed {
 					n.srv.SetReachable(reachable)
 				}

@@ -116,7 +116,7 @@ func NewServerWorld(cfg ServerWorldConfig) (*ServerWorld, error) {
 		w.net.Register(sid, corfifo.HandlerFunc(func(from types.ProcID, m types.WireMsg) {
 			if m.Kind == types.KindHeartbeat {
 				if d := w.detectors[id]; d != nil {
-					d.OnHeartbeat(from, virtualTime(w.Now()))
+					d.OnHeartbeatInfo(from, virtualTime(w.Now()), m.Reach)
 				}
 				return
 			}
@@ -352,7 +352,10 @@ func (w *ServerWorld) RunWithHeartbeats(window, interval, timeout time.Duration)
 		for _, sid := range w.serverIDs {
 			peers := serverSet.Minus(types.NewProcSet(sid))
 			if peers.Len() > 0 {
-				w.net.Send(sid, peers.Sorted(), types.WireMsg{Kind: types.KindHeartbeat})
+				w.net.Send(sid, peers.Sorted(), types.WireMsg{
+					Kind:  types.KindHeartbeat,
+					Reach: w.detectors[sid].Bitmap(),
+				})
 			}
 		}
 		for _, sid := range w.serverIDs {

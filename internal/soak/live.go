@@ -39,6 +39,15 @@ type LiveConfig struct {
 	ConvergeTimeout time.Duration
 	// Scenario is the phase mix; default LiveScenario().
 	Scenario *Scenario
+	// Detector tunes the servers' failure detectors. The zero value selects
+	// the adaptive engine with its defaults; set Mode to
+	// membership.DetectorFixed for the legacy binary timeout.
+	Detector membership.DetectorConfig
+	// ChurnBudget bounds how many membership views one client may install
+	// per chaos transition over the whole run (spec.CheckChurn; every block,
+	// heal, kill, restart, or injection is one transition). 0 selects
+	// liveChurnBudget; negative disables the check.
+	ChurnBudget int
 	// ForceViolation injects a fabricated violation at the end of the run.
 	ForceViolation bool
 	// Log receives progress lines; nil discards them.
@@ -49,12 +58,15 @@ var liveSupported = map[PhaseKind]bool{
 	PhaseTraffic:        true,
 	PhasePartitionHeal:  true,
 	PhaseOscillate:      true,
+	PhaseFlappingLink:   true,
+	PhaseGrayFailure:    true,
 	PhaseCrashRestart:   true,
 	PhaseFlashCrowd:     true,
 	PhaseStaleResurrect: true,
 	PhaseCorruptCounter: true,
 	PhaseWALScramble:    true,
 	PhaseStateScramble:  true,
+	PhaseClientScramble: true,
 }
 
 // liveConvergeBudget bounds how many misaligned membership views one client
@@ -63,6 +75,12 @@ var liveSupported = map[PhaseKind]bool{
 // partial views while the detectors re-admit everyone; the budget asserts
 // boundedness, not a tight constant.
 const liveConvergeBudget = 32
+
+// liveChurnBudget is the default CheckChurn allowance: membership views one
+// client may install per chaos transition across the whole run. Live
+// re-homing legitimately installs a handful of views per transition; an
+// undamped detector on a flapping link installs them without bound.
+const liveChurnBudget = 16
 
 // violationError marks a phase failure that is a property of the system
 // under test (a stabilization that never converged, a send that never
@@ -113,6 +131,14 @@ type liveRun struct {
 	crowdSeq  int
 	clientSeq int // distinct MsgIDBase per node ever created, survivors and crowds alike
 
+	// transitions counts the adversary's reachability/state flips (each
+	// block, heal, kill, restart, and injection is one) — the denominator
+	// of the bounded-churn check.
+	transitions int
+	// detStats accumulates detector counters of servers that were killed,
+	// so end-of-run totals survive restarts replacing the nodes.
+	detStats membership.DetectorStats
+
 	// Collector state: the synchronous Observe/ObserveNotify/OnSend hooks of
 	// every node funnel here, serialized by mu (as in the live test world).
 	mu    sync.Mutex
@@ -139,6 +165,9 @@ func RunLive(cfg LiveConfig) (*Report, error) {
 	}
 	if cfg.Scenario == nil {
 		cfg.Scenario = LiveScenario()
+	}
+	if cfg.ChurnBudget == 0 {
+		cfg.ChurnBudget = liveChurnBudget
 	}
 	if err := cfg.Scenario.validate(liveSupported); err != nil {
 		return nil, err
@@ -197,8 +226,10 @@ func RunLive(cfg LiveConfig) (*Report, error) {
 	}
 	if phaseErr == nil {
 		// Final stabilization: heal everything and run one more round, then
-		// hold the run to the bounded-convergence property from the heal mark.
+		// hold the run to the bounded-convergence property from the heal mark
+		// and the bounded-churn property over the whole run.
 		r.healAll()
+		r.transitions++
 		r.mu.Lock()
 		mark := len(r.suite.Trace())
 		r.mu.Unlock()
@@ -210,6 +241,9 @@ func RunLive(cfg LiveConfig) (*Report, error) {
 			all := r.clientSet()
 			r.mu.Lock()
 			cerr := spec.CheckConvergence(r.suite.Trace(), mark, all, all, liveConvergeBudget)
+			if cerr == nil && cfg.ChurnBudget > 0 {
+				cerr = spec.CheckChurn(r.suite.Trace(), 0, r.transitions, cfg.ChurnBudget, all)
+			}
 			r.mu.Unlock()
 			if cerr != nil {
 				phaseErr = violationf("%v", cerr)
@@ -230,6 +264,17 @@ func RunLive(cfg LiveConfig) (*Report, error) {
 	}
 	report.violate(r.specErr())
 	report.Population = len(r.clients)
+	report.ChaosTransitions = r.transitions
+	det := r.detStats
+	for _, sn := range r.servers {
+		st := sn.DetectorStats()
+		det.Flaps += st.Flaps
+		det.Quarantines += st.Quarantines
+		det.GrayDowngrades += st.GrayDowngrades
+	}
+	report.DetectorFlaps = det.Flaps
+	report.DetectorQuarantines = det.Quarantines
+	report.DetectorGrayDrops = det.GrayDowngrades
 	r.mu.Lock()
 	report.EventsSeen, report.EventsChecked = r.suite.SampleStats()
 	r.mu.Unlock()
@@ -289,6 +334,7 @@ func (r *liveRun) newServer(sid types.ProcID, addr, stateDir string) (*live.Serv
 		Watchdog:    liveWatchdog,
 		AttachLease: liveAttachLease,
 		Transport:   soakTransport(),
+		Detector:    r.cfg.Detector,
 	})
 	if err != nil {
 		store.Close()
@@ -608,6 +654,16 @@ func (r *liveRun) healAll() {
 	}
 }
 
+// serverPair draws a random ordered pair of distinct servers.
+func (r *liveRun) serverPair() (types.ProcID, types.ProcID) {
+	i := r.rng.Intn(len(r.serverIDs))
+	j := r.rng.Intn(len(r.serverIDs) - 1)
+	if j >= i {
+		j++
+	}
+	return r.serverIDs[i], r.serverIDs[j]
+}
+
 // serverSplit draws a random 2-way split of the server set.
 func (r *liveRun) serverSplit() (types.ProcSet, types.ProcSet) {
 	ids := append([]types.ProcID(nil), r.serverIDs...)
@@ -630,6 +686,16 @@ func (r *liveRun) waitServersIntegrated() error {
 		}
 		return true
 	})
+}
+
+// retire banks a server's detector counters and closes it, so end-of-run
+// detector totals survive the restart replacing the node.
+func (r *liveRun) retire(sn *live.ServerNode) {
+	st := sn.DetectorStats()
+	r.detStats.Flaps += st.Flaps
+	r.detStats.Quarantines += st.Quarantines
+	r.detStats.GrayDowngrades += st.GrayDowngrades
+	sn.Close()
 }
 
 // restartServer rebuilds a killed server on its old address from whatever
@@ -666,6 +732,7 @@ func (r *liveRun) phase(kind PhaseKind) error {
 	case PhasePartitionHeal:
 		left, right := r.serverSplit()
 		r.sched.Note(at, kind, "split %s | %s, stabilize both sides, heal", left, right)
+		r.transitions += 2 // the split and the heal
 		comps := r.partitionComponents(left, right)
 		// Each side settles on a view over exactly its own clients.
 		if err := r.waitFor("both sides of the partition stabilize", func() bool {
@@ -697,6 +764,7 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		left, right := r.serverSplit()
 		flips := 2 + r.rng.Intn(3)
 		r.sched.Note(at, kind, "%d rapid flips of %s | %s", flips, left, right)
+		r.transitions += 2 * flips
 		for i := 0; i < flips; i++ {
 			r.partitionComponents(left, right)
 			time.Sleep(time.Duration(50+r.rng.Intn(150)) * time.Millisecond)
@@ -716,7 +784,8 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		}
 		floor := r.maxViewID()
 		r.sched.Note(at, kind, "kill %s, converge on survivors, restart it from its store", sid)
-		sn.Close()
+		r.transitions += 2 // the kill and the restart
+		r.retire(sn)
 		if err := r.waitFor("orphans of "+string(sid)+" re-home at survivors", func() bool {
 			for _, node := range r.clients {
 				if h := node.Home(); h == "" || h == sid {
@@ -743,6 +812,7 @@ func (r *liveRun) phase(kind PhaseKind) error {
 			r.crowdSeq++
 		}
 		r.sched.Note(at, kind, "%d clients join in one burst, one round of traffic, then leave", n)
+		r.transitions += 2 // the burst admission and the departure
 		// The whole phase leans on floor-based waits, and its reconfigurations
 		// (burst admission, departure shrink) may be triggered at any one
 		// server: they reach clients homed elsewhere only if the servers are
@@ -800,6 +870,7 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		addr := sn.Addr()
 		backup := filepath.Join(r.cfg.StateRoot, string(sid)+".stale")
 		r.sched.Note(at, kind, "snapshot %s's store, advance identifiers, resurrect it from the stale generation", sid)
+		r.transitions += 3 // the advance, the kill, the resurrection
 		// Point-in-time backup of the current (soon to be stale) generation.
 		if err := live.CloneStateDir(r.stateDirs[sid], backup); err != nil {
 			return err
@@ -816,7 +887,7 @@ func (r *liveRun) phase(kind PhaseKind) error {
 			return err
 		}
 		// Kill, roll the store back to the stale generation, restart.
-		sn.Close()
+		r.retire(sn)
 		if err := live.CloneStateDir(backup, r.stateDirs[sid]); err != nil {
 			return err
 		}
@@ -854,7 +925,8 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		}
 		r.sched.Note(at, kind, "kill %s, append %s for %s (cid=%d vid=%d epoch=%d) to its WAL, restart",
 			sid, flavour, victim, rec.CID, rec.Vid, rec.Epoch)
-		sn.Close()
+		r.transitions += 2 // the kill and the restart
+		r.retire(sn)
 		store, err := live.NewFileStore(r.stateDirs[sid])
 		if err != nil {
 			return err
@@ -894,12 +966,13 @@ func (r *liveRun) phase(kind PhaseKind) error {
 		if err := r.waitServersIntegrated(); err != nil {
 			return err
 		}
-		sn.Close()
+		r.retire(sn)
 		detail, err := r.scrambleStateDir(r.stateDirs[sid])
 		if err != nil {
 			return err
 		}
 		r.sched.Note(at, kind, "kill %s, %s, restart through fsck/repair", sid, detail)
+		r.transitions += 2 // the kill and the restart
 		if err := r.restartServer(sid, addr); err != nil {
 			return err
 		}
@@ -938,8 +1011,125 @@ func (r *liveRun) phase(kind PhaseKind) error {
 			}
 		}
 		r.sched.Note(at, kind, "inject %d adversarially random records into %s's retained state", len(recs), sid)
+		r.transitions++
 		sn.InjectRecords(recs)
 		return r.waitFullView("cluster converged past the scrambled records", 0)
+
+	case PhaseClientScramble:
+		ids := r.clientIDs()
+		victim := ids[r.rng.Intn(len(ids))]
+		node := r.clients[victim]
+		// Two flavours, mirroring the server-side scramble: impossible
+		// values (above the plausibility ceilings, negative) that the node
+		// must self-clamp, and huge-but-possible values that must re-float
+		// through the attach claim so the servers mint above them.
+		var cid, sc types.StartChangeID
+		var vid types.ViewID
+		flavour := "impossible"
+		if r.rng.Intn(2) == 0 {
+			flavour = "huge-but-possible"
+			cid = types.StartChangeID(int64(1+r.rng.Intn(1000)) << 32)
+			vid = types.ViewID(1) << (40 + r.rng.Intn(8))
+			sc = cid - types.StartChangeID(r.rng.Intn(5))
+		} else {
+			cid = types.StartChangeID(r.rng.Uint64())
+			vid = types.ViewID(r.rng.Uint64())
+			sc = types.StartChangeID(r.rng.Uint64())
+		}
+		r.sched.Note(at, kind, "scramble %s's in-memory identifiers with %s values (cid=%d vid=%d sc=%d)",
+			victim, flavour, cid, vid, sc)
+		r.transitions += 2 // the scramble and the forced reconfiguration
+		node.ScrambleIdentifiers(cid, vid, sc)
+		// A reconfiguration observing the poisoned watermarks reaches every
+		// client only through mutually re-admitted servers; the sleep gives
+		// the victim's next attach ticks time to self-clamp (impossible
+		// flavour) or land the scrambled claim (huge flavour) before the
+		// attempt that must out-bid it.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		time.Sleep(4 * liveAttachInterval)
+		home := node.Home()
+		sn, ok := r.servers[home]
+		if !ok {
+			sn = r.servers[r.serverIDs[0]]
+		}
+		floor := r.maxViewID()
+		sn.Reconfigure()
+		return r.waitFullView("cluster converged past the scrambled client", floor)
+
+	case PhaseFlappingLink:
+		a, b := r.serverPair()
+		flips := 3 + r.rng.Intn(3)
+		r.sched.Note(at, kind, "flap the %s<->%s link %d times (block past detection, briefly heal)", a, b, flips)
+		r.transitions += 2 * flips
+		// Start integrated so the first flip is a genuine verdict crossing.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		chaos := r.chaosOf()
+		for i := 0; i < flips; i++ {
+			chaos[a].BlockOutbound(b)
+			chaos[b].BlockOutbound(a)
+			// Long enough for accrual suspicion to fire (phi crosses the
+			// suspect threshold a few hundred ms into the silence at the
+			// soak's 20ms heartbeat interval)...
+			time.Sleep(time.Duration(600+r.rng.Intn(250)) * time.Millisecond)
+			chaos[a].Unblock(b)
+			chaos[b].Unblock(a)
+			// ...and short enough that the restore is a flap, not a heal.
+			time.Sleep(time.Duration(100+r.rng.Intn(150)) * time.Millisecond)
+		}
+		// Damping is allowed to hold the verdict down well past the last
+		// flip (that is the point); the converge wait absorbs the final
+		// quarantine before the full view is owed.
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		return r.waitFullView("full view after link flapping", 0)
+
+	case PhaseGrayFailure:
+		a, b := r.serverPair()
+		// Break exactly one direction: b stops hearing a, while a still
+		// hears b and every third party hears both.
+		r.sched.Note(at, kind, "gray failure: block %s's inbound from %s, converge symmetrically, heal", b, a)
+		r.transitions += 2 // the break and the heal
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		r.servers[b].Chaos().BlockInbound(a)
+		// Reconciliation must converge every server on a verdict that
+		// excludes the broken pairing: b suspects a outright; a downgrades b
+		// on b's bitmap (the direct rule); third parties drop the
+		// lexicographically larger of the pair (the pair rule). The one
+		// observable all of them share: nobody keeps both a and b.
+		if err := r.waitFor("gray failure reconciled symmetrically", func() bool {
+			for _, sn := range r.servers {
+				reach := sn.Reachable()
+				if reach.Contains(a) && reach.Contains(b) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		// Hold the broken link briefly: verdicts must not oscillate once
+		// reconciled (each side would livelock the one-round protocol if
+		// they disagreed, and flap if they alternated).
+		time.Sleep(500 * time.Millisecond)
+		for _, sn := range r.servers {
+			reach := sn.Reachable()
+			if reach.Contains(a) && reach.Contains(b) {
+				return violationf("gray-failure verdict oscillated: %s re-admitted both %s and %s over a broken link",
+					sn.ID(), a, b)
+			}
+		}
+		r.servers[b].Chaos().Unblock(a)
+		if err := r.waitServersIntegrated(); err != nil {
+			return err
+		}
+		return r.waitFullView("full view after the gray failure heals", 0)
 
 	default:
 		return fmt.Errorf("soak: live runner cannot execute phase %q", kind)

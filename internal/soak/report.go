@@ -37,6 +37,16 @@ type Report struct {
 	// Elapsed is how long the run took — virtual time for simulation
 	// soaks, wall time for live soaks.
 	Elapsed time.Duration
+
+	// Detector aggregates (live mode): chaos transitions the schedule
+	// executed, and the servers' failure-detector counters at the end of
+	// the run — flap crossings seen, rejoin quarantines imposed, gray
+	// (one-way link) downgrades applied. They let a seeded detector soak
+	// assert that damping actually engaged, not merely that nothing broke.
+	ChaosTransitions    int
+	DetectorFlaps       int64
+	DetectorQuarantines int64
+	DetectorGrayDrops   int64
 }
 
 // OK reports whether the run finished without violations.
@@ -70,6 +80,10 @@ func (r *Report) Render() string {
 			r.SampleEvery, r.EventsChecked, r.EventsSeen)
 	}
 	fmt.Fprintf(&b, "replay: %s=%d (same mode and scenario reproduces the schedule)\n", randseed.EnvVar, r.Seed)
+	if r.Mode == "live" {
+		fmt.Fprintf(&b, "detector: %d chaos transitions, %d flaps, %d quarantines, %d gray downgrades\n",
+			r.ChaosTransitions, r.DetectorFlaps, r.DetectorQuarantines, r.DetectorGrayDrops)
+	}
 	if !r.OK() {
 		fmt.Fprintf(&b, "\n%d violation(s):\n", len(r.Violations))
 		for i, v := range r.Violations {

@@ -58,6 +58,22 @@ const (
 	// straight into a running server's retained state, exercising the
 	// sanitizer's arbitrary-state convergence without a restart.
 	PhaseStateScramble PhaseKind = "state-scramble"
+	// PhaseClientScramble scrambles a live client's in-memory identifier
+	// watermarks (cid, view id, last start-change) with adversarially random
+	// values, exercising the client half of arbitrary-state convergence:
+	// self-clamping, the attach-claim re-float, and the notification filter
+	// (live only).
+	PhaseClientScramble PhaseKind = "client-scramble"
+	// PhaseFlappingLink rapidly blocks and unblocks one server-server link,
+	// faster than an undamped detector stabilizes; flap damping must
+	// converge the verdict instead of installing a view per flip.
+	PhaseFlappingLink PhaseKind = "flapping-link"
+	// PhaseGrayFailure blocks exactly one direction of a server-server link
+	// — a gray failure one side cannot see directly. Reachability-bitmap
+	// reconciliation must converge both sides (and every third party) on
+	// one symmetric reconfiguration (live only; the simulated world drives
+	// detector verdicts directly, with no heartbeats to piggyback on).
+	PhaseGrayFailure PhaseKind = "gray-failure"
 )
 
 // Weight gives one phase kind a relative selection weight.
@@ -136,6 +152,7 @@ func WorldScenario() *Scenario {
 			{PhaseChurn, 3},
 			{PhasePartitionHeal, 2},
 			{PhaseOscillate, 1},
+			{PhaseFlappingLink, 1},
 			{PhaseCorruptCounter, 2},
 			{PhaseStateScramble, 2},
 		},
@@ -150,12 +167,15 @@ func LiveScenario() *Scenario {
 			{PhaseTraffic, 4},
 			{PhasePartitionHeal, 3},
 			{PhaseOscillate, 2},
+			{PhaseFlappingLink, 2},
+			{PhaseGrayFailure, 2},
 			{PhaseCrashRestart, 3},
 			{PhaseFlashCrowd, 2},
 			{PhaseStaleResurrect, 2},
 			{PhaseCorruptCounter, 2},
 			{PhaseWALScramble, 2},
 			{PhaseStateScramble, 2},
+			{PhaseClientScramble, 2},
 		},
 	}
 }
@@ -172,9 +192,28 @@ func LiveArbitraryScenario() *Scenario {
 			{PhaseTraffic, 2},
 			{PhaseWALScramble, 4},
 			{PhaseStateScramble, 4},
+			{PhaseClientScramble, 4},
 			{PhaseStaleResurrect, 2},
 			{PhaseCorruptCounter, 2},
 			{PhaseCrashRestart, 1},
+		},
+	}
+}
+
+// LiveDetectorScenario concentrates the live soak on the adaptive failure
+// detector: flapping links that must be damped, gray failures that must be
+// reconciled symmetrically, and just enough clean partitions and traffic to
+// prove the detector still converges the easy cases. Runs of this scenario
+// additionally hold the trace to the bounded-churn property
+// (spec.CheckChurn) over the run's chaos transitions.
+func LiveDetectorScenario() *Scenario {
+	return &Scenario{
+		Name: "live-detector",
+		Weights: []Weight{
+			{PhaseTraffic, 2},
+			{PhaseFlappingLink, 4},
+			{PhaseGrayFailure, 4},
+			{PhasePartitionHeal, 1},
 		},
 	}
 }
@@ -194,10 +233,10 @@ func WorldArbitraryScenario() *Scenario {
 }
 
 // ScenarioByName resolves a named scenario ("sim-default", "world-default",
-// "live-default", "live-arbitrary", "world-arbitrary"), for the -scenario
-// CLI flag.
+// "live-default", "live-arbitrary", "live-detector", "world-arbitrary"),
+// for the -scenario CLI flag.
 func ScenarioByName(name string) (*Scenario, error) {
-	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario(), LiveArbitraryScenario(), WorldArbitraryScenario()} {
+	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario(), LiveArbitraryScenario(), LiveDetectorScenario(), WorldArbitraryScenario()} {
 		if sc.Name == name {
 			return sc, nil
 		}

@@ -40,6 +40,7 @@ var worldSupported = map[PhaseKind]bool{
 	PhaseChurn:          true,
 	PhasePartitionHeal:  true,
 	PhaseOscillate:      true,
+	PhaseFlappingLink:   true,
 	PhaseCorruptCounter: true,
 	PhaseStateScramble:  true,
 }
@@ -266,6 +267,27 @@ func (r *worldRun) phase(kind PhaseKind) error {
 		r.sched.Note(at, kind, "%d rapid flips of server split %s | %s", flips, left, right)
 		for i := 0; i < flips; i++ {
 			if err := r.w.PartitionServers(left, right); err != nil {
+				return err
+			}
+			if err := r.w.HealServers(); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case PhaseFlappingLink:
+		// The world's detectors are driven directly (no heartbeats to score),
+		// so this phase exercises the membership protocol under a flapping
+		// verdict rather than the damping itself: one server's reachability
+		// flips several times faster than a full stabilization, and every
+		// flip must still converge to agreed views.
+		servers := r.w.Servers()
+		victim := servers[r.rng.Intn(len(servers))]
+		rest := types.NewProcSet(servers...).Minus(types.NewProcSet(victim))
+		flips := 3 + r.rng.Intn(3)
+		r.sched.Note(at, kind, "%d rapid reachability flips of %s against %s", flips, victim, rest)
+		for i := 0; i < flips; i++ {
+			if err := r.w.PartitionServers(types.NewProcSet(victim), rest); err != nil {
 				return err
 			}
 			if err := r.w.HealServers(); err != nil {

@@ -1,0 +1,57 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vsgm/internal/types"
+)
+
+// CheckChurn evaluates the bounded-view-churn property on a retained trace:
+// from trace index `after`, no client in clients may install more than
+// budget membership views per chaos transition, where transitions counts
+// the adversary's reachability flips (every block and every heal is one).
+//
+// This is the checkable core of flap damping: an undamped detector turns a
+// flapping link into one reconfiguration per flip — or worse, an unbounded
+// oscillation of competing attempts — while a damped one converges each
+// flurry of transitions to a bounded number of installed views. The bound
+// is per transition, not absolute, so the same budget serves a two-flip
+// blip and a long flapping storm.
+//
+// With transitions == 0 the adversary did nothing, and the budget alone
+// bounds the whole window (spontaneous churn is still churn).
+func CheckChurn(trace []Event, after int, transitions, budget int, clients types.ProcSet) error {
+	if after < 0 {
+		after = 0
+	}
+	if after > len(trace) {
+		after = len(trace)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("churn: budget must be positive, got %d", budget)
+	}
+	allowed := budget
+	if transitions > 0 {
+		allowed = transitions * budget
+	}
+	views := make(map[types.ProcID]int)
+	for _, ev := range trace[after:] {
+		if mv, ok := ev.(EMView); ok && clients.Contains(mv.P) {
+			views[mv.P]++
+		}
+	}
+	var msgs []string
+	for _, p := range clients.Sorted() {
+		if n := views[p]; n > allowed {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s installed %d membership views across %d chaos transitions, budget %d (%d per transition)",
+				p, n, transitions, allowed, budget))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return errors.New("churn: " + strings.Join(msgs, "\n  "))
+}

@@ -1,0 +1,49 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"vsgm/internal/types"
+)
+
+func TestCheckChurnAccepts(t *testing.T) {
+	clients := types.NewProcSet("a", "b")
+	trace := []Event{
+		mview("a", 1, "a"), // before the mark: not counted
+		mview("a", 2, "a"),
+		mview("a", 3, "a", "b"),
+		mview("b", 3, "a", "b"),
+	}
+	// 2 transitions x budget 1 = 2 views allowed per client; "a" installs 2
+	// after the mark, "b" installs 1.
+	if err := CheckChurn(trace, 1, 2, 1, clients); err != nil {
+		t.Fatalf("bounded churn rejected: %v", err)
+	}
+	// With zero transitions the budget alone bounds the window.
+	if err := CheckChurn(trace, 1, 0, 2, clients); err != nil {
+		t.Fatalf("spontaneous churn within budget rejected: %v", err)
+	}
+	// Views by processes outside the client set are not charged.
+	noisy := append([]Event{mview("zzz", 9, "zzz")}, trace...)
+	if err := CheckChurn(noisy, 0, 1, 3, clients); err != nil {
+		t.Fatalf("stranger views charged to the clients: %v", err)
+	}
+}
+
+func TestCheckChurnRejects(t *testing.T) {
+	clients := types.NewProcSet("a")
+	trace := []Event{
+		mview("a", 1, "a"),
+		mview("a", 2, "a"),
+		mview("a", 3, "a"),
+		mview("a", 4, "a"),
+	}
+	err := CheckChurn(trace, 0, 3, 1, clients)
+	if err == nil || !strings.Contains(err.Error(), "installed 4 membership views") {
+		t.Fatalf("err = %v, want churn violation", err)
+	}
+	if err := CheckChurn(trace, 0, 1, 0, clients); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

@@ -186,6 +186,17 @@ type WireMsg struct {
 	HistView  View
 	HistIndex int
 
+	// Reach is the sender's reachability bitmap (KindHeartbeat only): the
+	// set of servers the sender's failure detector currently believes
+	// reachable, piggybacked on every heartbeat. Receivers feed it to the
+	// gray-failure reconciliation — a peer whose bitmap excludes the
+	// receiver cannot hear it, so the receiver downgrades the one-way link
+	// instead of livelocking the one-round membership protocol. Heartbeat
+	// frames coalesce newest-wins per link, which is exactly the right
+	// semantics for a bitmap snapshot. Nil when the sender piggybacks
+	// nothing (a legacy fixed-timeout deployment).
+	Reach ProcSet
+
 	// Membership-server proposal (KindMembProposal only).
 	MembProp *MembProposal
 
@@ -224,7 +235,11 @@ func (m WireMsg) Size() int {
 	case KindAck:
 		n += word * (1 + len(m.Cut))
 	case KindHeartbeat:
-		// kind word only
+		// The piggybacked reachability bitmap: one word for the count plus
+		// one per member (zero-cost when absent).
+		if m.Reach != nil {
+			n += word * (1 + m.Reach.Len())
+		}
 	case KindSyncBundle:
 		for _, e := range m.Bundle {
 			n += 2 * word // from + cid

@@ -367,7 +367,9 @@ func appendMsg(w *buffer, m types.WireMsg) error {
 	case types.KindAck:
 		return w.cut(m.Cut)
 	case types.KindHeartbeat:
-		return nil
+		// The sender's reachability bitmap (nil encodes as an empty set);
+		// receivers feed it to the detector's gray-failure reconciliation.
+		return w.procSet(m.Reach)
 	case types.KindPropose:
 		return w.view(m.View)
 	case types.KindMembProposal:
@@ -501,6 +503,15 @@ func readMsgInto(r *reader, m *types.WireMsg) error {
 		m.Cut, err = r.cut()
 		return err
 	case types.KindHeartbeat:
+		var reach types.ProcSet
+		if reach, err = r.procSet(); err != nil {
+			return err
+		}
+		// An empty bitmap decodes to nil, so a bitmap-less heartbeat
+		// round-trips unchanged.
+		if reach.Len() > 0 {
+			m.Reach = reach
+		}
 		return nil
 	case types.KindPropose:
 		m.View, err = r.view()

@@ -71,7 +71,16 @@ func sampleMsg(r *rand.Rand) types.WireMsg {
 	case 4:
 		return types.WireMsg{Kind: types.KindAck, Cut: sampleCut(r)}
 	case 5:
-		return types.WireMsg{Kind: types.KindHeartbeat}
+		m := types.WireMsg{Kind: types.KindHeartbeat}
+		if r.Intn(2) == 0 {
+			set := types.NewProcSet()
+			n := 1 + r.Intn(4)
+			for i := 0; i < n; i++ {
+				set.Add(types.ProcID(string(rune('a' + r.Intn(6)))))
+			}
+			m.Reach = set
+		}
+		return m
 	case 6:
 		return types.WireMsg{Kind: types.KindPropose, View: sampleView(r)}
 	case 7:
@@ -125,6 +134,12 @@ func msgEqual(a, b types.WireMsg) bool {
 		return false
 	}
 	if (a.MembProp == nil) != (b.MembProp == nil) {
+		return false
+	}
+	if (a.Reach == nil) != (b.Reach == nil) {
+		return false
+	}
+	if a.Reach != nil && !a.Reach.Equal(b.Reach) {
 		return false
 	}
 	if a.MembProp != nil {
