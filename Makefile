@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check fsck-smoke detector-smoke soak soak-smoke check
+.PHONY: all build vet test short race fuzz fuzz-smoke bench bench-smoke benchstat docs-check fsck-smoke kv-smoke detector-smoke soak soak-smoke check
 
 all: check
 
@@ -67,8 +67,10 @@ benchstat:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLinkScale/links=1000' -benchtime 100000x ./internal/live/
 
-# Documentation gate: every intra-repo markdown link must resolve and every
-# public vsgm-live flag must appear in docs/OPERATIONS.md.
+# Documentation gate: every intra-repo markdown link must resolve, every
+# public flag of the operator-facing binaries must appear in
+# docs/OPERATIONS.md, the vsgm_* metric catalogue must match the code in
+# both directions, and docs/ARCHITECTURE.md must map every package.
 docs-check:
 	$(GO) run ./cmd/vsgm-docscheck
 
@@ -76,6 +78,14 @@ docs-check:
 # cmd/vsgm-fsck through dry-run, repair, and a clean re-open.
 fsck-smoke:
 	$(GO) test -run TestFsckCLI -count=1 ./cmd/vsgm-fsck/
+
+# Sharded-KV smoke for the pre-merge gate: a scripted multi-shard
+# bring-up through cmd/vsgm-kv — writes and reads across shards, a slot
+# reshard and a group reshard, crash/recover from the durable store,
+# partition/heal, and the no-lost-acknowledged-writes verify. See
+# docs/SHARDING.md.
+kv-smoke:
+	$(GO) test -run TestKVSmoke -count=1 ./cmd/vsgm-kv/
 
 # Failure-detector smoke for the pre-merge gate: a seeded flapping-link
 # soak slice that must stay within the bounded-churn budget with flap
@@ -87,8 +97,9 @@ detector-smoke:
 	$(GO) test -run 'TestLiveGrayFailureAsymmetricPartition' -count=1 ./internal/live/
 
 # Long-soak chaos harness (cmd/vsgm-soak): every mode — the small simulated
-# cluster, the 10k-client sampled-checking world, and the live TCP cluster —
-# under randomized adversarial phases with the spec suite attached. Each run
+# cluster, the 10k-client sampled-checking world, the live TCP cluster, and
+# the sharded KV with resharding under churn — under randomized adversarial
+# phases with the spec suite attached. Each run
 # logs its replay seed (override with SOAK_SEED or VSGM_SEED); on a
 # violation the report artifact path is printed. See docs/TESTING.md
 # ("Regime 7: long soak") and docs/OPERATIONS.md for the knobs.
@@ -114,5 +125,6 @@ check: vet test
 	$(MAKE) bench-smoke
 	$(MAKE) docs-check
 	$(MAKE) fsck-smoke
+	$(MAKE) kv-smoke
 	$(MAKE) detector-smoke
 	$(MAKE) soak-smoke

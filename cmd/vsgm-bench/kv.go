@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"vsgm/internal/experiments"
+	"vsgm/internal/shard"
+)
+
+// kvBenchConfig parameterizes the sharded-KV workload sweep (-kv): a
+// YCSB-style mixed read/write workload driven through the shard router
+// against deployments of increasing shard count, reporting aggregate
+// throughput in virtual time on the sim fabric.
+type kvBenchConfig struct {
+	shardCounts []int
+	ops         int     // operations per deployment
+	keys        int     // key-space size
+	readFrac    float64 // fraction of ops that are reads
+	dist        string  // "zipfian" (YCSB default) or "uniform"
+	seed        int64
+}
+
+func parseShardCounts(raw string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want a comma-separated list of positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// kvResult is one deployment's measurement.
+type kvResult struct {
+	shards  int
+	reads   int
+	writes  int
+	elapsed float64 // virtual seconds, max over shard clusters
+	opsSec  float64
+}
+
+// runKVBench sweeps the shard counts and prints the throughput table. The
+// interesting column is ops/sec in VIRTUAL time: each shard is its own
+// cluster with its own virtual clock, so wall-aggregate throughput is total
+// ops over the busiest shard's clock — exactly the scaling a sharded
+// deployment buys when the key space spreads across groups.
+func runKVBench(cfg kvBenchConfig, out io.Writer, markdown bool) error {
+	table := &experiments.Table{
+		ID:    "KV",
+		Title: "Sharded KV: YCSB-style mixed workload throughput vs shard count",
+		Claim: "aggregate throughput scales with the number of shard groups (target: >=2x from 1 to 4 shards)",
+		Columns: []string{"shards", "ops", "reads", "writes",
+			"virtual time (s)", "ops/sec (virtual)", "speedup"},
+		Notes: fmt.Sprintf("distribution %s, %d keys, read fraction %.2f, seed %d; throughput is total ops over the busiest shard's virtual clock",
+			cfg.dist, cfg.keys, cfg.readFrac, cfg.seed),
+	}
+	var base float64
+	for _, n := range cfg.shardCounts {
+		res, err := kvBenchOne(n, cfg)
+		if err != nil {
+			return fmt.Errorf("kv bench, %d shards: %w", n, err)
+		}
+		if base == 0 {
+			base = res.opsSec
+		}
+		table.AddRow(res.shards, res.reads+res.writes, res.reads, res.writes,
+			fmt.Sprintf("%.3f", res.elapsed),
+			fmt.Sprintf("%.1f", res.opsSec),
+			fmt.Sprintf("%.2fx", res.opsSec/base))
+	}
+	if markdown {
+		fmt.Fprint(out, table.Markdown())
+	} else {
+		fmt.Fprint(out, table.Render())
+	}
+	return nil
+}
+
+// kvBenchOne measures one deployment: ops routed by key hash through the
+// epoch-cached router, keys drawn zipfian or uniform over the key space.
+func kvBenchOne(shards int, cfg kvBenchConfig) (kvResult, error) {
+	w, err := shard.NewWorld(shard.WorldConfig{Shards: shards, Seed: cfg.seed})
+	if err != nil {
+		return kvResult{}, err
+	}
+	router := shard.NewRouter(w, 0)
+	rng := rand.New(rand.NewSource(cfg.seed + int64(shards)))
+	zipf := rand.NewZipf(rng, 1.07, 1, uint64(cfg.keys-1)) // YCSB's default skew
+
+	pick := func() string {
+		var i uint64
+		if cfg.dist == "zipfian" {
+			i = zipf.Uint64()
+		} else {
+			i = uint64(rng.Intn(cfg.keys))
+		}
+		return fmt.Sprintf("user%06d", i)
+	}
+
+	res := kvResult{shards: shards}
+	for i := 0; i < cfg.ops; i++ {
+		key := pick()
+		if rng.Float64() < cfg.readFrac {
+			if _, _, err := router.Get(key); err != nil {
+				return res, err
+			}
+			res.reads++
+		} else {
+			if err := router.Set(key, fmt.Sprintf("v%d", i)); err != nil {
+				return res, err
+			}
+			res.writes++
+		}
+	}
+	res.elapsed = w.Now().Seconds()
+	if res.elapsed > 0 {
+		res.opsSec = float64(res.reads+res.writes) / res.elapsed
+	}
+	return res, nil
+}

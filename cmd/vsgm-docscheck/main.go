@@ -2,9 +2,18 @@
 //
 //   - every intra-repo link in the markdown files must resolve to a file
 //     that exists (http/https/mailto links and pure #anchors are skipped);
-//   - every public flag of cmd/vsgm-live, cmd/vsgm-soak, and cmd/vsgm-fsck
-//     must be documented in docs/OPERATIONS.md (as `-flagname`), so the
-//     operator's handbook cannot silently fall behind the binaries.
+//   - every public flag of cmd/vsgm-live, cmd/vsgm-soak, cmd/vsgm-fsck,
+//     cmd/vsgm-kv, and cmd/vsgm-bench must be documented in
+//     docs/OPERATIONS.md (as `-flagname`), so the operator's handbook
+//     cannot silently fall behind the binaries;
+//   - the vsgm_* metric catalogue in docs/OPERATIONS.md and the metric
+//     names registered in code must agree in BOTH directions: every metric
+//     literal in non-test Go code must be documented (verbatim, or covered
+//     by a documented family prefix ending in an underscore), and every
+//     metric the handbook names must exist in code;
+//   - docs/ARCHITECTURE.md must mention every internal/ package and cmd/
+//     binary, so the map of the repo cannot rot as packages are added;
+//   - README.md must link the architecture and sharding docs.
 //
 // It prints one line per violation and exits non-zero if any were found.
 //
@@ -39,6 +48,18 @@ var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
 // flagDef matches the fs.Type("name", ...) flag definitions in a main.go.
 var flagDef = regexp.MustCompile(`fs\.(?:Bool|Int|Int64|String|Duration|Float64)\(\s*"([^"]+)"`)
+
+// metricLit matches quoted vsgm_* string literals in Go source. A literal
+// with a trailing underscore is a family prefix used for filtering, not a
+// registered metric.
+var metricLit = regexp.MustCompile(`"(vsgm_[a-z0-9_]+)"`)
+
+// metricTok matches vsgm_* tokens in markdown, including family prefixes.
+var metricTok = regexp.MustCompile(`vsgm_[a-z0-9_]*`)
+
+// opsBinaries are the binaries whose public flags docs/OPERATIONS.md must
+// cover.
+var opsBinaries = []string{"vsgm-live", "vsgm-soak", "vsgm-fsck", "vsgm-kv", "vsgm-bench"}
 
 func run(args []string, out io.Writer) error {
 	fsFlags := flag.NewFlagSet("vsgm-docscheck", flag.ContinueOnError)
@@ -79,13 +100,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// The operator's handbook must cover every public flag of the operator-
-	// facing binaries (the deployment driver and the soak harness).
+	// facing binaries.
 	opsPath := filepath.Join(*root, "docs", "OPERATIONS.md")
 	ops, err := os.ReadFile(opsPath)
 	if err != nil {
 		return fmt.Errorf("operator's handbook: %w", err)
 	}
-	for _, bin := range []string{"vsgm-live", "vsgm-soak", "vsgm-fsck"} {
+	for _, bin := range opsBinaries {
 		binMain, err := os.ReadFile(filepath.Join(*root, "cmd", bin, "main.go"))
 		if err != nil {
 			return err
@@ -99,6 +120,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	violations = append(violations, checkMetrics(*root, string(ops))...)
+	violations = append(violations, checkArchitecture(*root)...)
+	violations = append(violations, checkReadmeLinks(*root)...)
+
 	if len(violations) > 0 {
 		sort.Strings(violations)
 		for _, v := range violations {
@@ -106,8 +131,154 @@ func run(args []string, out io.Writer) error {
 		}
 		return fmt.Errorf("%d documentation violation(s)", len(violations))
 	}
-	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all vsgm-live, vsgm-soak, and vsgm-fsck flags documented\n", len(mds))
+	fmt.Fprintf(out, "docs-check: %d markdown files, all links resolve, all %s flags documented, metric catalogue bidirectionally consistent, architecture map complete\n",
+		len(mds), strings.Join(opsBinaries, ", "))
 	return nil
+}
+
+// checkMetrics verifies the vsgm_* metric catalogue in both directions:
+// code metric -> documented (verbatim or by a documented family prefix),
+// and documented metric -> exists in code (a documented family prefix must
+// cover at least one code metric).
+func checkMetrics(root, ops string) []string {
+	metrics, err := codeMetrics(root)
+	if err != nil {
+		return []string{fmt.Sprintf("metric scan: %v", err)}
+	}
+
+	docTokens := map[string]bool{}
+	for _, t := range metricTok.FindAllString(ops, -1) {
+		docTokens[t] = true
+	}
+	var docFamilies []string
+	for t := range docTokens {
+		// The bare "vsgm_" namespace prefix appears in prose ("all metrics
+		// are prefixed vsgm_"); it covers nothing, or the check is vacuous.
+		if strings.HasSuffix(t, "_") && t != "vsgm_" {
+			docFamilies = append(docFamilies, t)
+		}
+	}
+
+	var violations []string
+	for m := range metrics {
+		if docTokens[m] {
+			continue
+		}
+		covered := false
+		for _, fam := range docFamilies {
+			if strings.HasPrefix(m, fam) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			violations = append(violations,
+				fmt.Sprintf("docs/OPERATIONS.md: metric %s exists in code but is undocumented", m))
+		}
+	}
+	for t := range docTokens {
+		if t == "vsgm_" {
+			continue
+		}
+		if strings.HasSuffix(t, "_") {
+			matched := false
+			for m := range metrics {
+				if strings.HasPrefix(m, t) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				violations = append(violations,
+					fmt.Sprintf("docs/OPERATIONS.md: metric family %s* matches nothing in code", t))
+			}
+			continue
+		}
+		if !metrics[t] {
+			violations = append(violations,
+				fmt.Sprintf("docs/OPERATIONS.md: metric %s is documented but does not exist in code", t))
+		}
+	}
+	return violations
+}
+
+// codeMetrics collects every vsgm_* metric-name literal from non-test Go
+// files under internal/ and cmd/. Literals with a trailing underscore are
+// family prefixes (used for filtering), not metrics.
+func codeMetrics(root string) (map[string]bool, error) {
+	metrics := map[string]bool{}
+	for _, dir := range []string{"internal", "cmd"} {
+		base := filepath.Join(root, dir)
+		if _, err := os.Stat(base); err != nil {
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricLit.FindAllStringSubmatch(string(data), -1) {
+				if strings.HasSuffix(m[1], "_") {
+					continue
+				}
+				metrics[m[1]] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return metrics, nil
+}
+
+// checkArchitecture verifies docs/ARCHITECTURE.md names every internal/
+// package and cmd/ binary.
+func checkArchitecture(root string) []string {
+	arch, err := os.ReadFile(filepath.Join(root, "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("docs/ARCHITECTURE.md: %v", err)}
+	}
+	var violations []string
+	for _, dir := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			want := dir + "/" + e.Name()
+			if !strings.Contains(string(arch), want) {
+				violations = append(violations,
+					fmt.Sprintf("docs/ARCHITECTURE.md: %s is not mentioned", want))
+			}
+		}
+	}
+	return violations
+}
+
+// checkReadmeLinks verifies the README links the navigability docs.
+func checkReadmeLinks(root string) []string {
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("README.md: %v", err)}
+	}
+	var violations []string
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/SHARDING.md"} {
+		if !strings.Contains(string(readme), want) {
+			violations = append(violations,
+				fmt.Sprintf("README.md: missing link to %s", want))
+		}
+	}
+	return violations
 }
 
 // markdownFiles lists every tracked-looking .md file under root, skipping

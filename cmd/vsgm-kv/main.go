@@ -1,19 +1,23 @@
-// Command vsgm-kv is an interactive replicated key-value store running on
-// the virtually synchronous service inside the deterministic simulator: a
-// REPL where you write through any replica, partition and heal the network,
-// crash and recover members, and watch state transfer and convergence
-// happen — the paper's motivating application, hands on.
+// Command vsgm-kv is an interactive sharded, replicated key-value store: a
+// multi-shard deployment (internal/shard) where each shard is its own
+// virtually synchronous replica group, a hash-slot map routes every key, and
+// live resharding moves whole groups or slot ranges while the store keeps
+// serving — the paper's client-server architecture scaled out, hands on.
 //
-// Usage:
+// The REPL is a client (writes route by key hash through the shard map,
+// wrong-shard requests redirect) and an operator console (reshard, crash,
+// recover, partition, heal) in one:
 //
-//	vsgm-kv -n 3
-//	> set p00 color blue        # propose through p00
-//	> get p01 color             # read p01's local state
-//	> partition p00 | p01 p02   # split the network + membership
-//	> set p00 side left         # divergent updates
-//	> heal                      # merge; deterministic state adoption
-//	> dump                      # every replica's full state
-//	> crash p02 / recover p02
+//	vsgm-kv -shards 2 -replicas 3
+//	> set color blue                       # routed by hash(color)
+//	> get color
+//	> map                                  # the committed shard map
+//	> reshard slots 0 7 0 1                # hand slots [0,7] from shard 0 to 1
+//	> reshard group 1 s1-p00 s1-p03 s1-p04 # re-home shard 1's replica group
+//	> crash 0 s0-p01 / recover 0 s0-p01
+//	> partition 1 s1-p00 s1-p01 | s1-p02   # split one shard's network
+//	> heal 1
+//	> verify                               # spec suites + no-lost-acked-writes
 //	> quit
 //
 // Commands can also be piped on stdin for scripted runs.
@@ -21,88 +25,68 @@ package main
 
 import (
 	"bufio"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
-	"vsgm/internal/core"
-	"vsgm/internal/rsm"
-	"vsgm/internal/sim"
-	"vsgm/internal/spec"
+	"vsgm/internal/shard"
 	"vsgm/internal/types"
 )
 
 func main() {
-	n := 3
-	if len(os.Args) == 3 && os.Args[1] == "-n" {
-		fmt.Sscan(os.Args[2], &n)
-	}
-	if err := run(n, os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vsgm-kv:", err)
 		os.Exit(1)
 	}
 }
 
-// world bundles the cluster with its replicas.
-type world struct {
-	c        *sim.Cluster
-	suite    *spec.Suite
-	replicas map[types.ProcID]*rsm.Replica
-	stores   map[types.ProcID]*rsm.KVStore
-	alive    types.ProcSet
-	out      io.Writer
+// console bundles the sharded world with the routing client driving it.
+// desired tracks each shard's intended membership — the set heal restores,
+// maintained across crash, recover, and group reshards.
+type console struct {
+	w       *shard.World
+	router  *shard.Router
+	out     io.Writer
+	nextID  int
+	desired map[int]types.ProcSet
 }
 
-func run(n int, in io.Reader, out io.Writer) error {
-	if n < 1 {
-		return fmt.Errorf("need at least one replica")
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("vsgm-kv", flag.ContinueOnError)
+	var (
+		shards   = fs.Int("shards", 2, "number of shards (each its own replica group)")
+		replicas = fs.Int("replicas", 3, "replicas per shard group")
+		spares   = fs.Int("spares", 2, "spare processes per shard (reshard targets)")
+		slots    = fs.Int("slots", shard.DefaultSlots, "hash slots in the shard map")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		stateDir = fs.String("state-dir", "", "durable store root (empty = in-memory stores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	w := &world{
-		suite:    spec.FullSuite(),
-		replicas: make(map[types.ProcID]*rsm.Replica),
-		stores:   make(map[types.ProcID]*rsm.KVStore),
-		out:      out,
-	}
-	cluster, err := sim.NewCluster(sim.Config{
-		Procs: sim.ProcIDs(n),
-		Seed:  1,
-		Suite: w.suite,
-		OnAppEvent: func(p types.ProcID, ev core.Event) {
-			if r := w.replicas[p]; r != nil {
-				if err := r.HandleEvent(ev); err != nil {
-					fmt.Fprintf(out, "! replica %s: %v\n", p, err)
-				}
-			}
-		},
+
+	w, err := shard.NewWorld(shard.WorldConfig{
+		Shards:   *shards,
+		Replicas: *replicas,
+		Spares:   *spares,
+		Slots:    *slots,
+		Seed:     *seed,
+		StateDir: *stateDir,
 	})
 	if err != nil {
 		return err
 	}
-	w.c = cluster
-	w.alive = types.NewProcSet(cluster.Procs()...)
-	for _, p := range cluster.Procs() {
-		p := p
-		store := rsm.NewKVStore()
-		replica, err := rsm.NewReplica(rsm.Config{
-			ID:        p,
-			Machine:   store,
-			Bootstrap: true,
-			Send: func(b []byte) error {
-				_, err := cluster.Send(p, b)
-				return err
-			},
-		})
-		if err != nil {
-			return err
-		}
-		w.replicas[p] = replica
-		w.stores[p] = store
+	c := &console{w: w, router: shard.NewRouter(w, 0), out: out, desired: make(map[int]types.ProcSet)}
+	for _, id := range w.ShardIDs() {
+		c.desired[id] = w.Group(id)
 	}
-	if _, _, err := cluster.ReconfigureTo(w.alive); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "replicated store up: %s (try 'help')\n", w.alive)
+	m := w.CommittedMap()
+	fmt.Fprintf(out, "sharded store up: %d shards x %d replicas, %d slots, map epoch %d (try 'help')\n",
+		len(m.Groups), *replicas, len(m.Slots), m.Epoch)
 
 	sc := bufio.NewScanner(in)
 	for {
@@ -118,184 +102,319 @@ func run(n int, in io.Reader, out io.Writer) error {
 		if line == "quit" || line == "exit" {
 			return nil
 		}
-		if err := w.exec(line); err != nil {
+		if err := c.exec(line); err != nil {
 			fmt.Fprintf(out, "! %v\n", err)
 		}
 	}
 }
 
-func (w *world) exec(line string) error {
+func (c *console) exec(line string) error {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "help":
-		fmt.Fprint(w.out, `commands:
-  set <replica> <key> <value>   propose a write through a replica
-  del <replica> <key>           propose a delete
-  get <replica> <key>           read a replica's local state
-  dump                          print every live replica's state
-  view                          print every live replica's current view
-  partition <ids> | <ids>       split network + membership into two sides
-  heal                          reconnect and merge into one view
-  crash <replica>               crash a member (survivors reconfigure)
-  recover <replica>             recover a member (rejoins the group)
-  check                         run the specification checkers
+		fmt.Fprint(c.out, `commands:
+  set <key> <value>                write, routed by key hash through the shard map
+  get <key>                        read from the key's shard
+  del <key>                        delete, routed like set
+  where <key>                      show the key's slot and owning shard
+  map                              print the committed shard map
+  stats                            router and per-shard metrics
+  reshard group <shard> <procs..>  re-home a shard onto a new replica group
+  reshard slots <lo> <hi> <s> <d>  hand a slot range from shard s to shard d
+  crash <shard> <proc>             crash one replica (survivors reconfigure)
+  recover <shard> <proc>           cold-restart it from its store and rejoin
+  partition <shard> <ids> | <ids>  split one shard's network + membership
+  heal <shard>                     reconnect and merge that shard
+  verify                           spec suites + no-lost-acknowledged-writes
   quit
 `)
 		return nil
 
-	case "set", "del":
-		want := 4
-		if fields[0] == "del" {
-			want = 3
+	case "set":
+		if len(fields) != 3 {
+			return errors.New("usage: set <key> <value>")
 		}
-		if len(fields) != want {
-			return fmt.Errorf("usage: %s <replica> <key> [value]", fields[0])
-		}
-		p := types.ProcID(fields[1])
-		r, ok := w.replicas[p]
-		if !ok || !w.alive.Contains(p) {
-			return fmt.Errorf("no live replica %s", p)
-		}
-		var cmd []byte
-		if fields[0] == "set" {
-			cmd = rsm.EncodeSet(fields[2], fields[3])
-		} else {
-			cmd = rsm.EncodeDel(fields[2])
-		}
-		if err := r.Propose(cmd); err != nil {
+		if err := c.router.Set(fields[1], fields[2]); err != nil {
 			return err
 		}
-		return w.c.Run()
+		fmt.Fprintf(c.out, "%s = %q acknowledged by shard %d\n",
+			fields[1], fields[2], c.w.CommittedMap().ShardForKey(fields[1]))
+		return nil
 
 	case "get":
-		if len(fields) != 3 {
-			return fmt.Errorf("usage: get <replica> <key>")
+		if len(fields) != 2 {
+			return errors.New("usage: get <key>")
 		}
-		p := types.ProcID(fields[1])
-		store, ok := w.stores[p]
-		if !ok {
-			return fmt.Errorf("no replica %s", p)
+		v, found, err := c.router.Get(fields[1])
+		if err != nil {
+			return err
 		}
-		if v, ok := store.Get(fields[2]); ok {
-			fmt.Fprintf(w.out, "%s = %q\n", fields[2], v)
+		if found {
+			fmt.Fprintf(c.out, "%s = %q\n", fields[1], v)
 		} else {
-			fmt.Fprintf(w.out, "%s is unset\n", fields[2])
+			fmt.Fprintf(c.out, "%s is unset\n", fields[1])
 		}
 		return nil
 
-	case "dump":
-		for _, p := range w.alive.Sorted() {
-			fmt.Fprintf(w.out, "  %s: %s\n", p, w.stores[p].Fingerprint())
+	case "del":
+		if len(fields) != 2 {
+			return errors.New("usage: del <key>")
+		}
+		if err := c.router.Del(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "%s deleted\n", fields[1])
+		return nil
+
+	case "where":
+		if len(fields) != 2 {
+			return errors.New("usage: where <key>")
+		}
+		m := c.w.CommittedMap()
+		fmt.Fprintf(c.out, "%s: slot %d, shard %d, group %s\n",
+			fields[1], m.SlotOf(fields[1]), m.ShardForKey(fields[1]),
+			c.w.Group(m.ShardForKey(fields[1])))
+		return nil
+
+	case "map":
+		m := c.w.CommittedMap()
+		fmt.Fprintf(c.out, "epoch %d, %d slots\n", m.Epoch, len(m.Slots))
+		for _, id := range m.ShardIDs() {
+			owned := m.SlotsOwned(id)
+			fmt.Fprintf(c.out, "  shard %d: %d slots %s, group %s\n",
+				id, len(owned), slotRanges(owned), c.w.Group(id))
 		}
 		return nil
 
-	case "view":
-		for _, p := range w.alive.Sorted() {
-			fmt.Fprintf(w.out, "  %s: %s\n", p, w.c.Endpoint(p).CurrentView())
+	case "stats":
+		fmt.Fprintf(c.out, "router: epoch %d, %d redirects, %d map refreshes\n",
+			c.router.Epoch(), c.router.Redirects(), c.router.Refreshes())
+		fmt.Fprintf(c.out, "acknowledged writes: %d\n", len(c.w.Acks()))
+		for _, s := range c.w.Registry().Snapshot().Samples {
+			if !strings.HasPrefix(s.Name, "vsgm_shard_") {
+				continue
+			}
+			label := ""
+			for _, l := range s.Labels {
+				label += fmt.Sprintf("{%s=%s}", l.Key, l.Value)
+			}
+			fmt.Fprintf(c.out, "  %s%s = %g\n", s.Name, label, s.Value)
 		}
+		return nil
+
+	case "reshard":
+		return c.reshard(fields[1:])
+
+	case "crash":
+		id, p, err := c.shardProc(fields, "crash")
+		if err != nil {
+			return err
+		}
+		if c.w.Group(id).Len() <= 1 {
+			return errors.New("cannot crash the shard's last replica")
+		}
+		if err := c.w.CrashReplica(id, p); err != nil {
+			return err
+		}
+		c.desired[id].Remove(p)
+		fmt.Fprintf(c.out, "shard %d: %s crashed; group now %s\n", id, p, c.w.Group(id))
+		return nil
+
+	case "recover":
+		id, p, err := c.shardProc(fields, "recover")
+		if err != nil {
+			return err
+		}
+		if err := c.w.RecoverReplica(id, p); err != nil {
+			return err
+		}
+		c.desired[id].Add(p)
+		if err := c.w.ReconfigureShard(id, c.desired[id]); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "shard %d: %s recovered from its store (synced=%v); group now %s\n",
+			id, p, c.w.Replica(id, p).Synced(), c.w.Group(id))
 		return nil
 
 	case "partition":
-		rest := strings.Join(fields[1:], " ")
+		if len(fields) < 4 {
+			return errors.New("usage: partition <shard> <ids> | <ids>")
+		}
+		id, err := c.shardID(fields[1])
+		if err != nil {
+			return err
+		}
+		rest := strings.Join(fields[2:], " ")
 		halves := strings.Split(rest, "|")
 		if len(halves) != 2 {
-			return fmt.Errorf("usage: partition <ids> | <ids>")
+			return errors.New("usage: partition <shard> <ids> | <ids>")
 		}
 		sides := make([]types.ProcSet, 2)
 		for i, half := range halves {
 			sides[i] = types.NewProcSet()
-			for _, id := range strings.Fields(half) {
-				p := types.ProcID(id)
-				if !w.alive.Contains(p) {
-					return fmt.Errorf("no live replica %s", p)
-				}
-				sides[i].Add(p)
+			for _, raw := range strings.Fields(half) {
+				sides[i].Add(types.ProcID(raw))
 			}
 			if sides[i].Len() == 0 {
-				return fmt.Errorf("empty side")
+				return errors.New("empty side")
 			}
 		}
-		if _, err := w.c.Partition(sides[0], sides[1]); err != nil {
+		if err := c.w.PartitionShard(id, sides[0], sides[1]); err != nil {
 			return err
 		}
-		fmt.Fprintf(w.out, "partitioned %s | %s\n", sides[0], sides[1])
+		fmt.Fprintf(c.out, "shard %d partitioned %s | %s (serving side: %s)\n",
+			id, sides[0], sides[1], c.w.Group(id))
 		return nil
 
 	case "heal":
-		w.c.HealConnectivity()
-		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
-			return err
-		}
-		fmt.Fprintf(w.out, "merged into %s\n", w.c.Endpoint(w.alive.Min()).CurrentView())
-		return nil
-
-	case "crash":
 		if len(fields) != 2 {
-			return fmt.Errorf("usage: crash <replica>")
+			return errors.New("usage: heal <shard>")
 		}
-		p := types.ProcID(fields[1])
-		if !w.alive.Contains(p) {
-			return fmt.Errorf("no live replica %s", p)
-		}
-		if w.alive.Len() == 1 {
-			return fmt.Errorf("cannot crash the last replica")
-		}
-		if err := w.c.Crash(p); err != nil {
-			return err
-		}
-		w.alive.Remove(p)
-		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
-			return err
-		}
-		fmt.Fprintf(w.out, "%s crashed; group now %s\n", p, w.alive)
-		return nil
-
-	case "recover":
-		if len(fields) != 2 {
-			return fmt.Errorf("usage: recover <replica>")
-		}
-		p := types.ProcID(fields[1])
-		if w.alive.Contains(p) {
-			return fmt.Errorf("%s is already live", p)
-		}
-		if err := w.c.Recover(p); err != nil {
-			return err
-		}
-		// The recovered replica restarts with empty state; re-wire a fresh
-		// unsynced replica and let the transitional set drive its transfer.
-		store := rsm.NewKVStore()
-		replica, err := rsm.NewReplica(rsm.Config{
-			ID:      p,
-			Machine: store,
-			Send: func(b []byte) error {
-				_, err := w.c.Send(p, b)
-				return err
-			},
-		})
+		id, err := c.shardID(fields[1])
 		if err != nil {
 			return err
 		}
-		w.replicas[p] = replica
-		w.stores[p] = store
-		w.alive.Add(p)
-		if _, _, err := w.c.ReconfigureTo(w.alive); err != nil {
+		if err := c.w.HealShard(id, c.desired[id]); err != nil {
 			return err
 		}
-		if err := w.c.Run(); err != nil {
-			return err
-		}
-		fmt.Fprintf(w.out, "%s recovered (synced=%v); group now %s\n",
-			p, replica.Synced(), w.alive)
+		fmt.Fprintf(c.out, "shard %d merged into %s\n", id, c.w.Group(id))
 		return nil
 
-	case "check":
-		if err := w.suite.Err(); err != nil {
+	case "verify":
+		if err := c.w.Check(); err != nil {
 			return err
 		}
-		fmt.Fprintln(w.out, "all specification checkers pass")
+		if err := c.w.VerifyAcked(); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "all specification checkers pass; %d acknowledged writes intact\n", len(c.w.Acks()))
 		return nil
 
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
 	}
+}
+
+// reshard parses and drives one resharding, printing each protocol step as
+// it completes so the state-machine progression is visible.
+func (c *console) reshard(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: reshard group|slots ...")
+	}
+	var prop shard.Reshard
+	switch args[0] {
+	case "group":
+		if len(args) < 3 {
+			return errors.New("usage: reshard group <shard> <procs...>")
+		}
+		id, err := c.shardID(args[1])
+		if err != nil {
+			return err
+		}
+		group := make([]types.ProcID, 0, len(args)-2)
+		for _, raw := range args[2:] {
+			group = append(group, types.ProcID(raw))
+		}
+		prop = shard.Reshard{ID: c.mintID(), Kind: shard.MoveGroup, Shard: id, NewGroup: group}
+	case "slots":
+		if len(args) != 5 {
+			return errors.New("usage: reshard slots <lo> <hi> <src> <dst>")
+		}
+		lo, err1 := strconv.Atoi(args[1])
+		hi, err2 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil {
+			return errors.New("slot bounds must be integers")
+		}
+		src, err := c.shardID(args[3])
+		if err != nil {
+			return err
+		}
+		dst, err := c.shardID(args[4])
+		if err != nil {
+			return err
+		}
+		prop = shard.Reshard{ID: c.mintID(), Kind: shard.MoveSlots, Shard: src, Dst: dst, SlotLo: lo, SlotHi: hi}
+	default:
+		return fmt.Errorf("unknown reshard kind %q (want group or slots)", args[0])
+	}
+
+	rs := shard.NewResharder(c.w, prop)
+	for {
+		step := rs.StepName()
+		done, err := rs.Step()
+		if err != nil {
+			return fmt.Errorf("reshard %s aborted at step %s: %w", prop.ID, step, err)
+		}
+		fmt.Fprintf(c.out, "  [%s] %s done\n", prop.ID, step)
+		if done {
+			break
+		}
+	}
+	if prop.Kind == shard.MoveGroup {
+		c.desired[prop.Shard] = types.NewProcSet(prop.NewGroup...)
+	}
+	m := c.w.CommittedMap()
+	fmt.Fprintf(c.out, "reshard %s committed; map epoch now %d\n", prop.ID, m.Epoch)
+	return nil
+}
+
+func (c *console) mintID() string {
+	c.nextID++
+	return fmt.Sprintf("cli-%d", c.nextID)
+}
+
+func (c *console) shardID(raw string) (int, error) {
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad shard id %q", raw)
+	}
+	for _, s := range c.w.ShardIDs() {
+		if s == id {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("no shard %d", id)
+}
+
+func (c *console) shardProc(fields []string, verb string) (int, types.ProcID, error) {
+	if len(fields) != 3 {
+		return 0, "", fmt.Errorf("usage: %s <shard> <proc>", verb)
+	}
+	id, err := c.shardID(fields[1])
+	if err != nil {
+		return 0, "", err
+	}
+	return id, types.ProcID(fields[2]), nil
+}
+
+// slotRanges renders a sorted slot list as compact inclusive ranges.
+func slotRanges(slots []int) string {
+	if len(slots) == 0 {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	lo := slots[0]
+	prev := slots[0]
+	flush := func() {
+		if b.Len() > 1 {
+			b.WriteByte(' ')
+		}
+		if lo == prev {
+			fmt.Fprintf(&b, "%d", lo)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", lo, prev)
+		}
+	}
+	for _, s := range slots[1:] {
+		if s == prev+1 {
+			prev = s
+			continue
+		}
+		flush()
+		lo, prev = s, s
+	}
+	flush()
+	b.WriteByte(']')
+	return b.String()
 }

@@ -8,6 +8,7 @@
 //	vsgm-soak -mode sim -duration 5s -seed 7
 //	vsgm-soak -mode world -clients 10000 -sample 100 -duration 10s
 //	vsgm-soak -mode live -servers 3 -clients 6 -duration 60s
+//	vsgm-soak -mode shard -shards 3 -scenario reshard-under-churn
 //	vsgm-soak -mode all -duration 30s       # one soak of each kind
 //
 // Every run logs its replay seed; rerun with -seed (or VSGM_SEED) to replay
@@ -39,13 +40,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vsgm-soak", flag.ContinueOnError)
 	var (
-		mode     = fs.String("mode", "sim", "soak to run: sim, world, live, or all")
+		mode     = fs.String("mode", "sim", "soak to run: sim, world, live, shard, or all")
 		duration = fs.Duration("duration", 0, "soak duration (0 = each mode's default; virtual time for sim/world, wall time for live)")
 		seed     = fs.Int64("seed", 0, "replay seed (0 = auto; VSGM_SEED overrides)")
 		procs    = fs.Int("procs", 0, "sim: number of end-points (0 = default)")
 		servers  = fs.Int("servers", 0, "world/live: number of membership servers (0 = default)")
 		clients  = fs.Int("clients", 0, "world/live: number of clients (0 = default)")
 		sample   = fs.Int("sample", 0, "world: check every k-th endpoint (0 = default, 1 = all)")
+		shards   = fs.Int("shards", 0, "shard: number of shards (0 = default)")
 		scenario = fs.String("scenario", "", "named scenario mix (default: the mode's own)")
 		churn    = fs.Int("churn-budget", 0, "live: max membership views per client per chaos transition, checked over the whole run (0 = default, negative disables)")
 		report   = fs.String("report", "", "write the report here (default: only on violation, to a temp path)")
@@ -81,7 +83,7 @@ func run(args []string, out io.Writer) error {
 
 	modes := []string{*mode}
 	if *mode == "all" {
-		modes = []string{"sim", "world", "live"}
+		modes = []string{"sim", "world", "live", "shard"}
 	}
 	failed := false
 	for _, m := range modes {
@@ -108,8 +110,13 @@ func run(args []string, out io.Writer) error {
 				Clients: *clients, ChurnBudget: *churn,
 				Scenario: scen, ForceViolation: *force, Log: progress,
 			})
+		case "shard":
+			rep, err = soak.RunShard(soak.ShardConfig{
+				Duration: *duration, Seed: runSeed, Shards: *shards,
+				Scenario: scen, Log: progress,
+			})
 		default:
-			return fmt.Errorf("unknown mode %q (want sim, world, live, or all)", m)
+			return fmt.Errorf("unknown mode %q (want sim, world, live, shard, or all)", m)
 		}
 		if err != nil {
 			return fmt.Errorf("soak %s: %w", m, err)

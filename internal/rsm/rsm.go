@@ -14,12 +14,21 @@
 // this is precisely the "costly exchange avoided" benefit of Virtual
 // Synchrony. Otherwise the view starts in a sync phase: proposals are
 // queued, the minimum-identifier synced member of each transitional set
-// multicasts a snapshot, and the first snapshot in total order becomes the
-// authoritative state everyone adopts (a deterministic partition-merge
-// rule). The sync phase ends when that snapshot is delivered.
+// multicasts a snapshot tagged with the identifier of the view it is
+// leaving, and the snapshot from the highest leaving view becomes the
+// authoritative state everyone adopts (ties broken by total order — a
+// deterministic partition-merge rule). The leaving-view tag is what makes
+// merges safe against stale believers: a member that was reconfigured out
+// of the group long ago still thinks it is synced in its ancient view, and
+// when readmitted its transitional set is a singleton, so it publishes —
+// but its leaving-view identifier is older than the surviving group's, so
+// its snapshot is superseded rather than adopted. View identifiers are
+// monotonically increasing per group (Section 3.1), which makes "highest
+// leaving view" exactly "most recent state".
 package rsm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -56,6 +65,15 @@ type Config struct {
 	// (the group founder). Non-bootstrap replicas wait for a state
 	// transfer before applying commands.
 	Bootstrap bool
+	// Quorum, when positive, puts the replica in primary-component mode:
+	// a view with fewer than Quorum members is a minority view, and a
+	// replica passing through one is demoted — it stops applying commands
+	// (so nothing it acknowledges can later be lost to a merge) and loses
+	// snapshot-publisher eligibility until it restores from a member that
+	// stayed in the primary component. Zero keeps the classic behavior
+	// where every view is authoritative and partition merges adopt the
+	// first snapshot in total order, whichever side it came from.
+	Quorum int
 	// OnApply observes each applied command; optional.
 	OnApply func(sender types.ProcID, cmd []byte)
 }
@@ -73,6 +91,10 @@ type Replica struct {
 	view    types.View
 	synced  bool
 	syncing bool // view started with joiners; waiting for the first snapshot
+	adopted int64 // leaving-view id of the snapshot adopted this view; -1 none
+	quorum  int
+	primary bool // current view has >= quorum members (always true at quorum 0)
+	demoted bool // passed through a minority view since last holding authority
 	queue   [][]byte
 	err     error
 
@@ -90,6 +112,9 @@ func NewReplica(cfg Config) (*Replica, error) {
 		onApply: cfg.OnApply,
 		view:    types.InitialView(cfg.ID),
 		synced:  cfg.Bootstrap,
+		adopted: -1,
+		quorum:  cfg.Quorum,
+		primary: true,
 	}
 	var err error
 	r.session, err = totalorder.New(cfg.ID, cfg.Send, r.onOrdered, r.onView)
@@ -104,6 +129,12 @@ func (r *Replica) ID() types.ProcID { return r.id }
 
 // Synced reports whether the replica holds authoritative state.
 func (r *Replica) Synced() bool { return r.synced }
+
+// Authoritative reports whether the replica may serve and acknowledge
+// commands right now: it is synced, its current view meets the quorum, and
+// it has not been demoted by passing through a minority view. At quorum 0
+// this is identical to Synced.
+func (r *Replica) Authoritative() bool { return r.synced && r.primary && !r.demoted }
 
 // Applied returns the number of commands applied so far.
 func (r *Replica) Applied() int64 { return r.applied }
@@ -168,6 +199,12 @@ func (r *Replica) onOrdered(sender types.ProcID, payload []byte) {
 		if !r.synced {
 			return // awaiting state transfer; the snapshot covers this command
 		}
+		if !r.primary || r.demoted {
+			// Primary-component mode: commands ordered in (or after) a
+			// minority view are not applied here, so nothing this replica
+			// acknowledged can be silently dropped by the eventual merge.
+			return
+		}
 		cmd := payload[1:]
 		r.machine.Apply(sender, cmd)
 		r.applied++
@@ -175,13 +212,32 @@ func (r *Replica) onOrdered(sender types.ProcID, payload []byte) {
 			r.onApply(sender, cmd)
 		}
 	case tagState:
-		if r.syncing {
-			// The first snapshot in total order is authoritative for
-			// everyone — including previously synced members, which makes
-			// partition merges deterministic.
-			if err := r.machine.Restore(payload[1:]); err == nil {
+		if len(payload) < 1+8 {
+			return // malformed; ignore deterministically
+		}
+		leavingID := int64(binary.BigEndian.Uint64(payload[1:9]))
+		snap := payload[9:]
+		switch {
+		case r.syncing:
+			// The first snapshot in total order is adopted by everyone —
+			// including previously synced members, which makes partition
+			// merges deterministic. In primary-component mode only undemoted
+			// members publish, so the adopted state is always a primary
+			// component's.
+			if err := r.machine.Restore(snap); err == nil {
 				r.synced = true
 				r.syncing = false
+				r.demoted = false
+				r.adopted = leavingID
+			}
+		case r.adopted >= 0 && leavingID > r.adopted:
+			// A concurrent publisher left a more recent view than the one we
+			// adopted from: it is more up to date (view identifiers are
+			// monotone per group), so its snapshot supersedes. This is how a
+			// stale believer's early snapshot gets corrected within the same
+			// sync phase before any acknowledgment can rest on it.
+			if err := r.machine.Restore(snap); err == nil {
+				r.adopted = leavingID
 			}
 		}
 	}
@@ -191,7 +247,18 @@ func (r *Replica) onOrdered(sender types.ProcID, payload []byte) {
 // the applied command sequence. If someone joined from another view, enter
 // the sync phase and have the minimum synced member of T publish state.
 func (r *Replica) onView(v types.View, trans types.ProcSet) {
+	leaving := r.view.ID // the view whose state a publisher would be sharing
 	r.view = v.Clone()
+	r.adopted = -1 // snapshot adoption is per sync phase
+	r.primary = r.quorum <= 0 || v.Members.Len() >= r.quorum
+	if !r.primary {
+		// Minority view: freeze. No commands are applied (see onOrdered), no
+		// snapshot is published, and no sync phase runs — the replica waits
+		// to rejoin the primary component and restore from it.
+		r.demoted = true
+		r.syncing = false
+		return
+	}
 	movedTogether := trans != nil && trans.Equal(v.Members)
 	if movedTogether {
 		// Virtual Synchrony at work: everyone's state is already
@@ -200,11 +267,12 @@ func (r *Replica) onView(v types.View, trans types.ProcSet) {
 		return
 	}
 	r.syncing = true
-	if r.synced && trans != nil && trans.Min() == r.id {
+	if r.synced && !r.demoted && trans != nil && trans.Min() == r.id {
 		snap := r.machine.Snapshot()
-		buf := make([]byte, 1+len(snap))
+		buf := make([]byte, 1+8+len(snap))
 		buf[0] = tagState
-		copy(buf[1:], snap)
+		binary.BigEndian.PutUint64(buf[1:9], uint64(leaving))
+		copy(buf[9:], snap)
 		if err := r.session.Send(buf); err != nil {
 			// The view just arrived, so the end-point cannot be blocked; a
 			// failure here is surfaced through the next HandleEvent call.

@@ -346,3 +346,61 @@ func TestReplicatedLogOrderIsIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestStaleBelieverRejoinDoesNotClobberState is the stale-believer merge
+// regression: a member reconfigured out of the group never sees the views
+// that excluded it, so it still thinks it is synced in its ancient view.
+// When readmitted, its transitional set is a singleton and it publishes its
+// stale snapshot — which must LOSE to the surviving group's snapshot (the
+// higher leaving-view identifier wins), not clobber every replica with
+// state from before its exclusion.
+func TestStaleBelieverRejoinDoesNotClobberState(t *testing.T) {
+	w := newWorld(t, 4, 61, func(p types.ProcID) bool { return p != "p03" })
+	procs := w.c.Procs()
+	original := types.NewProcSet(procs[0], procs[1], procs[2])
+	if _, _, err := w.c.ReconfigureTo(original); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[0]].Propose(rsm.EncodeSet("survivor", "old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exclude p00. It keeps its old view and still believes it is synced.
+	rehomed := types.NewProcSet(procs[1], procs[2], procs[3])
+	if _, _, err := w.c.ReconfigureTo(rehomed); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[1]].Propose(rsm.EncodeSet("survivor", "new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.replicas[procs[1]].Propose(rsm.EncodeSet("post-exclusion", "yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.replicas[procs[0]].Synced() {
+		t.Fatal("excluded member should still believe it is synced (it never saw a newer view)")
+	}
+
+	// Readmit the stale believer alongside the survivors.
+	all := types.NewProcSet(procs...)
+	if _, _, err := w.c.ReconfigureTo(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.assertConverged(t, all)
+	for _, p := range procs {
+		if v, ok := w.stores[p].Get("survivor"); !ok || v != "new" {
+			t.Errorf("%s: survivor=%q ok=%v, want \"new\" — stale believer clobbered the group", p, v, ok)
+		}
+		if v, ok := w.stores[p].Get("post-exclusion"); !ok || v != "yes" {
+			t.Errorf("%s: post-exclusion write lost (got %q ok=%v)", p, v, ok)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package shard
+
+import "errors"
+
+var (
+	// ErrWrongShard is returned by a server that does not own the key's slot
+	// under its committed map. The client should refresh its map and retry
+	// against the new owner.
+	ErrWrongShard = errors.New("shard: key routed to wrong shard")
+	// ErrResharding is returned for writes to a slot whose key range is
+	// mid-handoff. The write was NOT applied and NOT acknowledged; the client
+	// should retry after the cutover.
+	ErrResharding = errors.New("shard: slot is resharding, retry")
+	// ErrUnavailable is returned when no authoritative replica of the owning
+	// shard is reachable (quorum loss or total crash).
+	ErrUnavailable = errors.New("shard: no authoritative replica available")
+	// ErrRedirectLoop is returned by the Router when ErrWrongShard persists
+	// past its redirect budget — the signature of a map that will not
+	// converge (or a server bug).
+	ErrRedirectLoop = errors.New("shard: redirect loop: wrong-shard persisted past retry budget")
+	// ErrRejected is returned by the Resharder when the meta-group rejected
+	// the begin proposal (another reshard holds the shard).
+	ErrRejected = errors.New("shard: reshard proposal rejected")
+)

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vsgm/internal/rsm"
+	"vsgm/internal/types"
+)
+
+// KVOp is the command vocabulary of a shard group's state machine. Besides
+// the client-facing set/del it carries the resharding data plane: chunked
+// range installs, the handoff marker, and the post-cutover prune.
+type KVOp struct {
+	Op    string `json:"op"` // "set", "del", "install", "marker", "prune"
+	Key   string `json:"key,omitempty"`
+	Value string `json:"value,omitempty"`
+	// Data is one chunk of a migrating key range ("install").
+	Data map[string]string `json:"data,omitempty"`
+	// Reshard is the proposal id a marker seals ("marker").
+	Reshard string `json:"reshard,omitempty"`
+	// SlotLo/SlotHi/NSlots describe the pruned range ("prune"): keys whose
+	// slot under an NSlots-sized slot space falls inside [SlotLo, SlotHi]
+	// are deleted. NSlots rides in the command so the machine needs no
+	// access to the shard map.
+	SlotLo int `json:"slot_lo,omitempty"`
+	SlotHi int `json:"slot_hi,omitempty"`
+	NSlots int `json:"n_slots,omitempty"`
+}
+
+// EncodeSet returns the command setting key to value.
+func EncodeSet(key, value string) []byte {
+	b, _ := json.Marshal(KVOp{Op: "set", Key: key, Value: value})
+	return b
+}
+
+// EncodeDel returns the command deleting key.
+func EncodeDel(key string) []byte {
+	b, _ := json.Marshal(KVOp{Op: "del", Key: key})
+	return b
+}
+
+// EncodeInstall returns the command installing one chunk of a migrated
+// range.
+func EncodeInstall(data map[string]string) []byte {
+	b, _ := json.Marshal(KVOp{Op: "install", Data: data})
+	return b
+}
+
+// EncodeMarker returns the handoff marker for a reshard proposal.
+func EncodeMarker(reshardID string) []byte {
+	b, _ := json.Marshal(KVOp{Op: "marker", Reshard: reshardID})
+	return b
+}
+
+// EncodePrune returns the command deleting every key in the given slot
+// range (post-cutover cleanup on the source group).
+func EncodePrune(slotLo, slotHi, nslots int) []byte {
+	b, _ := json.Marshal(KVOp{Op: "prune", SlotLo: slotLo, SlotHi: slotHi, NSlots: nslots})
+	return b
+}
+
+// snapEvery is the write-through compaction cadence: every this many
+// applied commands the durable snapshot is rewritten and the WAL truncated.
+const snapEvery = 256
+
+// Machine is the state machine one shard replica runs: a key-value map plus
+// the resharding bookkeeping (last handoff marker seen), optionally written
+// through to a durable Store on every apply.
+type Machine struct {
+	kv         map[string]string
+	lastMarker string
+	applied    int64
+	store      Store
+	storeErr   error
+}
+
+// machineSnap is the serialized form of the machine state.
+type machineSnap struct {
+	KV         map[string]string `json:"kv"`
+	LastMarker string            `json:"last_marker,omitempty"`
+}
+
+// NewMachine builds an empty machine. store may be nil (no durability).
+func NewMachine(store Store) *Machine {
+	return &Machine{kv: make(map[string]string), store: store}
+}
+
+// LoadMachine builds a machine from the durable store's contents (snapshot
+// replay plus WAL replay) — the cold-restart path.
+func LoadMachine(store Store) (*Machine, error) {
+	m := NewMachine(store)
+	snap, cmds, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		if err := m.restore(snap); err != nil {
+			return nil, err
+		}
+	}
+	for _, cmd := range cmds {
+		m.apply(cmd)
+	}
+	return m, nil
+}
+
+// Get reads a key from the local state.
+func (m *Machine) Get(key string) (string, bool) {
+	v, ok := m.kv[key]
+	return v, ok
+}
+
+// Len returns the number of keys held.
+func (m *Machine) Len() int { return len(m.kv) }
+
+// LastMarker returns the id of the last handoff marker applied.
+func (m *Machine) LastMarker() string { return m.lastMarker }
+
+// Applied returns the number of commands applied.
+func (m *Machine) Applied() int64 { return m.applied }
+
+// StoreErr surfaces the first durable-store write error (nil when healthy).
+func (m *Machine) StoreErr() error { return m.storeErr }
+
+// RangeSnapshot extracts the keys whose slot under an nslots-sized slot
+// space falls in [lo, hi] — the migrating range of a slot move.
+func (m *Machine) RangeSnapshot(lo, hi, nslots int) map[string]string {
+	out := make(map[string]string)
+	for k, v := range m.kv {
+		if s := SlotForKey(k, nslots); s >= lo && s <= hi {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Fingerprint renders the whole state deterministically, for comparing
+// replicas in tests and the verify pass.
+func (m *Machine) Fingerprint() string {
+	keys := make([]string, 0, len(m.kv))
+	for k := range m.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%s;", k, m.kv[k])
+	}
+	if m.lastMarker != "" {
+		out += "marker=" + m.lastMarker + ";"
+	}
+	return out
+}
+
+// apply executes one command against the in-memory state (no durability).
+func (m *Machine) apply(cmd []byte) {
+	var op KVOp
+	if err := json.Unmarshal(cmd, &op); err != nil {
+		return // ignoring garbage is deterministic; diverging on it is not
+	}
+	switch op.Op {
+	case "set":
+		m.kv[op.Key] = op.Value
+	case "del":
+		delete(m.kv, op.Key)
+	case "install":
+		for k, v := range op.Data {
+			m.kv[k] = v
+		}
+	case "marker":
+		m.lastMarker = op.Reshard
+	case "prune":
+		if op.NSlots <= 0 {
+			return
+		}
+		for k := range m.kv {
+			if s := SlotForKey(k, op.NSlots); s >= op.SlotLo && s <= op.SlotHi {
+				delete(m.kv, k)
+			}
+		}
+	}
+}
+
+// Apply implements rsm.StateMachine with write-through durability: the
+// command is logged before it mutates state, and every snapEvery applies
+// the log compacts into a fresh snapshot.
+func (m *Machine) Apply(_ types.ProcID, cmd []byte) {
+	if m.store != nil {
+		if err := m.store.AppendCommand(cmd); err != nil && m.storeErr == nil {
+			m.storeErr = err
+		}
+	}
+	m.apply(cmd)
+	m.applied++
+	if m.store != nil && m.applied%snapEvery == 0 {
+		if err := m.store.WriteSnapshot(m.Snapshot()); err != nil && m.storeErr == nil {
+			m.storeErr = err
+		}
+	}
+}
+
+// Snapshot implements rsm.StateMachine.
+func (m *Machine) Snapshot() []byte {
+	b, _ := json.Marshal(machineSnap{KV: m.kv, LastMarker: m.lastMarker})
+	return b
+}
+
+func (m *Machine) restore(snapshot []byte) error {
+	var s machineSnap
+	if err := json.Unmarshal(snapshot, &s); err != nil {
+		return fmt.Errorf("shard: machine restore: %w", err)
+	}
+	if s.KV == nil {
+		s.KV = make(map[string]string)
+	}
+	m.kv = s.KV
+	m.lastMarker = s.LastMarker
+	return nil
+}
+
+// Restore implements rsm.StateMachine; the adopted state is also compacted
+// into the durable snapshot so a crash right after a state transfer
+// recovers to the transferred state.
+func (m *Machine) Restore(snapshot []byte) error {
+	if err := m.restore(snapshot); err != nil {
+		return err
+	}
+	if m.store != nil {
+		if err := m.store.WriteSnapshot(append([]byte(nil), snapshot...)); err != nil && m.storeErr == nil {
+			m.storeErr = err
+		}
+	}
+	return nil
+}
+
+var _ rsm.StateMachine = (*Machine)(nil)

@@ -1,0 +1,266 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vsgm/internal/rsm"
+	"vsgm/internal/types"
+)
+
+// ReshardKind discriminates the two rebalance operations.
+type ReshardKind string
+
+const (
+	// MoveGroup re-homes a shard onto a new replica group: the shard's own
+	// group reconfigures through the joint membership and the transitional
+	// set drives full-state handoff to the joiners.
+	MoveGroup ReshardKind = "group"
+	// MoveSlots moves a contiguous slot range from one shard to another:
+	// the key range rides chunked install commands (and a handoff marker)
+	// through the destination group's total order, and cutover happens only
+	// after the destination installs the view that contains the marker.
+	MoveSlots ReshardKind = "slots"
+)
+
+// Reshard is one rebalance proposal.
+type Reshard struct {
+	// ID is the coordinator-chosen proposal identifier; outcomes are
+	// reported against it.
+	ID string `json:"id"`
+	// Kind selects group move vs slot move.
+	Kind ReshardKind `json:"kind"`
+	// Shard is the source shard.
+	Shard int `json:"shard"`
+	// NewGroup is the destination replica group (MoveGroup).
+	NewGroup []types.ProcID `json:"new_group,omitempty"`
+	// Dst is the destination shard (MoveSlots).
+	Dst int `json:"dst,omitempty"`
+	// SlotLo/SlotHi bound the inclusive slot range to move (MoveSlots).
+	SlotLo int `json:"slot_lo,omitempty"`
+	SlotHi int `json:"slot_hi,omitempty"`
+}
+
+// MetaOp is the command vocabulary of the meta-group RSM.
+type MetaOp struct {
+	Op      string  `json:"op"` // "begin", "commit", "abort"
+	Reshard Reshard `json:"reshard"`
+}
+
+// EncodeBegin returns the command proposing a reshard.
+func EncodeBegin(r Reshard) []byte { b, _ := json.Marshal(MetaOp{Op: "begin", Reshard: r}); return b }
+
+// EncodeCommit returns the command committing the pending reshard of
+// r.Shard (matched by ID).
+func EncodeCommit(r Reshard) []byte { b, _ := json.Marshal(MetaOp{Op: "commit", Reshard: r}); return b }
+
+// EncodeAbort returns the command aborting the pending reshard of r.Shard
+// (matched by ID).
+func EncodeAbort(r Reshard) []byte { b, _ := json.Marshal(MetaOp{Op: "abort", Reshard: r}); return b }
+
+// Outcome of a proposal, kept so coordinators (and tests) can learn whether
+// their begin won the race against a concurrent proposal.
+const (
+	OutcomeAccepted  = "accepted"
+	OutcomeRejected  = "rejected"
+	OutcomeCommitted = "committed"
+	OutcomeAborted   = "aborted"
+)
+
+// maxOutcomes bounds the outcome journal; older entries are evicted in
+// arrival order.
+const maxOutcomes = 256
+
+// metaState is the replicated state of the meta-group: the committed map,
+// at most one pending reshard per involved shard, and a bounded outcome
+// journal.
+type metaState struct {
+	Map      Map                 `json:"map"`
+	Pending  map[string]*Reshard `json:"pending"` // keyed by source shard id (decimal)
+	Outcomes map[string]string   `json:"outcomes"`
+	Order    []string            `json:"order"` // outcome eviction order
+	Rejected int64               `json:"rejected"`
+}
+
+// MetaMachine is the shard-map RSM: a deterministic state machine replicated
+// on the meta-group. All mutation flows through Apply in total order, so
+// every meta replica holds the identical map and the identical verdicts on
+// racing reshard proposals.
+type MetaMachine struct {
+	st metaState
+	// OnCommit observes every committed map change (called during Apply on
+	// every replica; wire it only where a single observer is wanted, e.g.
+	// the world's server-side map watcher).
+	OnCommit func(Map)
+}
+
+// NewMetaMachine builds the machine holding an initial committed map.
+func NewMetaMachine(initial Map) *MetaMachine {
+	return &MetaMachine{st: metaState{
+		Map:      initial.Clone(),
+		Pending:  make(map[string]*Reshard),
+		Outcomes: make(map[string]string),
+	}}
+}
+
+// CurrentMap returns the committed map.
+func (m *MetaMachine) CurrentMap() Map { return m.st.Map.Clone() }
+
+// PendingFor returns the pending reshard involving shard id, if any.
+func (m *MetaMachine) PendingFor(id int) *Reshard {
+	if r, ok := m.st.Pending[key(id)]; ok {
+		return r
+	}
+	for _, r := range m.st.Pending {
+		if r.Kind == MoveSlots && r.Dst == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Outcome returns the recorded outcome for a proposal id ("" if unknown or
+// evicted).
+func (m *MetaMachine) Outcome(id string) string { return m.st.Outcomes[id] }
+
+// Rejected returns how many begin proposals were rejected for conflicting
+// with a pending reshard.
+func (m *MetaMachine) Rejected() int64 { return m.st.Rejected }
+
+func key(shard int) string { return fmt.Sprintf("%d", shard) }
+
+// Apply implements rsm.StateMachine. Malformed or stale commands are
+// ignored or rejected deterministically — every replica reaches the same
+// verdict because the commands arrive in total order.
+func (m *MetaMachine) Apply(_ types.ProcID, cmd []byte) {
+	var op MetaOp
+	if err := json.Unmarshal(cmd, &op); err != nil {
+		return
+	}
+	r := op.Reshard
+	switch op.Op {
+	case "begin":
+		if err := m.beginOK(r); err != nil {
+			m.st.Rejected++
+			m.outcome(r.ID, OutcomeRejected+": "+err.Error())
+			return
+		}
+		cp := r
+		m.st.Pending[key(r.Shard)] = &cp
+		m.outcome(r.ID, OutcomeAccepted)
+	case "commit":
+		p, ok := m.st.Pending[key(r.Shard)]
+		if !ok || p.ID != r.ID {
+			return // stale commit for a superseded or aborted proposal
+		}
+		m.applyCommit(*p)
+		delete(m.st.Pending, key(r.Shard))
+		m.outcome(r.ID, OutcomeCommitted)
+		if m.OnCommit != nil {
+			m.OnCommit(m.st.Map.Clone())
+		}
+	case "abort":
+		p, ok := m.st.Pending[key(r.Shard)]
+		if !ok || p.ID != r.ID {
+			return
+		}
+		delete(m.st.Pending, key(r.Shard))
+		m.outcome(r.ID, OutcomeAborted)
+	}
+}
+
+// beginOK validates a begin proposal against the committed map and the
+// pending set: one reshard at a time per involved shard, structurally sound
+// parameters only.
+func (m *MetaMachine) beginOK(r Reshard) error {
+	if r.ID == "" {
+		return fmt.Errorf("no proposal id")
+	}
+	if _, ok := m.st.Map.Groups[r.Shard]; !ok {
+		return fmt.Errorf("unknown shard %d", r.Shard)
+	}
+	for _, p := range m.st.Pending {
+		if p.Shard == r.Shard || (p.Kind == MoveSlots && p.Dst == r.Shard) {
+			return fmt.Errorf("shard %d already resharding (proposal %s)", r.Shard, p.ID)
+		}
+		if r.Kind == MoveSlots && (p.Shard == r.Dst || (p.Kind == MoveSlots && p.Dst == r.Dst)) {
+			return fmt.Errorf("destination shard %d already resharding (proposal %s)", r.Dst, p.ID)
+		}
+	}
+	switch r.Kind {
+	case MoveGroup:
+		if len(r.NewGroup) == 0 {
+			return fmt.Errorf("empty destination group")
+		}
+	case MoveSlots:
+		if _, ok := m.st.Map.Groups[r.Dst]; !ok {
+			return fmt.Errorf("unknown destination shard %d", r.Dst)
+		}
+		if r.Dst == r.Shard {
+			return fmt.Errorf("destination equals source")
+		}
+		if r.SlotLo < 0 || r.SlotHi >= len(m.st.Map.Slots) || r.SlotLo > r.SlotHi {
+			return fmt.Errorf("slot range [%d,%d] out of bounds", r.SlotLo, r.SlotHi)
+		}
+	default:
+		return fmt.Errorf("unknown reshard kind %q", r.Kind)
+	}
+	return nil
+}
+
+func (m *MetaMachine) applyCommit(r Reshard) {
+	next := m.st.Map.Clone()
+	next.Epoch++
+	switch r.Kind {
+	case MoveGroup:
+		g := append([]types.ProcID(nil), r.NewGroup...)
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		next.Groups[r.Shard] = g
+	case MoveSlots:
+		for s := r.SlotLo; s <= r.SlotHi; s++ {
+			if next.Slots[s] == r.Shard {
+				next.Slots[s] = r.Dst
+			}
+		}
+	}
+	m.st.Map = next
+}
+
+func (m *MetaMachine) outcome(id, verdict string) {
+	if id == "" {
+		return
+	}
+	if _, exists := m.st.Outcomes[id]; !exists {
+		m.st.Order = append(m.st.Order, id)
+	}
+	m.st.Outcomes[id] = verdict
+	for len(m.st.Order) > maxOutcomes {
+		delete(m.st.Outcomes, m.st.Order[0])
+		m.st.Order = m.st.Order[1:]
+	}
+}
+
+// Snapshot implements rsm.StateMachine.
+func (m *MetaMachine) Snapshot() []byte {
+	b, _ := json.Marshal(m.st)
+	return b
+}
+
+// Restore implements rsm.StateMachine.
+func (m *MetaMachine) Restore(snapshot []byte) error {
+	var st metaState
+	if err := json.Unmarshal(snapshot, &st); err != nil {
+		return fmt.Errorf("shard: meta restore: %w", err)
+	}
+	if st.Pending == nil {
+		st.Pending = make(map[string]*Reshard)
+	}
+	if st.Outcomes == nil {
+		st.Outcomes = make(map[string]string)
+	}
+	m.st = st
+	return nil
+}
+
+var _ rsm.StateMachine = (*MetaMachine)(nil)

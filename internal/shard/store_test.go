@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMachineColdRestartFromFileStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(st)
+	m.Apply("p", EncodeSet("a", "1"))
+	m.Apply("p", EncodeSet("b", "2"))
+	m.Apply("p", EncodeDel("a"))
+	fp := m.Fingerprint()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2, err := LoadMachine(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint() != fp {
+		t.Fatalf("cold restart diverged: %q vs %q", m2.Fingerprint(), fp)
+	}
+	if _, ok := m2.Get("a"); ok {
+		t.Fatal("deleted key resurrected by replay")
+	}
+}
+
+func TestMachineRestartAfterSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(st)
+	// Cross the compaction threshold so snapshot + truncated WAL both matter.
+	for i := 0; i < snapEvery+10; i++ {
+		m.Apply("p", EncodeSet(key(i%50), key(i)))
+	}
+	if m.StoreErr() != nil {
+		t.Fatal(m.StoreErr())
+	}
+	fp := m.Fingerprint()
+	st.Close()
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2, err := LoadMachine(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint() != fp {
+		t.Fatal("compacted restart diverged")
+	}
+}
+
+func TestStoreTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(st)
+	m.Apply("p", EncodeSet("a", "1"))
+	m.Apply("p", EncodeSet("b", "2"))
+	st.Close()
+
+	// Simulate a crash mid-append: chop bytes off the WAL tail.
+	walPath := filepath.Join(dir, kvWALName)
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2, err := LoadMachine(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m2.Get("a"); !ok || v != "1" {
+		t.Fatalf("intact prefix lost: a=%q ok=%v", v, ok)
+	}
+	if _, ok := m2.Get("b"); ok {
+		t.Fatal("torn record should not replay")
+	}
+}
+
+func TestMachineRestoreWritesThroughToStore(t *testing.T) {
+	st := NewMemStore()
+	src := NewMachine(nil)
+	src.Apply("p", EncodeSet("x", "42"))
+	src.Apply("p", EncodeMarker("r-1"))
+
+	dst := NewMachine(st)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadMachine(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reloaded.Get("x"); !ok || v != "42" {
+		t.Fatal("state transfer not durable")
+	}
+	if reloaded.LastMarker() != "r-1" {
+		t.Fatal("handoff marker not durable")
+	}
+}
+
+func TestRangeSnapshotAndPrune(t *testing.T) {
+	m := NewMachine(nil)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, k := range keys {
+		m.Apply("p", EncodeSet(k, "v"))
+	}
+	const nslots = 8
+	snap := m.RangeSnapshot(0, 3, nslots)
+	for k := range snap {
+		if s := SlotForKey(k, nslots); s > 3 {
+			t.Fatalf("key %q (slot %d) outside requested range", k, s)
+		}
+	}
+	m.Apply("p", EncodePrune(0, 3, nslots))
+	for _, k := range keys {
+		_, ok := m.Get(k)
+		inRange := SlotForKey(k, nslots) <= 3
+		if inRange && ok {
+			t.Errorf("key %q survived prune of its slot", k)
+		}
+		if !inRange && !ok {
+			t.Errorf("key %q outside the range was pruned", k)
+		}
+	}
+}

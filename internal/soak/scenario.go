@@ -68,6 +68,18 @@ const (
 	// faster than an undamped detector stabilizes; flap damping must
 	// converge the verdict instead of installing a view per flip.
 	PhaseFlappingLink PhaseKind = "flapping-link"
+	// PhaseReshardGroup re-homes a random shard onto a new replica group
+	// (paired reconfigurations with transitional-set state handoff), with
+	// traffic interleaved between the reshard's steps (shard only).
+	PhaseReshardGroup PhaseKind = "reshard-group"
+	// PhaseReshardSlots moves a random slot range between two shards
+	// (snapshot, chunked install, marker-gated cutover, prune), with traffic
+	// interleaved between the reshard's steps (shard only).
+	PhaseReshardSlots PhaseKind = "reshard-slots"
+	// PhaseReshardChurn runs a reshard with chaos — crash/recover and
+	// partition/heal — injected between its steps, so handoffs must survive
+	// (or cleanly abort under) mid-flight failures (shard only).
+	PhaseReshardChurn PhaseKind = "reshard-churn"
 	// PhaseGrayFailure blocks exactly one direction of a server-server link
 	// — a gray failure one side cannot see directly. Reachability-bitmap
 	// reconciliation must converge both sides (and every third party) on
@@ -232,11 +244,42 @@ func WorldArbitraryScenario() *Scenario {
 	}
 }
 
+// ShardScenario is the default mix for the sharded-KV soak: client traffic
+// over both reshard kinds, partitions, and crash/recovery.
+func ShardScenario() *Scenario {
+	return &Scenario{
+		Name: "shard-default",
+		Weights: []Weight{
+			{PhaseTraffic, 4},
+			{PhaseReshardGroup, 2},
+			{PhaseReshardSlots, 2},
+			{PhasePartitionHeal, 2},
+			{PhaseCrashRestart, 2},
+		},
+	}
+}
+
+// ReshardUnderChurnScenario concentrates the sharded-KV soak on handoffs
+// with failures injected between their steps: most phases are mid-reshard
+// chaos, with enough plain traffic and standalone faults to keep the
+// acknowledgment ledger growing between handoffs.
+func ReshardUnderChurnScenario() *Scenario {
+	return &Scenario{
+		Name: "reshard-under-churn",
+		Weights: []Weight{
+			{PhaseTraffic, 2},
+			{PhaseReshardChurn, 4},
+			{PhasePartitionHeal, 1},
+			{PhaseCrashRestart, 1},
+		},
+	}
+}
+
 // ScenarioByName resolves a named scenario ("sim-default", "world-default",
-// "live-default", "live-arbitrary", "live-detector", "world-arbitrary"),
-// for the -scenario CLI flag.
+// "live-default", "live-arbitrary", "live-detector", "world-arbitrary",
+// "shard-default", "reshard-under-churn"), for the -scenario CLI flag.
 func ScenarioByName(name string) (*Scenario, error) {
-	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario(), LiveArbitraryScenario(), LiveDetectorScenario(), WorldArbitraryScenario()} {
+	for _, sc := range []*Scenario{SimScenario(), WorldScenario(), LiveScenario(), LiveArbitraryScenario(), LiveDetectorScenario(), WorldArbitraryScenario(), ShardScenario(), ReshardUnderChurnScenario()} {
 		if sc.Name == name {
 			return sc, nil
 		}

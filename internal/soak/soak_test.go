@@ -244,3 +244,56 @@ func TestLiveSoakSmoke(t *testing.T) {
 	}
 	t.Logf("live soak: %d phases in %v", len(rep.Schedule.Steps), rep.Elapsed.Round(time.Millisecond))
 }
+
+// TestShardSoakDefault runs the sharded-KV soak under the default mixed
+// scenario: client traffic through the epoch-cached router, both reshard
+// kinds with traffic between their steps, partitions and crash/recovery —
+// and the no-lost-acknowledged-writes checker as the verdict.
+func TestShardSoakDefault(t *testing.T) {
+	seed, _ := randseed.Pick(61)
+	logReplay(t, seed)
+	dur := 800 * time.Millisecond // virtual time
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	rep, err := RunShard(ShardConfig{Duration: dur, Seed: seed, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("shard soak violated the spec:\n%s", rep.Render())
+	}
+	if len(rep.Schedule.Steps) == 0 {
+		t.Fatal("shard soak executed no phases")
+	}
+	if rep.EventsChecked == 0 {
+		t.Fatal("shard soak acknowledged no writes — nothing was checked")
+	}
+}
+
+// TestShardSoakReshardUnderChurn is the acceptance slice from the issue: a
+// seeded reshard-under-churn run — crashes, recoveries, and partitions
+// injected between the steps of in-flight reshards — must end with every
+// acknowledged write still readable at its owning shard.
+func TestShardSoakReshardUnderChurn(t *testing.T) {
+	seed := int64(1009) // fixed: this is the acceptance slice, not a fuzz run
+	logReplay(t, seed)
+	dur := 900 * time.Millisecond // virtual time
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	rep, err := RunShard(ShardConfig{
+		Duration: dur, Seed: seed, Shards: 3,
+		Scenario: ReshardUnderChurnScenario(), Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("reshard-under-churn soak lost acknowledged writes:\n%s", rep.Render())
+	}
+	if rep.EventsChecked == 0 {
+		t.Fatal("churn soak acknowledged no writes — nothing was checked")
+	}
+	t.Logf("reshard-under-churn: %d phases, %d acked writes verified", len(rep.Schedule.Steps), rep.EventsChecked)
+}

@@ -1,0 +1,55 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KVAck records one acknowledged write: the service told a client that its
+// set (or delete) of Key was durably applied. Seq orders acknowledgments of
+// the same key (assign from any monotonic per-key or global counter).
+// Deleted distinguishes an acknowledged delete from an acknowledged set.
+type KVAck struct {
+	Key     string
+	Value   string
+	Seq     int64
+	Deleted bool
+}
+
+// CheckNoLostAckedWrites verifies the sharded KV's durability contract: for
+// every key, the write with the highest acknowledged Seq must still be
+// observable through lookup — an acknowledged set must read back its value,
+// an acknowledged delete must read back absence. Any acknowledged write may
+// be superseded by a later acknowledged write to the same key, but never
+// silently lost (the invariant a reshard, partition, or crash is not allowed
+// to break).
+func CheckNoLostAckedWrites(acks []KVAck, lookup func(key string) (string, bool)) error {
+	last := make(map[string]KVAck, len(acks))
+	for _, a := range acks {
+		if cur, ok := last[a.Key]; !ok || a.Seq >= cur.Seq {
+			last[a.Key] = a
+		}
+	}
+	keys := make([]string, 0, len(last))
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := last[k]
+		v, ok := lookup(k)
+		if a.Deleted {
+			if ok {
+				return fmt.Errorf("spec: key %q reads %q after its delete was acknowledged (seq %d)", k, v, a.Seq)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("spec: acknowledged write %q=%q (seq %d) was lost: key absent", k, a.Value, a.Seq)
+		}
+		if v != a.Value {
+			return fmt.Errorf("spec: acknowledged write %q=%q (seq %d) was lost: key reads %q", k, a.Value, a.Seq, v)
+		}
+	}
+	return nil
+}

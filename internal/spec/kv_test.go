@@ -1,0 +1,54 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckNoLostAckedWritesPasses(t *testing.T) {
+	acks := []KVAck{
+		{Key: "a", Value: "1", Seq: 1},
+		{Key: "a", Value: "2", Seq: 3}, // supersedes seq 1
+		{Key: "b", Value: "x", Seq: 2},
+		{Key: "c", Value: "y", Seq: 4},
+		{Key: "c", Seq: 5, Deleted: true},
+	}
+	state := map[string]string{"a": "2", "b": "x"}
+	err := CheckNoLostAckedWrites(acks, func(k string) (string, bool) {
+		v, ok := state[k]
+		return v, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNoLostAckedWritesDetectsLoss(t *testing.T) {
+	acks := []KVAck{{Key: "a", Value: "1", Seq: 1}}
+	err := CheckNoLostAckedWrites(acks, func(string) (string, bool) { return "", false })
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("err = %v, want a loss report", err)
+	}
+}
+
+func TestCheckNoLostAckedWritesDetectsStaleValue(t *testing.T) {
+	acks := []KVAck{
+		{Key: "a", Value: "old", Seq: 1},
+		{Key: "a", Value: "new", Seq: 2},
+	}
+	err := CheckNoLostAckedWrites(acks, func(string) (string, bool) { return "old", true })
+	if err == nil {
+		t.Fatal("rollback to a superseded value must be flagged")
+	}
+}
+
+func TestCheckNoLostAckedWritesDetectsResurrection(t *testing.T) {
+	acks := []KVAck{
+		{Key: "a", Value: "1", Seq: 1},
+		{Key: "a", Seq: 2, Deleted: true},
+	}
+	err := CheckNoLostAckedWrites(acks, func(string) (string, bool) { return "1", true })
+	if err == nil {
+		t.Fatal("an acknowledged delete that reads back must be flagged")
+	}
+}

@@ -21,11 +21,33 @@ import (
 // flow-control credit grant (a bare frame with none of them is the
 // connection handshake).
 type Frame struct {
-	From   types.ProcID
-	Msg    *types.WireMsg
-	Notify *membership.Notification
-	Attach *Attach
-	Credit *Credit
+	From    types.ProcID
+	Msg     *types.WireMsg
+	Notify  *membership.Notification
+	Attach  *Attach
+	Credit  *Credit
+	Handoff *Handoff
+}
+
+// Handoff is one chunk of a key-range state transfer between shard groups
+// during a reshard: the source streams the migrating range as a sequence of
+// chunks, sealed by a final frame with Last set (the handoff marker). Data
+// is opaque to the transport (the shard layer encodes its install commands
+// into it). Handoff frames are application data: they ride the credit-gated
+// data path, so a bulk state transfer cannot starve the control plane or
+// overrun a slow destination.
+type Handoff struct {
+	// Reshard is the proposal id this transfer belongs to.
+	Reshard string
+	// Shard is the destination shard id.
+	Shard int64
+	// Seq numbers chunks within the transfer (0-based, contiguous).
+	Seq uint32
+	// Last marks the final chunk — the handoff marker the destination's
+	// cutover view is gated on.
+	Last bool
+	// Data is the opaque chunk payload.
+	Data []byte
 }
 
 // Credit is one end-to-end flow-control grant: the sender of the frame
@@ -78,6 +100,7 @@ const (
 	frameNotify    uint8 = 2
 	frameAttach    uint8 = 3
 	frameCredit    uint8 = 4
+	frameHandoff   uint8 = 5
 
 	notifyStartChange uint8 = 1
 	notifyView        uint8 = 2
@@ -149,6 +172,17 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	case f.Credit != nil:
 		w.u8(frameCredit)
 		w.u64(f.Credit.Grant)
+	case f.Handoff != nil:
+		w.u8(frameHandoff)
+		if err := w.bytes([]byte(f.Handoff.Reshard)); err != nil {
+			return nil, err
+		}
+		w.u64(uint64(f.Handoff.Shard))
+		w.u32(f.Handoff.Seq)
+		w.bool(f.Handoff.Last)
+		if err := w.bytes(f.Handoff.Data); err != nil {
+			return nil, err
+		}
 	default:
 		w.u8(frameHandshake)
 	}
@@ -258,6 +292,39 @@ func readAttachInto(r *reader, a *Attach) error {
 	return nil
 }
 
+// readHandoffInto decodes one handoff frame body into h (fully
+// overwritten). With alias set, Data aliases the input buffer.
+func readHandoffInto(r *reader, h *Handoff) error {
+	id, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	shard, err := r.u64()
+	if err != nil {
+		return err
+	}
+	seq, err := r.u32()
+	if err != nil {
+		return err
+	}
+	last, err := r.bool()
+	if err != nil {
+		return err
+	}
+	data, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	*h = Handoff{
+		Reshard: string(id),
+		Shard:   int64(shard),
+		Seq:     seq,
+		Last:    last,
+		Data:    data,
+	}
+	return nil
+}
+
 // FrameBuf is a pooled, reference-counted encoded frame. EncodeFrame returns
 // one holding a single reference; a fan-out sender calls Retain once per
 // additional consumer, and every consumer calls Release exactly once when it
@@ -292,6 +359,11 @@ const (
 
 // classify buckets a frame by its queueing policy.
 func classify(f Frame) FrameClass {
+	if f.Handoff != nil {
+		// Bulk state transfer is data, not control: it must consume credit
+		// and is sheddable (the resharder re-sends an unacknowledged chunk).
+		return ClassData
+	}
 	if f.Msg == nil {
 		return ClassControl
 	}

@@ -255,6 +255,8 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 		{From: "a", Attach: &Attach{Kind: AttachSuspect, Client: "b"}},
 		{From: "a", Credit: &Credit{Grant: 0}},
 		{From: "a", Credit: &Credit{Grant: 1<<64 - 1}},
+		{From: "s0-p00", Handoff: &Handoff{Reshard: "r-7", Shard: 1, Seq: 0, Data: []byte("chunk")}},
+		{From: "s0-p00", Handoff: &Handoff{Reshard: "r-7", Shard: 1, Seq: 3, Last: true}},
 	}
 
 	var buf bytes.Buffer
@@ -274,7 +276,8 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 			t.Fatalf("frame %d from = %s", i, got.From)
 		}
 		if (got.Msg == nil) != (want.Msg == nil) || (got.Notify == nil) != (want.Notify == nil) ||
-			(got.Attach == nil) != (want.Attach == nil) || (got.Credit == nil) != (want.Credit == nil) {
+			(got.Attach == nil) != (want.Attach == nil) || (got.Credit == nil) != (want.Credit == nil) ||
+			(got.Handoff == nil) != (want.Handoff == nil) {
 			t.Fatalf("frame %d shape mismatch: %+v", i, got)
 		}
 		if want.Attach != nil && *got.Attach != *want.Attach {
@@ -282,6 +285,13 @@ func TestFrameRoundTripAndStream(t *testing.T) {
 		}
 		if want.Credit != nil && *got.Credit != *want.Credit {
 			t.Fatalf("frame %d credit mismatch: got %+v want %+v", i, *got.Credit, *want.Credit)
+		}
+		if want.Handoff != nil {
+			g, w := *got.Handoff, *want.Handoff
+			if g.Reshard != w.Reshard || g.Shard != w.Shard || g.Seq != w.Seq ||
+				g.Last != w.Last || !bytes.Equal(g.Data, w.Data) {
+				t.Fatalf("frame %d handoff mismatch: got %+v want %+v", i, g, w)
+			}
 		}
 	}
 }
@@ -307,6 +317,7 @@ func TestFrameClassification(t *testing.T) {
 		{"notify", Frame{From: "a", Notify: &membership.Notification{Kind: membership.NotifyView, View: v}}, ClassControl},
 		{"attach", Frame{From: "a", Attach: &Attach{Kind: AttachRequest, Client: "a"}}, ClassControl},
 		{"credit", Frame{From: "a", Credit: &Credit{Grant: 5}}, ClassControl},
+		{"handoff", Frame{From: "a", Handoff: &Handoff{Reshard: "r", Data: []byte("x")}}, ClassData},
 	}
 	for _, tc := range cases {
 		fb, err := EncodeFrame(tc.f)

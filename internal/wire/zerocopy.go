@@ -20,10 +20,11 @@ type DecodeState struct {
 	ids   map[string]types.ProcID
 	views map[string]types.View
 
-	msg    types.WireMsg
-	notify membership.Notification
-	attach Attach
-	credit Credit
+	msg     types.WireMsg
+	notify  membership.Notification
+	attach  Attach
+	credit  Credit
+	handoff Handoff
 }
 
 // Bounds on the intern tables: identifiers are per-process names (small,
@@ -185,6 +186,16 @@ func unmarshalFrameInto(b []byte, f *Frame, st *DecodeState, alias bool) error {
 		}
 		c.Grant = grant
 		f.Credit = c
+		return nil
+	case frameHandoff:
+		h := &Handoff{}
+		if st != nil {
+			h = &st.handoff
+		}
+		if err := readHandoffInto(&r, h); err != nil {
+			return err
+		}
+		f.Handoff = h
 		return nil
 	default:
 		return errUnknownFrameTag(tag)
